@@ -1,0 +1,107 @@
+"""E3 — the k-replacement SQL join cost (paper Section 4.2).
+
+Claim: the paper's replacement query "is very efficient if we are
+attempting to replace only a few tuples at a time.  For k
+replacements, however, this method would require a 2k-way join, which
+quickly becomes intractable."
+
+This bench fixes one invalid package and times the *complete*
+replacement query (no LIMIT — the full 2k-way join must be evaluated)
+for k = 1, 2, 3 at a dataset size where k = 3 still terminates, plus
+k = 1 at a 10x larger size to show the "very efficient if we are
+attempting to replace only a few tuples" half of the claim, and the
+in-memory single-swap scan for reference.
+"""
+
+import pytest
+
+from repro.core import Package, is_valid, sql_k_swap
+from repro.core.local_search import LocalSearch, LocalSearchOptions
+from repro.datasets import generate_recipes
+from repro.relational import Database
+
+QUERY = """
+SELECT PACKAGE(R) AS P
+FROM Recipes R
+WHERE R.gluten = 'free'
+SUCH THAT COUNT(*) = 4 AND SUM(P.calories) BETWEEN 2400 AND 2600
+"""
+
+N_SWEEP = 80
+N_LARGE = 800
+
+
+def _fixture(n):
+    from repro.core.engine import PackageQueryEvaluator
+
+    recipes = generate_recipes(n, seed=7)
+    evaluator = PackageQueryEvaluator(recipes)
+    query = evaluator.prepare(QUERY)
+    candidates = evaluator.candidates(query)
+    # A deliberately invalid starting package: the 4 highest-calorie
+    # candidates blow the 2600 kcal ceiling.
+    worst = sorted(candidates, key=lambda rid: -recipes[rid]["calories"])[:4]
+    package = Package(recipes, worst)
+    db = Database()
+    db.load_relation(recipes)
+    return recipes, query, candidates, package, db
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_sql_k_swap_full_join(benchmark, k):
+    recipes, query, candidates, package, db = _fixture(N_SWEEP)
+
+    replacements = benchmark.pedantic(
+        lambda: sql_k_swap(db, query, recipes, package, k),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "n": N_SWEEP,
+            "k": k,
+            "join_tables": 2 * k,
+            "replacements_found": len(replacements),
+        }
+    )
+    for replacement in replacements[:50]:
+        assert is_valid(replacement, query)
+
+
+def test_sql_single_swap_at_scale(benchmark):
+    recipes, query, candidates, package, db = _fixture(N_LARGE)
+    replacements = benchmark.pedantic(
+        lambda: sql_k_swap(db, query, recipes, package, 1),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {"n": N_LARGE, "k": 1, "replacements_found": len(replacements)}
+    )
+
+
+def test_in_memory_single_swap_reference(benchmark):
+    recipes, query, candidates, package, db = _fixture(N_SWEEP)
+    search = LocalSearch(query, recipes, candidates, LocalSearchOptions())
+
+    def scan():
+        current = search._score(package)
+        return search._best_single_move(package, current)
+
+    move, score = benchmark(scan)
+    benchmark.extra_info.update({"found_improvement": move is not None})
+
+
+def test_full_local_search_repair(benchmark):
+    """End-to-end repair time from the invalid seed (context row)."""
+    recipes, query, candidates, package, db = _fixture(N_SWEEP)
+
+    def repair():
+        search = LocalSearch(
+            query, recipes, candidates, LocalSearchOptions(rng_seed=2)
+        )
+        return search.run()
+
+    result = benchmark.pedantic(repair, rounds=3, iterations=1)
+    benchmark.extra_info.update({"valid": result.valid})
+    assert result.valid

@@ -1,0 +1,92 @@
+"""E6 — adaptive exploration (paper Section 3.3).
+
+Claim: exploration proceeds by keeping user-selected tuples and
+replacing the rest; user selections "narrow the search space", and the
+local search "is also particularly useful for adaptive exploration,
+where users usually request the replacement of only a few tuples at a
+time".
+
+This bench measures a session's start and resample latency as a
+function of how many of the 3 package tuples the user pins (0-2), and
+compares ILP-backed resampling with the local-search path.
+"""
+
+import pytest
+
+from repro.core import ExplorationSession
+from repro.core.engine import PackageQueryEvaluator
+from repro.datasets import generate_recipes
+
+QUERY = """
+SELECT PACKAGE(R) AS P
+FROM Recipes R
+WHERE R.gluten = 'free'
+SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 1800 AND 2500
+MAXIMIZE SUM(P.protein)
+"""
+
+N = 500
+
+
+def _session():
+    recipes = generate_recipes(N, seed=7)
+    evaluator = PackageQueryEvaluator(recipes)
+    query = evaluator.prepare(QUERY)
+    candidates = evaluator.candidates(query)
+    return ExplorationSession(query, recipes, candidates)
+
+
+def test_session_start(benchmark):
+    def run():
+        session = _session()
+        return session, session.start()
+
+    session, package = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert package is not None
+    benchmark.extra_info.update({"n": N})
+
+
+@pytest.mark.parametrize("pins", [0, 1, 2])
+def test_resample_with_pins(benchmark, pins):
+    def run():
+        session = _session()
+        package = session.start()
+        if pins:
+            session.pin(list(package.rids[:pins]))
+        return package, session.resample()
+
+    first, second = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert second is not None
+    assert second != first
+    kept = sum(1 for rid in first.rids[:pins] if rid in second)
+    assert kept == pins
+    benchmark.extra_info.update(
+        {
+            "n": N,
+            "pins": pins,
+            "tuples_replaced": 3 - second.overlap(first),
+        }
+    )
+
+
+def test_five_round_session(benchmark):
+    """A realistic interaction: five resamples with evolving pins."""
+
+    def run():
+        session = _session()
+        package = session.start()
+        shown = 1
+        for round_index in range(5):
+            session.unpin()
+            if package.rids:
+                session.pin([package.rids[round_index % len(package.rids)]])
+            replacement = session.resample()
+            if replacement is None:
+                break
+            package = replacement
+            shown += 1
+        return shown
+
+    shown = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert shown >= 3
+    benchmark.extra_info.update({"packages_shown": shown})

@@ -1,0 +1,93 @@
+"""E7 — interface abstractions (paper Sections 3.1-3.2, Figure 1).
+
+Claims reproduced headlessly:
+
+* constraint suggestion reacts to a highlight ("the system proposes
+  several constraints ... and objectives") — we measure suggestion
+  latency for column/cell/row highlights, which must be interactive
+  (well under a UI frame budget);
+* the visual summary "analyzes the current query specification and
+  selects two dimensions to visually layout the valid packages along"
+  — we measure dimension selection + layout + glyph binning over the
+  enumerated package space of a small instance.
+"""
+
+import pytest
+
+from repro.core import (
+    choose_dimensions,
+    grid_summary,
+    iter_valid_packages,
+    layout,
+    suggest_for_cells,
+    suggest_for_column,
+    suggest_for_rows,
+)
+from repro.core.engine import PackageQueryEvaluator
+from repro.datasets import generate_recipes
+
+SUMMARY_QUERY = """
+SELECT PACKAGE(R) AS P
+FROM Recipes R
+WHERE R.gluten = 'free'
+SUCH THAT COUNT(*) = 2 AND SUM(P.calories) <= 1600
+MAXIMIZE SUM(P.protein)
+"""
+
+
+def test_suggest_column_highlight(benchmark):
+    recipes = generate_recipes(200, seed=7)
+    suggestions = benchmark(lambda: suggest_for_column(recipes, "fat"))
+    assert any(s.kind == "objective" for s in suggestions)
+    benchmark.extra_info.update({"suggestions": len(suggestions)})
+
+
+def test_suggest_cell_highlight(benchmark):
+    recipes = generate_recipes(200, seed=7)
+    suggestions = benchmark(
+        lambda: suggest_for_cells(recipes, "calories", [3, 17, 42])
+    )
+    assert suggestions
+    benchmark.extra_info.update({"suggestions": len(suggestions)})
+
+
+def test_suggest_row_highlight(benchmark):
+    recipes = generate_recipes(200, seed=7)
+    suggestions = benchmark(lambda: suggest_for_rows(recipes, [1, 2, 3]))
+    assert suggestions
+    benchmark.extra_info.update({"suggestions": len(suggestions)})
+
+
+def _package_pool():
+    recipes = generate_recipes(40, seed=5)
+    evaluator = PackageQueryEvaluator(recipes)
+    query = evaluator.prepare(SUMMARY_QUERY)
+    candidates = evaluator.candidates(query)
+    pool = list(iter_valid_packages(query, recipes, candidates))
+    return query, pool
+
+
+def test_dimension_selection(benchmark):
+    query, pool = _package_pool()
+    x_dim, y_dim = benchmark(lambda: choose_dimensions(query, pool))
+    assert x_dim.label != y_dim.label
+    benchmark.extra_info.update(
+        {
+            "pool": len(pool),
+            "x": x_dim.label,
+            "y": y_dim.label,
+        }
+    )
+
+
+def test_layout_and_grid(benchmark):
+    query, pool = _package_pool()
+
+    def run():
+        summary = layout(query, pool)
+        return grid_summary(summary, cells=8, current=pool[0])
+
+    grid, cell = benchmark(run)
+    assert sum(sum(row) for row in grid) == len(pool)
+    assert cell is not None
+    benchmark.extra_info.update({"pool": len(pool)})

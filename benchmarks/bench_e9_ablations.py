@@ -1,0 +1,157 @@
+"""E9 — ablations of this reproduction's design choices (DESIGN.md §6).
+
+Not a paper claim; these benches quantify the knobs the implementation
+adds so EXPERIMENTS.md can report which ones matter:
+
+* **query rewriting** on/off (the §5 "optimizing PaQL queries" layer)
+  on a query with foldable fat;
+* **MILP presolve** on/off on a MIN/MAX-heavy query whose set
+  encodings produce the ``sum(x_bad) <= 0`` rows presolve turns into
+  variable fixings;
+* **B&B rounding heuristic** on/off on the portfolio instance;
+* **engine pruning** on/off for the brute-force strategy (complements
+  E1, measured through the full engine);
+* a 10-query **random workload** through the auto strategy, the
+  configuration a downstream user actually runs.
+"""
+
+import pytest
+
+from repro.core import EngineOptions, translate
+from repro.core.engine import PackageQueryEvaluator
+from repro.datasets import generate_recipes, generate_stocks
+from repro.datasets.workload import recipe_workload
+from repro.solver import BranchAndBoundOptions, solve_milp
+
+REWRITABLE_QUERY = """
+SELECT PACKAGE(R) AS P
+FROM Recipes R
+WHERE R.gluten = 'free' AND R.calories <= 1000 + 600 AND R.calories <= 1600
+SUCH THAT
+    COUNT(*) = 3 AND COUNT(*) = 3 AND
+    SUM(P.calories) BETWEEN 2000 AND 2500 AND
+    SUM(P.calories) <= 2500
+MAXIMIZE SUM(P.protein) * 1
+"""
+
+MINMAX_QUERY = """
+SELECT PACKAGE(R) AS P
+FROM Recipes R
+SUCH THAT
+    COUNT(*) = 3 AND
+    MIN(P.calories) >= 400 AND
+    MAX(P.calories) <= 900 AND
+    MIN(P.protein) >= 15
+MAXIMIZE SUM(P.protein)
+"""
+
+
+@pytest.mark.parametrize("rewrite", [True, False])
+def test_rewrite_ablation(benchmark, rewrite):
+    recipes = generate_recipes(800, seed=7)
+    evaluator = PackageQueryEvaluator(recipes)
+    options = EngineOptions(rewrite=rewrite)
+
+    result = benchmark.pedantic(
+        lambda: evaluator.evaluate(REWRITABLE_QUERY, options),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "rewrite": rewrite,
+            "objective": result.objective,
+            "rewrites_applied": result.stats.get("rewrites", []),
+        }
+    )
+    assert result.status.value == "optimal"
+
+
+@pytest.mark.parametrize("presolve", [True, False])
+def test_presolve_ablation_on_minmax_query(benchmark, presolve):
+    recipes = generate_recipes(600, seed=7)
+    evaluator = PackageQueryEvaluator(recipes)
+    query = evaluator.prepare(MINMAX_QUERY)
+    candidates = evaluator.candidates(query)
+    translation = translate(query, recipes, candidates)
+
+    solution = benchmark.pedantic(
+        lambda: solve_milp(
+            translation.model,
+            BranchAndBoundOptions(presolve=presolve, rounding=False),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "presolve": presolve,
+            "nodes": solution.nodes,
+            "iterations": solution.iterations,
+            "objective": solution.objective,
+        }
+    )
+
+
+@pytest.mark.parametrize("rounding", [True, False])
+def test_rounding_ablation_on_portfolio(benchmark, rounding):
+    from repro.datasets import PORTFOLIO_QUERY
+
+    stocks = generate_stocks(120, seed=13)
+    evaluator = PackageQueryEvaluator(stocks)
+    query = evaluator.prepare(PORTFOLIO_QUERY)
+    candidates = evaluator.candidates(query)
+    translation = translate(query, stocks, candidates)
+
+    solution = benchmark.pedantic(
+        lambda: solve_milp(
+            translation.model,
+            BranchAndBoundOptions(rounding=rounding, presolve=False),
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {"rounding": rounding, "nodes": solution.nodes}
+    )
+
+
+@pytest.mark.parametrize("use_pruning", [True, False])
+def test_engine_pruning_ablation(benchmark, use_pruning):
+    recipes = generate_recipes(20, seed=7)
+    evaluator = PackageQueryEvaluator(recipes)
+    options = EngineOptions(strategy="brute-force", use_pruning=use_pruning)
+
+    result = benchmark.pedantic(
+        lambda: evaluator.evaluate(REWRITABLE_QUERY, options),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "use_pruning": use_pruning,
+            "examined": result.stats.get("examined"),
+        }
+    )
+
+
+def test_random_workload_auto_strategy(benchmark):
+    recipes = generate_recipes(400, seed=7)
+    evaluator = PackageQueryEvaluator(recipes)
+    queries = recipe_workload(10, base_seed=42)
+
+    def run():
+        statuses = []
+        for query in queries:
+            statuses.append(evaluator.evaluate(query).status.value)
+        return statuses
+
+    statuses = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "queries": len(queries),
+            "optimal": statuses.count("optimal"),
+            "infeasible": statuses.count("infeasible"),
+        }
+    )
+    assert set(statuses) <= {"optimal", "infeasible"}

@@ -1,0 +1,27 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` module reproduces one claim from the paper (see
+DESIGN.md section 5 and EXPERIMENTS.md).  Benchmarks attach the
+claim-relevant numbers (search-space sizes, objectives, node counts)
+to ``benchmark.extra_info`` so they appear in pytest-benchmark's JSON
+output alongside the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import PackageQueryEvaluator
+
+
+@pytest.fixture
+def prepared():
+    """Prepare (query, candidates) pairs through the standard pipeline."""
+
+    def prepare(relation, text):
+        evaluator = PackageQueryEvaluator(relation)
+        query = evaluator.prepare(text)
+        candidates = evaluator.candidates(query)
+        return evaluator, query, candidates
+
+    return prepare

@@ -1,0 +1,97 @@
+"""Adaptive exploration and the package-space summary (Section 3).
+
+Simulates the Figure 1 interaction loop without the browser:
+
+* start from a sample package;
+* the "user" pins the meals they like and asks for a resample —
+  pinned tuples stay, the rest are replaced with a genuinely different
+  completion (Section 3.3);
+* after each step, the 2-D package-space summary re-renders with the
+  current package highlighted (Section 3.2).
+
+Run:  python examples/adaptive_exploration.py
+"""
+
+from repro.core import (
+    ExplorationSession,
+    PackageQueryEvaluator,
+    grid_summary,
+    iter_valid_packages,
+    layout,
+    render_grid,
+)
+from repro.datasets import generate_recipes
+
+QUERY = """
+SELECT PACKAGE(R) AS P
+FROM Recipes R
+WHERE R.gluten = 'free'
+SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 1500 AND 2200
+MAXIMIZE SUM(P.protein)
+"""
+
+
+def show(package, pins):
+    for row in package.distinct_rows():
+        marker = "*" if any(row == package.relation[rid] for rid in []) else " "
+        print(
+            f"   - {row['name']:<30} {row['calories']:>7.1f} kcal "
+            f"{row['protein']:>5.1f} g"
+        )
+    if pins:
+        names = ", ".join(package.relation[rid]["name"] for rid in pins)
+        print(f"   pinned: {names}")
+
+
+def main():
+    recipes = generate_recipes(60, seed=5)
+    evaluator = PackageQueryEvaluator(recipes)
+    query = evaluator.prepare(QUERY)
+    candidates = evaluator.candidates(query)
+
+    # Background: the full valid-package space for the summary view.
+    pool = list(iter_valid_packages(query, recipes, candidates))
+    print(f"{len(pool)} valid packages in the result space\n")
+
+    session = ExplorationSession(query, recipes, candidates)
+    current = session.start()
+    print("Initial sample:")
+    show(current, [])
+
+    summary = layout(query, pool)
+    grid, cell = grid_summary(summary, cells=8, current=current)
+    print(
+        f"\nPackage space ({summary.x_dimension.label} vs "
+        f"{summary.y_dimension.label}); '@' marks the current package:"
+    )
+    print(render_grid(grid, cell))
+
+    # Round 1: the user likes the highest-protein meal; replace the rest.
+    best_rid = max(
+        current.rids, key=lambda rid: recipes[rid]["protein"]
+    )
+    session.pin([best_rid])
+    current = session.resample()
+    print(f"\nAfter pinning '{recipes[best_rid]['name']}' and resampling:")
+    show(current, [best_rid])
+
+    # Round 2: pin two meals, one more resample.
+    second_rid = max(
+        (rid for rid in current.rids if rid != best_rid),
+        key=lambda rid: recipes[rid]["protein"],
+    )
+    session.pin([second_rid])
+    current = session.resample()
+    print(
+        f"\nAfter also pinning '{recipes[second_rid]['name']}':"
+    )
+    show(current, [best_rid, second_rid])
+
+    grid, cell = grid_summary(summary, cells=8, current=current)
+    print("\nFinal position in the package space:")
+    print(render_grid(grid, cell))
+    print(f"\nPackages shown this session: {len(session.history)}")
+
+
+if __name__ == "__main__":
+    main()

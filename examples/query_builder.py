@@ -1,0 +1,96 @@
+"""A query-building session — Figure 1's left panel, headless.
+
+Walks the assistive features around PaQL text entry:
+
+1. **auto-suggest** ("an auto-suggest feature helps with syntax"):
+   what the system offers at each keystroke milestone;
+2. **natural-language description** of the finished query;
+3. **query rewriting** (Section 5's optimization direction): the
+   engine folds constants, merges redundant bounds, and reports what
+   it did;
+4. **evaluation with an explanation**: the per-constraint report for
+   the winning package, and for a deliberately broken one.
+
+Run:  python examples/query_builder.py
+"""
+
+from repro.core import Package
+from repro.core.engine import PackageQueryEvaluator
+from repro.core.report import explain
+from repro.datasets import generate_recipes
+from repro.paql import (
+    complete,
+    describe_text,
+    parse,
+    print_query,
+    rewrite_query,
+)
+
+# The query "typed" with some redundancy a user might accumulate
+# while iterating: a duplicated calorie cap and foldable arithmetic.
+TYPED_QUERY = """
+SELECT PACKAGE(R) AS P
+FROM Recipes R
+WHERE R.gluten = 'free' AND R.calories <= 2 * 500 AND R.calories <= 1200
+SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 1500 AND 2500
+MAXIMIZE SUM(P.protein)
+"""
+
+
+def show_suggestions(prefix, schema):
+    suggestions = complete(prefix, schema=schema, limit=6)
+    rendered = ", ".join(f"{s.text}" for s in suggestions) or "(free input)"
+    print(f"  {prefix!r:<58} -> {rendered}")
+
+
+def main():
+    recipes = generate_recipes(300, seed=17)
+
+    print("=== 1. Auto-suggest while typing ===")
+    milestones = [
+        "",
+        "SELECT ",
+        "SELECT PACKAGE(R) ",
+        "SELECT PACKAGE(R) AS P FROM Recipes R ",
+        "SELECT PACKAGE(R) AS P FROM Recipes R WHERE ",
+        "SELECT PACKAGE(R) AS P FROM Recipes R WHERE R.glu",
+        "SELECT PACKAGE(R) AS P FROM Recipes R WHERE R.gluten = 'free' ",
+        "SELECT PACKAGE(R) AS P FROM Recipes R SUCH THAT ",
+        "SELECT PACKAGE(R) AS P FROM Recipes R SUCH THAT SUM",
+    ]
+    for prefix in milestones:
+        show_suggestions(prefix, recipes.schema)
+    print()
+
+    query = parse(TYPED_QUERY)
+    print("=== 2. The query, in English ===")
+    print(describe_text(query))
+    print()
+
+    print("=== 3. What the rewriter does with it ===")
+    result = rewrite_query(query)
+    print(f"rewrites applied: {', '.join(result.applied)}")
+    print(print_query(result.query))
+    print()
+
+    print("=== 4. Evaluation with an explanation ===")
+    evaluator = PackageQueryEvaluator(recipes)
+    outcome = evaluator.evaluate(TYPED_QUERY)
+    print(
+        f"status={outcome.status.value} strategy={outcome.strategy} "
+        f"({outcome.elapsed_seconds * 1000:.1f} ms)"
+    )
+    analyzed = outcome.query
+    print(explain(outcome.package, analyzed).text())
+    print()
+
+    print("--- and a deliberately broken package, for contrast ---")
+    # Three highest-calorie recipes, ignoring every constraint.
+    worst = sorted(
+        range(len(recipes)), key=lambda rid: -recipes[rid]["calories"]
+    )[:3]
+    print(explain(Package(recipes, worst), analyzed).text())
+
+
+if __name__ == "__main__":
+    main()

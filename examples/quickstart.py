@@ -1,0 +1,37 @@
+"""Quickstart: evaluate the paper's headline package query.
+
+Builds the synthetic recipe dataset, runs the Section 2 meal-planner
+query (3 gluten-free meals, 2000-2500 total calories, maximize
+protein), and prints the resulting package.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import evaluate
+from repro.datasets import MEAL_PLANNER_QUERY, generate_recipes
+
+
+def main():
+    recipes = generate_recipes(500, seed=7)
+    print(f"Dataset: {len(recipes)} synthetic recipes\n")
+    print("PaQL query:")
+    print(MEAL_PLANNER_QUERY.strip())
+    print()
+
+    result = evaluate(MEAL_PLANNER_QUERY, recipes)
+
+    print(f"Status:    {result.status.value}")
+    print(f"Strategy:  {result.strategy}")
+    print(f"Elapsed:   {result.elapsed_seconds * 1000:.1f} ms")
+    print(f"Objective: {result.objective:.1f} g protein\n")
+
+    print(f"{'meal':<32} {'calories':>9} {'protein':>8}")
+    total_calories = 0.0
+    for row in result.package.rows():
+        print(f"{row['name']:<32} {row['calories']:>9.1f} {row['protein']:>8.1f}")
+        total_calories += row["calories"]
+    print(f"{'total':<32} {total_calories:>9.1f} {result.objective:>8.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — a reproduction of PackageBuilder (Brucato et al., VLDB 2014).
+
+PackageBuilder extends database systems with *package queries*: a
+package is a collection of tuples that individually satisfy base
+constraints and collectively satisfy global constraints.  This library
+provides:
+
+* :mod:`repro.paql` — the PaQL query language (parser, semantic
+  analysis, printer, natural-language descriptions);
+* :mod:`repro.relational` — the relational substrate (in-memory
+  relations, a sqlite backend the engine talks SQL to, CSV I/O);
+* :mod:`repro.solver` — a from-scratch MILP solver (bounded-variable
+  simplex + branch and bound) with an optional scipy/HiGHS backend;
+* :mod:`repro.core` — the package-query engine: PaQL-to-ILP
+  translation, cardinality-based pruning, brute-force enumeration,
+  heuristic local search, multi-package enumeration, and the
+  interface abstractions (suggestions, exploration, summaries);
+* :mod:`repro.datasets` — seeded generators for the paper's meal
+  planner, vacation planner and investment portfolio scenarios.
+
+Quickstart::
+
+    from repro import evaluate
+    from repro.datasets import generate_recipes, MEAL_PLANNER_QUERY
+
+    recipes = generate_recipes(200)
+    result = evaluate(MEAL_PLANNER_QUERY, recipes)
+    print(result.status, result.objective)
+    for row in result.package.rows():
+        print(row["name"], row["calories"], row["protein"])
+"""
+
+from repro.core.engine import (
+    EngineOptions,
+    EvaluationResult,
+    PackageQueryEvaluator,
+    ResultStatus,
+    evaluate,
+)
+from repro.core.package import Package
+from repro.paql.parser import parse
+from repro.paql.printer import print_query
+from repro.paql.semantics import parse_and_analyze
+from repro.relational.relation import Relation
+from repro.relational.sqlite_backend import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "EngineOptions",
+    "EvaluationResult",
+    "Package",
+    "PackageQueryEvaluator",
+    "Relation",
+    "ResultStatus",
+    "evaluate",
+    "parse",
+    "parse_and_analyze",
+    "print_query",
+    "__version__",
+]

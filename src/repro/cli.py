@@ -1,0 +1,284 @@
+"""Command-line interface: run PaQL queries against CSV data.
+
+Usage::
+
+    python -m repro query --csv recipes.csv --query "SELECT PACKAGE(...)..."
+    python -m repro query --csv recipes.csv --query-file q.paql --top 3
+    python -m repro demo meal        # built-in scenario on synthetic data
+    python -m repro describe --query "SELECT PACKAGE(...)"
+
+The relation name in the FROM clause must match the CSV's relation
+name, which defaults to the file's stem (``recipes.csv`` ->
+``recipes``) and can be overridden with ``--relation``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.core.engine import EngineError, EngineOptions, PackageQueryEvaluator
+from repro.core.enumeration import diverse_subset, enumerate_top
+from repro.core.validator import objective_value
+from repro.paql.describe import describe_text
+from repro.paql.errors import PaQLError
+from repro.paql.parser import parse
+from repro.relational.csvio import read_csv
+from repro.relational.schema import SchemaError
+
+
+class CliError(Exception):
+    """User-facing CLI failure (bad arguments, bad data, bad query)."""
+
+
+def _load_relation(args):
+    path = pathlib.Path(args.csv)
+    if not path.exists():
+        raise CliError(f"no such file: {path}")
+    name = args.relation or path.stem
+    try:
+        return read_csv(path, name)
+    except (SchemaError, ValueError) as exc:
+        raise CliError(f"cannot read {path}: {exc}") from exc
+
+
+def _read_query_text(args):
+    if args.query and args.query_file:
+        raise CliError("pass --query or --query-file, not both")
+    if args.query:
+        return args.query
+    if args.query_file:
+        path = pathlib.Path(args.query_file)
+        if not path.exists():
+            raise CliError(f"no such file: {path}")
+        return path.read_text(encoding="utf-8")
+    raise CliError("a query is required (--query or --query-file)")
+
+
+def _format_package(package, query, out):
+    columns = package.relation.schema.names
+    rows = package.rows()
+    if not rows:
+        print("(the empty package)", file=out)
+        return
+    widths = {
+        column: max(len(column), *(len(str(row[column])) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for row in rows:
+        print(
+            "  ".join(str(row[column]).ljust(widths[column]) for column in columns),
+            file=out,
+        )
+    value = objective_value(package, query)
+    if value is not None:
+        print(f"objective: {value}", file=out)
+
+
+def _package_json(package, query):
+    return {
+        "rows": package.rows(),
+        "cardinality": package.cardinality,
+        "objective": objective_value(package, query),
+    }
+
+
+def _cmd_query(args, out):
+    relation = _load_relation(args)
+    text = _read_query_text(args)
+    evaluator = PackageQueryEvaluator(relation)
+    options = EngineOptions(strategy=args.strategy)
+
+    if args.top > 1:
+        query = evaluator.prepare(text)
+        candidates = evaluator.candidates(query)
+        packages = enumerate_top(query, relation, candidates, args.top)
+        if args.diverse and len(packages) > args.diverse:
+            packages = diverse_subset(packages, args.diverse)
+        if not packages:
+            print("no valid package exists", file=out)
+            return 1
+        if args.json:
+            payload = [_package_json(p, query) for p in packages]
+            print(json.dumps(payload, indent=2, default=str), file=out)
+            return 0
+        for rank, package in enumerate(packages, start=1):
+            print(f"== package #{rank} ==", file=out)
+            _format_package(package, query, out)
+            print(file=out)
+        return 0
+
+    result = evaluator.evaluate(text, options)
+    if args.json:
+        payload = {
+            "status": result.status.value,
+            "strategy": result.strategy,
+            "candidates": result.candidate_count,
+            "elapsed_seconds": result.elapsed_seconds,
+        }
+        if result.found:
+            payload["package"] = _package_json(result.package, result.query)
+        print(json.dumps(payload, indent=2, default=str), file=out)
+        return 0 if result.found else 1
+
+    print(
+        f"status: {result.status.value}  strategy: {result.strategy}  "
+        f"candidates: {result.candidate_count}  "
+        f"({result.elapsed_seconds * 1000:.1f} ms)",
+        file=out,
+    )
+    if args.explain:
+        print(
+            f"cardinality bounds: [{result.bounds.lower}, "
+            f"{result.bounds.upper}]",
+            file=out,
+        )
+        for key, value in sorted(result.stats.items()):
+            print(f"{key}: {value}", file=out)
+    if not result.found:
+        print("no valid package exists", file=out)
+        return 1
+    _format_package(result.package, result.query, out)
+    return 0
+
+
+def _cmd_plan(args, out):
+    from repro.core.plan import plan
+    from repro.paql.lint import lint
+
+    relation = _load_relation(args)
+    text = _read_query_text(args)
+    evaluator = PackageQueryEvaluator(relation)
+    query = evaluator.prepare(text)
+    print(plan(query, relation).text(), file=out)
+    warnings = lint(query, relation)
+    if warnings:
+        print("advisories:", file=out)
+        for warning in warnings:
+            print(f"  {warning}", file=out)
+    return 0
+
+
+def _cmd_describe(args, out):
+    text = _read_query_text(args)
+    query = parse(text)
+    print(describe_text(query), file=out)
+    return 0
+
+
+_DEMOS = {
+    "meal": (
+        "repro.datasets",
+        "generate_recipes",
+        {"n": 300},
+        "MEAL_PLANNER_QUERY",
+    ),
+    "vacation": (
+        "repro.datasets",
+        "generate_travel_products",
+        {},
+        "VACATION_QUERY",
+    ),
+    "portfolio": (
+        "repro.datasets",
+        "generate_stocks",
+        {"n": 150},
+        "PORTFOLIO_QUERY",
+    ),
+}
+
+
+def _cmd_demo(args, out):
+    import importlib
+
+    module_name, maker_name, kwargs, query_name = _DEMOS[args.scenario]
+    module = importlib.import_module(module_name)
+    relation = getattr(module, maker_name)(**kwargs)
+    text = getattr(module, query_name)
+    print(text.strip(), file=out)
+    print(file=out)
+    evaluator = PackageQueryEvaluator(relation)
+    result = evaluator.evaluate(text)
+    print(
+        f"status: {result.status.value}  strategy: {result.strategy}  "
+        f"({result.elapsed_seconds * 1000:.1f} ms)",
+        file=out,
+    )
+    if result.found:
+        _format_package(result.package, result.query, out)
+        return 0
+    return 1
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PackageBuilder reproduction: evaluate PaQL package queries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="run a PaQL query against a CSV file")
+    query.add_argument("--csv", required=True, help="CSV file with a header row")
+    query.add_argument("--relation", help="relation name (default: file stem)")
+    query.add_argument("--query", help="PaQL text")
+    query.add_argument("--query-file", help="file containing PaQL text")
+    query.add_argument(
+        "--strategy",
+        default="auto",
+        choices=["auto", "ilp", "brute-force", "local-search", "sql"],
+    )
+    query.add_argument(
+        "--top", type=int, default=1, help="return the best N distinct packages"
+    )
+    query.add_argument(
+        "--diverse",
+        type=int,
+        default=0,
+        help="pick this many diverse packages out of --top",
+    )
+    query.add_argument("--json", action="store_true", help="JSON output")
+    query.add_argument(
+        "--explain", action="store_true", help="print bounds and strategy stats"
+    )
+    query.set_defaults(func=_cmd_query)
+
+    desc = sub.add_parser("describe", help="explain a PaQL query in English")
+    desc.add_argument("--query", help="PaQL text")
+    desc.add_argument("--query-file", help="file containing PaQL text")
+    desc.set_defaults(func=_cmd_describe)
+
+    plan_cmd = sub.add_parser(
+        "plan", help="show the evaluation plan without solving"
+    )
+    plan_cmd.add_argument("--csv", required=True)
+    plan_cmd.add_argument("--relation", help="relation name (default: file stem)")
+    plan_cmd.add_argument("--query", help="PaQL text")
+    plan_cmd.add_argument("--query-file", help="file containing PaQL text")
+    plan_cmd.set_defaults(func=_cmd_plan)
+
+    demo = sub.add_parser("demo", help="run a built-in paper scenario")
+    demo.add_argument("scenario", choices=sorted(_DEMOS))
+    demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args, out)
+    except (CliError, EngineError, PaQLError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

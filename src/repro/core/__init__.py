@@ -1,0 +1,146 @@
+"""Core package-query engine: the paper's primary contribution."""
+
+from repro.core.brute_force import (
+    BruteForceStats,
+    SearchSpaceExceeded,
+    count_valid,
+    find_best,
+    find_first,
+    iter_valid_packages,
+)
+from repro.core.enumeration import (
+    diverse_subset,
+    enumerate_diverse,
+    enumerate_top,
+)
+from repro.core.explore import ExplorationError, ExplorationSession
+from repro.core.suggest import (
+    Suggestion,
+    suggest_for_cells,
+    suggest_for_column,
+    suggest_for_rows,
+)
+from repro.core.summary import (
+    Dimension,
+    PackagePoint,
+    SummaryLayout,
+    candidate_dimensions,
+    choose_dimensions,
+    grid_summary,
+    layout,
+    render_grid,
+)
+from repro.core.anytime import AnytimeEnumerator, progressive_layout
+from repro.core.plan import EvaluationPlan, plan
+from repro.core.report import ConstraintReport, PackageReport, explain
+from repro.core.sql_generate import (
+    SQLGenerateUnsupported,
+    build_generate_sql,
+    sql_enumerate,
+    sql_find_best,
+)
+from repro.core.engine import (
+    EngineError,
+    EngineOptions,
+    EvaluationResult,
+    PackageQueryEvaluator,
+    ResultStatus,
+    evaluate,
+)
+from repro.core.formula import normalize_formula
+from repro.core.greedy import greedy_seed, random_seed
+from repro.core.local_search import (
+    LocalSearch,
+    LocalSearchOptions,
+    LocalSearchResult,
+    SwapSQLUnsupported,
+    build_swap_sql,
+    local_search,
+    sql_k_swap,
+    violation,
+)
+from repro.core.package import Package, PackageError
+from repro.core.pruning import (
+    CardinalityBounds,
+    CardinalityPruner,
+    derive_bounds,
+    search_space_size,
+)
+from repro.core.translate_ilp import ILPTranslation, ILPTranslationError, translate
+from repro.core.validator import (
+    ValidationReport,
+    check_global,
+    compare_objectives,
+    is_valid,
+    objective_value,
+    validate,
+)
+
+__all__ = [
+    "AnytimeEnumerator",
+    "BruteForceStats",
+    "progressive_layout",
+    "ConstraintReport",
+    "Dimension",
+    "EvaluationPlan",
+    "plan",
+    "PackageReport",
+    "explain",
+    "ExplorationError",
+    "ExplorationSession",
+    "PackagePoint",
+    "Suggestion",
+    "SummaryLayout",
+    "candidate_dimensions",
+    "choose_dimensions",
+    "diverse_subset",
+    "enumerate_diverse",
+    "enumerate_top",
+    "grid_summary",
+    "layout",
+    "render_grid",
+    "suggest_for_cells",
+    "suggest_for_column",
+    "suggest_for_rows",
+    "CardinalityBounds",
+    "CardinalityPruner",
+    "EngineError",
+    "EngineOptions",
+    "EvaluationResult",
+    "ILPTranslation",
+    "ILPTranslationError",
+    "LocalSearch",
+    "LocalSearchOptions",
+    "LocalSearchResult",
+    "Package",
+    "PackageError",
+    "PackageQueryEvaluator",
+    "ResultStatus",
+    "SQLGenerateUnsupported",
+    "SearchSpaceExceeded",
+    "SwapSQLUnsupported",
+    "build_generate_sql",
+    "sql_enumerate",
+    "sql_find_best",
+    "ValidationReport",
+    "build_swap_sql",
+    "check_global",
+    "compare_objectives",
+    "count_valid",
+    "derive_bounds",
+    "evaluate",
+    "find_best",
+    "find_first",
+    "greedy_seed",
+    "is_valid",
+    "iter_valid_packages",
+    "local_search",
+    "normalize_formula",
+    "objective_value",
+    "random_seed",
+    "search_space_size",
+    "sql_k_swap",
+    "translate",
+    "validate",
+    "violation",
+]

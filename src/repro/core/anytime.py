@@ -1,0 +1,140 @@
+"""Anytime enumeration of the package space (Section 3.2).
+
+Figure 1's visual summary shows "only packages found so far" while a
+"Running" indicator tells the user the result space is incomplete.
+:class:`AnytimeEnumerator` is that producer: it walks the pruned
+package space in budgeted slices, accumulating valid packages, and at
+every point knows whether it has seen everything (``complete``) or is
+still "running".  :func:`progressive_layout` feeds the accumulated
+pool straight into the Section 3.2 summary.
+
+The enumeration order is the brute-force generator's (cardinality
+ascending), so prefixes are deterministic and resumable.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.brute_force import iter_valid_packages
+from repro.core.pruning import derive_bounds
+from repro.core.summary import grid_summary, layout
+
+
+class AnytimeEnumerator:
+    """Budgeted, resumable enumeration of all valid packages.
+
+    Args:
+        query: analyzed package query.
+        relation: the base relation.
+        candidate_rids: rids satisfying the base constraints.
+
+    Usage::
+
+        enumerator = AnytimeEnumerator(query, relation, candidates)
+        enumerator.run(max_packages=50)       # first slice
+        if not enumerator.complete:
+            enumerator.run(max_seconds=0.2)   # keep going
+        pool = enumerator.packages
+    """
+
+    def __init__(self, query, relation, candidate_rids):
+        self._query = query
+        self._relation = relation
+        self._candidates = list(candidate_rids)
+        self._bounds = derive_bounds(query, relation, self._candidates)
+        self._iterator = iter_valid_packages(
+            query, relation, self._candidates, bounds=self._bounds
+        )
+        self._packages = []
+        self._complete = self._bounds.empty
+        self._examined_slices = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def packages(self):
+        """Valid packages found so far (stable, deterministic order)."""
+        return list(self._packages)
+
+    @property
+    def complete(self):
+        """True when the entire package space has been enumerated."""
+        return self._complete
+
+    @property
+    def running(self):
+        """The Figure 1 "Running" indicator."""
+        return not self._complete
+
+    @property
+    def found(self):
+        return len(self._packages)
+
+    @property
+    def slices(self):
+        """How many ``run`` calls have been made."""
+        return self._examined_slices
+
+    # -- driving -----------------------------------------------------------------
+
+    def run(self, max_packages=None, max_seconds=None):
+        """Enumerate until a budget is exhausted or the space ends.
+
+        Args:
+            max_packages: stop after finding this many *new* packages
+                in this slice.
+            max_seconds: stop after roughly this much wall-clock time.
+                At least one iterator step is always attempted, so
+                progress is guaranteed.
+
+        Returns:
+            The number of new packages found in this slice.
+        """
+        if self._complete:
+            return 0
+        self._examined_slices += 1
+        deadline = (
+            time.perf_counter() + max_seconds
+            if max_seconds is not None
+            else None
+        )
+        new_found = 0
+        while True:
+            try:
+                package = next(self._iterator)
+            except StopIteration:
+                self._complete = True
+                break
+            self._packages.append(package)
+            new_found += 1
+            if max_packages is not None and new_found >= max_packages:
+                break
+            if deadline is not None and time.perf_counter() >= deadline:
+                break
+        return new_found
+
+    def run_to_completion(self):
+        """Enumerate everything (no budget); returns total found."""
+        while not self._complete:
+            self.run(max_packages=10000)
+        return self.found
+
+
+def progressive_layout(query, enumerator, cells=8, current=None):
+    """Summary view of an in-progress enumeration.
+
+    Returns:
+        ``(summary, grid, current_cell, running)`` — the Section 3.2
+        artifacts plus the running flag the UI would display.
+
+    Raises:
+        ValueError: when no packages have been found yet (there is
+            nothing to lay out).
+    """
+    pool = enumerator.packages
+    if not pool:
+        raise ValueError("no packages found yet; run the enumerator first")
+    summary = layout(query, pool)
+    grid, current_cell = grid_summary(summary, cells=cells, current=current)
+    return summary, grid, current_cell, enumerator.running

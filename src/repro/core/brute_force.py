@@ -1,0 +1,155 @@
+"""Brute-force package enumeration — the completeness baseline.
+
+"A brute-force approach that generates and evaluates all candidate
+packages is impractical" (Section 4) — but it is the ground truth the
+other strategies are measured against, and with cardinality-based
+pruning it is viable at small n.  This module enumerates candidate
+packages (optionally restricted to the pruned cardinality window),
+validates each against the global constraints, and can return the
+first valid package, the best one, or all of them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.package import Package
+from repro.core.pruning import CardinalityBounds, derive_bounds
+from repro.core.validator import check_global, compare_objectives, objective_value
+
+
+class SearchSpaceExceeded(Exception):
+    """Raised when enumeration would examine more packages than allowed."""
+
+
+@dataclass
+class BruteForceStats:
+    """Counters from one enumeration run."""
+
+    examined: int = 0
+    valid: int = 0
+    bounds: CardinalityBounds | None = None
+
+
+def _multisets(candidates, cardinality, repeat):
+    """Yield multisets of ``candidates`` of the given total size.
+
+    With ``repeat == 1`` these are plain combinations; otherwise
+    combinations-with-replacement filtered by the multiplicity cap.
+    """
+    if cardinality == 0:
+        yield ()
+        return
+    if repeat == 1:
+        yield from itertools.combinations(candidates, cardinality)
+        return
+    for combo in itertools.combinations_with_replacement(candidates, cardinality):
+        counts = {}
+        ok = True
+        for rid in combo:
+            counts[rid] = counts.get(rid, 0) + 1
+            if counts[rid] > repeat:
+                ok = False
+                break
+        if ok:
+            yield combo
+
+
+def iter_valid_packages(
+    query, relation, candidate_rids, bounds=None, stats=None, examine_limit=None
+):
+    """Yield every valid package over ``candidate_rids``.
+
+    Args:
+        query: analyzed query (base constraints are assumed to already
+            hold for every candidate).
+        bounds: optional :class:`CardinalityBounds`; derived from the
+            query when omitted.  Pass ``CardinalityBounds(0, n)`` to
+            disable pruning (the E1 ablation does exactly this).
+        stats: optional :class:`BruteForceStats` to fill in.
+        examine_limit: raise :class:`SearchSpaceExceeded` after this
+            many candidate packages.
+
+    Yields:
+        :class:`~repro.core.package.Package` objects in cardinality
+        order (smallest first), each satisfying the global constraints.
+    """
+    candidates = list(candidate_rids)
+    if bounds is None:
+        bounds = derive_bounds(query, relation, candidates)
+    if stats is not None:
+        stats.bounds = bounds
+    if bounds.empty:
+        return
+
+    low = max(0, bounds.lower)
+    high = min(len(candidates) * query.repeat, bounds.upper)
+    examined = 0
+    for cardinality in range(low, high + 1):
+        for combo in _multisets(candidates, cardinality, query.repeat):
+            examined += 1
+            if stats is not None:
+                stats.examined = examined
+            if examine_limit is not None and examined > examine_limit:
+                raise SearchSpaceExceeded(
+                    f"brute force exceeded the examine limit of {examine_limit}"
+                )
+            package = Package(relation, combo)
+            if check_global(package, query):
+                if stats is not None:
+                    stats.valid += 1
+                yield package
+
+
+def find_first(query, relation, candidate_rids, bounds=None, examine_limit=None):
+    """Return the first valid package, or None.
+
+    Ignores the objective — useful for satisfiability checks and for
+    queries without an objective clause.
+    """
+    for package in iter_valid_packages(
+        query, relation, candidate_rids, bounds, examine_limit=examine_limit
+    ):
+        return package
+    return None
+
+
+def find_best(
+    query, relation, candidate_rids, bounds=None, stats=None, examine_limit=None
+):
+    """Exhaustively find the objective-optimal valid package.
+
+    Without an objective this degrades to :func:`find_first` (any
+    valid package is equally good).  Returns ``None`` when no valid
+    package exists.
+    """
+    if query.objective is None:
+        first = None
+        for package in iter_valid_packages(
+            query, relation, candidate_rids, bounds, stats, examine_limit
+        ):
+            first = package
+            break
+        return first
+
+    best = None
+    best_value = None
+    for package in iter_valid_packages(
+        query, relation, candidate_rids, bounds, stats, examine_limit
+    ):
+        value = objective_value(package, query)
+        if best is None or compare_objectives(query, value, best_value) < 0:
+            best = package
+            best_value = value
+    return best
+
+
+def count_valid(query, relation, candidate_rids, bounds=None, examine_limit=None):
+    """Count all valid packages (used by the interface-summary bench)."""
+    total = 0
+    for _ in iter_valid_packages(
+        query, relation, candidate_rids, bounds, examine_limit=examine_limit
+    ):
+        total += 1
+    return total

@@ -1,0 +1,384 @@
+"""The package query evaluator.
+
+Orchestrates the full pipeline of Section 4: parse and analyze the
+PaQL text, push base constraints down (to the DBMS via SQL when a
+:class:`~repro.relational.sqlite_backend.Database` is attached, else
+in memory), derive cardinality bounds, and evaluate with one of the
+strategies — or, like the demo system, "heuristically combine all of
+them":
+
+* ``ilp`` — translate to an integer program and solve exactly;
+* ``brute-force`` — pruned exhaustive enumeration (exact, small n);
+* ``local-search`` — the Section 4.2 heuristic (fast, incomplete);
+* ``auto`` — ILP when the query translates; otherwise brute force
+  when the pruned space is small enough, local search with a
+  brute-force safety net when it is not.
+
+Every returned package is re-validated against the original query —
+a strategy bug surfaces as an :class:`EngineError`, never as a wrong
+answer.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+from repro.paql.parser import parse
+from repro.paql.semantics import analyze
+from repro.paql.to_sql import to_sql
+from repro.paql.eval import eval_predicate
+from repro.core.brute_force import BruteForceStats, find_best
+from repro.core.local_search import LocalSearch, LocalSearchOptions
+from repro.core.pruning import derive_bounds, search_space_size
+from repro.core.translate_ilp import ILPTranslationError, translate
+from repro.core.validator import validate
+from repro.solver.branch_and_bound import BranchAndBoundOptions, solve_milp
+from repro.solver.scipy_backend import available as scipy_available
+from repro.solver.scipy_backend import solve_milp_scipy
+from repro.solver.status import Status
+
+
+class EngineError(Exception):
+    """Internal inconsistency: a strategy produced an invalid package."""
+
+
+class ResultStatus(enum.Enum):
+    """How to read the evaluation outcome."""
+
+    #: A valid package, provably objective-optimal (exact strategies).
+    OPTIMAL = "optimal"
+    #: A valid package without an optimality proof (heuristics/limits).
+    FEASIBLE = "feasible"
+    #: Proof that no valid package exists.
+    INFEASIBLE = "infeasible"
+    #: The strategy gave up without a proof either way.
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class EngineOptions:
+    """Evaluation options.
+
+    Attributes:
+        strategy: ``auto`` | ``ilp`` | ``brute-force`` | ``local-search``.
+        solver_backend: ``builtin`` (from-scratch simplex + B&B),
+            ``scipy`` (HiGHS), or ``auto`` (scipy when installed).
+        brute_force_limit: ``auto`` falls back from local search to
+            brute force only when the pruned space is at most this big.
+        node_limit: branch-and-bound node cap.
+        local_search: options for the heuristic strategy.
+        use_pruning: apply cardinality bounds (the E1 ablation turns
+            this off).
+        rewrite: run the logical query-rewrite pass (constant folding,
+            interval merging, contradiction detection) before
+            evaluation — the Section 5 "optimizing PaQL queries" layer.
+    """
+
+    strategy: str = "auto"
+    solver_backend: str = "builtin"
+    brute_force_limit: int = 200000
+    node_limit: int = 200000
+    local_search: LocalSearchOptions = field(default_factory=LocalSearchOptions)
+    use_pruning: bool = True
+    rewrite: bool = True
+
+
+@dataclass
+class EvaluationResult:
+    """The outcome of evaluating one package query."""
+
+    package: object
+    status: ResultStatus
+    strategy: str
+    query: object
+    objective: float | None = None
+    candidate_count: int = 0
+    bounds: object = None
+    elapsed_seconds: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def found(self):
+        return self.package is not None
+
+
+class PackageQueryEvaluator:
+    """Evaluates PaQL queries over one relation.
+
+    Args:
+        relation: the base :class:`~repro.relational.relation.Relation`.
+        db: optional :class:`~repro.relational.sqlite_backend.Database`;
+            when given, the relation is loaded into it (if absent) and
+            base constraints are pushed down as SQL.
+    """
+
+    def __init__(self, relation, db=None):
+        self._relation = relation
+        self._db = db
+        if db is not None and not db.has_relation(relation.name):
+            db.load_relation(relation)
+
+    # -- helpers --------------------------------------------------------------
+
+    def prepare(self, query_or_text):
+        """Parse (if text) and analyze a query against the relation."""
+        query = (
+            parse(query_or_text)
+            if isinstance(query_or_text, str)
+            else query_or_text
+        )
+        if query.relation != self._relation.name:
+            raise EngineError(
+                f"query is over {query.relation!r} but this evaluator holds "
+                f"{self._relation.name!r}"
+            )
+        return analyze(query, self._relation.schema)
+
+    def candidates(self, query):
+        """rids satisfying the base constraints (SQL pushdown when possible)."""
+        if query.where is None:
+            return list(range(len(self._relation)))
+        if self._db is not None:
+            return self._db.select_rids(
+                self._relation.name, to_sql(query.where)
+            )
+        return [
+            rid
+            for rid in range(len(self._relation))
+            if eval_predicate(query.where, self._relation[rid])
+        ]
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, query_or_text, options=None):
+        """Evaluate a package query and return an :class:`EvaluationResult`."""
+        options = options or EngineOptions()
+        started = time.perf_counter()
+
+        query = self.prepare(query_or_text)
+        rewrites_applied = []
+        if options.rewrite:
+            from repro.paql.rewrite import rewrite_query
+
+            rewritten = rewrite_query(query)
+            query = rewritten.query
+            rewrites_applied = rewritten.applied
+        candidate_rids = self.candidates(query)
+        bounds = derive_bounds(query, self._relation, candidate_rids)
+
+        if options.use_pruning and bounds.empty:
+            stats = {"reason": "cardinality bounds are empty"}
+            if rewrites_applied:
+                stats["rewrites"] = rewrites_applied
+            return EvaluationResult(
+                package=None,
+                status=ResultStatus.INFEASIBLE,
+                strategy="pruning",
+                query=query,
+                candidate_count=len(candidate_rids),
+                bounds=bounds,
+                elapsed_seconds=time.perf_counter() - started,
+                stats=stats,
+            )
+
+        strategy = options.strategy
+        if strategy == "auto":
+            result = self._evaluate_auto(query, candidate_rids, bounds, options)
+        elif strategy == "ilp":
+            result = self._evaluate_ilp(query, candidate_rids, options)
+        elif strategy == "brute-force":
+            result = self._evaluate_brute_force(
+                query, candidate_rids, bounds, options
+            )
+        elif strategy == "local-search":
+            result = self._evaluate_local_search(query, candidate_rids, options)
+        elif strategy == "sql":
+            result = self._evaluate_sql(query, candidate_rids, bounds, options)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+
+        result.query = query
+        result.candidate_count = len(candidate_rids)
+        result.bounds = bounds
+        result.elapsed_seconds = time.perf_counter() - started
+        if rewrites_applied:
+            result.stats["rewrites"] = rewrites_applied
+        self._check(result)
+        return result
+
+    def _check(self, result):
+        """Re-validate whatever a strategy returned (the oracle gate)."""
+        if result.package is None:
+            return
+        report = validate(result.package, result.query)
+        if not report.valid:
+            raise EngineError(
+                f"strategy {result.strategy!r} returned an invalid package: "
+                f"base_ok={report.base_ok} global_ok={report.global_ok} "
+                f"repeat_ok={report.repeat_ok}"
+            )
+        result.objective = report.objective
+
+    # -- strategies ---------------------------------------------------------------
+
+    def _evaluate_auto(self, query, candidate_rids, bounds, options):
+        try:
+            return self._evaluate_ilp(query, candidate_rids, options)
+        except ILPTranslationError as exc:
+            translation_error = str(exc)
+
+        space = search_space_size(len(candidate_rids), bounds)
+        if query.repeat == 1 and space <= options.brute_force_limit:
+            result = self._evaluate_brute_force(
+                query, candidate_rids, bounds, options
+            )
+            result.stats["ilp_fallback_reason"] = translation_error
+            return result
+
+        result = self._evaluate_local_search(query, candidate_rids, options)
+        result.stats["ilp_fallback_reason"] = translation_error
+        if result.package is None and (
+            query.repeat == 1 and space <= options.brute_force_limit
+        ):  # pragma: no cover - guarded by the branch above
+            result = self._evaluate_brute_force(
+                query, candidate_rids, bounds, options
+            )
+        return result
+
+    def _evaluate_ilp(self, query, candidate_rids, options):
+        translation = translate(query, self._relation, candidate_rids)
+
+        backend = options.solver_backend
+        if backend == "auto":
+            backend = "scipy" if scipy_available() else "builtin"
+        if backend == "scipy":
+            solution = solve_milp_scipy(translation.model)
+        else:
+            solution = solve_milp(
+                translation.model,
+                BranchAndBoundOptions(node_limit=options.node_limit),
+            )
+
+        stats = {
+            "solver_backend": backend,
+            "variables": translation.model.num_variables,
+            "constraints": translation.model.num_constraints,
+            "nodes": solution.nodes,
+            "iterations": solution.iterations,
+        }
+        if solution.status is Status.OPTIMAL:
+            return EvaluationResult(
+                package=translation.decode(solution),
+                status=ResultStatus.OPTIMAL,
+                strategy="ilp",
+                query=query,
+                stats=stats,
+            )
+        if solution.status is Status.FEASIBLE:
+            return EvaluationResult(
+                package=translation.decode(solution),
+                status=ResultStatus.FEASIBLE,
+                strategy="ilp",
+                query=query,
+                stats=stats,
+            )
+        if solution.status is Status.INFEASIBLE:
+            return EvaluationResult(
+                package=None,
+                status=ResultStatus.INFEASIBLE,
+                strategy="ilp",
+                query=query,
+                stats=stats,
+            )
+        return EvaluationResult(
+            package=None,
+            status=ResultStatus.UNKNOWN,
+            strategy="ilp",
+            query=query,
+            stats=stats,
+        )
+
+    def _evaluate_brute_force(self, query, candidate_rids, bounds, options):
+        stats = BruteForceStats()
+        effective_bounds = bounds if options.use_pruning else None
+        if not options.use_pruning:
+            from repro.core.pruning import CardinalityBounds
+
+            effective_bounds = CardinalityBounds(
+                0, len(candidate_rids) * query.repeat
+            )
+        package = find_best(
+            query,
+            self._relation,
+            candidate_rids,
+            bounds=effective_bounds,
+            stats=stats,
+        )
+        status = ResultStatus.OPTIMAL if package else ResultStatus.INFEASIBLE
+        return EvaluationResult(
+            package=package,
+            status=status,
+            strategy="brute-force",
+            query=query,
+            stats={"examined": stats.examined, "valid": stats.valid},
+        )
+
+    def _evaluate_sql(self, query, candidate_rids, bounds, options):
+        """The paper's option (i): SQL generate-and-validate statements."""
+        from repro.core.sql_generate import sql_find_best
+        from repro.relational.sqlite_backend import Database
+
+        db = self._db
+        owned = False
+        if db is None:
+            db = Database()
+            db.load_relation(self._relation)
+            owned = True
+        try:
+            package = sql_find_best(
+                db, query, self._relation, candidate_rids, bounds
+            )
+        finally:
+            if owned:
+                db.close()
+        status = ResultStatus.OPTIMAL if package else ResultStatus.INFEASIBLE
+        return EvaluationResult(
+            package=package,
+            status=status,
+            strategy="sql",
+            query=query,
+            stats={"bounds": [bounds.lower, bounds.upper]},
+        )
+
+    def _evaluate_local_search(self, query, candidate_rids, options):
+        search = LocalSearch(
+            query, self._relation, candidate_rids, options.local_search
+        )
+        outcome = search.run()
+        stats = {
+            "rounds": outcome.rounds,
+            "moves_evaluated": outcome.moves_evaluated,
+            "restarts": outcome.restarts_used,
+        }
+        if outcome.package is None:
+            return EvaluationResult(
+                package=None,
+                status=ResultStatus.UNKNOWN,
+                strategy="local-search",
+                query=query,
+                stats=stats,
+            )
+        return EvaluationResult(
+            package=outcome.package,
+            status=ResultStatus.FEASIBLE,
+            strategy="local-search",
+            query=query,
+            stats=stats,
+        )
+
+
+def evaluate(query_text, relation, db=None, options=None):
+    """One-call evaluation: build an evaluator, run one query."""
+    return PackageQueryEvaluator(relation, db).evaluate(query_text, options)

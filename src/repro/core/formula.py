@@ -1,0 +1,133 @@
+"""Normalization of global-constraint formulas.
+
+The SUCH THAT clause admits arbitrary Boolean formulas (one of the
+paper's extensions over Tiresias).  Both the cardinality pruner and the
+ILP translator want a simpler shape, so this module rewrites formulas
+into **negation normal form over plain comparisons**:
+
+* ``BETWEEN`` becomes a conjunction of ``>=`` and ``<=``;
+* ``IN`` over numeric aggregates becomes a disjunction of equalities;
+* ``NOT`` is pushed down to the leaves and absorbed into comparison
+  operators (aggregate expressions are numeric, so ``NOT (a = b)`` is
+  exactly ``a <> b``, etc.);
+* ``<>`` is expanded into ``< OR >`` (sound for numeric operands),
+  leaving only the five operators ``=, <, <=, >, >=`` at the leaves;
+* Boolean literals are constant-folded.
+
+The result contains only :class:`~repro.paql.ast.And`,
+:class:`~repro.paql.ast.Or`, :class:`~repro.paql.ast.Comparison` and
+:class:`~repro.paql.ast.Literal` (True/False) nodes.
+"""
+
+from __future__ import annotations
+
+from repro.paql import ast
+from repro.paql.errors import PaQLUnsupportedError
+
+TRUE = ast.Literal(True)
+FALSE = ast.Literal(False)
+
+
+def normalize_formula(node):
+    """Rewrite a SUCH THAT formula to NNF over plain comparisons.
+
+    Raises:
+        PaQLUnsupportedError: for ``IS NULL`` tests over aggregates,
+            whose truth depends on emptiness in ways neither the pruner
+            nor the translator models.
+    """
+    return _normalize(node, negate=False)
+
+
+def _normalize(node, negate):
+    if isinstance(node, ast.Literal):
+        value = bool(node.value)
+        return FALSE if (value == negate) else TRUE
+
+    if isinstance(node, ast.Not):
+        return _normalize(node.arg, not negate)
+
+    if isinstance(node, ast.And):
+        args = [_normalize(arg, negate) for arg in node.args]
+        return _combine(args, conjunction=not negate)
+
+    if isinstance(node, ast.Or):
+        args = [_normalize(arg, negate) for arg in node.args]
+        return _combine(args, conjunction=negate)
+
+    if isinstance(node, ast.Between):
+        effective_negate = negate != node.negated
+        lower = ast.Comparison(ast.CmpOp.GE, node.expr, node.low)
+        upper = ast.Comparison(ast.CmpOp.LE, node.expr, node.high)
+        if not effective_negate:
+            return _combine(
+                [_normalize(lower, False), _normalize(upper, False)],
+                conjunction=True,
+            )
+        return _combine(
+            [_normalize(lower, True), _normalize(upper, True)],
+            conjunction=False,
+        )
+
+    if isinstance(node, ast.InList):
+        effective_negate = negate != node.negated
+        equalities = [
+            ast.Comparison(ast.CmpOp.EQ, node.expr, item) for item in node.items
+        ]
+        if not equalities:
+            return TRUE if effective_negate else FALSE
+        normalized = [_normalize(eq, effective_negate) for eq in equalities]
+        return _combine(normalized, conjunction=effective_negate)
+
+    if isinstance(node, ast.IsNull):
+        raise PaQLUnsupportedError(
+            "IS NULL over package aggregates is not supported in global "
+            "constraints; test emptiness with COUNT(*) instead"
+        )
+
+    if isinstance(node, ast.Comparison):
+        op = node.op.negate() if negate else node.op
+        if op is ast.CmpOp.NE:
+            lt = ast.Comparison(ast.CmpOp.LT, node.left, node.right)
+            gt = ast.Comparison(ast.CmpOp.GT, node.left, node.right)
+            return _combine([lt, gt], conjunction=False)
+        return ast.Comparison(op, node.left, node.right)
+
+    raise PaQLUnsupportedError(
+        f"unsupported node {type(node).__name__} in a global constraint"
+    )
+
+
+def _combine(args, conjunction):
+    """Build And/Or with literal folding and same-type flattening."""
+    absorber = FALSE if conjunction else TRUE
+    identity = TRUE if conjunction else FALSE
+    node_type = ast.And if conjunction else ast.Or
+
+    flat = []
+    for arg in args:
+        if arg == absorber:
+            return absorber
+        if arg == identity:
+            continue
+        if isinstance(arg, node_type):
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    if not flat:
+        return identity
+    if len(flat) == 1:
+        return flat[0]
+    return node_type(tuple(flat))
+
+
+def conjunctive_leaves(node):
+    """Return the top-level conjuncts of a normalized formula.
+
+    A single leaf yields itself; an ``And`` yields its args; anything
+    else (an ``Or`` at the top) yields the whole node as one "leaf" —
+    callers that can only use conjunctive information treat it opaquely.
+    """
+    if isinstance(node, ast.And):
+        return list(node.args)
+    return [node]

@@ -1,0 +1,474 @@
+"""Heuristic local search over packages (Section 4.2 of the paper).
+
+Two faithful variants:
+
+* **In-memory search** (:class:`LocalSearch`): start from a seed
+  package, repair constraint violations by steepest-descent over
+  single-tuple replacements (plus add/remove moves that walk the
+  pruned cardinality window), escalate to sampled k-tuple replacements
+  when single swaps stall, restart on dead ends; then hill-climb the
+  objective while staying valid.  As the paper notes, this is a
+  heuristic: it can fail on queries that do have answers.
+
+* **SQL replacement queries** (:func:`build_swap_sql`,
+  :func:`sql_k_swap`): the paper's formulation — "identify all possible
+  k-tuple replacements that can lead to a valid package, by using a
+  single SQL query" over the Cartesian product of the current package
+  and the base relation.  For ``k`` replacements this becomes a 2k-way
+  join, which "quickly becomes intractable" — benchmark E3 measures
+  exactly that growth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.paql import ast
+from repro.paql.errors import PaQLUnsupportedError
+from repro.paql.eval import eval_expr
+from repro.paql.to_sql import to_sql
+from repro.core.formula import conjunctive_leaves, normalize_formula
+from repro.core.greedy import greedy_seed, random_seed
+from repro.core.package import Package
+from repro.core.pruning import derive_bounds
+from repro.core.validator import compare_objectives, is_valid, objective_value
+
+# ---------------------------------------------------------------------------
+# Violation measure (search guidance)
+# ---------------------------------------------------------------------------
+
+
+def violation(package, query, normalized=None):
+    """Degree of global-constraint violation of ``package``.
+
+    0.0 exactly when the package satisfies SUCH THAT.  Comparisons
+    contribute their relative residual; conjunctions add up,
+    disjunctions take their best branch; NULL-valued aggregates (e.g.
+    AVG of an empty package) count as a unit violation.
+    """
+    if query.such_that is None:
+        return 0.0
+    if normalized is None:
+        normalized = normalize_formula(query.such_that)
+    return _violation_of(normalized, package)
+
+
+def _violation_of(node, package):
+    if isinstance(node, ast.Literal):
+        return 0.0 if node.value else 1.0
+    if isinstance(node, ast.And):
+        return sum(_violation_of(arg, package) for arg in node.args)
+    if isinstance(node, ast.Or):
+        return min(_violation_of(arg, package) for arg in node.args)
+    if isinstance(node, ast.Comparison):
+        left = eval_expr(node.left, None, package.aggregate)
+        right = eval_expr(node.right, None, package.aggregate)
+        if left is None or right is None:
+            return 1.0
+        scale = 1.0 + abs(float(right))
+        gap = float(left) - float(right)
+        if node.op is ast.CmpOp.LE:
+            return max(0.0, gap) / scale
+        if node.op is ast.CmpOp.LT:
+            return max(0.0, gap) / scale if gap >= 0 else 0.0
+        if node.op is ast.CmpOp.GE:
+            return max(0.0, -gap) / scale
+        if node.op is ast.CmpOp.GT:
+            return max(0.0, -gap) / scale if gap <= 0 else 0.0
+        if node.op is ast.CmpOp.EQ:
+            return abs(gap) / scale
+        return 0.0 if gap != 0 else 1.0 / scale  # NE
+    raise PaQLUnsupportedError(f"cannot score node {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# In-memory local search
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LocalSearchOptions:
+    """Tuning knobs for :class:`LocalSearch`.
+
+    Attributes:
+        max_rounds: total move rounds across repair and improvement.
+        k_max: largest replacement size tried when 1-swaps stall
+            (the paper's k; cost grows combinatorially with it).
+        seed: ``"greedy"`` or ``"random"`` starting package.
+        improve: run the objective hill-climbing phase after a valid
+            package is found.
+        restarts: random restarts after a dead end.
+        rng_seed: seed for all stochastic choices (reproducibility).
+        pair_sample: maximum candidate k-replacements sampled per
+            stalled round.
+    """
+
+    max_rounds: int = 500
+    k_max: int = 2
+    seed: str = "greedy"
+    improve: bool = True
+    restarts: int = 3
+    rng_seed: int = 0
+    pair_sample: int = 2000
+
+
+@dataclass
+class LocalSearchResult:
+    """Outcome of a local-search run."""
+
+    package: Package | None
+    valid: bool
+    rounds: int = 0
+    moves_evaluated: int = 0
+    restarts_used: int = 0
+
+    @property
+    def objective(self):
+        return self._objective
+
+    _objective: float | None = field(default=None, repr=False)
+
+
+class LocalSearch:
+    """Heuristic search for a valid (and locally optimal) package."""
+
+    def __init__(self, query, relation, candidate_rids, options=None):
+        self._query = query
+        self._relation = relation
+        self._candidates = list(candidate_rids)
+        self._options = options or LocalSearchOptions()
+        self._bounds = derive_bounds(query, relation, self._candidates)
+        self._normalized = (
+            normalize_formula(query.such_that)
+            if query.such_that is not None
+            else None
+        )
+        self._rng = random.Random(self._options.rng_seed)
+        self._rounds = 0
+        self._moves = 0
+
+    # -- public ------------------------------------------------------------
+
+    def run(self):
+        """Search for a valid package; hill-climb the objective if asked."""
+        options = self._options
+        if self._bounds.empty:
+            return LocalSearchResult(None, False)
+
+        restarts_used = 0
+        package = self._initial_seed()
+        while True:
+            package = self._repair(package)
+            if package is not None:
+                break
+            if restarts_used >= options.restarts:
+                return LocalSearchResult(
+                    None,
+                    False,
+                    rounds=self._rounds,
+                    moves_evaluated=self._moves,
+                    restarts_used=restarts_used,
+                )
+            restarts_used += 1
+            package = random_seed(
+                self._query,
+                self._relation,
+                self._candidates,
+                self._bounds,
+                rng=self._rng,
+            )
+
+        if options.improve and self._query.objective is not None:
+            package = self._improve(package)
+
+        result = LocalSearchResult(
+            package,
+            True,
+            rounds=self._rounds,
+            moves_evaluated=self._moves,
+            restarts_used=restarts_used,
+        )
+        result._objective = objective_value(package, self._query)
+        return result
+
+    # -- seeding -------------------------------------------------------------
+
+    def _initial_seed(self):
+        maker = greedy_seed if self._options.seed == "greedy" else random_seed
+        return maker(
+            self._query,
+            self._relation,
+            self._candidates,
+            self._bounds,
+            rng=self._rng,
+        )
+
+    # -- repair phase ----------------------------------------------------------
+
+    def _score(self, package):
+        return violation(package, self._query, self._normalized)
+
+    def _repair(self, package):
+        """Drive the violation to 0, or return None on a dead end."""
+        if package is None:
+            return None
+        current = self._score(package)
+        while self._rounds < self._options.max_rounds:
+            if current == 0.0:
+                return package
+            self._rounds += 1
+            best_move, best_score = self._best_single_move(package, current)
+            if best_move is None and self._options.k_max >= 2:
+                best_move, best_score = self._sampled_k_move(package, current)
+            if best_move is None:
+                return None
+            package = best_move
+            current = best_score
+        return package if current == 0.0 else None
+
+    def _single_moves(self, package):
+        """Yield all 1-swap / add / remove neighbors of ``package``."""
+        cardinality = package.cardinality
+        at_cap = {
+            rid
+            for rid in self._candidates
+            if package.multiplicity(rid) >= self._query.repeat
+        }
+        incoming = [rid for rid in self._candidates if rid not in at_cap]
+
+        for out_rid in package.rids:
+            for in_rid in incoming:
+                if in_rid == out_rid:
+                    continue
+                yield package.replace([out_rid], [in_rid])
+        if cardinality + 1 <= self._bounds.upper:
+            for in_rid in incoming:
+                yield package.replace([], [in_rid])
+        if cardinality - 1 >= self._bounds.lower:
+            for out_rid in package.rids:
+                yield package.replace([out_rid], [])
+
+    def _best_single_move(self, package, current):
+        """Steepest-descent choice among single moves (strict improvement)."""
+        best = None
+        best_score = current
+        for neighbor in self._single_moves(package):
+            self._moves += 1
+            score = self._score(neighbor)
+            if score < best_score - 1e-12:
+                best = neighbor
+                best_score = score
+        return best, best_score
+
+    def _sampled_k_move(self, package, current):
+        """First-improvement over sampled k-replacements, k = 2..k_max."""
+        for k in range(2, self._options.k_max + 1):
+            outs = list(package.rids)
+            if len(outs) < k:
+                continue
+            at_cap = {
+                rid
+                for rid in self._candidates
+                if package.multiplicity(rid) >= self._query.repeat
+            }
+            incoming = [rid for rid in self._candidates if rid not in at_cap]
+            if len(incoming) < k:
+                continue
+            budget = self._options.pair_sample
+            for _ in range(budget):
+                removal = self._rng.sample(outs, k)
+                addition = self._rng.sample(incoming, k)
+                if set(removal) & set(addition):
+                    continue
+                self._moves += 1
+                neighbor = package.replace(removal, addition)
+                score = self._score(neighbor)
+                if score < current - 1e-12:
+                    return neighbor, score
+        return None, current
+
+    # -- improvement phase ---------------------------------------------------------
+
+    def _improve(self, package):
+        """Hill-climb the objective with validity-preserving 1-moves."""
+        current_value = objective_value(package, self._query)
+        while self._rounds < self._options.max_rounds:
+            self._rounds += 1
+            best = None
+            best_value = current_value
+            for neighbor in self._single_moves(package):
+                self._moves += 1
+                if self._score(neighbor) != 0.0:
+                    continue
+                value = objective_value(neighbor, self._query)
+                if compare_objectives(self._query, value, best_value) < 0:
+                    best = neighbor
+                    best_value = value
+            if best is None:
+                return package
+            package = best
+            current_value = best_value
+        return package
+
+
+def local_search(query, relation, candidate_rids, options=None):
+    """One-call convenience wrapper around :class:`LocalSearch`."""
+    return LocalSearch(query, relation, candidate_rids, options).run()
+
+
+# ---------------------------------------------------------------------------
+# The paper's SQL replacement query
+# ---------------------------------------------------------------------------
+
+
+class SwapSQLUnsupported(Exception):
+    """The query's global constraints have no swap-SQL rendering.
+
+    The SQL formulation covers conjunctions of linear comparisons over
+    SUM / COUNT aggregates (the paper's examples).  MIN/MAX/AVG
+    constraints, disjunctions and REPEAT > 1 fall back to the
+    in-memory search.
+    """
+
+
+def _delta_sql(aggregate, out_aliases, in_aliases):
+    """SQL for the change of ``aggregate`` under a k-replacement."""
+    if aggregate.is_count_star:
+        return None  # cardinality is unchanged by a pure replacement
+    argument = aggregate.argument
+    pieces = []
+    if aggregate.func is ast.AggFunc.SUM:
+        for alias in out_aliases:
+            pieces.append(f"- COALESCE({to_sql(argument, alias + '.')}, 0)")
+        for alias in in_aliases:
+            pieces.append(f"+ COALESCE({to_sql(argument, alias + '.')}, 0)")
+    elif aggregate.func is ast.AggFunc.COUNT:
+        for alias in out_aliases:
+            expr = to_sql(argument, alias + ".")
+            pieces.append(f"- (CASE WHEN {expr} IS NULL THEN 0 ELSE 1 END)")
+        for alias in in_aliases:
+            expr = to_sql(argument, alias + ".")
+            pieces.append(f"+ (CASE WHEN {expr} IS NULL THEN 0 ELSE 1 END)")
+    else:
+        raise SwapSQLUnsupported(
+            f"{aggregate.func.value} constraints have no swap-SQL form"
+        )
+    return " ".join(pieces)
+
+
+def _comparison_sql(node, package, out_aliases, in_aliases):
+    """Render one conjunct as SQL over the post-swap aggregate values."""
+    from repro.core.translate_ilp import ILPTranslationError, _affine_of
+
+    try:
+        affine = _affine_of(node.left) - _affine_of(node.right)
+    except ILPTranslationError as exc:
+        raise SwapSQLUnsupported(str(exc)) from exc
+
+    terms = [repr(float(affine.constant))]
+    for aggregate, coef in affine.terms.items():
+        if aggregate.func in (ast.AggFunc.AVG, ast.AggFunc.MIN, ast.AggFunc.MAX):
+            raise SwapSQLUnsupported(
+                f"{aggregate.func.value} constraints have no swap-SQL form"
+            )
+        current = package.aggregate(aggregate)
+        if current is None:
+            current = 0.0
+        delta = _delta_sql(aggregate, out_aliases, in_aliases)
+        if delta is None:
+            terms.append(f"+ ({coef!r} * {float(current)!r})")
+        else:
+            terms.append(f"+ ({coef!r} * ({float(current)!r} {delta}))")
+    value_sql = " ".join(terms)
+    return f"({value_sql}) {node.op.value} 0"
+
+
+def build_swap_sql(query, relation, package, k, package_table="pkg"):
+    """Build the paper's k-replacement SQL (Section 4.2).
+
+    The query joins ``k`` copies of the package table (via the base
+    relation, to reach attribute values) with ``k`` copies of the base
+    relation, and selects combinations whose replacement yields a valid
+    package.  Returns SQL producing columns
+    ``out_rid_1..k, in_rid_1..k``.
+
+    Raises:
+        SwapSQLUnsupported: for constraint shapes outside the
+            conjunctive SUM/COUNT fragment, or REPEAT > 1.
+    """
+    if query.repeat != 1:
+        raise SwapSQLUnsupported("swap SQL assumes set semantics (REPEAT 1)")
+    if query.such_that is None:
+        raise SwapSQLUnsupported("no global constraints to repair")
+    normalized = normalize_formula(query.such_that)
+    leaves = conjunctive_leaves(normalized)
+    for leaf in leaves:
+        if not isinstance(leaf, ast.Comparison):
+            raise SwapSQLUnsupported(
+                "swap SQL covers conjunctions of comparisons only"
+            )
+
+    relation_name = relation.name
+    out_aliases = [f"OUT{i}" for i in range(1, k + 1)]
+    in_aliases = [f"IN{i}" for i in range(1, k + 1)]
+
+    from_parts = []
+    where_parts = []
+    for i, alias in enumerate(out_aliases):
+        pkg_alias = f"P{i + 1}"
+        from_parts.append(f"{package_table} {pkg_alias}")
+        from_parts.append(f"{relation_name} {alias}")
+        where_parts.append(f"{alias}.rid = {pkg_alias}.rid")
+        if i > 0:
+            where_parts.append(f"P{i}.pid < {pkg_alias}.pid")
+    for i, alias in enumerate(in_aliases):
+        from_parts.append(f"{relation_name} {alias}")
+        where_parts.append(
+            f"{alias}.rid NOT IN (SELECT rid FROM {package_table})"
+        )
+        if i > 0:
+            where_parts.append(f"{in_aliases[i - 1]}.rid < {alias}.rid")
+        if query.where is not None:
+            where_parts.append(to_sql(query.where, alias + "."))
+
+    for leaf in leaves:
+        where_parts.append(_comparison_sql(leaf, package, out_aliases, in_aliases))
+
+    select_cols = [
+        f"{alias}.rid AS out_rid_{i + 1}" for i, alias in enumerate(out_aliases)
+    ] + [f"{alias}.rid AS in_rid_{i + 1}" for i, alias in enumerate(in_aliases)]
+
+    return (
+        f"SELECT {', '.join(select_cols)}\n"
+        f"FROM {', '.join(from_parts)}\n"
+        f"WHERE {' AND '.join(where_parts)}"
+    )
+
+
+def sql_k_swap(db, query, relation, package, k, limit=None, package_table="pkg"):
+    """Run the paper's replacement query; return replacement packages.
+
+    Materializes ``package`` as a temp table, executes the k-way join,
+    and applies each returned replacement.
+
+    Returns:
+        List of :class:`~repro.core.package.Package`, each differing
+        from ``package`` by exactly ``k`` tuples and satisfying the
+        (conjunctive) global constraints.
+    """
+    sql = build_swap_sql(query, relation, package, k, package_table)
+    if limit is not None:
+        sql += f"\nLIMIT {int(limit)}"
+    db.create_temp_package_table(package_table, relation.name, list(package.rids))
+    try:
+        rows = db.execute(sql)
+    finally:
+        db.drop_table(package_table)
+    replacements = []
+    for row in rows:
+        outs = [row[f"out_rid_{i + 1}"] for i in range(k)]
+        ins = [row[f"in_rid_{i + 1}"] for i in range(k)]
+        replacements.append(package.replace(outs, ins))
+    return replacements

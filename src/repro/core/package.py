@@ -1,0 +1,205 @@
+"""The package: a multiset of tuples from a base relation.
+
+A package is PackageBuilder's result object — "a collection of tuples
+that individually satisfy base constraints and collectively satisfy
+global constraints".  Tuples are identified by their row index (rid) in
+the base relation; multiplicities above one arise from the REPEAT
+clause.
+
+Aggregate semantics (SQL-consistent, fixed here for the whole library):
+
+* ``COUNT(*)`` — total multiplicity; 0 for the empty package.
+* ``COUNT(expr)`` — multiplicity-weighted count of rows where ``expr``
+  is non-NULL.
+* ``SUM(expr)`` — multiplicity-weighted sum over non-NULL values;
+  **0 for the empty package** (this matches the ILP translation, where
+  a sum over no selected tuples is 0; SQL would return NULL).
+* ``AVG/MIN/MAX(expr)`` — over non-NULL values; NULL for the empty
+  package (and for all-NULL arguments), which makes comparisons
+  involving them *unknown*, hence unsatisfied.
+"""
+
+from __future__ import annotations
+
+from repro.paql import ast
+from repro.paql.eval import eval_scalar
+
+
+class PackageError(Exception):
+    """Raised for invalid package construction."""
+
+
+class Package:
+    """An immutable multiset of rows of one relation.
+
+    Args:
+        relation: the base :class:`repro.relational.relation.Relation`.
+        counts: mapping or iterable describing the multiset — either
+            ``{rid: multiplicity}`` or an iterable of rids (each
+            occurrence adds one to the multiplicity).
+    """
+
+    def __init__(self, relation, counts):
+        self._relation = relation
+        if isinstance(counts, dict):
+            items = counts.items()
+        else:
+            tally = {}
+            for rid in counts:
+                tally[rid] = tally.get(rid, 0) + 1
+            items = tally.items()
+        normalized = {}
+        for rid, multiplicity in items:
+            rid = int(rid)
+            multiplicity = int(multiplicity)
+            if multiplicity < 0:
+                raise PackageError(f"negative multiplicity for rid {rid}")
+            if not 0 <= rid < len(relation):
+                raise PackageError(
+                    f"rid {rid} out of range for relation "
+                    f"{relation.name!r} with {len(relation)} rows"
+                )
+            if multiplicity > 0:
+                normalized[rid] = multiplicity
+        self._counts = tuple(sorted(normalized.items()))
+        self._agg_cache = {}
+
+    # -- basics ------------------------------------------------------------
+
+    @property
+    def relation(self):
+        return self._relation
+
+    @property
+    def counts(self):
+        """Sorted tuple of ``(rid, multiplicity)`` pairs."""
+        return self._counts
+
+    @property
+    def rids(self):
+        """The distinct rids in the package, sorted."""
+        return tuple(rid for rid, _ in self._counts)
+
+    @property
+    def cardinality(self):
+        """Total multiplicity — the package's COUNT(*)."""
+        return sum(multiplicity for _, multiplicity in self._counts)
+
+    def multiplicity(self, rid):
+        for existing, multiplicity in self._counts:
+            if existing == rid:
+                return multiplicity
+        return 0
+
+    def __len__(self):
+        return self.cardinality
+
+    def __bool__(self):
+        return bool(self._counts)
+
+    def __contains__(self, rid):
+        return self.multiplicity(rid) > 0
+
+    def __eq__(self, other):
+        if not isinstance(other, Package):
+            return NotImplemented
+        return (
+            self._relation is other._relation and self._counts == other._counts
+        )
+
+    def __hash__(self):
+        return hash((id(self._relation), self._counts))
+
+    def __repr__(self):
+        body = ", ".join(
+            f"{rid}" if mult == 1 else f"{rid}x{mult}" for rid, mult in self._counts
+        )
+        return f"Package([{body}] of {self._relation.name})"
+
+    def rows(self):
+        """Materialize the package rows (repeated per multiplicity)."""
+        out = []
+        for rid, multiplicity in self._counts:
+            row = self._relation[rid]
+            out.extend([row] * multiplicity)
+        return out
+
+    def distinct_rows(self):
+        """One dict per distinct rid, with a ``_multiplicity`` key added."""
+        out = []
+        for rid, multiplicity in self._counts:
+            row = dict(self._relation[rid])
+            row["_multiplicity"] = multiplicity
+            out.append(row)
+        return out
+
+    # -- multiset algebra -----------------------------------------------------
+
+    def replace(self, removals, additions):
+        """Return a new package with ``removals`` rids decremented once
+        each and ``additions`` rids incremented once each."""
+        counts = dict(self._counts)
+        for rid in removals:
+            current = counts.get(rid, 0)
+            if current <= 0:
+                raise PackageError(f"cannot remove rid {rid}: not in package")
+            counts[rid] = current - 1
+        for rid in additions:
+            counts[rid] = counts.get(rid, 0) + 1
+        return Package(self._relation, counts)
+
+    def overlap(self, other):
+        """Multiset intersection size with another package."""
+        mine = dict(self._counts)
+        return sum(
+            min(mult, mine.get(rid, 0)) for rid, mult in other._counts
+        )
+
+    def jaccard_distance(self, other):
+        """1 - |A ∩ B| / |A ∪ B| over the multisets (1.0 vs empty)."""
+        intersection = self.overlap(other)
+        union = self.cardinality + other.cardinality - intersection
+        if union == 0:
+            return 0.0
+        return 1.0 - intersection / union
+
+    # -- aggregates --------------------------------------------------------------
+
+    def aggregate(self, node):
+        """Evaluate an :class:`repro.paql.ast.Aggregate` over this package.
+
+        Returns a number, or ``None`` (SQL NULL) per the module
+        docstring's semantics.
+        """
+        key = node
+        if key in self._agg_cache:
+            return self._agg_cache[key]
+        value = self._compute_aggregate(node)
+        self._agg_cache[key] = value
+        return value
+
+    def _compute_aggregate(self, node):
+        if node.is_count_star:
+            return self.cardinality
+
+        values = []
+        weights = []
+        for rid, multiplicity in self._counts:
+            value = eval_scalar(node.argument, self._relation[rid])
+            if value is None:
+                continue
+            values.append(value)
+            weights.append(multiplicity)
+
+        func = node.func
+        if func is ast.AggFunc.COUNT:
+            return sum(weights)
+        if func is ast.AggFunc.SUM:
+            return sum(v * w for v, w in zip(values, weights))
+        if not values:
+            return None
+        if func is ast.AggFunc.AVG:
+            return sum(v * w for v, w in zip(values, weights)) / sum(weights)
+        if func is ast.AggFunc.MIN:
+            return min(values)
+        return max(values)

@@ -1,0 +1,157 @@
+"""Evaluation planning: EXPLAIN for package queries.
+
+Section 5 calls for "a more principled approach to package query
+optimization".  This module is the inspection half of that: given a
+query and a relation, it predicts — *without solving anything* — what
+the evaluator will do and why:
+
+* how many candidates survive base-constraint pushdown;
+* the derived cardinality bounds and the pruned/unpruned search-space
+  sizes;
+* whether the query has a linear (ILP) encoding, and if not, the
+  exact reason;
+* which strategy ``auto`` would choose, with the decision trail;
+* the ILP's size (variables, constraints, integer count) when one
+  exists.
+
+The CLI exposes this as ``repro plan``; tests assert the plan's
+predictions against what the engine then actually does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pruning import derive_bounds, search_space_size
+from repro.core.translate_ilp import ILPTranslationError, translate
+
+
+@dataclass
+class EvaluationPlan:
+    """The predicted evaluation of one package query.
+
+    Attributes:
+        candidate_count: tuples surviving the base constraints.
+        bounds: derived :class:`~repro.core.pruning.CardinalityBounds`.
+        space_unpruned: ``2^n`` candidate packages (set semantics).
+        space_pruned: candidate packages inside the bounds.
+        translatable: whether a linear encoding exists.
+        translation_error: the reason when it does not.
+        model_variables / model_constraints / model_integers: ILP size
+            (0 when not translatable).
+        chosen_strategy: what ``auto`` will run.
+        decisions: human-readable decision trail, in order.
+    """
+
+    candidate_count: int
+    bounds: object
+    space_unpruned: int
+    space_pruned: int
+    translatable: bool
+    translation_error: str | None = None
+    model_variables: int = 0
+    model_constraints: int = 0
+    model_integers: int = 0
+    chosen_strategy: str = "ilp"
+    decisions: list = field(default_factory=list)
+
+    def lines(self):
+        out = [
+            f"candidates after base constraints: {self.candidate_count}",
+            f"cardinality bounds: [{self.bounds.lower}, {self.bounds.upper}]",
+            f"search space: 2^n = {self.space_unpruned:g}, "
+            f"pruned = {self.space_pruned:g}",
+        ]
+        if self.translatable:
+            out.append(
+                f"ILP encoding: {self.model_variables} variables "
+                f"({self.model_integers} integer), "
+                f"{self.model_constraints} constraints"
+            )
+        else:
+            out.append(f"no ILP encoding: {self.translation_error}")
+        out.append(f"strategy: {self.chosen_strategy}")
+        for decision in self.decisions:
+            out.append(f"  - {decision}")
+        return out
+
+    def text(self):
+        return "\n".join(self.lines())
+
+
+def plan(query, relation, candidate_rids=None, options=None):
+    """Build the :class:`EvaluationPlan` for an analyzed query.
+
+    Mirrors :meth:`repro.core.engine.PackageQueryEvaluator` ``auto``
+    logic exactly (tested to agree with the strategy the engine
+    reports).
+    """
+    from repro.core.engine import EngineOptions
+
+    options = options or EngineOptions()
+    if candidate_rids is None:
+        from repro.core.engine import PackageQueryEvaluator
+
+        candidate_rids = PackageQueryEvaluator(relation).candidates(query)
+    candidates = list(candidate_rids)
+
+    bounds = derive_bounds(query, relation, candidates)
+    unpruned = 2 ** len(candidates)
+    pruned = search_space_size(len(candidates), bounds)
+
+    decisions = []
+    if bounds.empty and options.use_pruning:
+        decisions.append(
+            "cardinality bounds are empty: infeasible without solving"
+        )
+        return EvaluationPlan(
+            candidate_count=len(candidates),
+            bounds=bounds,
+            space_unpruned=unpruned,
+            space_pruned=pruned,
+            translatable=False,
+            translation_error="not attempted (bounds empty)",
+            chosen_strategy="pruning",
+            decisions=decisions,
+        )
+
+    translation_error = None
+    model_variables = model_constraints = model_integers = 0
+    try:
+        translation = translate(query, relation, candidates)
+        translatable = True
+        model_variables = translation.model.num_variables
+        model_constraints = translation.model.num_constraints
+        model_integers = len(translation.model.integer_indices())
+        decisions.append("query has a linear encoding: use the ILP solver")
+        chosen = "ilp"
+    except ILPTranslationError as exc:
+        translatable = False
+        translation_error = str(exc)
+        decisions.append(f"no linear encoding: {exc}")
+        if query.repeat == 1 and pruned <= options.brute_force_limit:
+            decisions.append(
+                f"pruned space {pruned:g} <= brute-force limit "
+                f"{options.brute_force_limit:g}: enumerate exhaustively"
+            )
+            chosen = "brute-force"
+        else:
+            decisions.append(
+                f"pruned space {pruned:g} exceeds the brute-force limit: "
+                "fall back to heuristic local search"
+            )
+            chosen = "local-search"
+
+    return EvaluationPlan(
+        candidate_count=len(candidates),
+        bounds=bounds,
+        space_unpruned=unpruned,
+        space_pruned=pruned,
+        translatable=translatable,
+        translation_error=translation_error,
+        model_variables=model_variables,
+        model_constraints=model_constraints,
+        model_integers=model_integers,
+        chosen_strategy=chosen,
+        decisions=decisions,
+    )

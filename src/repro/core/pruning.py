@@ -1,0 +1,304 @@
+"""Cardinality-based pruning (Section 4.1 of the paper).
+
+Given a global constraint C, derive a lower bound ``l`` and an upper
+bound ``u`` on the cardinality of any package that can satisfy C.  The
+paper's examples:
+
+* ``a <= COUNT(*) <= b`` gives ``l = a``, ``u = b`` directly;
+* ``2000 <= SUM(calories) <= 2500`` gives
+  ``l = ceil(2000 / MAX(calories))`` and
+  ``u = floor(2500 / MIN(calories))`` — with at least ``l`` maximal
+  recipes the lower summation bound is reachable, and more than ``u``
+  minimal recipes necessarily exceed the upper one.
+
+The derivation here generalizes this soundly:
+
+* conjunctions intersect bounds, disjunctions take the convex hull;
+* SUM bounds are derived from the min/max of the aggregate argument
+  *over the candidate tuples* (after base-constraint filtering), with
+  the sign analysis required for mixed-sign or negative data —
+  a negative minimum voids the upper bound, etc.;
+* ``COUNT(expr) >= a`` implies ``COUNT(*) >= a`` (sound, since
+  ``COUNT(expr) <= COUNT(*)``); other aggregates contribute nothing.
+
+Soundness invariant (property-tested): every package that satisfies the
+global formula has cardinality within the derived bounds.  With ``n``
+candidates and set semantics, pruning shrinks the candidate-package
+count from ``2^n`` to ``sum(C(n, k) for k in [l, u])``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.paql import ast
+from repro.paql.errors import PaQLUnsupportedError
+from repro.paql.eval import eval_scalar
+from repro.core.formula import normalize_formula
+
+
+@dataclass(frozen=True)
+class CardinalityBounds:
+    """An inclusive cardinality interval ``[lower, upper]``.
+
+    ``empty`` indicates a proof that no cardinality can satisfy the
+    formula (the constraint system is infeasible).
+    """
+
+    lower: int
+    upper: int
+
+    @property
+    def empty(self):
+        return self.lower > self.upper
+
+    def intersect(self, other):
+        return CardinalityBounds(
+            max(self.lower, other.lower), min(self.upper, other.upper)
+        )
+
+    def hull(self, other):
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        return CardinalityBounds(
+            min(self.lower, other.lower), max(self.upper, other.upper)
+        )
+
+    def contains(self, cardinality):
+        return self.lower <= cardinality <= self.upper
+
+
+def search_space_size(n, bounds):
+    """Number of candidate packages left after pruning (set semantics).
+
+    ``sum(C(n, k))`` over the cardinalities in ``bounds`` clipped to
+    ``[0, n]``; compare with the unpruned ``2**n``.
+    """
+    if bounds.empty:
+        return 0
+    low = max(0, bounds.lower)
+    high = min(n, bounds.upper)
+    return sum(math.comb(n, k) for k in range(low, high + 1))
+
+
+class CardinalityPruner:
+    """Derives cardinality bounds for a query over a candidate set.
+
+    Args:
+        query: analyzed :class:`~repro.paql.ast.PackageQuery`.
+        relation: the base relation.
+        candidate_rids: rids surviving the base constraints.
+    """
+
+    def __init__(self, query, relation, candidate_rids):
+        self._query = query
+        self._relation = relation
+        self._candidates = list(candidate_rids)
+        self._max_cardinality = len(self._candidates) * query.repeat
+        self._value_cache = {}
+
+    # -- data statistics ------------------------------------------------------
+
+    def _argument_values(self, expr):
+        """Non-NULL per-candidate values of an aggregate argument."""
+        if expr in self._value_cache:
+            return self._value_cache[expr]
+        values = []
+        for rid in self._candidates:
+            value = eval_scalar(expr, self._relation[rid])
+            if value is not None:
+                values.append(float(value))
+        self._value_cache[expr] = values
+        return values
+
+    # -- public API -----------------------------------------------------------
+
+    def bounds(self):
+        """Cardinality bounds implied by the SUCH THAT clause."""
+        everything = CardinalityBounds(0, self._max_cardinality)
+        if self._query.such_that is None:
+            return everything
+        try:
+            normalized = normalize_formula(self._query.such_that)
+        except PaQLUnsupportedError:
+            return everything
+        derived = self._bounds_of(normalized)
+        return derived.intersect(everything)
+
+    # -- recursive derivation ------------------------------------------------------
+
+    def _bounds_of(self, node):
+        unknown = CardinalityBounds(0, self._max_cardinality)
+
+        if isinstance(node, ast.Literal):
+            if node.value:
+                return unknown
+            return CardinalityBounds(1, 0)  # unsatisfiable
+
+        if isinstance(node, ast.And):
+            result = unknown
+            for arg in node.args:
+                result = result.intersect(self._bounds_of(arg))
+            return result
+
+        if isinstance(node, ast.Or):
+            result = CardinalityBounds(1, 0)
+            for arg in node.args:
+                result = result.hull(self._bounds_of(arg))
+            return result
+
+        if isinstance(node, ast.Comparison):
+            return self._bounds_of_comparison(node)
+
+        return unknown
+
+    def _bounds_of_comparison(self, node):
+        unknown = CardinalityBounds(0, self._max_cardinality)
+
+        # Only <aggregate> <op> <constant> patterns (either orientation)
+        # yield bounds; richer arithmetic is left to the ILP.
+        aggregate, op, constant = _match_simple_comparison(node)
+        if aggregate is None:
+            return unknown
+
+        if aggregate.is_count_star:
+            return self._bounds_of_count(op, constant)
+
+        if aggregate.func is ast.AggFunc.COUNT:
+            # COUNT(expr) <= COUNT(*): only >= carries over soundly.
+            if op in (ast.CmpOp.GE, ast.CmpOp.GT, ast.CmpOp.EQ):
+                partial = self._bounds_of_count(
+                    ast.CmpOp.GE if op is not ast.CmpOp.GT else ast.CmpOp.GT,
+                    constant,
+                )
+                return CardinalityBounds(partial.lower, unknown.upper)
+            return unknown
+
+        if aggregate.func is ast.AggFunc.SUM:
+            return self._bounds_of_sum(aggregate.argument, op, constant)
+
+        return unknown
+
+    def _bounds_of_count(self, op, constant):
+        top = self._max_cardinality
+        if op is ast.CmpOp.EQ:
+            if constant < 0 or constant != int(constant):
+                return CardinalityBounds(1, 0)
+            return CardinalityBounds(int(constant), int(constant))
+        if op is ast.CmpOp.LE:
+            return CardinalityBounds(0, math.floor(constant))
+        if op is ast.CmpOp.LT:
+            return CardinalityBounds(0, math.ceil(constant) - 1)
+        if op is ast.CmpOp.GE:
+            return CardinalityBounds(max(0, math.ceil(constant)), top)
+        if op is ast.CmpOp.GT:
+            return CardinalityBounds(max(0, math.floor(constant) + 1), top)
+        return CardinalityBounds(0, top)
+
+    def _bounds_of_sum(self, argument, op, constant):
+        """Bounds from ``SUM(argument) <op> constant``.
+
+        A package of cardinality ``k`` has its sum inside the relaxed
+        interval ``[k * min_value, k * max_value]`` (the relaxation
+        ignores repeat limits and distinctness, which only makes the
+        true range narrower, so the derived necessary conditions remain
+        sound).  Writing the constraint as ``A <= SUM <= B``,
+        feasibility of cardinality ``k`` requires the intervals to
+        overlap::
+
+            k * min_value <= B   and   k * max_value >= A
+
+        Solving each inequality for ``k`` (with the sign analysis the
+        divisions require) yields the bounds.  With all-positive values
+        this reduces to the paper's formulas ``u = floor(B / min)`` and
+        ``l = ceil(A / max)``.  Strict comparisons are relaxed to their
+        closed forms, which is sound (never excludes a feasible k).
+        """
+        unknown = CardinalityBounds(0, self._max_cardinality)
+        empty = CardinalityBounds(1, 0)
+        values = self._argument_values(argument)
+        if not values:
+            # SUM over no non-NULL candidates is 0 for every package.
+            satisfied = _compare_const(0.0, op, constant)
+            return unknown if satisfied else empty
+        minimum, maximum = min(values), max(values)
+
+        if op in (ast.CmpOp.LE, ast.CmpOp.LT):
+            sum_low, sum_high = -math.inf, constant
+        elif op in (ast.CmpOp.GE, ast.CmpOp.GT):
+            sum_low, sum_high = constant, math.inf
+        else:  # EQ
+            sum_low, sum_high = constant, constant
+
+        lower, upper = 0, self._max_cardinality
+
+        # Require k * minimum <= sum_high.
+        if math.isfinite(sum_high):
+            if minimum > 0:
+                upper = min(upper, math.floor(sum_high / minimum))
+                if upper < 0:
+                    return empty
+            elif minimum == 0:
+                if sum_high < 0:
+                    return empty
+            else:  # minimum < 0: large k drives the floor down; need enough k.
+                if sum_high < 0:
+                    lower = max(lower, math.ceil(sum_high / minimum))
+
+        # Require k * maximum >= sum_low.
+        if math.isfinite(sum_low):
+            if maximum > 0:
+                if sum_low > 0:
+                    lower = max(lower, math.ceil(sum_low / maximum))
+            elif maximum == 0:
+                if sum_low > 0:
+                    return empty
+            else:  # maximum < 0: sums only get more negative with k.
+                if sum_low > 0:
+                    return empty
+                upper = min(upper, math.floor(sum_low / maximum))
+
+        if lower > upper:
+            return empty
+        return CardinalityBounds(lower, upper)
+
+
+def _match_simple_comparison(node):
+    """Match ``Aggregate <op> Literal`` in either orientation.
+
+    Returns ``(aggregate, op, constant)`` or ``(None, None, None)``.
+    """
+    left, right = node.left, node.right
+    if isinstance(left, ast.Aggregate) and isinstance(right, ast.Literal):
+        if isinstance(right.value, (int, float)) and not isinstance(
+            right.value, bool
+        ):
+            return left, node.op, float(right.value)
+    if isinstance(right, ast.Aggregate) and isinstance(left, ast.Literal):
+        if isinstance(left.value, (int, float)) and not isinstance(
+            left.value, bool
+        ):
+            return right, node.op.flip(), float(left.value)
+    return None, None, None
+
+
+def _compare_const(value, op, constant):
+    if op is ast.CmpOp.EQ:
+        return value == constant
+    if op is ast.CmpOp.LE:
+        return value <= constant
+    if op is ast.CmpOp.LT:
+        return value < constant
+    if op is ast.CmpOp.GE:
+        return value >= constant
+    if op is ast.CmpOp.GT:
+        return value > constant
+    return value != constant
+
+
+def derive_bounds(query, relation, candidate_rids):
+    """Convenience wrapper around :class:`CardinalityPruner`."""
+    return CardinalityPruner(query, relation, candidate_rids).bounds()

@@ -1,0 +1,253 @@
+"""Constraint suggestion (Section 3.1 / Figure 1 of the paper).
+
+"As a user interacts with the template by highlighting elements in the
+sample package, PACKAGEBUILDER suggests constraints ...  For example,
+when the user selects a cell within the 'fats' column, the system
+proposes several constraints that would restrict the amount of fat in
+each meal, and objectives that would minimize the total amount of fat."
+
+This module is that suggestion engine, headless: given a highlight
+(a column, one cell, several cells, or whole rows), it returns ranked
+:class:`Suggestion` objects carrying both the AST fragment and its PaQL
+text, ready to be added to the query's WHERE / SUCH THAT / objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.paql import ast
+from repro.paql.printer import print_expr
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One suggested query refinement.
+
+    Attributes:
+        kind: ``"base"`` (WHERE), ``"global"`` (SUCH THAT) or
+            ``"objective"``.
+        node: the AST fragment (a Boolean formula, or an
+            :class:`~repro.paql.ast.Objective`).
+        paql: the fragment rendered as PaQL text.
+        rationale: one-line human explanation.
+    """
+
+    kind: str
+    node: object
+    paql: str
+    rationale: str
+
+
+def _column_values(relation, column, rids=None):
+    rids = range(len(relation)) if rids is None else rids
+    values = []
+    for rid in rids:
+        value = relation[rid][column]
+        if value is not None:
+            values.append(value)
+    return values
+
+
+def _base(node, rationale):
+    return Suggestion("base", node, print_expr(node), rationale)
+
+
+def _global(node, rationale):
+    return Suggestion("global", node, print_expr(node), rationale)
+
+
+def _objective(direction, expr, rationale):
+    node = ast.Objective(direction, expr)
+    text = f"{direction.value} {print_expr(expr)}"
+    return Suggestion("objective", node, text, rationale)
+
+
+def suggest_for_column(relation, column):
+    """Suggestions for highlighting a whole column.
+
+    Numeric columns yield per-tuple caps, package-total windows and
+    minimize/maximize objectives; categorical columns yield membership
+    base constraints.
+    """
+    column_type = relation.schema.type_of(column)
+    ref = ast.ColumnRef(None, column)
+    suggestions = []
+
+    if column_type.is_numeric:
+        values = _column_values(relation, column)
+        if not values:
+            return suggestions
+        low, high = min(values), max(values)
+        median = sorted(values)[len(values) // 2]
+        aggregate = ast.Aggregate(ast.AggFunc.SUM, ref)
+        suggestions.append(
+            _base(
+                ast.Comparison(ast.CmpOp.LE, ref, ast.Literal(median)),
+                f"cap each tuple's {column} at the median ({median})",
+            )
+        )
+        suggestions.append(
+            _base(
+                ast.Between(ref, ast.Literal(low), ast.Literal(high)),
+                f"restrict {column} to its observed range",
+            )
+        )
+        suggestions.append(
+            _objective(
+                ast.Direction.MINIMIZE,
+                aggregate,
+                f"prefer packages with low total {column}",
+            )
+        )
+        suggestions.append(
+            _objective(
+                ast.Direction.MAXIMIZE,
+                aggregate,
+                f"prefer packages with high total {column}",
+            )
+        )
+        suggestions.append(
+            _global(
+                ast.Comparison(
+                    ast.CmpOp.LE, aggregate, ast.Literal(round(median * 3, 6))
+                ),
+                f"bound the package's total {column}",
+            )
+        )
+    else:
+        distinct = sorted(set(_column_values(relation, column)))
+        if len(distinct) == 1:
+            suggestions.append(
+                _base(
+                    ast.Comparison(ast.CmpOp.EQ, ref, ast.Literal(distinct[0])),
+                    f"require {column} = {distinct[0]!r}",
+                )
+            )
+        elif 1 < len(distinct) <= 8:
+            for value in distinct:
+                suggestions.append(
+                    _base(
+                        ast.Comparison(ast.CmpOp.EQ, ref, ast.Literal(value)),
+                        f"keep only {column} = {value!r} tuples",
+                    )
+                )
+    return suggestions
+
+
+def suggest_for_cells(relation, column, rids):
+    """Suggestions for highlighting specific cells of one column.
+
+    The selected values define the user's implied preference window:
+    per-tuple constraints anchored at the selection's extremes, and
+    package totals anchored at the selection's sum (what the paper's
+    template shows when cells of a sample package are selected).
+    """
+    rids = list(rids)
+    column_type = relation.schema.type_of(column)
+    ref = ast.ColumnRef(None, column)
+    values = _column_values(relation, column, rids)
+    if not values:
+        return []
+    suggestions = []
+
+    if column_type.is_numeric:
+        low, high = min(values), max(values)
+        total = sum(values)
+        suggestions.append(
+            _base(
+                ast.Comparison(ast.CmpOp.LE, ref, ast.Literal(high)),
+                f"cap each tuple's {column} at the selection's max ({high})",
+            )
+        )
+        suggestions.append(
+            _base(
+                ast.Comparison(ast.CmpOp.GE, ref, ast.Literal(low)),
+                f"require at least the selection's min {column} ({low})",
+            )
+        )
+        if low != high:
+            suggestions.append(
+                _base(
+                    ast.Between(ref, ast.Literal(low), ast.Literal(high)),
+                    f"keep {column} inside the selected range",
+                )
+            )
+        aggregate = ast.Aggregate(ast.AggFunc.SUM, ref)
+        slack = max(abs(total) * 0.1, 1.0)
+        suggestions.append(
+            _global(
+                ast.Between(
+                    aggregate,
+                    ast.Literal(round(total - slack, 6)),
+                    ast.Literal(round(total + slack, 6)),
+                ),
+                f"keep the package's total {column} near the selection's "
+                f"({round(total, 3)})",
+            )
+        )
+        suggestions.append(
+            _objective(
+                ast.Direction.MINIMIZE,
+                aggregate,
+                f"prefer packages with low total {column}",
+            )
+        )
+    else:
+        distinct = sorted(set(values))
+        if len(distinct) == 1:
+            suggestions.append(
+                _base(
+                    ast.Comparison(ast.CmpOp.EQ, ref, ast.Literal(distinct[0])),
+                    f"require {column} = {distinct[0]!r} everywhere",
+                )
+            )
+        else:
+            items = tuple(ast.Literal(value) for value in distinct)
+            suggestions.append(
+                _base(
+                    ast.InList(ref, items),
+                    f"restrict {column} to the selected values",
+                )
+            )
+    return suggestions
+
+
+def suggest_for_rows(relation, rids):
+    """Suggestions for highlighting whole rows of a sample package.
+
+    Produces a COUNT(*) anchor plus per-numeric-column package windows
+    around the selected rows' totals — the "package like this" gesture.
+    """
+    rids = list(rids)
+    if not rids:
+        return []
+    suggestions = [
+        _global(
+            ast.Comparison(
+                ast.CmpOp.EQ,
+                ast.Aggregate(ast.AggFunc.COUNT, None),
+                ast.Literal(len(rids)),
+            ),
+            f"fix the package size at {len(rids)}",
+        )
+    ]
+    for column in relation.schema.numeric_names():
+        values = _column_values(relation, column, rids)
+        if not values:
+            continue
+        total = sum(values)
+        slack = max(abs(total) * 0.15, 1.0)
+        aggregate = ast.Aggregate(ast.AggFunc.SUM, ast.ColumnRef(None, column))
+        suggestions.append(
+            _global(
+                ast.Between(
+                    aggregate,
+                    ast.Literal(round(total - slack, 6)),
+                    ast.Literal(round(total + slack, 6)),
+                ),
+                f"keep total {column} near these rows' total "
+                f"({round(total, 3)})",
+            )
+        )
+    return suggestions

@@ -1,0 +1,197 @@
+"""The package-space visual summary (Section 3.2 / Figure 1, bottom).
+
+"The system analyzes the current query specification and selects two
+dimensions to visually layout the valid packages along.  Users can use
+the visual summary to navigate through the available packages by
+selecting glyphs that represent them."
+
+This module reproduces the computation behind that view, headlessly:
+
+* :func:`candidate_dimensions` extracts the aggregates the query talks
+  about (objective first, then SUCH THAT aggregates, then COUNT(*));
+* :func:`choose_dimensions` scores them on a pool of packages by
+  normalized spread and picks the two most informative, mirroring "the
+  system analyzes the current query specification";
+* :func:`layout` places each package at its normalized (x, y)
+  coordinates along the chosen dimensions, and
+  :func:`grid_summary` bins the layout into the glyph grid the UI
+  would render, marking which cell holds the current package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.paql import ast
+from repro.paql.printer import print_expr
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One axis of the summary: an aggregate and its display label."""
+
+    aggregate: ast.Aggregate
+    label: str
+
+
+@dataclass
+class PackagePoint:
+    """A package located in the 2-D summary."""
+
+    package: object
+    x: float
+    y: float
+    values: tuple
+
+
+@dataclass
+class SummaryLayout:
+    """The full summary: two dimensions plus located packages."""
+
+    x_dimension: Dimension
+    y_dimension: Dimension
+    points: list
+
+
+def candidate_dimensions(query):
+    """Aggregates worth plotting, most query-relevant first."""
+    seen = []
+
+    def add(aggregate):
+        if aggregate not in seen:
+            seen.append(aggregate)
+
+    if query.objective is not None:
+        for node in ast.find_aggregates(query.objective.expr):
+            add(node)
+    if query.such_that is not None:
+        for node in ast.find_aggregates(query.such_that):
+            add(node)
+    add(ast.Aggregate(ast.AggFunc.COUNT, None))
+    return [Dimension(node, print_expr(node)) for node in seen]
+
+
+def _values_along(packages, dimension):
+    values = []
+    for package in packages:
+        value = package.aggregate(dimension.aggregate)
+        values.append(0.0 if value is None else float(value))
+    return values
+
+
+def _spread_score(values):
+    """Normalized spread in [0, 1]: range over magnitude."""
+    if not values:
+        return 0.0
+    low, high = min(values), max(values)
+    if high == low:
+        return 0.0
+    scale = max(abs(low), abs(high), 1.0)
+    return (high - low) / (2.0 * scale)
+
+
+def choose_dimensions(query, packages):
+    """Pick the two most informative dimensions for ``packages``.
+
+    Dimensions are ranked by spread across the pool; query order
+    breaks ties (the objective's aggregate is preferred), so a tied
+    board still shows the axes the user asked about.
+
+    Returns:
+        ``(x_dimension, y_dimension)``.
+
+    Raises:
+        ValueError: when the query yields fewer than two candidate
+            dimensions (cannot happen: COUNT(*) is always available,
+            so only aggregate-free, objective-free queries with an
+            empty pool degenerate — those raise).
+    """
+    dimensions = candidate_dimensions(query)
+    if len(dimensions) < 2:
+        raise ValueError("need at least two dimensions to lay out packages")
+    scored = []
+    for order, dimension in enumerate(dimensions):
+        score = _spread_score(_values_along(packages, dimension))
+        scored.append((-score, order, dimension))
+    scored.sort(key=lambda item: (item[0], item[1]))
+    return scored[0][2], scored[1][2]
+
+
+def layout(query, packages, dimensions=None):
+    """Locate each package in the 2-D summary plane.
+
+    Coordinates are min-max normalized to [0, 1] per axis (a
+    degenerate axis maps everything to 0.5).
+
+    Returns:
+        :class:`SummaryLayout`.
+    """
+    packages = list(packages)
+    if dimensions is None:
+        x_dim, y_dim = choose_dimensions(query, packages)
+    else:
+        x_dim, y_dim = dimensions
+
+    xs = _values_along(packages, x_dim)
+    ys = _values_along(packages, y_dim)
+
+    def normalize(values):
+        if not values:
+            return []
+        low, high = min(values), max(values)
+        if high == low:
+            return [0.5] * len(values)
+        return [(value - low) / (high - low) for value in values]
+
+    nx, ny = normalize(xs), normalize(ys)
+    points = [
+        PackagePoint(package, x, y, (raw_x, raw_y))
+        for package, x, y, raw_x, raw_y in zip(packages, nx, ny, xs, ys)
+    ]
+    return SummaryLayout(x_dim, y_dim, points)
+
+
+def grid_summary(summary, cells=8, current=None):
+    """Bin a :class:`SummaryLayout` into the UI's glyph grid.
+
+    Returns:
+        Tuple ``(grid, current_cell)``: ``grid[row][col]`` counts
+        packages in that cell (row 0 = smallest y), and
+        ``current_cell`` is the (row, col) of ``current`` or None —
+        "the current package's position in the result space is
+        highlighted" (Figure 1).
+    """
+    grid = [[0] * cells for _ in range(cells)]
+    current_cell = None
+    for point in summary.points:
+        col = min(cells - 1, int(point.x * cells))
+        row = min(cells - 1, int(point.y * cells))
+        grid[row][col] += 1
+        if current is not None and point.package == current:
+            current_cell = (row, col)
+    return grid, current_cell
+
+
+def render_grid(grid, current_cell=None):
+    """ASCII rendering of a glyph grid (for examples and docs).
+
+    Density buckets: '.' empty, 'o' few, '#' many; the current
+    package's cell is marked '@'.
+    """
+    if not grid:
+        return ""
+    peak = max(max(row) for row in grid) or 1
+    lines = []
+    for row_index in range(len(grid) - 1, -1, -1):
+        cells = []
+        for col_index, count in enumerate(grid[row_index]):
+            if current_cell == (row_index, col_index):
+                cells.append("@")
+            elif count == 0:
+                cells.append(".")
+            elif count <= peak / 2:
+                cells.append("o")
+            else:
+                cells.append("#")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,558 @@
+"""Translation of package queries into integer linear programs.
+
+Section 7 of the paper: "a PaQL query is translated into a linear
+program and then solved using existing constraint solvers".  This
+module is that translation.
+
+Model shape
+-----------
+One integer variable ``x_j`` in ``[0, repeat]`` per candidate tuple
+(its multiplicity in the package).  Aggregates become linear forms::
+
+    COUNT(*)      ->  sum_j x_j
+    COUNT(e)      ->  sum_j [e_j is not NULL] * x_j
+    SUM(e)        ->  sum_j e_j * x_j           (NULL contributes 0)
+
+``AVG(e) <op> c`` is linearized by multiplying through by the (always
+nonnegative) non-NULL count: ``sum_j (e_j - c) * x_j <op> 0`` — exact
+whenever the package contains at least one non-NULL ``e``; a support
+constraint enforcing that is added automatically (AVG over an empty
+package is NULL, which satisfies no comparison).
+
+``MIN(e) <op> c`` / ``MAX(e) <op> c`` use set encodings over the data
+constants (exact, including strict comparisons, because thresholds
+split the finite value set):  e.g. ``MIN(e) >= c`` fixes ``x_j = 0``
+for every candidate with ``e_j < c`` and requires a non-NULL witness;
+``MIN(e) <= c`` requires ``sum_{j: e_j <= c} x_j >= 1``.
+
+Arbitrary Boolean structure (the paper's extension over Tiresias'
+conjunctive queries) is encoded after NNF normalization: conjunctions
+emit their children directly; disjunctions get one indicator binary per
+branch, ``sum z_k >= 1`` (or ``>= z_parent`` when nested), with each
+branch's linear constraints big-M-relaxed by its indicator.  Big-M
+values are computed exactly from the variable bounds, which are always
+finite (``repeat``).
+
+What cannot translate raises :class:`ILPTranslationError` — objectives
+using AVG/MIN/MAX, MIN/MAX compared against non-constants, and products
+of aggregates.  The evaluator treats that as "solver limitation"
+(Section 5 of the paper) and falls back to search strategies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.paql import ast
+from repro.paql.errors import PaQLUnsupportedError
+from repro.paql.eval import eval_scalar
+from repro.core.formula import normalize_formula
+from repro.core.package import Package
+from repro.solver.model import Model, ObjectiveSense
+
+#: Slack used to encode strict inequalities over continuous sums.
+DEFAULT_EPSILON = 1e-6
+
+
+class ILPTranslationError(Exception):
+    """The query (or one clause) has no linear encoding."""
+
+
+class _AffineForm:
+    """``constant + sum(coef_a * aggregate_a)`` over aggregate nodes."""
+
+    def __init__(self, constant=0.0, terms=None):
+        self.constant = float(constant)
+        self.terms = dict(terms or {})
+
+    def __add__(self, other):
+        merged = dict(self.terms)
+        for key, value in other.terms.items():
+            merged[key] = merged.get(key, 0.0) + value
+        return _AffineForm(self.constant + other.constant, merged)
+
+    def __sub__(self, other):
+        return self + other.scaled(-1.0)
+
+    def scaled(self, factor):
+        return _AffineForm(
+            self.constant * factor,
+            {key: value * factor for key, value in self.terms.items()},
+        )
+
+    @property
+    def is_constant(self):
+        return not self.terms
+
+    def single_aggregate(self):
+        """The (aggregate, coef) pair if exactly one term, else None."""
+        if len(self.terms) == 1:
+            return next(iter(self.terms.items()))
+        return None
+
+
+def _affine_of(node):
+    """Decompose an aggregate expression into an :class:`_AffineForm`.
+
+    Raises:
+        ILPTranslationError: on products/quotients of aggregates.
+    """
+    if isinstance(node, ast.Literal):
+        value = node.value
+        if value is None or isinstance(value, bool) or isinstance(value, str):
+            raise ILPTranslationError(
+                f"non-numeric literal {value!r} in a linear position"
+            )
+        return _AffineForm(constant=float(value))
+
+    if isinstance(node, ast.Aggregate):
+        return _AffineForm(terms={node: 1.0})
+
+    if isinstance(node, ast.UnaryMinus):
+        return _affine_of(node.operand).scaled(-1.0)
+
+    if isinstance(node, ast.BinaryOp):
+        left = _affine_of(node.left)
+        right = _affine_of(node.right)
+        if node.op is ast.BinOp.ADD:
+            return left + right
+        if node.op is ast.BinOp.SUB:
+            return left - right
+        if node.op is ast.BinOp.MUL:
+            if left.is_constant:
+                return right.scaled(left.constant)
+            if right.is_constant:
+                return left.scaled(right.constant)
+            raise ILPTranslationError("product of aggregates is not linear")
+        if right.is_constant:
+            if right.constant == 0:
+                raise ILPTranslationError("division by zero in constraint")
+            return left.scaled(1.0 / right.constant)
+        raise ILPTranslationError("division by an aggregate is not linear")
+
+    raise ILPTranslationError(
+        f"cannot linearize node {type(node).__name__} in a global constraint"
+    )
+
+
+class ILPTranslation:
+    """A translated query: the model plus the decoding map."""
+
+    def __init__(self, query, relation, candidate_rids, model, x_vars):
+        self.query = query
+        self.relation = relation
+        self.candidate_rids = list(candidate_rids)
+        self.model = model
+        self.x_vars = x_vars
+
+    def decode(self, solution):
+        """Turn a solver :class:`~repro.solver.model.Solution` into a
+        :class:`~repro.core.package.Package`."""
+        counts = {}
+        for rid, variable in zip(self.candidate_rids, self.x_vars):
+            value = int(round(solution.value_of(variable)))
+            if value > 0:
+                counts[rid] = value
+        return Package(self.relation, counts)
+
+    def exclude_package(self, package):
+        """Add a no-good cut removing ``package`` from the feasible set.
+
+        For 0/1 multiplicities this is the classic cut
+        ``sum_{j in P} x_j - sum_{j not in P} x_j <= |P| - 1``.  With
+        REPEAT > 1 the general form uses two direction binaries per
+        candidate — ``up_j = 1`` forces ``x_j >= target_j + 1`` and
+        ``down_j = 1`` forces ``x_j <= target_j - 1`` — and requires at
+        least one of them to fire, so some multiplicity must actually
+        change.
+        """
+        repeat = self.query.repeat
+        if repeat == 1:
+            coeffs = {}
+            inside = 0
+            for rid, variable in zip(self.candidate_rids, self.x_vars):
+                if package.multiplicity(rid) > 0:
+                    coeffs[variable] = 1.0
+                    inside += 1
+                else:
+                    coeffs[variable] = -1.0
+            self.model.add_constraint(coeffs, "<=", inside - 1, name="nogood")
+            return
+
+        big_m = float(repeat + 1)
+        deviation_vars = []
+        for rid, variable in zip(self.candidate_rids, self.x_vars):
+            target = float(package.multiplicity(rid))
+            up = self.model.add_binary(name=f"up_{rid}")
+            down = self.model.add_binary(name=f"down_{rid}")
+            # up = 1  ->  x_j >= target + 1
+            self.model.add_constraint(
+                {variable: 1.0, up: -big_m}, ">=", target + 1.0 - big_m
+            )
+            # down = 1  ->  x_j <= target - 1
+            self.model.add_constraint(
+                {variable: 1.0, down: big_m}, "<=", target - 1.0 + big_m
+            )
+            deviation_vars.extend([up, down])
+        self.model.add_constraint(
+            {dev: 1.0 for dev in deviation_vars}, ">=", 1.0, name="nogood"
+        )
+
+
+class _Translator:
+    def __init__(self, query, relation, candidate_rids, epsilon):
+        self._query = query
+        self._relation = relation
+        self._rids = list(candidate_rids)
+        self._epsilon = epsilon
+        self._model = Model(name="paql")
+        repeat = float(query.repeat)
+        self._x = [
+            self._model.add_variable(f"x_{rid}", upper=repeat, integer=True)
+            for rid in self._rids
+        ]
+        self._value_cache = {}
+        self._support_added = set()
+
+    # -- data access -------------------------------------------------------
+
+    def _values(self, argument):
+        """Per-candidate values of an aggregate argument (None for NULL)."""
+        if argument not in self._value_cache:
+            self._value_cache[argument] = [
+                eval_scalar(argument, self._relation[rid]) for rid in self._rids
+            ]
+        return self._value_cache[argument]
+
+    # -- linear forms over x ---------------------------------------------------
+
+    def _linear_of_aggregate(self, aggregate):
+        """Coefficients of an aggregate as a linear form over x.
+
+        Returns ``dict variable -> coefficient``.  AVG/MIN/MAX have no
+        direct linear form and are handled at the comparison level.
+        """
+        if aggregate.is_count_star:
+            return {x: 1.0 for x in self._x}
+        values = self._values(aggregate.argument)
+        if aggregate.func is ast.AggFunc.COUNT:
+            return {
+                x: 1.0 for x, value in zip(self._x, values) if value is not None
+            }
+        if aggregate.func is ast.AggFunc.SUM:
+            return {
+                x: float(value)
+                for x, value in zip(self._x, values)
+                if value is not None and value != 0
+            }
+        raise ILPTranslationError(
+            f"{aggregate.func.value} has no direct linear form"
+        )
+
+    def _require_nonnull_support(self, argument, indicator):
+        """Require at least one selected tuple with non-NULL ``argument``.
+
+        Needed by AVG (and MIN/MAX lower-bound encodings): the
+        multiplied-through AVG constraint is vacuous on empty support,
+        where the true AVG is NULL and satisfies nothing.
+        """
+        key = (argument, indicator)
+        if key in self._support_added:
+            return
+        self._support_added.add(key)
+        coeffs = {
+            x: 1.0
+            for x, value in zip(self._x, self._values(argument))
+            if value is not None
+        }
+        self._emit(coeffs, ">=", 1.0, indicator)
+
+    # -- constraint emission -------------------------------------------------------
+
+    def _emit(self, coeffs, sense, rhs, indicator):
+        """Add ``coeffs <sense> rhs``, big-M-relaxed by ``indicator``.
+
+        The relaxation adds ``M * z`` terms so the constraint is active
+        when ``z = 1`` and vacuous when ``z = 0``; M comes from the
+        finite variable bounds.
+        """
+        if indicator is None:
+            self._model.add_constraint(coeffs, sense, rhs)
+            return
+        if sense in ("<=", "="):
+            slack = self._max_value(coeffs) - rhs
+            big_m = max(0.0, slack)
+            relaxed = dict(coeffs)
+            relaxed[indicator] = big_m
+            self._model.add_constraint(relaxed, "<=", rhs + big_m)
+        if sense in (">=", "="):
+            slack = rhs - self._min_value(coeffs)
+            big_m = max(0.0, slack)
+            relaxed = dict(coeffs)
+            relaxed[indicator] = -big_m
+            self._model.add_constraint(relaxed, ">=", rhs - big_m)
+
+    def _max_value(self, coeffs):
+        total = 0.0
+        for variable, coef in coeffs.items():
+            if coef > 0:
+                total += coef * variable.upper
+        return total
+
+    def _min_value(self, coeffs):
+        total = 0.0
+        for variable, coef in coeffs.items():
+            if coef < 0:
+                total += coef * variable.upper
+        return total
+
+    # -- comparisons --------------------------------------------------------------
+
+    def _encode_comparison(self, node, indicator):
+        affine = _affine_of(node.left) - _affine_of(node.right)
+        # Pattern dispatch: pure MIN/MAX comparisons get set encodings;
+        # an AVG term triggers multiply-through; everything else is a
+        # plain linear constraint.
+        special = self._match_minmax(affine)
+        if special is not None:
+            aggregate, coef = special
+            self._encode_minmax(aggregate, coef, affine.constant, node.op, indicator)
+            return
+        if any(term.func is ast.AggFunc.AVG for term in affine.terms):
+            self._encode_with_avg(affine, node.op, indicator)
+            return
+        coeffs, constant = self._linearize(affine)
+        self._emit_with_op(coeffs, node.op, -constant, indicator)
+
+    def _match_minmax(self, affine):
+        """Detect ``coef * MIN/MAX(e) + const <op> 0`` patterns."""
+        single = affine.single_aggregate()
+        if single is None:
+            if any(
+                term.func in (ast.AggFunc.MIN, ast.AggFunc.MAX)
+                for term in affine.terms
+            ):
+                raise ILPTranslationError(
+                    "MIN/MAX may only be compared against constants in "
+                    "the ILP translation"
+                )
+            return None
+        aggregate, coef = single
+        if aggregate.func in (ast.AggFunc.MIN, ast.AggFunc.MAX):
+            if coef == 0:
+                raise ILPTranslationError("degenerate MIN/MAX comparison")
+            return aggregate, coef
+        return None
+
+    def _linearize(self, affine):
+        """Expand SUM/COUNT terms into variable coefficients."""
+        coeffs = {}
+        for aggregate, coef in affine.terms.items():
+            linear = self._linear_of_aggregate(aggregate)
+            for variable, weight in linear.items():
+                coeffs[variable] = coeffs.get(variable, 0.0) + coef * weight
+        return coeffs, affine.constant
+
+    def _emit_with_op(self, coeffs, op, rhs, indicator):
+        """Emit ``coeffs <op> rhs`` handling strictness exactly or by epsilon."""
+        if op is ast.CmpOp.EQ:
+            self._emit(coeffs, "=", rhs, indicator)
+            return
+        if op is ast.CmpOp.LE:
+            self._emit(coeffs, "<=", rhs, indicator)
+            return
+        if op is ast.CmpOp.GE:
+            self._emit(coeffs, ">=", rhs, indicator)
+            return
+
+        integral = all(
+            float(coef).is_integer() and variable.is_integer
+            for variable, coef in coeffs.items()
+        )
+        if op is ast.CmpOp.LT:
+            if integral:
+                bound = math.ceil(rhs) - 1 if float(rhs).is_integer() else math.floor(rhs)
+                self._emit(coeffs, "<=", float(bound), indicator)
+            else:
+                self._emit(coeffs, "<=", rhs - self._epsilon, indicator)
+            return
+        if op is ast.CmpOp.GT:
+            if integral:
+                bound = math.floor(rhs) + 1 if float(rhs).is_integer() else math.ceil(rhs)
+                self._emit(coeffs, ">=", float(bound), indicator)
+            else:
+                self._emit(coeffs, ">=", rhs + self._epsilon, indicator)
+            return
+        raise ILPTranslationError(f"unexpected comparison operator {op}")
+
+    def _encode_with_avg(self, affine, op, indicator):
+        """Multiply an AVG comparison through by the non-NULL count.
+
+        Only the single-AVG-versus-constant pattern is linear:
+        ``coef * AVG(e) + const <op> 0`` becomes
+        ``coef * SUM(e) + const * COUNT(e) <op> 0`` (count is
+        nonnegative, so the direction is preserved), plus a support
+        constraint ``COUNT(e) >= 1``.
+        """
+        single = affine.single_aggregate()
+        if single is None:
+            raise ILPTranslationError(
+                "AVG may only be combined with constants in a comparison"
+            )
+        aggregate, coef = single
+        argument = aggregate.argument
+        sum_linear = self._linear_of_aggregate(
+            ast.Aggregate(ast.AggFunc.SUM, argument)
+        )
+        count_linear = self._linear_of_aggregate(
+            ast.Aggregate(ast.AggFunc.COUNT, argument)
+        )
+        coeffs = {}
+        for variable, weight in sum_linear.items():
+            coeffs[variable] = coeffs.get(variable, 0.0) + coef * weight
+        for variable, weight in count_linear.items():
+            coeffs[variable] = coeffs.get(variable, 0.0) + affine.constant * weight
+        self._require_nonnull_support(argument, indicator)
+        self._emit_with_op(coeffs, op, 0.0, indicator)
+
+    def _encode_minmax(self, aggregate, coef, constant, op, indicator):
+        """Set encodings for ``coef * MIN/MAX(e) + constant <op> 0``."""
+        threshold = -constant / coef
+        if coef < 0:
+            op = op.flip()
+        func = aggregate.func
+        values = self._values(aggregate.argument)
+
+        def select(predicate):
+            return {
+                x: 1.0
+                for x, value in zip(self._x, values)
+                if value is not None and predicate(float(value))
+            }
+
+        # Normalize MAX to MIN by mirroring: MAX(e) op t  <=>  MIN(-e) flip(op) -t
+        if func is ast.AggFunc.MAX:
+            values = [None if v is None else -float(v) for v in values]
+            threshold = -threshold
+            op = op.flip()
+
+        # Now encode MIN(values) <op> threshold.
+        if op is ast.CmpOp.GE:
+            bad = select(lambda v: v < threshold)
+            if bad:
+                self._emit(bad, "<=", 0.0, indicator)
+            self._require_nonnull_support(aggregate.argument, indicator)
+        elif op is ast.CmpOp.GT:
+            bad = select(lambda v: v <= threshold)
+            if bad:
+                self._emit(bad, "<=", 0.0, indicator)
+            self._require_nonnull_support(aggregate.argument, indicator)
+        elif op is ast.CmpOp.LE:
+            good = select(lambda v: v <= threshold)
+            self._emit(good, ">=", 1.0, indicator)
+        elif op is ast.CmpOp.LT:
+            good = select(lambda v: v < threshold)
+            self._emit(good, ">=", 1.0, indicator)
+        elif op is ast.CmpOp.EQ:
+            bad = select(lambda v: v < threshold)
+            if bad:
+                self._emit(bad, "<=", 0.0, indicator)
+            witnesses = select(lambda v: v == threshold)
+            self._emit(witnesses, ">=", 1.0, indicator)
+        else:  # pragma: no cover - NE is expanded during normalization
+            raise ILPTranslationError("unexpected <> on MIN/MAX")
+
+    # -- formula tree -----------------------------------------------------------
+
+    def _encode_formula(self, node, indicator=None):
+        if isinstance(node, ast.Literal):
+            if node.value:
+                return
+            # Unsatisfiable branch.
+            if indicator is None:
+                self._model.add_constraint({}, ">=", 1.0, name="false")
+            else:
+                self._model.add_constraint({indicator: 1.0}, "<=", 0.0)
+            return
+
+        if isinstance(node, ast.And):
+            for arg in node.args:
+                self._encode_formula(arg, indicator)
+            return
+
+        if isinstance(node, ast.Or):
+            branch_vars = []
+            for position, arg in enumerate(node.args):
+                z = self._model.add_binary(name=f"or_{id(node)}_{position}")
+                branch_vars.append(z)
+                self._encode_formula(arg, indicator=z)
+            coeffs = {z: 1.0 for z in branch_vars}
+            if indicator is None:
+                self._model.add_constraint(coeffs, ">=", 1.0)
+            else:
+                coeffs[indicator] = -1.0
+                self._model.add_constraint(coeffs, ">=", 0.0)
+            return
+
+        if isinstance(node, ast.Comparison):
+            self._encode_comparison(node, indicator)
+            return
+
+        raise ILPTranslationError(
+            f"cannot encode node {type(node).__name__}"
+        )  # pragma: no cover - normalization leaves only the above
+
+    # -- objective -----------------------------------------------------------
+
+    def _encode_objective(self):
+        objective = self._query.objective
+        if objective is None:
+            self._model.set_objective({}, ObjectiveSense.MINIMIZE)
+            return
+        affine = _affine_of(objective.expr)
+        for aggregate in affine.terms:
+            if aggregate.func in (ast.AggFunc.AVG, ast.AggFunc.MIN, ast.AggFunc.MAX):
+                raise ILPTranslationError(
+                    f"{aggregate.func.value} objectives have no linear "
+                    "encoding; use a search strategy"
+                )
+        coeffs, constant = self._linearize(affine)
+        sense = (
+            ObjectiveSense.MAXIMIZE
+            if objective.direction is ast.Direction.MAXIMIZE
+            else ObjectiveSense.MINIMIZE
+        )
+        self._model.set_objective(coeffs, sense, constant=constant)
+
+    # -- driver -----------------------------------------------------------------
+
+    def translate(self):
+        if self._query.such_that is not None:
+            try:
+                normalized = normalize_formula(self._query.such_that)
+            except PaQLUnsupportedError as exc:
+                raise ILPTranslationError(str(exc)) from exc
+            self._encode_formula(normalized)
+        self._encode_objective()
+        return ILPTranslation(
+            self._query, self._relation, self._rids, self._model, self._x
+        )
+
+
+def translate(query, relation, candidate_rids, epsilon=DEFAULT_EPSILON):
+    """Translate an analyzed package query into an ILP.
+
+    Args:
+        query: analyzed :class:`~repro.paql.ast.PackageQuery`.
+        relation: the base relation.
+        candidate_rids: rids that satisfy the base constraints.
+        epsilon: strictness slack for non-integral strict comparisons.
+
+    Returns:
+        :class:`ILPTranslation`.
+
+    Raises:
+        ILPTranslationError: when no linear encoding exists (the
+            evaluator falls back to search strategies).
+    """
+    return _Translator(query, relation, candidate_rids, epsilon).translate()

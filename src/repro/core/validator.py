@@ -1,0 +1,103 @@
+"""Package validation: the ground-truth oracle.
+
+Every evaluation strategy in this library — brute force, local search,
+ILP — returns packages that are re-checked here before being handed to
+the user.  Tests and benchmarks use the same oracle, so a bug in a
+strategy cannot silently leak an invalid package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.paql import ast
+from repro.paql.eval import eval_expr, eval_predicate
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one package against one query.
+
+    Attributes:
+        base_ok: every tuple satisfies the WHERE clause.
+        global_ok: the package satisfies the SUCH THAT formula.
+        repeat_ok: no tuple exceeds the REPEAT multiplicity cap.
+        base_violations: rids of tuples violating the base constraint.
+        objective: objective value of the package (None when the query
+            has no objective or the objective is NULL-valued).
+    """
+
+    base_ok: bool
+    global_ok: bool
+    repeat_ok: bool
+    base_violations: list = field(default_factory=list)
+    objective: float | None = None
+
+    @property
+    def valid(self):
+        return self.base_ok and self.global_ok and self.repeat_ok
+
+
+def objective_value(package, query):
+    """Evaluate the query's objective over ``package`` (None if absent)."""
+    if query.objective is None:
+        return None
+    value = eval_expr(query.objective.expr, None, package.aggregate)
+    return None if value is None else float(value)
+
+
+def check_global(package, query):
+    """True when the package satisfies the SUCH THAT formula."""
+    if query.such_that is None:
+        return True
+    return eval_expr(query.such_that, None, package.aggregate) is True
+
+
+def validate(package, query):
+    """Validate ``package`` against an analyzed ``query``.
+
+    Returns:
+        :class:`ValidationReport`.
+    """
+    base_violations = []
+    if query.where is not None:
+        for rid, _ in package.counts:
+            if not eval_predicate(query.where, package.relation[rid]):
+                base_violations.append(rid)
+
+    repeat_ok = all(mult <= query.repeat for _, mult in package.counts)
+
+    return ValidationReport(
+        base_ok=not base_violations,
+        global_ok=check_global(package, query),
+        repeat_ok=repeat_ok,
+        base_violations=base_violations,
+        objective=objective_value(package, query),
+    )
+
+
+def is_valid(package, query):
+    """Shorthand: full validity check as a single bool."""
+    return validate(package, query).valid
+
+
+def compare_objectives(query, left, right):
+    """Compare two objective values in the query's preference order.
+
+    Returns a negative number when ``left`` is preferred over
+    ``right``, positive when worse, 0 on ties or when the query has no
+    objective.  ``None`` objectives always lose to numbers.
+    """
+    if query.objective is None:
+        return 0
+    if left is None and right is None:
+        return 0
+    if left is None:
+        return 1
+    if right is None:
+        return -1
+    if left == right:
+        return 0
+    if query.objective.direction is ast.Direction.MAXIMIZE:
+        return -1 if left > right else 1
+    return -1 if left < right else 1

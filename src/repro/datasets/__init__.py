@@ -1,0 +1,28 @@
+"""Seeded synthetic datasets for the paper's three application scenarios."""
+
+from repro.datasets.recipes import MEAL_PLANNER_QUERY, RECIPE_SCHEMA, generate_recipes
+from repro.datasets.stocks import PORTFOLIO_QUERY, STOCK_SCHEMA, generate_stocks
+from repro.datasets.synthetic import integer_relation, uniform_relation
+from repro.datasets.travel import (
+    TRAVEL_SCHEMA,
+    VACATION_QUERY,
+    generate_travel_products,
+)
+from repro.datasets.workload import WorkloadError, random_query, recipe_workload
+
+__all__ = [
+    "MEAL_PLANNER_QUERY",
+    "PORTFOLIO_QUERY",
+    "RECIPE_SCHEMA",
+    "STOCK_SCHEMA",
+    "TRAVEL_SCHEMA",
+    "VACATION_QUERY",
+    "generate_recipes",
+    "generate_stocks",
+    "WorkloadError",
+    "generate_travel_products",
+    "integer_relation",
+    "random_query",
+    "recipe_workload",
+    "uniform_relation",
+]

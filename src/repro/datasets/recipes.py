@@ -1,0 +1,115 @@
+"""Synthetic recipe/nutrition dataset — the meal-planner workload.
+
+The demo used "a rich recipe data set scrapped from online recipe and
+nutrition websites", which is not available; this generator substitutes
+a seeded synthetic equivalent whose *shape* matches what the paper's
+algorithms care about (see DESIGN.md):
+
+* calories, protein, fat, carbs with realistic per-meal magnitudes and
+  positive correlation between calories and the macro columns (so that
+  SUM constraints over calories are selective but satisfiable and the
+  protein objective trades off against them);
+* a categorical ``gluten`` column ('free' / 'full') for the paper's
+  headline base constraint;
+* meal categories, cook times and ratings for richer example queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+from repro.relational.types import ColumnType
+
+RECIPE_SCHEMA = Schema(
+    [
+        Column("name", ColumnType.TEXT),
+        Column("category", ColumnType.TEXT),
+        Column("gluten", ColumnType.TEXT),
+        Column("calories", ColumnType.FLOAT),
+        Column("protein", ColumnType.FLOAT),
+        Column("fat", ColumnType.FLOAT),
+        Column("carbs", ColumnType.FLOAT),
+        Column("sodium", ColumnType.FLOAT),
+        Column("cook_minutes", ColumnType.INT),
+        Column("rating", ColumnType.FLOAT),
+    ]
+)
+
+_CATEGORIES = ("breakfast", "lunch", "dinner", "snack", "dessert")
+_ADJECTIVES = (
+    "roasted", "grilled", "baked", "spicy", "creamy", "fresh", "smoky",
+    "zesty", "hearty", "crispy",
+)
+_BASES = (
+    "chicken bowl", "salmon plate", "tofu stir fry", "lentil soup",
+    "quinoa salad", "beef stew", "egg scramble", "rice pilaf",
+    "veggie wrap", "pasta bake", "bean chili", "oat porridge",
+)
+
+
+def generate_recipes(n, seed=7, gluten_free_fraction=0.55, name="Recipes"):
+    """Generate ``n`` synthetic recipes as a :class:`Relation`.
+
+    Args:
+        n: number of rows.
+        seed: RNG seed (generation is fully deterministic given it).
+        gluten_free_fraction: fraction of rows with gluten = 'free'.
+        name: relation name.
+    """
+    rng = np.random.default_rng(seed)
+
+    categories = rng.choice(len(_CATEGORIES), size=n)
+    # Calories: lognormal per-meal distribution clipped to a plausible range.
+    calories = np.clip(rng.lognormal(mean=6.3, sigma=0.45, size=n), 120, 1600)
+    # Macros correlate with calories but keep independent variation.
+    protein = np.clip(
+        calories * rng.uniform(0.02, 0.09, size=n) + rng.normal(0, 3, size=n),
+        2,
+        None,
+    )
+    fat = np.clip(
+        calories * rng.uniform(0.015, 0.06, size=n) + rng.normal(0, 2, size=n),
+        0.5,
+        None,
+    )
+    carbs = np.clip(
+        (calories - 9 * fat - 4 * protein) / 4 + rng.normal(0, 5, size=n), 1, None
+    )
+    sodium = np.clip(rng.normal(600, 250, size=n), 20, None)
+    cook_minutes = rng.integers(5, 121, size=n)
+    rating = np.round(np.clip(rng.normal(3.9, 0.7, size=n), 1.0, 5.0), 1)
+    gluten_free = rng.random(n) < gluten_free_fraction
+
+    rows = []
+    for i in range(n):
+        label = (
+            f"{_ADJECTIVES[int(rng.integers(len(_ADJECTIVES)))]} "
+            f"{_BASES[int(rng.integers(len(_BASES)))]} #{i}"
+        )
+        rows.append(
+            {
+                "name": label,
+                "category": _CATEGORIES[categories[i]],
+                "gluten": "free" if gluten_free[i] else "full",
+                "calories": round(float(calories[i]), 1),
+                "protein": round(float(protein[i]), 1),
+                "fat": round(float(fat[i]), 1),
+                "carbs": round(float(carbs[i]), 1),
+                "sodium": round(float(sodium[i]), 1),
+                "cook_minutes": int(cook_minutes[i]),
+                "rating": float(rating[i]),
+            }
+        )
+    return Relation(name, RECIPE_SCHEMA, rows)
+
+
+#: The paper's headline query (Section 2), verbatim modulo whitespace.
+MEAL_PLANNER_QUERY = """
+SELECT PACKAGE(R) AS P
+FROM Recipes R
+WHERE R.gluten = 'free'
+SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+MAXIMIZE SUM(P.protein)
+"""

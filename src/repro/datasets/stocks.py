@@ -1,0 +1,83 @@
+"""Synthetic stock-option dataset — the investment-portfolio workload.
+
+Section 1's third scenario: a $50K budget, at least 30% in technology,
+and a balance of short-term and long-term options.  Sector and term
+indicator columns turn the percentage constraints into the linear SUM
+forms PaQL expresses directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+from repro.relational.types import ColumnType
+
+STOCK_SCHEMA = Schema(
+    [
+        Column("ticker", ColumnType.TEXT),
+        Column("sector", ColumnType.TEXT),
+        Column("term", ColumnType.TEXT),  # 'short' | 'long'
+        Column("price", ColumnType.FLOAT),
+        Column("expected_return", ColumnType.FLOAT),
+        Column("risk", ColumnType.FLOAT),
+        Column("tech_value", ColumnType.FLOAT),  # price if tech else 0
+        Column("is_short", ColumnType.INT),
+        Column("is_long", ColumnType.INT),
+    ]
+)
+
+_SECTORS = ("tech", "energy", "health", "finance", "consumer", "industrial")
+
+
+def generate_stocks(n, seed=13, tech_fraction=0.3, name="Stocks"):
+    """Generate ``n`` synthetic stock lots as a :class:`Relation`.
+
+    Each row is a purchasable lot; ``price`` is the lot cost,
+    ``expected_return`` its projected dollar gain, ``risk`` a 0-1
+    volatility score.  Tech lots carry ``tech_value = price`` so that
+    "at least 30% of assets in technology" is
+    ``SUM(tech_value) >= 0.3 * SUM(price)`` — a linear constraint.
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(n):
+        is_tech = rng.random() < tech_fraction
+        sector = "tech" if is_tech else _SECTORS[
+            1 + int(rng.integers(len(_SECTORS) - 1))
+        ]
+        price = float(np.clip(rng.lognormal(8.3, 0.6), 500, 25000))
+        base_return = rng.normal(0.07, 0.05) + (0.02 if is_tech else 0.0)
+        risk = float(np.clip(rng.beta(2.2, 4.5) + (0.08 if is_tech else 0), 0, 1))
+        term = "short" if rng.random() < 0.5 else "long"
+        rows.append(
+            {
+                "ticker": f"{sector[:3].upper()}{i:04d}",
+                "sector": sector,
+                "term": term,
+                "price": round(price, 2),
+                "expected_return": round(price * base_return, 2),
+                "risk": round(risk, 3),
+                "tech_value": round(price, 2) if is_tech else 0.0,
+                "is_short": 1 if term == "short" else 0,
+                "is_long": 0 if term == "short" else 1,
+            }
+        )
+    return Relation(name, STOCK_SCHEMA, rows)
+
+
+#: Section 1's portfolio scenario as PaQL: spend at most $50K, put at
+#: least 30% of it in technology, hold at least 2 short-term and 2
+#: long-term lots, and maximize expected return.
+PORTFOLIO_QUERY = """
+SELECT PACKAGE(S) AS P
+FROM Stocks S
+WHERE S.risk <= 0.8
+SUCH THAT
+    SUM(P.price) <= 50000 AND
+    SUM(P.tech_value) >= 0.3 * SUM(P.price) AND
+    SUM(P.is_short) >= 2 AND
+    SUM(P.is_long) >= 2
+MAXIMIZE SUM(P.expected_return)
+"""

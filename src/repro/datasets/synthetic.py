@@ -1,0 +1,55 @@
+"""Generic synthetic relations for tests and microbenchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+from repro.relational.types import ColumnType
+
+
+def uniform_relation(
+    n,
+    columns=("value",),
+    low=0.0,
+    high=100.0,
+    seed=0,
+    name="Uniform",
+    null_fraction=0.0,
+):
+    """A relation of ``n`` rows with uniform float columns.
+
+    Args:
+        columns: names of the numeric columns to generate.
+        low, high: uniform range (shared by all columns).
+        null_fraction: probability of a NULL in each generated cell.
+    """
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [Column("label", ColumnType.TEXT)]
+        + [Column(column, ColumnType.FLOAT) for column in columns]
+    )
+    rows = []
+    for i in range(n):
+        row = {"label": f"row{i}"}
+        for column in columns:
+            if null_fraction and rng.random() < null_fraction:
+                row[column] = None
+            else:
+                row[column] = round(float(rng.uniform(low, high)), 3)
+        rows.append(row)
+    return Relation(name, schema, rows)
+
+
+def integer_relation(n, low=1, high=10, seed=0, name="Ints"):
+    """A relation with one integer ``value`` column in ``[low, high]``."""
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [Column("label", ColumnType.TEXT), Column("value", ColumnType.INT)]
+    )
+    rows = [
+        {"label": f"row{i}", "value": int(rng.integers(low, high + 1))}
+        for i in range(n)
+    ]
+    return Relation(name, schema, rows)

@@ -1,0 +1,119 @@
+"""Synthetic travel-product dataset — the vacation-planner workload.
+
+Section 1's second scenario: a couple assembling flights, a hotel and
+optionally a rental car under a combined budget, with a
+beach-proximity constraint that relaxes when the budget fits a car.
+The products live in one relation (PaQL packages draw from a single
+base relation), distinguished by a ``kind`` column; the disjunctive
+budget/walking-distance logic exercises the arbitrary-Boolean
+SUCH THAT support.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+from repro.relational.types import ColumnType
+
+TRAVEL_SCHEMA = Schema(
+    [
+        Column("name", ColumnType.TEXT),
+        Column("kind", ColumnType.TEXT),  # 'flight' | 'hotel' | 'car'
+        Column("destination", ColumnType.TEXT),
+        Column("price", ColumnType.FLOAT),
+        Column("is_flight", ColumnType.INT),
+        Column("is_hotel", ColumnType.INT),
+        Column("is_car", ColumnType.INT),
+        Column("beach_meters", ColumnType.FLOAT),
+        Column("stars", ColumnType.FLOAT),
+    ]
+)
+
+_DESTINATIONS = ("maui", "cancun", "bali", "fiji", "phuket", "barbados")
+
+
+def generate_travel_products(
+    n_flights=40, n_hotels=40, n_cars=20, seed=11, name="Travel"
+):
+    """Generate a travel-products relation.
+
+    ``beach_meters`` is the hotel's distance to the beach (NULL for
+    flights and cars); the ``is_*`` indicator columns let PaQL count
+    product kinds with SUM constraints (e.g. exactly 2 flights).
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+
+    for i in range(n_flights):
+        destination = _DESTINATIONS[int(rng.integers(len(_DESTINATIONS)))]
+        rows.append(
+            {
+                "name": f"flight {destination} #{i}",
+                "kind": "flight",
+                "destination": destination,
+                "price": round(float(np.clip(rng.normal(520, 180), 120, None)), 2),
+                "is_flight": 1,
+                "is_hotel": 0,
+                "is_car": 0,
+                "beach_meters": None,
+                "stars": None,
+            }
+        )
+    for i in range(n_hotels):
+        destination = _DESTINATIONS[int(rng.integers(len(_DESTINATIONS)))]
+        near_beach = rng.random() < 0.4
+        distance = (
+            float(rng.uniform(50, 400))
+            if near_beach
+            else float(rng.uniform(600, 6000))
+        )
+        rows.append(
+            {
+                "name": f"hotel {destination} #{i}",
+                "kind": "hotel",
+                "destination": destination,
+                "price": round(
+                    float(np.clip(rng.normal(900, 350), 150, None))
+                    * (0.8 if not near_beach else 1.15),
+                    2,
+                ),
+                "is_flight": 0,
+                "is_hotel": 1,
+                "is_car": 0,
+                "beach_meters": round(distance, 0),
+                "stars": float(np.round(np.clip(rng.normal(3.8, 0.8), 1, 5), 1)),
+            }
+        )
+    for i in range(n_cars):
+        destination = _DESTINATIONS[int(rng.integers(len(_DESTINATIONS)))]
+        rows.append(
+            {
+                "name": f"car {destination} #{i}",
+                "kind": "car",
+                "destination": destination,
+                "price": round(float(np.clip(rng.normal(260, 90), 60, None)), 2),
+                "is_flight": 0,
+                "is_hotel": 0,
+                "is_car": 1,
+                "beach_meters": None,
+                "stars": None,
+            }
+        )
+    return Relation(name, TRAVEL_SCHEMA, rows)
+
+
+#: Section 1's vacation scenario as PaQL: two flights and one hotel
+#: within $2000 total, and either the hotel is within walking distance
+#: of the beach (400 m) or the package also fits a rental car.
+VACATION_QUERY = """
+SELECT PACKAGE(T) AS P
+FROM Travel T
+SUCH THAT
+    SUM(P.is_flight) = 2 AND
+    SUM(P.is_hotel) = 1 AND
+    SUM(P.price) <= 2000 AND
+    (MAX(P.beach_meters) <= 400 OR SUM(P.is_car) >= 1)
+MINIMIZE SUM(P.price)
+"""

@@ -1,0 +1,136 @@
+"""Random package-query workload generation.
+
+Benchmarks and stress tests need *families* of queries, not just the
+three scenario queries.  :func:`random_query` draws a seeded PaQL query
+over a given schema: a categorical base constraint with tunable
+selectivity, a COUNT window, one or two aggregate constraints (SUM
+window, AVG bound, or MIN/MAX bound — mixing the encodings the ILP
+translator must handle), optionally a disjunction, and an objective.
+
+Everything is driven by a ``random.Random`` instance, so workloads are
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.paql.parser import parse
+
+
+class WorkloadError(Exception):
+    """Raised when the schema lacks what a query family needs."""
+
+
+def random_query(
+    relation_name,
+    numeric_columns,
+    seed=0,
+    categorical=None,
+    max_count=4,
+    allow_disjunction=True,
+    allow_minmax=True,
+    allow_avg=True,
+):
+    """Draw one random PaQL query (parsed AST).
+
+    Args:
+        relation_name: the FROM relation.
+        numeric_columns: mapping ``column -> (low, high)`` plausible
+            value range, used to scale constraint constants.
+        seed: workload RNG seed.
+        categorical: optional ``(column, value)`` for a base equality
+            constraint.
+        max_count: upper limit for the COUNT window.
+        allow_disjunction / allow_minmax / allow_avg: feature toggles
+            (each family exercises a different translator path).
+
+    Returns:
+        A parsed :class:`repro.paql.ast.PackageQuery` (unanalyzed).
+    """
+    if not numeric_columns:
+        raise WorkloadError("need at least one numeric column")
+    rng = random.Random(seed)
+    columns = sorted(numeric_columns)
+
+    pieces = []
+    count_low = rng.randint(1, max(1, max_count - 1))
+    count_high = rng.randint(count_low, max_count)
+    if count_low == count_high:
+        pieces.append(f"COUNT(*) = {count_low}")
+    else:
+        pieces.append(f"COUNT(*) BETWEEN {count_low} AND {count_high}")
+
+    def sum_window(column):
+        low, high = numeric_columns[column]
+        typical = (low + high) / 2 * (count_low + count_high) / 2
+        width = max((high - low) * 0.8, 1.0)
+        window_low = round(typical - width, 2)
+        window_high = round(typical + width, 2)
+        return f"SUM(P.{column}) BETWEEN {window_low} AND {window_high}"
+
+    def avg_bound(column):
+        low, high = numeric_columns[column]
+        threshold = round(rng.uniform(low, high), 2)
+        op = rng.choice(["<=", ">="])
+        return f"AVG(P.{column}) {op} {threshold}"
+
+    def minmax_bound(column):
+        low, high = numeric_columns[column]
+        threshold = round(rng.uniform(low, high), 2)
+        func = rng.choice(["MIN", "MAX"])
+        op = rng.choice(["<=", ">="])
+        return f"{func}(P.{column}) {op} {threshold}"
+
+    main_column = rng.choice(columns)
+    pieces.append(sum_window(main_column))
+
+    extras = []
+    if allow_avg:
+        extras.append(avg_bound)
+    if allow_minmax:
+        extras.append(minmax_bound)
+    if extras and rng.random() < 0.6:
+        maker = rng.choice(extras)
+        pieces.append(maker(rng.choice(columns)))
+
+    formula = " AND ".join(pieces)
+    if allow_disjunction and rng.random() < 0.3:
+        alt_low = rng.randint(1, max_count)
+        formula = f"({formula}) OR COUNT(*) = {alt_low}"
+
+    objective_column = rng.choice(columns)
+    direction = rng.choice(["MAXIMIZE", "MINIMIZE"])
+
+    where = ""
+    if categorical is not None:
+        column, value = categorical
+        where = f"WHERE R.{column} = '{value}'\n"
+
+    text = (
+        f"SELECT PACKAGE(R) AS P\n"
+        f"FROM {relation_name} R\n"
+        f"{where}"
+        f"SUCH THAT {formula}\n"
+        f"{direction} SUM(P.{objective_column})"
+    )
+    return parse(text)
+
+
+def recipe_workload(count, base_seed=0, **kwargs):
+    """A list of ``count`` random queries over the recipe schema."""
+    ranges = {
+        "calories": (120.0, 1600.0),
+        "protein": (2.0, 120.0),
+        "fat": (0.5, 80.0),
+    }
+    return [
+        random_query(
+            "Recipes",
+            ranges,
+            seed=base_seed + i,
+            categorical=("gluten", "free") if i % 2 == 0 else None,
+            **kwargs,
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,89 @@
+"""PaQL — the package query language front end.
+
+Public surface:
+
+* :func:`repro.paql.parser.parse` — text to AST.
+* :func:`repro.paql.semantics.analyze` — AST + schema to normalized AST.
+* :func:`repro.paql.semantics.parse_and_analyze` — both in one call.
+* :func:`repro.paql.printer.print_query` — AST back to text.
+* :func:`repro.paql.describe.describe` — natural-language rendering.
+"""
+
+from repro.paql.ast import (
+    AggFunc,
+    Aggregate,
+    And,
+    Between,
+    BinaryOp,
+    BinOp,
+    CmpOp,
+    ColumnRef,
+    Comparison,
+    Direction,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Objective,
+    Or,
+    PackageQuery,
+    UnaryMinus,
+)
+from repro.paql.autocomplete import Completion, complete
+from repro.paql.describe import describe, describe_text
+from repro.paql.lint import LintWarning, lint
+from repro.paql.rewrite import RewriteResult, rewrite_expr, rewrite_query
+from repro.paql.errors import (
+    PaQLError,
+    PaQLSemanticError,
+    PaQLSyntaxError,
+    PaQLUnsupportedError,
+)
+from repro.paql.eval import eval_predicate, eval_scalar
+from repro.paql.parser import parse, parse_expression
+from repro.paql.printer import print_expr, print_query
+from repro.paql.semantics import analyze, parse_and_analyze
+from repro.paql.to_sql import to_sql
+
+__all__ = [
+    "AggFunc",
+    "Aggregate",
+    "And",
+    "Between",
+    "BinaryOp",
+    "BinOp",
+    "CmpOp",
+    "ColumnRef",
+    "Comparison",
+    "Direction",
+    "InList",
+    "IsNull",
+    "Literal",
+    "Not",
+    "Objective",
+    "Or",
+    "PackageQuery",
+    "UnaryMinus",
+    "PaQLError",
+    "PaQLSemanticError",
+    "PaQLSyntaxError",
+    "PaQLUnsupportedError",
+    "Completion",
+    "LintWarning",
+    "RewriteResult",
+    "lint",
+    "analyze",
+    "complete",
+    "describe",
+    "rewrite_expr",
+    "rewrite_query",
+    "describe_text",
+    "eval_predicate",
+    "eval_scalar",
+    "parse",
+    "parse_and_analyze",
+    "parse_expression",
+    "print_expr",
+    "print_query",
+    "to_sql",
+]

@@ -1,0 +1,344 @@
+"""Abstract syntax tree for PaQL, the package query language.
+
+The node hierarchy covers the language described in Section 2 of
+*PackageBuilder: From Tuples to Packages* (VLDB 2014):
+
+``SELECT PACKAGE(R) AS P FROM R [REPEAT k] WHERE <base predicate>
+SUCH THAT <global formula> [MAXIMIZE | MINIMIZE <aggregate expr>]``
+
+Two expression sub-languages share the same node types:
+
+* **scalar expressions** appear in the WHERE clause and inside
+  aggregate arguments; they reference tuple attributes
+  (:class:`ColumnRef`).
+* **aggregate expressions** appear in SUCH THAT and the objective;
+  their leaves are :class:`Aggregate` nodes (plus literals), combined
+  with arithmetic and comparisons into a Boolean formula.
+
+All nodes are immutable (frozen dataclasses) so they can be hashed,
+deduplicated and safely shared between query rewrites.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class BinOp(enum.Enum):
+    """Binary arithmetic operators."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+
+
+class CmpOp(enum.Enum):
+    """Comparison operators.
+
+    ``NE`` renders as ``<>`` (SQL spelling); the parser also accepts
+    ``!=``.
+    """
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def negate(self):
+        """Return the complementary comparison (logical NOT)."""
+        return _CMP_NEGATION[self]
+
+    def flip(self):
+        """Return the comparison with operands swapped (mirror)."""
+        return _CMP_FLIP[self]
+
+
+_CMP_NEGATION = {
+    CmpOp.EQ: CmpOp.NE,
+    CmpOp.NE: CmpOp.EQ,
+    CmpOp.LT: CmpOp.GE,
+    CmpOp.LE: CmpOp.GT,
+    CmpOp.GT: CmpOp.LE,
+    CmpOp.GE: CmpOp.LT,
+}
+
+_CMP_FLIP = {
+    CmpOp.EQ: CmpOp.EQ,
+    CmpOp.NE: CmpOp.NE,
+    CmpOp.LT: CmpOp.GT,
+    CmpOp.LE: CmpOp.GE,
+    CmpOp.GT: CmpOp.LT,
+    CmpOp.GE: CmpOp.LE,
+}
+
+
+class AggFunc(enum.Enum):
+    """Aggregate functions usable over a package."""
+
+    COUNT = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+
+
+class Direction(enum.Enum):
+    """Optimization direction of the objective clause."""
+
+    MAXIMIZE = "MAXIMIZE"
+    MINIMIZE = "MINIMIZE"
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class for every AST node."""
+
+    def children(self):
+        """Yield direct child nodes (used by generic traversals)."""
+        return ()
+
+
+# ---------------------------------------------------------------------------
+# Scalar / shared expression nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A constant: number, string, boolean, or NULL (``value is None``)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class ColumnRef(Node):
+    """A possibly-qualified column reference, e.g. ``R.gluten``.
+
+    ``qualifier`` is ``None`` for a bare name; semantic analysis
+    resolves bare names against the FROM relation.
+    """
+
+    qualifier: str | None
+    name: str
+
+    def qualified(self):
+        """Render as dotted text, e.g. ``"R.calories"``."""
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class UnaryMinus(Node):
+    """Arithmetic negation, ``-expr``."""
+
+    operand: Node
+
+    def children(self):
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Node):
+    """Arithmetic combination of two expressions."""
+
+    op: BinOp
+    left: Node
+    right: Node
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Aggregate(Node):
+    """An aggregate over the package, e.g. ``SUM(P.calories)``.
+
+    ``COUNT(*)`` is represented with ``argument is None``.  The
+    optional ``qualifier`` records the package alias the argument was
+    written against (``P`` in the paper's examples).
+    """
+
+    func: AggFunc
+    argument: Node | None
+
+    def children(self):
+        return () if self.argument is None else (self.argument,)
+
+    @property
+    def is_count_star(self):
+        return self.func is AggFunc.COUNT and self.argument is None
+
+
+# ---------------------------------------------------------------------------
+# Boolean formula nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison(Node):
+    """``left <op> right`` over scalars or aggregates."""
+
+    op: CmpOp
+    left: Node
+    right: Node
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Between(Node):
+    """``expr BETWEEN low AND high`` (inclusive on both ends)."""
+
+    expr: Node
+    low: Node
+    high: Node
+    negated: bool = False
+
+    def children(self):
+        return (self.expr, self.low, self.high)
+
+
+@dataclass(frozen=True)
+class InList(Node):
+    """``expr IN (v1, v2, ...)`` with literal alternatives."""
+
+    expr: Node
+    items: tuple
+    negated: bool = False
+
+    def children(self):
+        return (self.expr,) + tuple(self.items)
+
+
+@dataclass(frozen=True)
+class IsNull(Node):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Node
+    negated: bool = False
+
+    def children(self):
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class And(Node):
+    """N-ary conjunction (flattened by the parser)."""
+
+    args: tuple
+
+    def children(self):
+        return tuple(self.args)
+
+
+@dataclass(frozen=True)
+class Or(Node):
+    """N-ary disjunction (flattened by the parser)."""
+
+    args: tuple
+
+    def children(self):
+        return tuple(self.args)
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    """Logical negation of a Boolean formula."""
+
+    arg: Node
+
+    def children(self):
+        return (self.arg,)
+
+
+# ---------------------------------------------------------------------------
+# Query-level nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Objective(Node):
+    """The MAXIMIZE / MINIMIZE clause."""
+
+    direction: Direction
+    expr: Node
+
+    def children(self):
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class PackageQuery(Node):
+    """A complete PaQL query.
+
+    Attributes:
+        relation: name of the base relation in FROM.
+        relation_alias: the tuple alias (``R``); defaults to the
+            relation name when no alias is written.
+        package_alias: the package alias (``P`` in ``AS P``).
+        repeat: maximum multiplicity of any base tuple in the package.
+            ``1`` (the default when no REPEAT clause is present) gives
+            set semantics; ``REPEAT k`` permits up to ``k`` copies.
+            The demo paper notes that with *no* bound the package space
+            is infinite, so a finite default is required for
+            evaluation; this reproduction follows the follow-up PaQL
+            semantics and defaults to 1.
+        where: base-constraint predicate (scalar Boolean formula) or
+            ``None``.
+        such_that: global-constraint Boolean formula over aggregates,
+            or ``None``.
+        objective: optional :class:`Objective`.
+    """
+
+    relation: str
+    relation_alias: str
+    package_alias: str
+    repeat: int = 1
+    where: Node | None = None
+    such_that: Node | None = None
+    objective: Objective | None = None
+
+    def children(self):
+        out = []
+        if self.where is not None:
+            out.append(self.where)
+        if self.such_that is not None:
+            out.append(self.such_that)
+        if self.objective is not None:
+            out.append(self.objective)
+        return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Generic traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def walk(node):
+    """Yield ``node`` and every descendant in pre-order."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(list(current.children())))
+
+
+def find_aggregates(node):
+    """Return all :class:`Aggregate` nodes under ``node`` in pre-order."""
+    return [n for n in walk(node) if isinstance(n, Aggregate)]
+
+
+def find_column_refs(node):
+    """Return all :class:`ColumnRef` nodes under ``node`` in pre-order."""
+    return [n for n in walk(node) if isinstance(n, ColumnRef)]
+
+
+def contains_aggregate(node):
+    """True if any descendant of ``node`` is an aggregate."""
+    return any(isinstance(n, Aggregate) for n in walk(node))

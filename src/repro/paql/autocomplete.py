@@ -1,0 +1,288 @@
+"""PaQL auto-suggestion (Figure 1: "an auto-suggest feature helps with
+syntax").
+
+Given the text typed so far (and optionally the base relation's
+schema), :func:`complete` returns ranked continuations: clause
+keywords when a clause can start, column names and aggregate functions
+in operand positions, operators after a complete operand, and so on.
+A partially typed final word filters the candidates by prefix,
+case-insensitively — the behaviour a query-builder text box needs.
+
+The implementation is a clause/expression state machine over the real
+lexer's tokens, so its notion of "what fits here" matches the actual
+grammar (verified by tests that every suggestion extends to a parse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.paql.errors import PaQLSyntaxError
+from repro.paql.lexer import TokenType, tokenize
+
+#: Aggregate function names usable in SUCH THAT / objectives.
+AGG_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+#: Words that may follow a complete operand inside an expression.
+_POST_OPERAND = (
+    "AND", "OR", "BETWEEN", "IN", "IS", "NOT",
+    "=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/",
+)
+
+_CLAUSE_STARTERS = {
+    "start": ("SELECT",),
+    "after_select": ("PACKAGE",),
+    "after_package": ("(",),
+    "after_from_item": ("REPEAT", "WHERE", "SUCH", "MAXIMIZE", "MINIMIZE"),
+    "after_where": ("SUCH", "MAXIMIZE", "MINIMIZE"),
+    "after_such_that": ("MAXIMIZE", "MINIMIZE"),
+}
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One suggested continuation.
+
+    Attributes:
+        text: what to insert.
+        kind: ``keyword`` | ``column`` | ``function`` | ``operator``.
+    """
+
+    text: str
+    kind: str
+
+
+def _last_word_prefix(text):
+    """The trailing identifier fragment being typed, or ''.
+
+    ``"SELECT PA"`` -> ``"PA"``; ``"SELECT PACKAGE("`` -> ``""``.
+    """
+    if not text or not (text[-1].isalnum() or text[-1] == "_"):
+        return ""
+    index = len(text)
+    while index > 0 and (text[index - 1].isalnum() or text[index - 1] == "_"):
+        index -= 1
+    return text[index:]
+
+
+def _filter(candidates, prefix):
+    prefix_folded = prefix.lower()
+    out = []
+    for candidate in candidates:
+        if candidate.text.lower().startswith(prefix_folded):
+            out.append(candidate)
+    return out
+
+
+def _keywords(*words):
+    return [Completion(word, "keyword") for word in words]
+
+
+def _operators(*symbols):
+    return [Completion(symbol, "operator") for symbol in symbols]
+
+
+def _columns(schema, numeric_only=False):
+    if schema is None:
+        return []
+    names = schema.numeric_names() if numeric_only else schema.names
+    return [Completion(name, "column") for name in names]
+
+
+def _functions():
+    return [Completion(func, "function") for func in AGG_FUNCS]
+
+
+def complete(text, schema=None, limit=None):
+    """Suggest continuations for partially typed PaQL ``text``.
+
+    Args:
+        text: the query prefix typed so far (possibly ending mid-word).
+        schema: optional relation schema; enables column suggestions.
+        limit: optionally cap the number of suggestions.
+
+    Returns:
+        List of :class:`Completion`, keywords first, deduplicated.
+        Unknown/unlexable prefixes return an empty list rather than
+        raising — an auto-suggest box must never crash on input.
+    """
+    prefix = _last_word_prefix(text)
+    stable = text[: len(text) - len(prefix)]
+    try:
+        tokens = tokenize(stable)
+    except PaQLSyntaxError:
+        return []
+    tokens = tokens[:-1]  # drop EOF
+
+    candidates = _suggest_after(tokens, schema)
+    if prefix:
+        filtered = _filter(candidates, prefix)
+        # When the typed word is already a complete candidate (or no
+        # candidate matches it, e.g. a fresh alias like "R"), also
+        # offer what can follow the completed word.
+        exact_match = any(c.text.lower() == prefix.lower() for c in filtered)
+        if exact_match or not filtered:
+            try:
+                full_tokens = tokenize(text)[:-1]
+            except PaQLSyntaxError:
+                full_tokens = None
+            if full_tokens is not None:
+                filtered = filtered + _suggest_after(full_tokens, schema)
+        candidates = filtered
+
+    seen = set()
+    unique = []
+    for candidate in candidates:
+        key = candidate.text.lower()
+        if key not in seen:
+            seen.add(key)
+            unique.append(candidate)
+    if limit is not None:
+        unique = unique[:limit]
+    return unique
+
+
+def _clause_of(tokens):
+    """The clause the cursor is in, plus that clause's token start."""
+    clause = "select_head"
+    start = 0
+    depth = 0
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token.type is TokenType.LPAREN:
+            depth += 1
+        elif token.type is TokenType.RPAREN:
+            depth = max(0, depth - 1)
+        if token.type is TokenType.KEYWORD and depth == 0:
+            if token.value == "FROM":
+                clause, start = "from", index + 1
+            elif token.value == "WHERE":
+                clause, start = "where", index + 1
+            elif token.value == "THAT":
+                clause, start = "such_that", index + 1
+            elif token.value in ("MAXIMIZE", "MINIMIZE"):
+                clause, start = "objective", index + 1
+        index += 1
+    return clause, start
+
+
+def _suggest_after(tokens, schema):
+    if not tokens:
+        return _keywords("SELECT")
+
+    # "SUCH" always expects "THAT", whatever clause it was typed after.
+    if tokens[-1].is_keyword("SUCH"):
+        return _keywords("THAT")
+
+    clause, start = _clause_of(tokens)
+    last = tokens[-1]
+
+    if clause == "select_head":
+        return _suggest_select_head(tokens, schema)
+
+    if clause == "from":
+        return _suggest_from(tokens[start:], schema)
+
+    aggregates_allowed = clause in ("such_that", "objective")
+    return _suggest_expression(tokens[start:], schema, aggregates_allowed, clause)
+
+
+def _suggest_select_head(tokens, schema):
+    values = [
+        token.value if token.type is TokenType.KEYWORD else token.type
+        for token in tokens
+    ]
+    if values == ["SELECT"]:
+        return _keywords("PACKAGE")
+    if values == ["SELECT", "PACKAGE"]:
+        return [Completion("(", "operator")]
+    if values[-1] == TokenType.LPAREN:
+        return []  # a fresh relation alias: nothing to predict
+    if values[-1] == TokenType.RPAREN:
+        return _keywords("AS", "FROM")
+    if values[-1] == "AS":
+        return []  # fresh package alias
+    if tokens[-1].type is TokenType.NAME and "AS" in values:
+        return _keywords("FROM")
+    if tokens[-1].type is TokenType.NAME:
+        return [Completion(")", "operator")]
+    return _keywords("FROM")
+
+
+def _suggest_from(clause_tokens, schema):
+    if not clause_tokens:
+        return []  # relation name is free-form
+    last = clause_tokens[-1]
+    if last.is_keyword("REPEAT"):
+        return []  # expects an integer literal
+    if last.type is TokenType.NUMBER:
+        return _keywords("WHERE", "SUCH", "MAXIMIZE", "MINIMIZE")
+    if last.type is TokenType.NAME:
+        # After "FROM Rel" or "FROM Rel alias".
+        suggestions = _keywords("REPEAT", "WHERE", "SUCH", "MAXIMIZE", "MINIMIZE")
+        return suggestions
+    return []
+
+
+def _expression_expects_operand(clause_tokens):
+    """True when the next token must start an operand."""
+    if not clause_tokens:
+        return True
+    last = clause_tokens[-1]
+    if last.type in (TokenType.NUMBER, TokenType.STRING, TokenType.RPAREN):
+        return False
+    if last.type is TokenType.NAME:
+        return False
+    if last.type is TokenType.KEYWORD and last.value in ("NULL", "TRUE", "FALSE"):
+        return False
+    if last.type is TokenType.STAR:
+        # COUNT(* — the star closes an operand position.
+        return False
+    return True
+
+
+def _suggest_expression(clause_tokens, schema, aggregates_allowed, clause):
+    last = clause_tokens[-1] if clause_tokens else None
+
+    if last is not None and last.is_keyword("SUCH"):
+        return _keywords("THAT")
+    if last is not None and last.is_keyword("IS"):
+        return _keywords("NULL", "NOT")
+    if last is not None and last.is_keyword("BETWEEN"):
+        return _operand_suggestions(schema, aggregates_allowed)
+    if last is not None and last.is_keyword("NOT"):
+        return _operand_suggestions(schema, aggregates_allowed) + _keywords(
+            "BETWEEN", "IN", "NULL"
+        )
+    if (
+        last is not None
+        and last.type is TokenType.KEYWORD
+        and last.value in AGG_FUNCS
+    ):
+        return [Completion("(", "operator")]
+    if last is not None and last.type is TokenType.DOT:
+        return _columns(schema)
+
+    if _expression_expects_operand(clause_tokens):
+        return _operand_suggestions(schema, aggregates_allowed)
+
+    suggestions = _operators("=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/")
+    suggestions += _keywords("AND", "OR", "BETWEEN", "IN", "IS", "NOT")
+    if clause == "where":
+        suggestions += _keywords("SUCH", "MAXIMIZE", "MINIMIZE")
+    elif clause == "such_that":
+        suggestions += _keywords("MAXIMIZE", "MINIMIZE")
+    return suggestions
+
+
+def _operand_suggestions(schema, aggregates_allowed):
+    suggestions = []
+    if aggregates_allowed:
+        suggestions += _functions()
+        suggestions += _columns(schema, numeric_only=False)
+    else:
+        suggestions += _columns(schema)
+    suggestions += _keywords("NOT", "TRUE", "FALSE", "NULL")
+    suggestions.append(Completion("(", "operator"))
+    return suggestions

@@ -1,0 +1,130 @@
+"""Natural-language descriptions of PaQL queries.
+
+Figure 1 of the PackageBuilder demo shows "natural language
+descriptions" of the query under construction next to the package
+template.  This module reproduces that interface feature headlessly:
+it turns a (parsed or analyzed) query into readable English sentences,
+one per constraint, plus a sentence for the objective.
+"""
+
+from __future__ import annotations
+
+from repro.paql import ast
+
+_CMP_WORDS = {
+    ast.CmpOp.EQ: "exactly",
+    ast.CmpOp.NE: "different from",
+    ast.CmpOp.LT: "less than",
+    ast.CmpOp.LE: "at most",
+    ast.CmpOp.GT: "more than",
+    ast.CmpOp.GE: "at least",
+}
+
+_AGG_PHRASES = {
+    ast.AggFunc.SUM: "the total {arg}",
+    ast.AggFunc.AVG: "the average {arg}",
+    ast.AggFunc.MIN: "the smallest {arg}",
+    ast.AggFunc.MAX: "the largest {arg}",
+    ast.AggFunc.COUNT: "the number of items with a {arg}",
+}
+
+
+def _value_phrase(node):
+    """Describe a scalar/arithmetic expression in-line."""
+    if isinstance(node, ast.Literal):
+        if node.value is None:
+            return "missing"
+        if isinstance(node.value, bool):
+            return "true" if node.value else "false"
+        return str(node.value)
+    if isinstance(node, ast.ColumnRef):
+        return node.name.replace("_", " ")
+    if isinstance(node, ast.Aggregate):
+        if node.is_count_star:
+            return "the number of items"
+        phrase = _AGG_PHRASES[node.func]
+        return phrase.format(arg=_value_phrase(node.argument))
+    if isinstance(node, ast.UnaryMinus):
+        return f"minus {_value_phrase(node.operand)}"
+    if isinstance(node, ast.BinaryOp):
+        words = {
+            ast.BinOp.ADD: "plus",
+            ast.BinOp.SUB: "minus",
+            ast.BinOp.MUL: "times",
+            ast.BinOp.DIV: "divided by",
+        }
+        return (
+            f"{_value_phrase(node.left)} {words[node.op]} "
+            f"{_value_phrase(node.right)}"
+        )
+    return "an expression"
+
+
+def _condition_sentence(node, subject):
+    """Describe one Boolean condition as a clause body (no period)."""
+    if isinstance(node, ast.Comparison):
+        left = _value_phrase(node.left)
+        right = _value_phrase(node.right)
+        return f"{left} is {_CMP_WORDS[node.op]} {right}"
+    if isinstance(node, ast.Between):
+        body = (
+            f"{_value_phrase(node.expr)} is between "
+            f"{_value_phrase(node.low)} and {_value_phrase(node.high)}"
+        )
+        return f"it is not the case that {body}" if node.negated else body
+    if isinstance(node, ast.InList):
+        choices = ", ".join(_value_phrase(item) for item in node.items)
+        verb = "is none of" if node.negated else "is one of"
+        return f"{_value_phrase(node.expr)} {verb} {choices}"
+    if isinstance(node, ast.IsNull):
+        verb = "is present" if node.negated else "is missing"
+        return f"{_value_phrase(node.expr)} {verb}"
+    if isinstance(node, ast.And):
+        return ", and ".join(_condition_sentence(a, subject) for a in node.args)
+    if isinstance(node, ast.Or):
+        return ", or ".join(_condition_sentence(a, subject) for a in node.args)
+    if isinstance(node, ast.Not):
+        return f"it is not the case that {_condition_sentence(node.arg, subject)}"
+    if isinstance(node, ast.Literal):
+        return "always" if node.value else "never"
+    return "a condition holds"
+
+
+def describe(query):
+    """Return a list of English sentences describing ``query``.
+
+    Works on both raw-parsed and analyzed queries.
+    """
+    sentences = [
+        f"Build a package of rows from {query.relation}."
+    ]
+    if query.repeat > 1:
+        sentences.append(
+            f"Each row may be used up to {query.repeat} times."
+        )
+    else:
+        sentences.append("Each row may be used at most once.")
+
+    if query.where is not None:
+        sentences.append(
+            "Every item must satisfy: "
+            f"{_condition_sentence(query.where, 'each item')}."
+        )
+    if query.such_that is not None:
+        sentences.append(
+            "Together, the package must satisfy: "
+            f"{_condition_sentence(query.such_that, 'the package')}."
+        )
+    if query.objective is not None:
+        verb = (
+            "Prefer packages that maximize"
+            if query.objective.direction is ast.Direction.MAXIMIZE
+            else "Prefer packages that minimize"
+        )
+        sentences.append(f"{verb} {_value_phrase(query.objective.expr)}.")
+    return sentences
+
+
+def describe_text(query):
+    """Return the description as one newline-joined string."""
+    return "\n".join(describe(query))

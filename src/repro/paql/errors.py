@@ -1,0 +1,48 @@
+"""Error types for the PaQL language front end.
+
+All language-processing failures raise a subclass of :class:`PaQLError`
+so that callers can catch a single exception type at the API boundary
+(e.g. ``repro.core.engine``) while tests can assert on the precise stage
+that failed.
+"""
+
+from __future__ import annotations
+
+
+class PaQLError(Exception):
+    """Base class for every error raised by the PaQL front end."""
+
+
+class PaQLSyntaxError(PaQLError):
+    """Raised by the lexer or parser on malformed PaQL text.
+
+    Attributes:
+        message: human-readable description of the problem.
+        line: 1-based line of the offending token (0 if unknown).
+        column: 1-based column of the offending token (0 if unknown).
+    """
+
+    def __init__(self, message, line=0, column=0):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class PaQLSemanticError(PaQLError):
+    """Raised by semantic analysis on a well-formed but invalid query.
+
+    Examples: references to unknown columns, aggregates in the WHERE
+    clause, non-aggregate package references in SUCH THAT, or type
+    mismatches in arithmetic.
+    """
+
+
+class PaQLUnsupportedError(PaQLError):
+    """Raised for PaQL constructs that parse but are not implemented.
+
+    The VLDB 2014 demo paper mentions sub-queries inside SUCH THAT; the
+    demo system's exact semantics for them was never published, so this
+    reproduction rejects them explicitly rather than guessing.
+    """

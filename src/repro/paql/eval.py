@@ -1,0 +1,191 @@
+"""Interpreter for PaQL expressions.
+
+Two entry points:
+
+* :func:`eval_scalar` — evaluate a scalar expression on a single row
+  (base constraints, aggregate arguments).
+* :func:`eval_formula` — evaluate a Boolean formula whose leaves may be
+  aggregates, given a resolver that supplies aggregate values (used by
+  the package validator, where aggregates are computed over the whole
+  package first).
+
+NULL semantics follow SQL's effective behaviour in WHERE clauses:
+comparisons involving NULL are *unknown*, and unknown rows are not
+selected.  The interpreter folds unknown to ``False`` at the Boolean
+level, with the SQL-correct special cases: ``NOT unknown`` is unknown
+(still false once folded), ``unknown OR true`` is true, and ``unknown
+AND false`` is false.  Internally unknown is represented by ``None``.
+"""
+
+from __future__ import annotations
+
+from repro.paql import ast
+from repro.paql.errors import PaQLSemanticError
+
+
+class EvaluationError(Exception):
+    """Raised for runtime evaluation failures (e.g. division by zero)."""
+
+
+def _arith(op, left, right):
+    if left is None or right is None:
+        return None
+    if op is ast.BinOp.ADD:
+        return left + right
+    if op is ast.BinOp.SUB:
+        return left - right
+    if op is ast.BinOp.MUL:
+        return left * right
+    if right == 0:
+        raise EvaluationError("division by zero")
+    return left / right
+
+
+def _compare(op, left, right):
+    """Three-valued comparison: returns True, False or None (unknown)."""
+    if left is None or right is None:
+        return None
+    if op is ast.CmpOp.EQ:
+        return left == right
+    if op is ast.CmpOp.NE:
+        return left != right
+    try:
+        if op is ast.CmpOp.LT:
+            return left < right
+        if op is ast.CmpOp.LE:
+            return left <= right
+        if op is ast.CmpOp.GT:
+            return left > right
+        return left >= right
+    except TypeError as exc:
+        raise EvaluationError(
+            f"cannot compare {left!r} with {right!r}: {exc}"
+        ) from None
+
+
+def _not3(value):
+    return None if value is None else (not value)
+
+
+def _and3(values):
+    saw_unknown = False
+    for value in values:
+        if value is False:
+            return False
+        if value is None:
+            saw_unknown = True
+    return None if saw_unknown else True
+
+
+def _or3(values):
+    saw_unknown = False
+    for value in values:
+        if value is True:
+            return True
+        if value is None:
+            saw_unknown = True
+    return None if saw_unknown else False
+
+
+def _no_aggregates(node):
+    raise PaQLSemanticError(
+        f"aggregate {node.func.value} found in a scalar context; "
+        "semantic analysis should have rejected this query"
+    )
+
+
+def eval_expr(node, row, aggregate_resolver=_no_aggregates):
+    """Evaluate ``node`` to a Python value (or None / three-valued bool).
+
+    Args:
+        node: a normalized (unqualified) PaQL expression.
+        row: dict of column name -> value, or ``None`` when the
+            expression has no column references (pure aggregate formula).
+        aggregate_resolver: callable mapping an :class:`ast.Aggregate`
+            node to its numeric value over the package.
+    """
+    if isinstance(node, ast.Literal):
+        return node.value
+
+    if isinstance(node, ast.ColumnRef):
+        if row is None:
+            raise EvaluationError(
+                f"column reference {node.name!r} evaluated without a row"
+            )
+        try:
+            return row[node.name]
+        except KeyError:
+            raise EvaluationError(f"row has no column {node.name!r}") from None
+
+    if isinstance(node, ast.Aggregate):
+        return aggregate_resolver(node)
+
+    if isinstance(node, ast.UnaryMinus):
+        value = eval_expr(node.operand, row, aggregate_resolver)
+        return None if value is None else -value
+
+    if isinstance(node, ast.BinaryOp):
+        left = eval_expr(node.left, row, aggregate_resolver)
+        right = eval_expr(node.right, row, aggregate_resolver)
+        return _arith(node.op, left, right)
+
+    if isinstance(node, ast.Comparison):
+        left = eval_expr(node.left, row, aggregate_resolver)
+        right = eval_expr(node.right, row, aggregate_resolver)
+        return _compare(node.op, left, right)
+
+    if isinstance(node, ast.Between):
+        value = eval_expr(node.expr, row, aggregate_resolver)
+        low = eval_expr(node.low, row, aggregate_resolver)
+        high = eval_expr(node.high, row, aggregate_resolver)
+        result = _and3(
+            [_compare(ast.CmpOp.GE, value, low), _compare(ast.CmpOp.LE, value, high)]
+        )
+        return _not3(result) if node.negated else result
+
+    if isinstance(node, ast.InList):
+        value = eval_expr(node.expr, row, aggregate_resolver)
+        result = _or3(
+            [_compare(ast.CmpOp.EQ, value, item.value) for item in node.items]
+        )
+        return _not3(result) if node.negated else result
+
+    if isinstance(node, ast.IsNull):
+        value = eval_expr(node.expr, row, aggregate_resolver)
+        result = value is None
+        return (not result) if node.negated else result
+
+    if isinstance(node, ast.And):
+        return _and3(
+            [eval_expr(arg, row, aggregate_resolver) for arg in node.args]
+        )
+
+    if isinstance(node, ast.Or):
+        return _or3([eval_expr(arg, row, aggregate_resolver) for arg in node.args])
+
+    if isinstance(node, ast.Not):
+        return _not3(eval_expr(node.arg, row, aggregate_resolver))
+
+    raise EvaluationError(f"cannot evaluate node {node!r}")
+
+
+def eval_scalar(node, row):
+    """Evaluate a scalar (non-aggregate) expression on one row."""
+    return eval_expr(node, row)
+
+
+def eval_predicate(node, row):
+    """Evaluate a Boolean base constraint on one row, folding unknown.
+
+    Returns a plain ``bool``: rows with an unknown predicate value are
+    not selected, matching SQL WHERE semantics.
+    """
+    return eval_expr(node, row) is True
+
+
+def eval_formula(node, aggregate_resolver):
+    """Evaluate a global-constraint formula given aggregate values.
+
+    Returns a plain ``bool`` (unknown folds to ``False``).
+    """
+    return eval_expr(node, None, aggregate_resolver) is True

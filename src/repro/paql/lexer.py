@@ -1,0 +1,249 @@
+"""Tokenizer for PaQL text.
+
+The lexer is a straightforward hand-rolled scanner.  It recognizes the
+SQL-style lexical grammar PaQL inherits — identifiers, qualified names
+(as separate ``NAME DOT NAME`` tokens), integer and float literals,
+single-quoted strings with ``''`` escaping, and the operator set used
+by the language — plus the PaQL keywords ``PACKAGE``, ``SUCH``,
+``THAT``, ``REPEAT``, ``MAXIMIZE`` and ``MINIMIZE``.
+
+Keywords are case-insensitive, matching SQL convention; identifiers
+preserve their original case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.paql.errors import PaQLSyntaxError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    NAME = "NAME"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    STAR = "*"
+    SEMICOLON = ";"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "PACKAGE",
+        "AS",
+        "FROM",
+        "REPEAT",
+        "WHERE",
+        "SUCH",
+        "THAT",
+        "AND",
+        "OR",
+        "NOT",
+        "BETWEEN",
+        "IN",
+        "IS",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "MAXIMIZE",
+        "MINIMIZE",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+    }
+)
+
+# Multi-character operators must be listed before their prefixes.
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "/")
+
+_SINGLE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "*": TokenType.STAR,
+    ";": TokenType.SEMICOLON,
+}
+
+
+def _is_ascii_digit(char):
+    """ASCII-only digit test.
+
+    ``str.isdigit`` accepts Unicode digits like ``'²'`` that ``int()``
+    rejects; the lexer must not treat those as number starts.
+    """
+    return "0" <= char <= "9"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def is_keyword(self, word):
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __str__(self):
+        return f"{self.type.name}({self.value!r})"
+
+
+class Lexer:
+    """Scans PaQL text into a list of :class:`Token`.
+
+    Usage::
+
+        tokens = Lexer("SELECT PACKAGE(R) FROM R").tokenize()
+    """
+
+    def __init__(self, text):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self):
+        """Return the full token list, ending with an EOF token.
+
+        Raises:
+            PaQLSyntaxError: on any character that cannot start a token
+                or an unterminated string literal.
+        """
+        tokens = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._text):
+                tokens.append(Token(TokenType.EOF, None, self._line, self._column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ----------------------------------------------------
+
+    def _peek(self, offset=0):
+        index = self._pos + offset
+        if index < len(self._text):
+            return self._text[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self._pos < len(self._text):
+                if self._text[self._pos] == "\n":
+                    self._line += 1
+                    self._column = 1
+                else:
+                    self._column += 1
+                self._pos += 1
+
+    def _skip_whitespace_and_comments(self):
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self):
+        line, column = self._line, self._column
+        char = self._peek()
+
+        if _is_ascii_digit(char) or (
+            char == "." and _is_ascii_digit(self._peek(1))
+        ):
+            return self._lex_number(line, column)
+        if char.isalpha() or char == "_":
+            return self._lex_word(line, column)
+        if char == "'":
+            return self._lex_string(line, column)
+        for op in _OPERATORS:
+            if self._text.startswith(op, self._pos):
+                self._advance(len(op))
+                value = "<>" if op == "!=" else op
+                return Token(TokenType.OPERATOR, value, line, column)
+        if char in _SINGLE_CHAR:
+            self._advance()
+            return Token(_SINGLE_CHAR[char], char, line, column)
+        raise PaQLSyntaxError(f"unexpected character {char!r}", line, column)
+
+    def _lex_number(self, line, column):
+        start = self._pos
+        seen_dot = False
+        seen_exp = False
+        while self._pos < len(self._text):
+            char = self._peek()
+            if _is_ascii_digit(char):
+                self._advance()
+            elif char == "." and not seen_dot and not seen_exp:
+                # A dot not followed by a digit is a qualifier separator
+                # (e.g. "R.calories"), not a decimal point.
+                if not _is_ascii_digit(self._peek(1)):
+                    break
+                seen_dot = True
+                self._advance()
+            elif char in "eE" and not seen_exp:
+                lookahead = self._peek(1)
+                if _is_ascii_digit(lookahead) or (
+                    lookahead in "+-" and _is_ascii_digit(self._peek(2))
+                ):
+                    seen_exp = True
+                    self._advance()
+                    if self._peek() in "+-":
+                        self._advance()
+                else:
+                    break
+            else:
+                break
+        text = self._text[start : self._pos]
+        value = float(text) if (seen_dot or seen_exp) else int(text)
+        return Token(TokenType.NUMBER, value, line, column)
+
+    def _lex_word(self, line, column):
+        start = self._pos
+        while self._pos < len(self._text) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        word = self._text[start : self._pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, line, column)
+        return Token(TokenType.NAME, word, line, column)
+
+    def _lex_string(self, line, column):
+        self._advance()  # opening quote
+        pieces = []
+        while True:
+            if self._pos >= len(self._text):
+                raise PaQLSyntaxError("unterminated string literal", line, column)
+            char = self._peek()
+            if char == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    pieces.append("'")
+                    self._advance(2)
+                else:
+                    self._advance()
+                    return Token(TokenType.STRING, "".join(pieces), line, column)
+            else:
+                pieces.append(char)
+                self._advance()
+
+
+def tokenize(text):
+    """Convenience wrapper: tokenize ``text`` in one call."""
+    return Lexer(text).tokenize()

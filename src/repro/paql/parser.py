@@ -1,0 +1,392 @@
+"""Recursive-descent parser for PaQL.
+
+The grammar implemented here is the language of Section 2 of the
+PackageBuilder demo paper::
+
+    query      :=  SELECT PACKAGE '(' name ')' [AS name]
+                   FROM name [name] [REPEAT integer]
+                   [WHERE formula]
+                   [SUCH THAT formula]
+                   [(MAXIMIZE | MINIMIZE) expr] [';']
+
+    formula    :=  or_expr
+    or_expr    :=  and_expr (OR and_expr)*
+    and_expr   :=  not_expr (AND not_expr)*
+    not_expr   :=  NOT not_expr | predicate
+    predicate  :=  additive [cmp additive
+                            | [NOT] BETWEEN additive AND additive
+                            | [NOT] IN '(' literal (',' literal)* ')'
+                            | IS [NOT] NULL]
+    additive   :=  multiplicative (('+' | '-') multiplicative)*
+    multiplicative := unary (('*' | '/') unary)*
+    unary      :=  '-' unary | primary
+    primary    :=  NUMBER | STRING | TRUE | FALSE | NULL
+                 | aggregate | name ['.' name] | '(' formula ')'
+    aggregate  :=  COUNT '(' '*' ')' | (SUM|AVG|MIN|MAX|COUNT) '(' formula ')'
+
+Boolean and scalar expressions share one precedence ladder (a
+parenthesized formula is also a valid scalar position syntactically);
+semantic analysis rejects nonsensical mixes such as ``1 + (a AND b)``.
+"""
+
+from __future__ import annotations
+
+from repro.paql import ast
+from repro.paql.errors import PaQLSyntaxError, PaQLUnsupportedError
+from repro.paql.lexer import Token, TokenType, tokenize
+
+_CMP_OPS = {
+    "=": ast.CmpOp.EQ,
+    "<>": ast.CmpOp.NE,
+    "<": ast.CmpOp.LT,
+    "<=": ast.CmpOp.LE,
+    ">": ast.CmpOp.GT,
+    ">=": ast.CmpOp.GE,
+}
+
+_AGG_KEYWORDS = {
+    "COUNT": ast.AggFunc.COUNT,
+    "SUM": ast.AggFunc.SUM,
+    "AVG": ast.AggFunc.AVG,
+    "MIN": ast.AggFunc.MIN,
+    "MAX": ast.AggFunc.MAX,
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.paql.ast.PackageQuery`."""
+
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def _peek(self, offset=0):
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self):
+        token = self._tokens[self._index]
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _error(self, message, token=None):
+        token = token or self._peek()
+        raise PaQLSyntaxError(message, token.line, token.column)
+
+    def _expect_keyword(self, word):
+        token = self._peek()
+        if not token.is_keyword(word):
+            self._error(f"expected {word}, found {token}")
+        return self._advance()
+
+    def _expect(self, token_type):
+        token = self._peek()
+        if token.type is not token_type:
+            self._error(f"expected {token_type.value}, found {token}")
+        return self._advance()
+
+    def _accept_keyword(self, word):
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_name(self, what):
+        token = self._peek()
+        if token.type is not TokenType.NAME:
+            self._error(f"expected {what}, found {token}")
+        return self._advance().value
+
+    # -- query ----------------------------------------------------------
+
+    def parse_query(self):
+        """Parse a full PaQL query and return the AST."""
+        self._expect_keyword("SELECT")
+        self._expect_keyword("PACKAGE")
+        self._expect(TokenType.LPAREN)
+        package_of = self._expect_name("relation alias inside PACKAGE(...)")
+        self._expect(TokenType.RPAREN)
+
+        package_alias = None
+        if self._accept_keyword("AS"):
+            package_alias = self._expect_name("package alias after AS")
+
+        self._expect_keyword("FROM")
+        relation = self._expect_name("relation name after FROM")
+        relation_alias = relation
+        if self._peek().type is TokenType.NAME:
+            relation_alias = self._advance().value
+        if self._peek().type is TokenType.COMMA:
+            raise PaQLUnsupportedError(
+                "multi-relation FROM clauses are not supported; the demo "
+                "paper's examples use a single base relation"
+            )
+
+        repeat = 1
+        if self._accept_keyword("REPEAT"):
+            token = self._peek()
+            if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+                self._error("REPEAT expects an integer literal")
+            repeat = self._advance().value
+            if repeat < 1:
+                self._error("REPEAT count must be at least 1", token)
+
+        if package_of not in (relation, relation_alias):
+            self._error(
+                f"PACKAGE({package_of}) does not match the FROM relation "
+                f"{relation!r} (alias {relation_alias!r})"
+            )
+        if package_alias is None:
+            package_alias = relation_alias
+
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.parse_formula()
+
+        such_that = None
+        if self._accept_keyword("SUCH"):
+            self._expect_keyword("THAT")
+            such_that = self.parse_formula()
+
+        objective = None
+        for word, direction in (
+            ("MAXIMIZE", ast.Direction.MAXIMIZE),
+            ("MINIMIZE", ast.Direction.MINIMIZE),
+        ):
+            if self._accept_keyword(word):
+                objective = ast.Objective(direction, self.parse_formula())
+                break
+
+        if self._peek().type is TokenType.SEMICOLON:
+            self._advance()
+        if self._peek().type is not TokenType.EOF:
+            self._error(f"unexpected trailing input: {self._peek()}")
+
+        return ast.PackageQuery(
+            relation=relation,
+            relation_alias=relation_alias,
+            package_alias=package_alias,
+            repeat=repeat,
+            where=where,
+            such_that=such_that,
+            objective=objective,
+        )
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_formula(self):
+        """Parse an expression at the lowest (OR) precedence level."""
+        return self._parse_or()
+
+    def _parse_or(self):
+        args = [self._parse_and()]
+        while self._accept_keyword("OR"):
+            args.append(self._parse_and())
+        if len(args) == 1:
+            return args[0]
+        return ast.Or(tuple(_flatten(args, ast.Or)))
+
+    def _parse_and(self):
+        args = [self._parse_not()]
+        while self._accept_keyword("AND"):
+            args.append(self._parse_not())
+        if len(args) == 1:
+            return args[0]
+        return ast.And(tuple(_flatten(args, ast.And)))
+
+    def _parse_not(self):
+        if self._accept_keyword("NOT"):
+            return ast.Not(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self):
+        left = self._parse_additive()
+        token = self._peek()
+
+        if token.type is TokenType.OPERATOR and token.value in _CMP_OPS:
+            op = _CMP_OPS[self._advance().value]
+            right = self._parse_additive()
+            return ast.Comparison(op, left, right)
+
+        negated = False
+        if token.is_keyword("NOT") and self._peek(1).is_keyword("BETWEEN"):
+            self._advance()
+            negated = True
+            token = self._peek()
+        if token.is_keyword("NOT") and self._peek(1).is_keyword("IN"):
+            self._advance()
+            negated = True
+            token = self._peek()
+
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated=negated)
+
+        if token.is_keyword("IN"):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            if self._peek().is_keyword("SELECT"):
+                raise PaQLUnsupportedError(
+                    "sub-queries in IN (...) are not supported by this "
+                    "reproduction; see DESIGN.md"
+                )
+            items = [self._parse_literal()]
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                items.append(self._parse_literal())
+            self._expect(TokenType.RPAREN)
+            return ast.InList(left, tuple(items), negated=negated)
+
+        if token.is_keyword("IS"):
+            self._advance()
+            is_not = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return ast.IsNull(left, negated=is_not)
+
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-"):
+                op = ast.BinOp.ADD if self._advance().value == "+" else ast.BinOp.SUB
+                left = ast.BinaryOp(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.STAR:
+                self._advance()
+                left = ast.BinaryOp(ast.BinOp.MUL, left, self._parse_unary())
+            elif token.type is TokenType.OPERATOR and token.value == "/":
+                self._advance()
+                left = ast.BinaryOp(ast.BinOp.DIV, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self):
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            operand = self._parse_unary()
+            if isinstance(operand, ast.Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return ast.Literal(-operand.value)
+            return ast.UnaryMinus(operand)
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self._peek()
+
+        if token.type is TokenType.NUMBER:
+            return ast.Literal(self._advance().value)
+        if token.type is TokenType.STRING:
+            return ast.Literal(self._advance().value)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+
+        if token.type is TokenType.KEYWORD and token.value in _AGG_KEYWORDS:
+            return self._parse_aggregate()
+
+        if token.type is TokenType.NAME:
+            name = self._advance().value
+            if self._peek().type is TokenType.DOT:
+                self._advance()
+                column = self._expect_name("column name after '.'")
+                return ast.ColumnRef(name, column)
+            return ast.ColumnRef(None, name)
+
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            if self._peek().is_keyword("SELECT"):
+                raise PaQLUnsupportedError(
+                    "sub-queries in SUCH THAT are not supported by this "
+                    "reproduction; see DESIGN.md"
+                )
+            inner = self.parse_formula()
+            self._expect(TokenType.RPAREN)
+            return inner
+
+        self._error(f"expected an expression, found {token}")
+
+    def _parse_aggregate(self):
+        func = _AGG_KEYWORDS[self._advance().value]
+        self._expect(TokenType.LPAREN)
+        if self._peek().type is TokenType.STAR:
+            if func is not ast.AggFunc.COUNT:
+                self._error(f"{func.value}(*) is not valid; only COUNT(*) is")
+            self._advance()
+            self._expect(TokenType.RPAREN)
+            return ast.Aggregate(ast.AggFunc.COUNT, None)
+        argument = self.parse_formula()
+        self._expect(TokenType.RPAREN)
+        return ast.Aggregate(func, argument)
+
+    def _parse_literal(self):
+        token = self._peek()
+        if token.type is TokenType.NUMBER or token.type is TokenType.STRING:
+            return ast.Literal(self._advance().value)
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            number = self._peek()
+            if number.type is not TokenType.NUMBER:
+                self._error("expected a number after '-'")
+            return ast.Literal(-self._advance().value)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        self._error(f"expected a literal, found {token}")
+
+
+def _flatten(args, node_type):
+    """Flatten nested And/Or nodes of the same type into one n-ary node."""
+    flat = []
+    for arg in args:
+        if isinstance(arg, node_type):
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    return flat
+
+
+def parse(text):
+    """Parse PaQL ``text`` into a :class:`repro.paql.ast.PackageQuery`.
+
+    This is the main entry point of the language front end; it performs
+    lexing and parsing but *not* semantic analysis (see
+    :func:`repro.paql.semantics.analyze`).
+    """
+    return Parser(tokenize(text)).parse_query()
+
+
+def parse_expression(text):
+    """Parse a standalone PaQL expression (used by tests and tools)."""
+    parser = Parser(tokenize(text))
+    expr = parser.parse_formula()
+    if parser._peek().type is not TokenType.EOF:
+        parser._error(f"unexpected trailing input: {parser._peek()}")
+    return expr

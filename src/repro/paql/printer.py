@@ -1,0 +1,95 @@
+"""Deparser: render PaQL ASTs back to query text.
+
+The printer produces canonical text that re-parses to an equal AST
+(verified by property tests).  Compound expressions are fully
+parenthesized, which keeps the renderer simple and unambiguous — in
+particular a BETWEEN's internal ``AND`` can never capture a
+conjunction's operand.
+"""
+
+from __future__ import annotations
+
+from repro.paql import ast
+
+
+def _literal_text(value):
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def print_expr(node):
+    """Render an expression AST to PaQL text."""
+    if isinstance(node, ast.Literal):
+        return _literal_text(node.value)
+
+    if isinstance(node, ast.ColumnRef):
+        return node.qualified()
+
+    if isinstance(node, ast.Aggregate):
+        if node.argument is None:
+            return "COUNT(*)"
+        return f"{node.func.value}({print_expr(node.argument)})"
+
+    if isinstance(node, ast.UnaryMinus):
+        return f"(-{print_expr(node.operand)})"
+
+    if isinstance(node, ast.BinaryOp):
+        return f"({print_expr(node.left)} {node.op.value} {print_expr(node.right)})"
+
+    if isinstance(node, ast.Comparison):
+        return f"({print_expr(node.left)} {node.op.value} {print_expr(node.right)})"
+
+    if isinstance(node, ast.Between):
+        keyword = "NOT BETWEEN" if node.negated else "BETWEEN"
+        return (
+            f"({print_expr(node.expr)} {keyword} "
+            f"{print_expr(node.low)} AND {print_expr(node.high)})"
+        )
+
+    if isinstance(node, ast.InList):
+        keyword = "NOT IN" if node.negated else "IN"
+        items = ", ".join(_literal_text(item.value) for item in node.items)
+        return f"({print_expr(node.expr)} {keyword} ({items}))"
+
+    if isinstance(node, ast.IsNull):
+        keyword = "IS NOT NULL" if node.negated else "IS NULL"
+        return f"({print_expr(node.expr)} {keyword})"
+
+    if isinstance(node, ast.And):
+        return "(" + " AND ".join(print_expr(arg) for arg in node.args) + ")"
+
+    if isinstance(node, ast.Or):
+        return "(" + " OR ".join(print_expr(arg) for arg in node.args) + ")"
+
+    if isinstance(node, ast.Not):
+        return f"(NOT {print_expr(node.arg)})"
+
+    raise TypeError(f"cannot print node {node!r}")
+
+
+def print_query(query):
+    """Render a :class:`~repro.paql.ast.PackageQuery` to PaQL text."""
+    parts = [f"SELECT PACKAGE({query.relation_alias}) AS {query.package_alias}"]
+
+    from_clause = f"FROM {query.relation}"
+    if query.relation_alias != query.relation:
+        from_clause += f" {query.relation_alias}"
+    if query.repeat != 1:
+        from_clause += f" REPEAT {query.repeat}"
+    parts.append(from_clause)
+
+    if query.where is not None:
+        parts.append(f"WHERE {print_expr(query.where)}")
+    if query.such_that is not None:
+        parts.append(f"SUCH THAT {print_expr(query.such_that)}")
+    if query.objective is not None:
+        parts.append(
+            f"{query.objective.direction.value} {print_expr(query.objective.expr)}"
+        )
+    return "\n".join(parts)

@@ -1,0 +1,299 @@
+"""Semantic analysis for PaQL queries.
+
+Given a parsed :class:`~repro.paql.ast.PackageQuery` and the schema of
+its base relation, analysis:
+
+* resolves every column reference (checking qualifiers against the
+  tuple alias, the relation name, and — inside aggregates — the package
+  alias) and rewrites it to an unqualified reference so downstream
+  evaluation never deals with aliases;
+* enforces clause placement rules: no aggregates in WHERE, no bare
+  (non-aggregated) column references in SUCH THAT or the objective,
+  Boolean formulas where formulas are expected and scalars where
+  scalars are expected;
+* type-checks arithmetic (numeric operands), comparisons (compatible
+  operand kinds) and aggregate arguments (numeric for SUM/AVG/MIN/MAX).
+
+The result is a new, normalized ``PackageQuery``; the input AST is
+never mutated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import replace
+
+from repro.paql import ast
+from repro.paql.errors import PaQLSemanticError
+from repro.relational.types import ColumnType
+
+
+class Kind(enum.Enum):
+    """Coarse expression kinds used for type checking."""
+
+    NUMERIC = "numeric"
+    TEXT = "text"
+    BOOL = "bool"
+    NULL = "null"
+
+
+_COLUMN_KINDS = {
+    ColumnType.INT: Kind.NUMERIC,
+    ColumnType.FLOAT: Kind.NUMERIC,
+    ColumnType.TEXT: Kind.TEXT,
+    ColumnType.BOOL: Kind.BOOL,
+}
+
+
+def _kinds_comparable(left, right):
+    if Kind.NULL in (left, right):
+        return True
+    return left == right
+
+
+def _literal_kind(value):
+    if value is None:
+        return Kind.NULL
+    if isinstance(value, bool):
+        return Kind.BOOL
+    if isinstance(value, (int, float)):
+        return Kind.NUMERIC
+    return Kind.TEXT
+
+
+class _Analyzer:
+    def __init__(self, query, schema):
+        self._query = query
+        self._schema = schema
+        self._tuple_aliases = {query.relation_alias, query.relation}
+        self._package_aliases = {query.package_alias}
+
+    # -- column resolution --------------------------------------------------
+
+    def _resolve_column(self, ref, clause, in_aggregate):
+        qualifier = ref.qualifier
+        if qualifier is not None:
+            known = self._tuple_aliases | (
+                self._package_aliases if in_aggregate else set()
+            )
+            if qualifier not in known:
+                allowed = ", ".join(sorted(known))
+                raise PaQLSemanticError(
+                    f"unknown qualifier {qualifier!r} in {clause} "
+                    f"(expected one of: {allowed})"
+                )
+        if ref.name not in self._schema:
+            raise PaQLSemanticError(
+                f"unknown column {ref.qualified()!r} in {clause}; relation "
+                f"{self._query.relation!r} has columns {list(self._schema.names)}"
+            )
+        kind = _COLUMN_KINDS[self._schema.type_of(ref.name)]
+        return ast.ColumnRef(None, ref.name), kind
+
+    # -- expression analysis ---------------------------------------------------
+
+    def _analyze_expr(self, node, clause, allow_aggregates, in_aggregate=False):
+        """Return ``(normalized_node, kind)``; raises on semantic errors."""
+        if isinstance(node, ast.Literal):
+            return node, _literal_kind(node.value)
+
+        if isinstance(node, ast.ColumnRef):
+            if allow_aggregates and not in_aggregate:
+                raise PaQLSemanticError(
+                    f"bare column reference {node.qualified()!r} in {clause}; "
+                    "package-level clauses may only reference columns inside "
+                    "aggregates such as SUM(...)"
+                )
+            return self._resolve_column(node, clause, in_aggregate)
+
+        if isinstance(node, ast.Aggregate):
+            if not allow_aggregates:
+                raise PaQLSemanticError(
+                    f"aggregate {node.func.value} is not allowed in {clause}; "
+                    "aggregates belong in SUCH THAT and the objective"
+                )
+            if in_aggregate:
+                raise PaQLSemanticError("aggregates cannot be nested")
+            if node.argument is None:
+                return node, Kind.NUMERIC
+            argument, kind = self._analyze_expr(
+                node.argument, clause, allow_aggregates, in_aggregate=True
+            )
+            if node.func is not ast.AggFunc.COUNT and kind not in (
+                Kind.NUMERIC,
+                Kind.NULL,
+            ):
+                raise PaQLSemanticError(
+                    f"{node.func.value}(...) needs a numeric argument in "
+                    f"{clause}, got a {kind.value} expression"
+                )
+            return ast.Aggregate(node.func, argument), Kind.NUMERIC
+
+        if isinstance(node, ast.UnaryMinus):
+            operand, kind = self._analyze_expr(
+                node.operand, clause, allow_aggregates, in_aggregate
+            )
+            if kind not in (Kind.NUMERIC, Kind.NULL):
+                raise PaQLSemanticError(
+                    f"unary '-' needs a numeric operand in {clause}"
+                )
+            return ast.UnaryMinus(operand), Kind.NUMERIC
+
+        if isinstance(node, ast.BinaryOp):
+            left, left_kind = self._analyze_expr(
+                node.left, clause, allow_aggregates, in_aggregate
+            )
+            right, right_kind = self._analyze_expr(
+                node.right, clause, allow_aggregates, in_aggregate
+            )
+            for kind in (left_kind, right_kind):
+                if kind not in (Kind.NUMERIC, Kind.NULL):
+                    raise PaQLSemanticError(
+                        f"arithmetic {node.op.value!r} needs numeric operands "
+                        f"in {clause}, got a {kind.value} expression"
+                    )
+            return ast.BinaryOp(node.op, left, right), Kind.NUMERIC
+
+        if isinstance(node, ast.Comparison):
+            left, left_kind = self._analyze_expr(
+                node.left, clause, allow_aggregates, in_aggregate
+            )
+            right, right_kind = self._analyze_expr(
+                node.right, clause, allow_aggregates, in_aggregate
+            )
+            if not _kinds_comparable(left_kind, right_kind):
+                raise PaQLSemanticError(
+                    f"cannot compare {left_kind.value} with {right_kind.value} "
+                    f"in {clause}"
+                )
+            if left_kind == Kind.TEXT and node.op not in (
+                ast.CmpOp.EQ,
+                ast.CmpOp.NE,
+                ast.CmpOp.LT,
+                ast.CmpOp.LE,
+                ast.CmpOp.GT,
+                ast.CmpOp.GE,
+            ):  # pragma: no cover - all ops are allowed; guard for new ops
+                raise PaQLSemanticError("unsupported text comparison")
+            return ast.Comparison(node.op, left, right), Kind.BOOL
+
+        if isinstance(node, ast.Between):
+            expr, expr_kind = self._analyze_expr(
+                node.expr, clause, allow_aggregates, in_aggregate
+            )
+            low, low_kind = self._analyze_expr(
+                node.low, clause, allow_aggregates, in_aggregate
+            )
+            high, high_kind = self._analyze_expr(
+                node.high, clause, allow_aggregates, in_aggregate
+            )
+            for kind in (low_kind, high_kind):
+                if not _kinds_comparable(expr_kind, kind):
+                    raise PaQLSemanticError(
+                        f"BETWEEN bounds must match the tested expression's "
+                        f"kind ({expr_kind.value}) in {clause}"
+                    )
+            return ast.Between(expr, low, high, node.negated), Kind.BOOL
+
+        if isinstance(node, ast.InList):
+            expr, expr_kind = self._analyze_expr(
+                node.expr, clause, allow_aggregates, in_aggregate
+            )
+            for item in node.items:
+                if not _kinds_comparable(expr_kind, _literal_kind(item.value)):
+                    raise PaQLSemanticError(
+                        f"IN list item {item.value!r} does not match the "
+                        f"tested expression's kind ({expr_kind.value})"
+                    )
+            return ast.InList(expr, node.items, node.negated), Kind.BOOL
+
+        if isinstance(node, ast.IsNull):
+            expr, _ = self._analyze_expr(
+                node.expr, clause, allow_aggregates, in_aggregate
+            )
+            return ast.IsNull(expr, node.negated), Kind.BOOL
+
+        if isinstance(node, (ast.And, ast.Or)):
+            args = []
+            for arg in node.args:
+                analyzed, kind = self._analyze_expr(
+                    arg, clause, allow_aggregates, in_aggregate
+                )
+                if kind is not Kind.BOOL:
+                    word = "AND" if isinstance(node, ast.And) else "OR"
+                    raise PaQLSemanticError(
+                        f"{word} operands must be Boolean in {clause}"
+                    )
+                args.append(analyzed)
+            rebuilt = type(node)(tuple(args))
+            return rebuilt, Kind.BOOL
+
+        if isinstance(node, ast.Not):
+            arg, kind = self._analyze_expr(
+                node.arg, clause, allow_aggregates, in_aggregate
+            )
+            if kind is not Kind.BOOL:
+                raise PaQLSemanticError(f"NOT operand must be Boolean in {clause}")
+            return ast.Not(arg), Kind.BOOL
+
+        raise PaQLSemanticError(f"unsupported expression node {node!r} in {clause}")
+
+    # -- clause analysis ---------------------------------------------------------
+
+    def analyze(self):
+        query = self._query
+        where = None
+        if query.where is not None:
+            where, kind = self._analyze_expr(
+                query.where, "WHERE", allow_aggregates=False
+            )
+            if kind is not Kind.BOOL:
+                raise PaQLSemanticError("the WHERE clause must be Boolean")
+
+        such_that = None
+        if query.such_that is not None:
+            such_that, kind = self._analyze_expr(
+                query.such_that, "SUCH THAT", allow_aggregates=True
+            )
+            if kind is not Kind.BOOL:
+                raise PaQLSemanticError("the SUCH THAT clause must be Boolean")
+
+        objective = None
+        if query.objective is not None:
+            expr, kind = self._analyze_expr(
+                query.objective.expr, "the objective", allow_aggregates=True
+            )
+            if kind is not Kind.NUMERIC:
+                raise PaQLSemanticError(
+                    "MAXIMIZE/MINIMIZE needs a numeric aggregate expression"
+                )
+            if not ast.contains_aggregate(expr):
+                raise PaQLSemanticError(
+                    "the objective must aggregate over the package (a "
+                    "constant objective makes every package equally good)"
+                )
+            objective = ast.Objective(query.objective.direction, expr)
+
+        return replace(
+            query, where=where, such_that=such_that, objective=objective
+        )
+
+
+def analyze(query, schema):
+    """Semantically analyze ``query`` against ``schema``.
+
+    Returns a normalized :class:`~repro.paql.ast.PackageQuery` whose
+    column references are all unqualified and type-checked.
+
+    Raises:
+        PaQLSemanticError: on any rule violation (unknown columns, bad
+            aggregate placement, type mismatches, ...).
+    """
+    return _Analyzer(query, schema).analyze()
+
+
+def parse_and_analyze(text, schema):
+    """Parse PaQL ``text`` and analyze it against ``schema`` in one step."""
+    from repro.paql.parser import parse
+
+    return analyze(parse(text), schema)

@@ -1,0 +1,104 @@
+"""Render PaQL scalar expressions to sqlite SQL text.
+
+This powers base-constraint pushdown (Section 4 of the paper: the
+engine "uses SQL statements to generate and validate candidate
+packages") and the local-search replacement query (Section 4.2).
+
+Only *scalar* expressions render — a normalized WHERE clause or an
+aggregate's argument.  Aggregate nodes are rejected; the package-level
+formula is handled by the evaluation strategies, not by SQL.
+"""
+
+from __future__ import annotations
+
+from repro.paql import ast
+from repro.paql.errors import PaQLSemanticError
+
+_PRECEDENCE_PARENS_FREE = (ast.Literal, ast.ColumnRef)
+
+
+def _sql_literal(value):
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def to_sql(node, column_prefix=""):
+    """Render a normalized scalar expression as a SQL fragment.
+
+    Args:
+        node: expression AST (column refs must be unqualified, i.e.
+            the output of semantic analysis).
+        column_prefix: optional table alias to prefix column names with
+            (e.g. ``"R."``), used when the fragment is embedded in a
+            join query.
+
+    Raises:
+        PaQLSemanticError: if the expression contains an aggregate.
+    """
+    if isinstance(node, ast.Literal):
+        return _sql_literal(node.value)
+
+    if isinstance(node, ast.ColumnRef):
+        if node.qualifier is not None:
+            raise PaQLSemanticError(
+                f"column {node.qualified()!r} is still qualified; run "
+                "semantic analysis before SQL rendering"
+            )
+        return f"{column_prefix}{node.name}"
+
+    if isinstance(node, ast.Aggregate):
+        raise PaQLSemanticError(
+            "aggregates cannot be rendered to tuple-level SQL; global "
+            "constraints are evaluated by the package engine"
+        )
+
+    if isinstance(node, ast.UnaryMinus):
+        return f"(-{to_sql(node.operand, column_prefix)})"
+
+    if isinstance(node, ast.BinaryOp):
+        left = to_sql(node.left, column_prefix)
+        right = to_sql(node.right, column_prefix)
+        if node.op is ast.BinOp.DIV:
+            # sqlite integer division truncates; PaQL arithmetic is real.
+            return f"(CAST({left} AS REAL) / {right})"
+        return f"({left} {node.op.value} {right})"
+
+    if isinstance(node, ast.Comparison):
+        left = to_sql(node.left, column_prefix)
+        right = to_sql(node.right, column_prefix)
+        return f"({left} {node.op.value} {right})"
+
+    if isinstance(node, ast.Between):
+        expr = to_sql(node.expr, column_prefix)
+        low = to_sql(node.low, column_prefix)
+        high = to_sql(node.high, column_prefix)
+        keyword = "NOT BETWEEN" if node.negated else "BETWEEN"
+        return f"({expr} {keyword} {low} AND {high})"
+
+    if isinstance(node, ast.InList):
+        expr = to_sql(node.expr, column_prefix)
+        items = ", ".join(_sql_literal(item.value) for item in node.items)
+        keyword = "NOT IN" if node.negated else "IN"
+        return f"({expr} {keyword} ({items}))"
+
+    if isinstance(node, ast.IsNull):
+        expr = to_sql(node.expr, column_prefix)
+        keyword = "IS NOT NULL" if node.negated else "IS NULL"
+        return f"({expr} {keyword})"
+
+    if isinstance(node, ast.And):
+        return "(" + " AND ".join(to_sql(a, column_prefix) for a in node.args) + ")"
+
+    if isinstance(node, ast.Or):
+        return "(" + " OR ".join(to_sql(a, column_prefix) for a in node.args) + ")"
+
+    if isinstance(node, ast.Not):
+        return f"(NOT {to_sql(node.arg, column_prefix)})"
+
+    raise PaQLSemanticError(f"cannot render node {node!r} to SQL")

@@ -1,0 +1,21 @@
+"""Relational substrate: schemas, in-memory relations, sqlite backend."""
+
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema, SchemaError
+from repro.relational.sqlite_backend import Database, DatabaseError, load_database
+from repro.relational.types import ColumnType, infer_type
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "DatabaseError",
+    "Relation",
+    "Schema",
+    "SchemaError",
+    "infer_type",
+    "load_database",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,113 @@
+"""CSV import/export for relations.
+
+The demo's recipe dataset was scraped from the web; this module is the
+ingestion path a user of the library would feed their own data through.
+Types are inferred column-by-column unless an explicit schema is given:
+a column whose non-empty cells all parse as integers becomes INT, then
+FLOAT, then BOOL (``true``/``false``), falling back to TEXT.  Empty
+cells become NULL.
+"""
+
+from __future__ import annotations
+
+import csv
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema, SchemaError
+from repro.relational.types import ColumnType
+
+_BOOL_WORDS = {"true": True, "false": False}
+
+
+def _parse_cell(text):
+    """Parse a raw CSV cell into int, float, bool, None, or str."""
+    if text == "":
+        return None
+    lowered = text.strip().lower()
+    if lowered in _BOOL_WORDS:
+        return _BOOL_WORDS[lowered]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def read_csv(path, name, schema=None):
+    """Read a CSV file (with header row) into a :class:`Relation`.
+
+    Args:
+        path: file path.
+        name: relation name for the result.
+        schema: optional explicit :class:`Schema`; when given, cells
+            are coerced to the declared column types and the header
+            must match the schema's column names (in any order).
+
+    Raises:
+        SchemaError: on empty files or header/schema mismatches.
+        ValueError: when a cell cannot be coerced to its declared type.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty; expected a header row") from None
+        raw_rows = [row for row in reader if row]
+
+    if schema is not None:
+        missing = [col for col in schema.names if col not in header]
+        if missing:
+            raise SchemaError(f"{path} header is missing columns {missing}")
+
+    parsed = []
+    for raw in raw_rows:
+        if len(raw) != len(header):
+            raise SchemaError(
+                f"{path}: row has {len(raw)} cells, header has {len(header)}"
+            )
+        parsed.append({key: _parse_cell(cell) for key, cell in zip(header, raw)})
+
+    if schema is None:
+        return Relation.from_dicts(name, parsed) if parsed else _empty(name, header)
+
+    coerced = []
+    for row in parsed:
+        coerced.append(
+            {
+                column.name: column.type.coerce(row.get(column.name))
+                for column in schema
+            }
+        )
+    return Relation(name, schema, coerced)
+
+
+def _empty(name, header):
+    """A zero-row relation with all-TEXT columns named after the header."""
+    schema = Schema([Column(column, ColumnType.TEXT) for column in header])
+    return Relation(name, schema, [])
+
+
+def write_csv(relation, path):
+    """Write ``relation`` to ``path`` as CSV with a header row.
+
+    NULLs are written as empty cells; booleans as ``true``/``false``.
+    """
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        for row in relation:
+            cells = []
+            for column in relation.schema.names:
+                value = row[column]
+                if value is None:
+                    cells.append("")
+                elif isinstance(value, bool):
+                    cells.append("true" if value else "false")
+                else:
+                    cells.append(value)
+            writer.writerow(cells)

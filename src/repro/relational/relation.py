@@ -1,0 +1,169 @@
+"""In-memory relations.
+
+A :class:`Relation` is the tuple source that package queries draw from.
+It stores rows row-major (tuples of values in schema order) for cheap
+iteration and slicing, and lazily materializes numpy column vectors for
+the numeric work the evaluation strategies do (cardinality-bound
+derivation, ILP coefficient extraction, greedy scoring).
+
+Relations are immutable after construction; derived relations
+(``filter``, ``take``) share no mutable state with their source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.schema import Schema, SchemaError, _check_identifier
+from repro.relational.types import infer_type
+
+
+class Relation:
+    """An immutable named table.
+
+    Args:
+        name: relation name (must be a SQL-safe identifier).
+        schema: the :class:`Schema` describing the columns.
+        rows: iterable of row dicts keyed by column name.  Each row is
+            validated against the schema.
+    """
+
+    def __init__(self, name, schema, rows):
+        _check_identifier(name, "relation")
+        self._name = name
+        self._schema = schema
+        packed = []
+        for row in rows:
+            schema.validate_row(row)
+            packed.append(tuple(row[column] for column in schema.names))
+        self._rows = tuple(packed)
+        self._column_cache = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, name, rows, schema=None):
+        """Build a relation from row dicts, inferring the schema if absent.
+
+        Schema inference uses the union of keys across all rows; a key
+        absent from some row becomes NULL there.
+
+        Raises:
+            SchemaError: if ``rows`` is empty and no schema is given.
+        """
+        rows = list(rows)
+        if schema is None:
+            if not rows:
+                raise SchemaError(
+                    "cannot infer a schema from zero rows; pass schema="
+                )
+            names = []
+            for row in rows:
+                for key in row:
+                    if key not in names:
+                        names.append(key)
+            from repro.relational.schema import Column
+
+            schema = Schema(
+                [
+                    Column(key, infer_type(row.get(key) for row in rows))
+                    for key in names
+                ]
+            )
+        filled = [{key: row.get(key) for key in schema.names} for row in rows]
+        return cls(name, schema, filled)
+
+    # -- basic protocol ---------------------------------------------------
+
+    @property
+    def name(self):
+        return self._name
+
+    @property
+    def schema(self):
+        return self._schema
+
+    def __len__(self):
+        return len(self._rows)
+
+    def __iter__(self):
+        """Iterate over rows as dicts."""
+        names = self._schema.names
+        for packed in self._rows:
+            yield dict(zip(names, packed))
+
+    def __getitem__(self, index):
+        """Return row ``index`` as a dict (supports negative indices)."""
+        names = self._schema.names
+        return dict(zip(names, self._rows[index]))
+
+    def __repr__(self):
+        return f"Relation({self._name!r}, {len(self)} rows, {self._schema!r})"
+
+    def row_tuple(self, index):
+        """Return row ``index`` as a value tuple in schema order."""
+        return self._rows[index]
+
+    def rows(self):
+        """Return all rows as a list of dicts."""
+        return list(self)
+
+    # -- columnar access --------------------------------------------------
+
+    def column(self, name):
+        """Return column ``name`` as a list of values (schema order rows)."""
+        position = self._schema.names.index(self._schema[name].name)
+        return [row[position] for row in self._rows]
+
+    def numeric_column(self, name):
+        """Return a numeric column as a float64 numpy array.
+
+        NULLs become NaN.  The array is cached and must not be mutated
+        by callers.
+
+        Raises:
+            SchemaError: if the column is not numeric.
+        """
+        if name in self._column_cache:
+            return self._column_cache[name]
+        column = self._schema[name]
+        if not column.type.is_numeric:
+            raise SchemaError(f"column {name!r} is {column.type.value}, not numeric")
+        values = self.column(name)
+        array = np.array(
+            [np.nan if value is None else float(value) for value in values],
+            dtype=np.float64,
+        )
+        self._column_cache[name] = array
+        return array
+
+    def column_stats(self, name):
+        """Return ``(min, max)`` of a numeric column, ignoring NULLs.
+
+        Returns ``(None, None)`` for an empty or all-NULL column.
+        """
+        array = self.numeric_column(name)
+        finite = array[~np.isnan(array)]
+        if finite.size == 0:
+            return (None, None)
+        return (float(finite.min()), float(finite.max()))
+
+    # -- derivation ---------------------------------------------------------
+
+    def filter(self, predicate, name=None):
+        """Return a new relation with rows where ``predicate(row)`` is true.
+
+        ``predicate`` receives each row as a dict.
+        """
+        kept = [row for row in self if predicate(row)]
+        return Relation(name or self._name, self._schema, kept)
+
+    def take(self, indices, name=None):
+        """Return a new relation with the rows at ``indices``, in order."""
+        names = self._schema.names
+        kept = [dict(zip(names, self._rows[i])) for i in indices]
+        return Relation(name or self._name, self._schema, kept)
+
+    def head(self, count=5):
+        """Return the first ``count`` rows as dicts (for inspection)."""
+        return [self[i] for i in range(min(count, len(self)))]

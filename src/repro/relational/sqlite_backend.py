@@ -1,0 +1,176 @@
+"""sqlite-backed storage: the DBMS the package engine talks SQL to.
+
+The PackageBuilder paper positions the system as "an external module
+which communicates with the DBMS, where the data resides, via SQL"
+(Section 4).  This module is that DBMS boundary.  Relations are
+materialized into sqlite tables with an explicit ``rid`` column that
+records the in-memory row index, so SQL-produced candidates (base
+constraint pushdown, local-search replacement queries) can be mapped
+back to :class:`repro.relational.relation.Relation` rows.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, SchemaError
+from repro.relational.types import ColumnType
+
+
+class DatabaseError(Exception):
+    """Raised for backend failures (bad SQL, unknown tables, ...)."""
+
+
+class Database:
+    """A sqlite connection holding materialized relations.
+
+    Usage::
+
+        db = Database()                    # in-memory
+        db.load_relation(recipes)
+        rids = db.select_rids("Recipes", "gluten = 'free'")
+    """
+
+    def __init__(self, path=":memory:"):
+        self._connection = sqlite3.connect(path)
+        self._connection.row_factory = sqlite3.Row
+        self._schemas = {}
+
+    def close(self):
+        self._connection.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
+    # -- relation management -----------------------------------------------
+
+    def load_relation(self, relation, replace=True):
+        """Materialize ``relation`` as a sqlite table named after it.
+
+        The table gets an extra ``rid INTEGER PRIMARY KEY`` column equal
+        to the row's index in the in-memory relation.
+        """
+        name = relation.name
+        if replace:
+            self._connection.execute(f"DROP TABLE IF EXISTS {name}")
+        columns = ", ".join(
+            f"{column.name} {column.type.sql_name}" for column in relation.schema
+        )
+        self._connection.execute(
+            f"CREATE TABLE {name} (rid INTEGER PRIMARY KEY, {columns})"
+        )
+        placeholders = ", ".join(["?"] * (len(relation.schema) + 1))
+        rows = []
+        for rid in range(len(relation)):
+            values = relation.row_tuple(rid)
+            converted = tuple(
+                int(value) if isinstance(value, bool) else value for value in values
+            )
+            rows.append((rid,) + converted)
+        self._connection.executemany(
+            f"INSERT INTO {name} VALUES ({placeholders})", rows
+        )
+        self._connection.commit()
+        self._schemas[name] = relation.schema
+
+    def has_relation(self, name):
+        return name in self._schemas
+
+    def schema_of(self, name):
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise DatabaseError(f"no relation {name!r} loaded") from None
+
+    def fetch_relation(self, name):
+        """Read a previously loaded table back into a :class:`Relation`.
+
+        Bool columns (stored as 0/1 integers) are coerced back to
+        Python booleans via the remembered schema.
+        """
+        schema = self.schema_of(name)
+        cursor = self._connection.execute(
+            f"SELECT {', '.join(schema.names)} FROM {name} ORDER BY rid"
+        )
+        rows = []
+        for record in cursor:
+            row = {}
+            for column in schema:
+                value = record[column.name]
+                if value is not None and column.type is ColumnType.BOOL:
+                    value = bool(value)
+                if value is not None and column.type is ColumnType.FLOAT:
+                    value = float(value)
+                row[column.name] = value
+            rows.append(row)
+        return Relation(name, schema, rows)
+
+    # -- querying ------------------------------------------------------------
+
+    def execute(self, sql, params=()):
+        """Run arbitrary SQL, returning a list of sqlite3.Row.
+
+        Raises:
+            DatabaseError: wrapping any sqlite error, with the SQL text.
+        """
+        try:
+            cursor = self._connection.execute(sql, params)
+            return cursor.fetchall()
+        except sqlite3.Error as exc:
+            raise DatabaseError(f"SQL failed: {exc}\n  sql: {sql}") from exc
+
+    def select_rids(self, name, where_sql=None, params=()):
+        """Return rids of rows in table ``name`` matching ``where_sql``.
+
+        This is base-constraint pushdown: the WHERE clause of a PaQL
+        query, rendered to SQL by :mod:`repro.paql.to_sql`, runs inside
+        the DBMS and only the surviving row ids come back.
+        """
+        self.schema_of(name)  # raises if unknown
+        sql = f"SELECT rid FROM {name}"
+        if where_sql:
+            sql += f" WHERE {where_sql}"
+        sql += " ORDER BY rid"
+        return [record["rid"] for record in self.execute(sql, params)]
+
+    def aggregate(self, name, expression_sql, where_sql=None):
+        """Compute a single SQL aggregate over a table, e.g. MIN(calories)."""
+        sql = f"SELECT {expression_sql} AS value FROM {name}"
+        if where_sql:
+            sql += f" WHERE {where_sql}"
+        rows = self.execute(sql)
+        return rows[0]["value"] if rows else None
+
+    def create_temp_package_table(self, table_name, relation_name, rids):
+        """Materialize a candidate package as a temp table of rids.
+
+        Used by the paper's local-search SQL query (Section 4.2), which
+        joins the current package ``P0`` against the base relation.
+        """
+        self.schema_of(relation_name)
+        self._connection.execute(f"DROP TABLE IF EXISTS {table_name}")
+        self._connection.execute(
+            f"CREATE TEMP TABLE {table_name} (pid INTEGER PRIMARY KEY, rid INTEGER)"
+        )
+        self._connection.executemany(
+            f"INSERT INTO {table_name} (pid, rid) VALUES (?, ?)",
+            list(enumerate(rids)),
+        )
+        self._connection.commit()
+
+    def drop_table(self, table_name):
+        self._connection.execute(f"DROP TABLE IF EXISTS {table_name}")
+        self._connection.commit()
+
+
+def load_database(relations, path=":memory:"):
+    """Create a :class:`Database` and load every relation in ``relations``."""
+    db = Database(path)
+    for relation in relations:
+        db.load_relation(relation)
+    return db

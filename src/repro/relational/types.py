@@ -1,0 +1,139 @@
+"""Column types for the relational substrate.
+
+The type system is intentionally small — the four storage classes that
+both sqlite and the PaQL evaluation pipeline need.  Values are plain
+Python objects (``int``, ``float``, ``str``, ``bool``, ``None``); the
+type objects provide validation, coercion and SQL type names.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ColumnType(enum.Enum):
+    """Storage class of a relation column."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOL = "BOOL"
+
+    @property
+    def is_numeric(self):
+        return self in (ColumnType.INT, ColumnType.FLOAT)
+
+    @property
+    def sql_name(self):
+        """The sqlite column type used when materializing the relation."""
+        return _SQL_NAMES[self]
+
+    def validate(self, value):
+        """Check that ``value`` is storable in this column.
+
+        ``None`` (SQL NULL) is always allowed.
+
+        Raises:
+            TypeError: when the value does not fit the column type.
+        """
+        if value is None:
+            return
+        expected = _PYTHON_TYPES[self]
+        # bool is a subclass of int; keep INT columns free of booleans so
+        # that equality and SQL round-trips stay predictable.
+        if self is ColumnType.INT and isinstance(value, bool):
+            raise TypeError(f"INT column cannot store boolean {value!r}")
+        if self is ColumnType.FLOAT and isinstance(value, bool):
+            raise TypeError(f"FLOAT column cannot store boolean {value!r}")
+        if not isinstance(value, expected):
+            raise TypeError(
+                f"{self.value} column cannot store {type(value).__name__} "
+                f"value {value!r}"
+            )
+
+    def coerce(self, value):
+        """Convert ``value`` to this column type, if sensible.
+
+        Used by the CSV reader and by sqlite round-trips (sqlite has no
+        BOOL storage class, so booleans come back as 0/1 integers).
+
+        Raises:
+            ValueError: when the conversion is not meaningful.
+        """
+        if value is None:
+            return None
+        try:
+            if self is ColumnType.INT:
+                if isinstance(value, bool):
+                    raise ValueError(f"will not coerce bool {value!r} to INT")
+                if isinstance(value, float) and not value.is_integer():
+                    raise ValueError(f"non-integral float {value!r} for INT column")
+                return int(value)
+            if self is ColumnType.FLOAT:
+                if isinstance(value, bool):
+                    raise ValueError(f"will not coerce bool {value!r} to FLOAT")
+                return float(value)
+            if self is ColumnType.BOOL:
+                if isinstance(value, bool):
+                    return value
+                if isinstance(value, int) and value in (0, 1):
+                    return bool(value)
+                if isinstance(value, str):
+                    lowered = value.strip().lower()
+                    if lowered in ("true", "t", "1", "yes"):
+                        return True
+                    if lowered in ("false", "f", "0", "no"):
+                        return False
+                raise ValueError(f"cannot interpret {value!r} as BOOL")
+            return str(value)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"cannot coerce {value!r} to {self.value}: {exc}"
+            ) from None
+
+
+_SQL_NAMES = {
+    ColumnType.INT: "INTEGER",
+    ColumnType.FLOAT: "REAL",
+    ColumnType.TEXT: "TEXT",
+    ColumnType.BOOL: "INTEGER",
+}
+
+_PYTHON_TYPES = {
+    ColumnType.INT: int,
+    ColumnType.FLOAT: (int, float),
+    ColumnType.TEXT: str,
+    ColumnType.BOOL: bool,
+}
+
+
+def infer_type(values):
+    """Infer the narrowest :class:`ColumnType` holding all ``values``.
+
+    ``None`` entries are ignored.  An all-``None`` (or empty) column
+    defaults to TEXT.
+    """
+    seen_float = False
+    seen_int = False
+    seen_bool = False
+    seen_text = False
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            seen_bool = True
+        elif isinstance(value, int):
+            seen_int = True
+        elif isinstance(value, float):
+            seen_float = True
+        else:
+            seen_text = True
+    if seen_text:
+        return ColumnType.TEXT
+    if seen_bool and not (seen_int or seen_float):
+        return ColumnType.BOOL
+    if seen_float:
+        return ColumnType.FLOAT
+    if seen_int or seen_bool:
+        return ColumnType.INT
+    return ColumnType.TEXT

@@ -1,0 +1,41 @@
+"""MILP solver substrate: model builder, simplex, branch and bound.
+
+The paper hands package queries to "state-of-the-art constraint
+optimization solvers"; this package is that solver, built from scratch
+(no third-party solver available offline), with an optional
+scipy/HiGHS backend for cross-checking.
+"""
+
+from repro.solver.branch_and_bound import BranchAndBoundOptions, solve_milp
+from repro.solver.model import (
+    Constraint,
+    ConstraintSense,
+    Model,
+    ModelError,
+    ObjectiveSense,
+    Solution,
+    Variable,
+)
+from repro.solver.scipy_backend import available as scipy_available
+from repro.solver.scipy_backend import solve_milp_scipy
+from repro.solver.simplex import LPResult, SimplexError, solve_lp, solve_model_lp
+from repro.solver.status import Status
+
+__all__ = [
+    "BranchAndBoundOptions",
+    "Constraint",
+    "ConstraintSense",
+    "LPResult",
+    "Model",
+    "ModelError",
+    "ObjectiveSense",
+    "SimplexError",
+    "Solution",
+    "Status",
+    "Variable",
+    "scipy_available",
+    "solve_lp",
+    "solve_milp",
+    "solve_milp_scipy",
+    "solve_model_lp",
+]

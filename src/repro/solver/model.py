@@ -1,0 +1,265 @@
+"""Mixed-integer linear program model builder.
+
+The PaQL-to-ILP translator (:mod:`repro.core.translate_ilp`) builds one
+:class:`Model` per package query: a binary/integer variable per
+candidate tuple (its multiplicity in the package), one linear
+constraint per global constraint (plus indicator machinery for
+disjunctions), and the objective.  The model is backend-independent;
+:mod:`repro.solver.branch_and_bound` and
+:mod:`repro.solver.scipy_backend` both consume it.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.solver.status import Status
+
+
+class ModelError(Exception):
+    """Raised for malformed model construction (bad bounds, unknown vars)."""
+
+
+class ConstraintSense(enum.Enum):
+    LE = "<="
+    GE = ">="
+    EQ = "="
+
+
+class ObjectiveSense(enum.Enum):
+    MINIMIZE = "min"
+    MAXIMIZE = "max"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable; ``index`` addresses it in coefficient dicts."""
+
+    index: int
+    name: str
+    lower: float
+    upper: float
+    is_integer: bool
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``sum(coeffs[j] * x_j) <sense> rhs``."""
+
+    coeffs: dict
+    sense: ConstraintSense
+    rhs: float
+    name: str
+
+
+@dataclass
+class Solution:
+    """Result of solving a model.
+
+    Attributes:
+        status: a :class:`~repro.solver.status.Status`.
+        x: numpy array of variable values (empty when no solution).
+        objective: objective value including the model's constant term
+            (``nan`` when no solution).
+        iterations: total simplex iterations across all LP solves.
+        nodes: branch-and-bound nodes processed (0 for pure LPs).
+    """
+
+    status: Status
+    x: np.ndarray = field(default_factory=lambda: np.array([]))
+    objective: float = math.nan
+    iterations: int = 0
+    nodes: int = 0
+
+    def value_of(self, variable):
+        """Value of ``variable`` (a :class:`Variable` or an index)."""
+        index = variable.index if isinstance(variable, Variable) else variable
+        return float(self.x[index])
+
+
+class Model:
+    """An editable MILP: variables, linear constraints, one objective."""
+
+    def __init__(self, name="model"):
+        self.name = name
+        self._variables = []
+        self._constraints = []
+        self._objective_coeffs = {}
+        self._objective_constant = 0.0
+        self._objective_sense = ObjectiveSense.MINIMIZE
+
+    # -- building -----------------------------------------------------------
+
+    def add_variable(self, name=None, lower=0.0, upper=math.inf, integer=False):
+        """Add a variable and return its :class:`Variable` handle.
+
+        Raises:
+            ModelError: if ``lower > upper`` or ``lower`` is not finite
+                (the simplex implementation requires finite lower
+                bounds; every PaQL-generated variable has ``lower=0``).
+        """
+        if lower > upper:
+            raise ModelError(
+                f"variable {name or len(self._variables)}: lower bound "
+                f"{lower} exceeds upper bound {upper}"
+            )
+        if not math.isfinite(lower):
+            raise ModelError(
+                "variables need a finite lower bound (got "
+                f"{lower} for {name!r}); shift the variable if necessary"
+            )
+        index = len(self._variables)
+        variable = Variable(
+            index=index,
+            name=name or f"x{index}",
+            lower=float(lower),
+            upper=float(upper),
+            is_integer=bool(integer),
+        )
+        self._variables.append(variable)
+        return variable
+
+    def add_binary(self, name=None):
+        """Add a 0/1 integer variable (indicator)."""
+        return self.add_variable(name=name, lower=0.0, upper=1.0, integer=True)
+
+    def add_constraint(self, coeffs, sense, rhs, name=None):
+        """Add ``sum(coeffs[j] * x_j) <sense> rhs``.
+
+        ``coeffs`` maps variable handles or indices to coefficients.
+        Zero coefficients are dropped.
+        """
+        normalized = {}
+        for key, value in coeffs.items():
+            index = key.index if isinstance(key, Variable) else int(key)
+            if not 0 <= index < len(self._variables):
+                raise ModelError(f"constraint references unknown variable {key!r}")
+            value = float(value)
+            if not math.isfinite(value):
+                raise ModelError(f"non-finite coefficient {value} on variable {key}")
+            if value != 0.0:
+                normalized[index] = normalized.get(index, 0.0) + value
+        if not math.isfinite(rhs):
+            raise ModelError(f"non-finite right-hand side {rhs}")
+        constraint = Constraint(
+            coeffs=normalized,
+            sense=ConstraintSense(sense),
+            rhs=float(rhs),
+            name=name or f"c{len(self._constraints)}",
+        )
+        self._constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, coeffs, sense=ObjectiveSense.MINIMIZE, constant=0.0):
+        """Set the (single) linear objective."""
+        normalized = {}
+        for key, value in coeffs.items():
+            index = key.index if isinstance(key, Variable) else int(key)
+            if not 0 <= index < len(self._variables):
+                raise ModelError(f"objective references unknown variable {key!r}")
+            if value != 0.0:
+                normalized[index] = normalized.get(index, 0.0) + float(value)
+        self._objective_coeffs = normalized
+        self._objective_constant = float(constant)
+        self._objective_sense = ObjectiveSense(sense)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def variables(self):
+        return tuple(self._variables)
+
+    @property
+    def constraints(self):
+        return tuple(self._constraints)
+
+    @property
+    def objective_sense(self):
+        return self._objective_sense
+
+    @property
+    def objective_constant(self):
+        return self._objective_constant
+
+    @property
+    def num_variables(self):
+        return len(self._variables)
+
+    @property
+    def num_constraints(self):
+        return len(self._constraints)
+
+    def integer_indices(self):
+        """Indices of integer-constrained variables."""
+        return [v.index for v in self._variables if v.is_integer]
+
+    # -- matrix export -----------------------------------------------------
+
+    def lp_arrays(self):
+        """Export dense arrays for the LP relaxation.
+
+        Returns:
+            Tuple ``(c, A, senses, b, lower, upper)`` where the
+            objective is always in *minimize* orientation (``c`` is
+            negated for MAXIMIZE models; callers flip the optimum back
+            via :meth:`objective_value`).
+        """
+        n = self.num_variables
+        m = self.num_constraints
+        c = np.zeros(n)
+        for index, value in self._objective_coeffs.items():
+            c[index] = value
+        if self._objective_sense is ObjectiveSense.MAXIMIZE:
+            c = -c
+        A = np.zeros((m, n))
+        b = np.zeros(m)
+        senses = []
+        for i, constraint in enumerate(self._constraints):
+            for index, value in constraint.coeffs.items():
+                A[i, index] = value
+            b[i] = constraint.rhs
+            senses.append(constraint.sense)
+        lower = np.array([v.lower for v in self._variables])
+        upper = np.array([v.upper for v in self._variables])
+        return c, A, senses, b, lower, upper
+
+    def objective_value(self, x):
+        """Objective of point ``x`` in the model's own orientation."""
+        total = self._objective_constant
+        for index, value in self._objective_coeffs.items():
+            total += value * float(x[index])
+        return total
+
+    def is_feasible(self, x, tol=1e-6):
+        """Check ``x`` against bounds, constraints and integrality."""
+        for variable in self._variables:
+            value = float(x[variable.index])
+            if value < variable.lower - tol or value > variable.upper + tol:
+                return False
+            if variable.is_integer and abs(value - round(value)) > tol:
+                return False
+        for constraint in self._constraints:
+            total = sum(
+                coef * float(x[index]) for index, coef in constraint.coeffs.items()
+            )
+            if constraint.sense is ConstraintSense.LE and total > constraint.rhs + tol:
+                return False
+            if constraint.sense is ConstraintSense.GE and total < constraint.rhs - tol:
+                return False
+            if (
+                constraint.sense is ConstraintSense.EQ
+                and abs(total - constraint.rhs) > tol
+            ):
+                return False
+        return True
+
+    def __repr__(self):
+        return (
+            f"Model({self.name!r}, {self.num_variables} vars "
+            f"({len(self.integer_indices())} integer), "
+            f"{self.num_constraints} constraints)"
+        )

@@ -1,0 +1,133 @@
+"""Presolve: bound tightening for MILP models.
+
+Classic activity-based tightening: for each constraint
+``sum(a_j x_j) <= b``, the minimum activity of all *other* terms
+implies an upper bound on each ``x_j`` with ``a_j > 0`` (and a lower
+bound when ``a_j < 0``); ``>=`` rows mirror this, equalities do both.
+Integer variables round their tightened bounds inward.  Passes repeat
+until a fixpoint (or a pass limit).
+
+Benefits for package ILPs: MIN/MAX set encodings produce many
+``sum(x_bad) <= 0`` rows, which presolve converts into outright
+variable fixings (``ub = 0``), shrinking the effective problem before
+branch and bound starts.  The effect is measured in benchmark E4's
+ablation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.solver.model import ConstraintSense
+
+
+class PresolveResult:
+    """Outcome of presolving: tightened bounds (or an infeasibility proof).
+
+    Attributes:
+        lower, upper: tightened bound arrays (same shape as input).
+        infeasible: True when some variable's bounds crossed.
+        fixed: number of variables with ``lower == upper`` after
+            tightening that were not fixed before.
+        rounds: tightening passes executed.
+    """
+
+    def __init__(self, lower, upper, infeasible, fixed, rounds):
+        self.lower = lower
+        self.upper = upper
+        self.infeasible = infeasible
+        self.fixed = fixed
+        self.rounds = rounds
+
+
+def _activity_bounds(coeffs, lower, upper):
+    """Min and max of ``sum(a_j x_j)`` over the box (may be +-inf)."""
+    low = 0.0
+    high = 0.0
+    for index, coef in coeffs.items():
+        if coef > 0:
+            low += coef * lower[index]
+            high += coef * upper[index]
+        else:
+            low += coef * upper[index]
+            high += coef * lower[index]
+    return low, high
+
+
+def tighten_bounds(model, max_rounds=10, tol=1e-9):
+    """Tighten the model's variable bounds from its constraints.
+
+    The model itself is not modified; the returned
+    :class:`PresolveResult` carries the new bound arrays for the
+    branch-and-bound root.
+    """
+    lower = np.array([v.lower for v in model.variables], dtype=np.float64)
+    upper = np.array([v.upper for v in model.variables], dtype=np.float64)
+    integer = np.zeros(len(lower), dtype=bool)
+    for index in model.integer_indices():
+        integer[index] = True
+    initially_fixed = int(np.sum(upper - lower <= tol))
+
+    rows = []
+    for constraint in model.constraints:
+        if constraint.sense in (ConstraintSense.LE, ConstraintSense.EQ):
+            rows.append((constraint.coeffs, constraint.rhs, True))
+        if constraint.sense in (ConstraintSense.GE, ConstraintSense.EQ):
+            # a'x >= b  <=>  (-a)'x <= -b
+            negated = {j: -c for j, c in constraint.coeffs.items()}
+            rows.append((negated, -constraint.rhs, True))
+
+    rounds = 0
+    changed = True
+    while changed and rounds < max_rounds:
+        changed = False
+        rounds += 1
+        for coeffs, rhs, _ in rows:
+            # Per-term minimum contributions; track infinities so the
+            # residual (activity minus one term) is well-defined.
+            term_lows = {}
+            infinite_terms = 0
+            finite_sum = 0.0
+            for index, coef in coeffs.items():
+                term = (
+                    coef * lower[index] if coef > 0 else coef * upper[index]
+                )
+                term_lows[index] = term
+                if math.isinf(term):
+                    infinite_terms += 1
+                else:
+                    finite_sum += term
+            if infinite_terms == 0 and finite_sum > rhs + 1e-7:
+                return PresolveResult(lower, upper, True, 0, rounds)
+            for index, coef in coeffs.items():
+                term_low = term_lows[index]
+                if math.isinf(term_low):
+                    if infinite_terms > 1:
+                        continue
+                    residual = finite_sum
+                elif infinite_terms > 0:
+                    continue  # residual is -inf: no bound derivable
+                else:
+                    residual = finite_sum - term_low
+                slack = rhs - residual
+                if coef > 0:
+                    bound = slack / coef
+                    if integer[index]:
+                        bound = math.floor(bound + tol)
+                    if bound < upper[index] - tol:
+                        upper[index] = bound
+                        changed = True
+                else:
+                    bound = slack / coef  # coef < 0 flips the division
+                    if integer[index]:
+                        bound = math.ceil(bound - tol)
+                    if bound > lower[index] + tol:
+                        lower[index] = bound
+                        changed = True
+        if np.any(lower > upper + 1e-7):
+            return PresolveResult(lower, upper, True, 0, rounds)
+
+    fixed = int(np.sum(upper - lower <= tol)) - initially_fixed
+    return PresolveResult(lower, upper, False, max(0, fixed), rounds)

@@ -1,0 +1,24 @@
+"""Solver status codes shared by every backend."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Status(enum.Enum):
+    """Outcome of an LP or MILP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    #: A feasible (integer) solution was found but optimality was not
+    #: proven before a node/iteration limit was hit.
+    FEASIBLE = "feasible"
+    #: No feasible solution found before a limit was hit; the problem
+    #: may still be feasible.
+    LIMIT = "limit"
+
+    @property
+    def has_solution(self):
+        """True when a usable solution vector accompanies this status."""
+        return self in (Status.OPTIMAL, Status.FEASIBLE)

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_recipes
+from repro.relational import Column, ColumnType, Relation, Schema
+
+MEALS_SCHEMA = Schema(
+    [
+        Column("name", ColumnType.TEXT),
+        Column("gluten", ColumnType.TEXT),
+        Column("calories", ColumnType.FLOAT),
+        Column("protein", ColumnType.FLOAT),
+        Column("fat", ColumnType.FLOAT),
+    ]
+)
+
+MEALS_ROWS = [
+    {"name": "omelette", "gluten": "free", "calories": 400.0, "protein": 28.0, "fat": 22.0},
+    {"name": "pancakes", "gluten": "full", "calories": 650.0, "protein": 12.0, "fat": 18.0},
+    {"name": "salad", "gluten": "free", "calories": 250.0, "protein": 9.0, "fat": 14.0},
+    {"name": "steak", "gluten": "free", "calories": 700.0, "protein": 55.0, "fat": 40.0},
+    {"name": "pasta", "gluten": "full", "calories": 820.0, "protein": 24.0, "fat": 20.0},
+    {"name": "tofu bowl", "gluten": "free", "calories": 520.0, "protein": 30.0, "fat": 16.0},
+    {"name": "soup", "gluten": "free", "calories": 300.0, "protein": 11.0, "fat": 8.0},
+    {"name": "burrito", "gluten": "full", "calories": 900.0, "protein": 35.0, "fat": 32.0},
+    {"name": "rice plate", "gluten": "free", "calories": 640.0, "protein": 21.0, "fat": 12.0},
+    {"name": "fish tacos", "gluten": "free", "calories": 580.0, "protein": 33.0, "fat": 19.0},
+    {"name": "granola", "gluten": "free", "calories": 450.0, "protein": 13.0, "fat": 17.0},
+    {"name": "burger", "gluten": "full", "calories": 950.0, "protein": 42.0, "fat": 48.0},
+]
+
+
+@pytest.fixture
+def meals():
+    """A small hand-written meal relation with known contents."""
+    return Relation("Recipes", MEALS_SCHEMA, MEALS_ROWS)
+
+
+@pytest.fixture
+def recipes_100():
+    """100 seeded synthetic recipes (deterministic)."""
+    return generate_recipes(100, seed=7)
+
+
+#: The paper's headline query over the fixture relation.
+HEADLINE = """
+SELECT PACKAGE(R) AS P
+FROM Recipes R
+WHERE R.gluten = 'free'
+SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 1200 AND 1600
+MAXIMIZE SUM(P.protein)
+"""
+
+
+@pytest.fixture
+def headline_query():
+    return HEADLINE

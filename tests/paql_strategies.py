@@ -1,0 +1,161 @@
+"""Hypothesis strategies generating PaQL ASTs.
+
+Used by the printer round-trip, formula-normalization and SQL
+equivalence property tests.  Generated trees respect the invariants
+the parser guarantees (flattened And/Or, folded negative literals), so
+``parse(print(tree)) == tree`` is a legitimate property.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.paql import ast
+
+COLUMN_NAMES = ("calories", "protein", "fat", "price", "rating")
+TEXT_COLUMN_NAMES = ("gluten", "category")
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+numbers = st.one_of(st.integers(min_value=-10**6, max_value=10**6), finite_floats)
+simple_text = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz '",
+    min_size=0,
+    max_size=12,
+)
+
+
+def numeric_literals():
+    return numbers.map(ast.Literal)
+
+
+def literals():
+    return st.one_of(
+        numeric_literals(),
+        simple_text.map(ast.Literal),
+        st.booleans().map(ast.Literal),
+        st.just(ast.Literal(None)),
+    )
+
+
+def numeric_columns():
+    return st.sampled_from(COLUMN_NAMES).map(lambda name: ast.ColumnRef(None, name))
+
+
+def text_columns():
+    return st.sampled_from(TEXT_COLUMN_NAMES).map(
+        lambda name: ast.ColumnRef(None, name)
+    )
+
+
+def scalar_numeric(max_depth=3):
+    """Numeric scalar expressions over numeric columns (no aggregates)."""
+    base = st.one_of(numeric_literals(), numeric_columns())
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(list(ast.BinOp)), children, children).map(
+                lambda t: ast.BinaryOp(*t)
+            ),
+            children.map(
+                lambda expr: expr
+                if isinstance(expr, ast.Literal)
+                else ast.UnaryMinus(expr)
+            ),
+        )
+
+    return st.recursive(base, extend, max_leaves=max_depth * 2)
+
+
+def _flatten(node_type):
+    def build(args):
+        flat = []
+        for arg in args:
+            if isinstance(arg, node_type):
+                flat.extend(arg.args)
+            else:
+                flat.append(arg)
+        return node_type(tuple(flat))
+
+    return build
+
+
+def predicates(max_depth=4):
+    """WHERE-style Boolean formulas (no aggregates)."""
+    comparisons = st.tuples(
+        st.sampled_from(list(ast.CmpOp)), scalar_numeric(), scalar_numeric()
+    ).map(lambda t: ast.Comparison(*t))
+    text_comparisons = st.tuples(
+        st.sampled_from([ast.CmpOp.EQ, ast.CmpOp.NE]),
+        text_columns(),
+        simple_text.map(ast.Literal),
+    ).map(lambda t: ast.Comparison(*t))
+    betweens = st.tuples(
+        scalar_numeric(), numeric_literals(), numeric_literals(), st.booleans()
+    ).map(lambda t: ast.Between(*t))
+    in_lists = st.tuples(
+        numeric_columns(),
+        st.lists(numeric_literals(), min_size=1, max_size=4).map(tuple),
+        st.booleans(),
+    ).map(lambda t: ast.InList(*t))
+    is_nulls = st.tuples(
+        st.one_of(numeric_columns(), text_columns()), st.booleans()
+    ).map(lambda t: ast.IsNull(*t))
+
+    base = st.one_of(comparisons, text_comparisons, betweens, in_lists, is_nulls)
+
+    def extend(children):
+        return st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(_flatten(ast.And)),
+            st.lists(children, min_size=2, max_size=3).map(_flatten(ast.Or)),
+            children.map(ast.Not),
+        )
+
+    return st.recursive(base, extend, max_leaves=max_depth * 2)
+
+
+def aggregates():
+    count_star = st.just(ast.Aggregate(ast.AggFunc.COUNT, None))
+    others = st.tuples(
+        st.sampled_from(list(ast.AggFunc)), numeric_columns()
+    ).map(lambda t: ast.Aggregate(*t))
+    return st.one_of(count_star, others)
+
+
+def aggregate_numeric(max_depth=2):
+    """Numeric expressions over aggregates (SUCH THAT arithmetic)."""
+    base = st.one_of(numeric_literals(), aggregates())
+
+    def extend(children):
+        return st.tuples(
+            st.sampled_from([ast.BinOp.ADD, ast.BinOp.SUB]), children, children
+        ).map(lambda t: ast.BinaryOp(*t))
+
+    return st.recursive(base, extend, max_leaves=max_depth * 2)
+
+
+def global_formulas(max_depth=3):
+    """SUCH THAT-style Boolean formulas over aggregates."""
+    comparisons = st.tuples(
+        st.sampled_from(list(ast.CmpOp)), aggregate_numeric(), aggregate_numeric()
+    ).map(lambda t: ast.Comparison(*t))
+    betweens = st.tuples(
+        aggregates(), numeric_literals(), numeric_literals(), st.booleans()
+    ).map(lambda t: ast.Between(*t))
+    in_lists = st.tuples(
+        aggregates(),
+        st.lists(numeric_literals(), min_size=1, max_size=3).map(tuple),
+        st.booleans(),
+    ).map(lambda t: ast.InList(*t))
+
+    base = st.one_of(comparisons, betweens, in_lists, st.booleans().map(ast.Literal))
+
+    def extend(children):
+        return st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(_flatten(ast.And)),
+            st.lists(children, min_size=2, max_size=3).map(_flatten(ast.Or)),
+            children.map(ast.Not),
+        )
+
+    return st.recursive(base, extend, max_leaves=max_depth * 2)

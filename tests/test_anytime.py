@@ -1,0 +1,109 @@
+"""Tests for anytime enumeration (the Figure 1 'Running' indicator)."""
+
+import pytest
+
+from repro.core import iter_valid_packages
+from repro.core.anytime import AnytimeEnumerator, progressive_layout
+from repro.paql.semantics import parse_and_analyze
+from repro.relational import ColumnType, Relation, Schema
+
+
+def value_relation(values):
+    schema = Schema.of(value=ColumnType.FLOAT)
+    return Relation("T", schema, [{"value": float(v)} for v in values])
+
+
+@pytest.fixture
+def rel():
+    return value_relation(list(range(10, 90, 10)))  # 8 tuples
+
+
+QUERY = (
+    "SELECT PACKAGE(T) FROM T SUCH THAT "
+    "COUNT(*) = 2 AND SUM(T.value) <= 120 "
+    "MAXIMIZE SUM(T.value)"
+)
+
+
+def enumerator_for(rel, text=QUERY):
+    query = parse_and_analyze(text, rel.schema)
+    return AnytimeEnumerator(query, rel, range(len(rel))), query
+
+
+class TestSlicing:
+    def test_initially_running_with_nothing(self, rel):
+        enumerator, _ = enumerator_for(rel)
+        assert enumerator.running
+        assert enumerator.found == 0
+
+    def test_budgeted_slice_stops_early(self, rel):
+        enumerator, _ = enumerator_for(rel)
+        found = enumerator.run(max_packages=3)
+        assert found == 3
+        assert enumerator.found == 3
+        assert enumerator.running
+
+    def test_resuming_does_not_repeat_packages(self, rel):
+        enumerator, _ = enumerator_for(rel)
+        enumerator.run(max_packages=3)
+        enumerator.run(max_packages=3)
+        packages = enumerator.packages
+        assert len(packages) == 6
+        assert len(set(packages)) == 6
+
+    def test_completion_detected(self, rel):
+        enumerator, query = enumerator_for(rel)
+        total = enumerator.run_to_completion()
+        assert enumerator.complete
+        assert not enumerator.running
+        expected = list(iter_valid_packages(query, rel, range(len(rel))))
+        assert total == len(expected)
+        assert enumerator.packages == expected
+
+    def test_run_after_completion_is_noop(self, rel):
+        enumerator, _ = enumerator_for(rel)
+        enumerator.run_to_completion()
+        assert enumerator.run(max_packages=5) == 0
+
+    def test_time_budget_makes_progress(self, rel):
+        enumerator, _ = enumerator_for(rel)
+        found = enumerator.run(max_seconds=0.0)
+        # At least one step is always attempted.
+        assert found >= 1 or enumerator.complete
+
+    def test_empty_bounds_complete_immediately(self, rel):
+        enumerator, _ = enumerator_for(
+            rel, "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 99"
+        )
+        assert enumerator.complete
+        assert enumerator.run() == 0
+
+    def test_slices_counted(self, rel):
+        enumerator, _ = enumerator_for(rel)
+        enumerator.run(max_packages=1)
+        enumerator.run(max_packages=1)
+        assert enumerator.slices == 2
+
+
+class TestProgressiveLayout:
+    def test_partial_pool_layout(self, rel):
+        enumerator, query = enumerator_for(rel)
+        enumerator.run(max_packages=4)
+        summary, grid, cell, running = progressive_layout(
+            query, enumerator, cells=4, current=enumerator.packages[0]
+        )
+        assert running
+        assert sum(sum(row) for row in grid) == 4
+        assert cell is not None
+
+    def test_complete_pool_not_running(self, rel):
+        enumerator, query = enumerator_for(rel)
+        enumerator.run_to_completion()
+        _, grid, _, running = progressive_layout(query, enumerator)
+        assert not running
+        assert sum(sum(row) for row in grid) == enumerator.found
+
+    def test_empty_pool_raises(self, rel):
+        enumerator, query = enumerator_for(rel)
+        with pytest.raises(ValueError, match="no packages"):
+            progressive_layout(query, enumerator)

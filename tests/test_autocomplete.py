@@ -1,0 +1,204 @@
+"""Tests for PaQL auto-suggestion (Figure 1's syntax helper)."""
+
+import pytest
+
+from repro.paql.autocomplete import Completion, complete
+from repro.paql.parser import parse
+from repro.relational import Column, ColumnType, Schema
+
+SCHEMA = Schema(
+    [
+        Column("gluten", ColumnType.TEXT),
+        Column("calories", ColumnType.FLOAT),
+        Column("protein", ColumnType.FLOAT),
+    ]
+)
+
+
+def texts(suggestions):
+    return [s.text for s in suggestions]
+
+
+class TestClauseKeywords:
+    def test_empty_input_suggests_select(self):
+        assert texts(complete("")) == ["SELECT"]
+
+    def test_after_select(self):
+        assert texts(complete("SELECT ")) == ["PACKAGE"]
+
+    def test_prefix_filters_case_insensitively(self):
+        assert texts(complete("SELECT pack")) == ["PACKAGE"]
+        assert texts(complete("sel")) == ["SELECT"]
+
+    def test_after_package_paren_alias(self):
+        assert "(" in texts(complete("SELECT PACKAGE"))
+        assert ")" in texts(complete("SELECT PACKAGE(R"))
+
+    def test_after_closed_package(self):
+        suggestions = texts(complete("SELECT PACKAGE(R) "))
+        assert "AS" in suggestions
+        assert "FROM" in suggestions
+
+    def test_after_package_alias(self):
+        assert "FROM" in texts(complete("SELECT PACKAGE(R) AS P "))
+
+    def test_after_from_relation(self):
+        suggestions = texts(complete("SELECT PACKAGE(R) FROM Recipes R "))
+        for word in ("REPEAT", "WHERE", "SUCH", "MAXIMIZE", "MINIMIZE"):
+            assert word in suggestions
+
+    def test_after_repeat_count(self):
+        suggestions = texts(
+            complete("SELECT PACKAGE(R) FROM Recipes R REPEAT 3 ")
+        )
+        assert "WHERE" in suggestions
+        assert "REPEAT" not in suggestions
+
+    def test_such_needs_that(self):
+        assert texts(
+            complete("SELECT PACKAGE(R) FROM R SUCH ")
+        ) == ["THAT"]
+
+
+class TestExpressionPositions:
+    def test_where_operand_offers_columns(self):
+        suggestions = complete(
+            "SELECT PACKAGE(R) FROM Recipes R WHERE ", schema=SCHEMA
+        )
+        columns = [s.text for s in suggestions if s.kind == "column"]
+        assert columns == ["gluten", "calories", "protein"]
+
+    def test_where_does_not_offer_aggregates(self):
+        suggestions = complete(
+            "SELECT PACKAGE(R) FROM Recipes R WHERE ", schema=SCHEMA
+        )
+        assert not any(s.kind == "function" for s in suggestions)
+
+    def test_such_that_offers_aggregates(self):
+        suggestions = complete(
+            "SELECT PACKAGE(R) FROM R SUCH THAT ", schema=SCHEMA
+        )
+        functions = [s.text for s in suggestions if s.kind == "function"]
+        assert functions == ["COUNT", "SUM", "AVG", "MIN", "MAX"]
+
+    def test_aggregate_prefix_filtered(self):
+        suggestions = complete("SELECT PACKAGE(R) FROM R SUCH THAT CO")
+        assert texts(suggestions) == ["COUNT"]
+
+    def test_after_aggregate_name_opens_paren(self):
+        suggestions = texts(
+            complete("SELECT PACKAGE(R) FROM R SUCH THAT SUM")
+        )
+        # "SUM" completes the word itself AND, being already complete,
+        # offers its continuation.
+        assert "SUM" in suggestions
+        assert "(" in suggestions
+
+    def test_after_complete_operand_offers_operators(self):
+        suggestions = texts(
+            complete("SELECT PACKAGE(R) FROM Recipes R WHERE calories ")
+        )
+        for op in ("=", "<=", "BETWEEN", "IN", "IS", "AND"):
+            assert op in suggestions
+
+    def test_after_comparison_expects_operand(self):
+        suggestions = complete(
+            "SELECT PACKAGE(R) FROM Recipes R WHERE calories <= ",
+            schema=SCHEMA,
+        )
+        assert any(s.kind == "column" for s in suggestions)
+
+    def test_after_qualifier_dot_offers_columns(self):
+        suggestions = complete(
+            "SELECT PACKAGE(R) FROM Recipes R WHERE R.", schema=SCHEMA
+        )
+        assert texts(suggestions) == ["gluten", "calories", "protein"]
+
+    def test_dot_prefix_filters_columns(self):
+        suggestions = complete(
+            "SELECT PACKAGE(R) FROM Recipes R WHERE R.cal", schema=SCHEMA
+        )
+        assert texts(suggestions) == ["calories"]
+
+    def test_between_expects_operand(self):
+        suggestions = complete(
+            "SELECT PACKAGE(R) FROM R SUCH THAT COUNT(*) BETWEEN ",
+            schema=SCHEMA,
+        )
+        assert not any(s.text == "AND" for s in suggestions)
+
+    def test_is_offers_null(self):
+        suggestions = texts(
+            complete("SELECT PACKAGE(R) FROM Recipes R WHERE rating IS ")
+        )
+        assert "NULL" in suggestions
+        assert "NOT" in suggestions
+
+    def test_where_clause_can_hand_off_to_such_that(self):
+        suggestions = texts(
+            complete(
+                "SELECT PACKAGE(R) FROM Recipes R WHERE gluten = 'free' "
+            )
+        )
+        assert "SUCH" in suggestions
+        assert "MAXIMIZE" in suggestions
+
+
+class TestRobustness:
+    def test_unlexable_prefix_returns_empty(self):
+        assert complete("SELECT ?") == []
+
+    def test_mid_string_literal(self):
+        # Inside an unterminated string there is nothing to suggest.
+        assert complete("SELECT PACKAGE(R) FROM R WHERE a = 'fre") == []
+
+    def test_limit_respected(self):
+        suggestions = complete(
+            "SELECT PACKAGE(R) FROM R SUCH THAT ", schema=SCHEMA, limit=3
+        )
+        assert len(suggestions) == 3
+
+    def test_no_duplicates(self):
+        suggestions = complete("SELECT PACKAGE(R) FROM Recipes R ")
+        lowered = [s.text.lower() for s in suggestions]
+        assert len(lowered) == len(set(lowered))
+
+
+class TestSuggestionsExtendToParses:
+    """Keyword suggestions must actually be grammatical continuations."""
+
+    COMPLETIONS = {
+        "SELECT": " PACKAGE(R) FROM R",
+        "PACKAGE": "(R) FROM R",
+        "FROM": " R",
+        "AS": " P FROM R",
+        "WHERE": " gluten = 'free'",
+        "SUCH": " THAT COUNT(*) = 1",
+        "THAT": " COUNT(*) = 1",
+        "MAXIMIZE": " SUM(protein)",
+        "MINIMIZE": " SUM(protein)",
+        "REPEAT": " 2",
+        "AND": " COUNT(*) >= 0",
+        "OR": " COUNT(*) >= 0",
+    }
+
+    @pytest.mark.parametrize(
+        "prefix",
+        [
+            "",
+            "SELECT ",
+            "SELECT PACKAGE(R) ",
+            "SELECT PACKAGE(R) AS P ",
+            "SELECT PACKAGE(R) FROM R ",
+            "SELECT PACKAGE(R) FROM R SUCH ",
+            "SELECT PACKAGE(R) FROM R SUCH THAT COUNT(*) = 1 ",
+        ],
+    )
+    def test_each_keyword_suggestion_is_viable(self, prefix):
+        for suggestion in complete(prefix, schema=SCHEMA):
+            if suggestion.kind != "keyword":
+                continue
+            tail = self.COMPLETIONS.get(suggestion.text)
+            if tail is None:
+                continue
+            parse(prefix + suggestion.text + tail)

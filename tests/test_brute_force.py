@@ -1,0 +1,173 @@
+"""Tests for brute-force enumeration."""
+
+import pytest
+
+from repro.core import (
+    BruteForceStats,
+    CardinalityBounds,
+    SearchSpaceExceeded,
+    count_valid,
+    find_best,
+    find_first,
+    iter_valid_packages,
+)
+from repro.core.validator import objective_value
+from repro.paql.semantics import parse_and_analyze
+from repro.relational import ColumnType, Relation, Schema
+
+
+def value_relation(values):
+    schema = Schema.of(value=ColumnType.FLOAT)
+    return Relation("T", schema, [{"value": float(v)} for v in values])
+
+
+def analyzed(text, relation):
+    return parse_and_analyze(text, relation.schema)
+
+
+class TestEnumeration:
+    def test_counts_exact_packages(self):
+        rel = value_relation([1, 2, 3, 4])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 2", rel
+        )
+        assert count_valid(query, rel, range(4)) == 6  # C(4, 2)
+
+    def test_sum_constraint_filters(self):
+        rel = value_relation([1, 2, 3])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 2 AND SUM(T.value) <= 4",
+            rel,
+        )
+        # {1,2}=3 and {1,3}=4 pass; {2,3}=5 fails.
+        assert count_valid(query, rel, range(3)) == 2
+
+    def test_yields_in_cardinality_order(self):
+        rel = value_relation([1, 2, 3])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) BETWEEN 1 AND 2",
+            rel,
+        )
+        sizes = [p.cardinality for p in iter_valid_packages(query, rel, range(3))]
+        assert sizes == sorted(sizes)
+
+    def test_empty_package_counted_when_valid(self):
+        rel = value_relation([1])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.value) <= 100", rel
+        )
+        packages = list(iter_valid_packages(query, rel, range(1)))
+        assert any(p.cardinality == 0 for p in packages)
+
+    def test_stats_filled(self):
+        rel = value_relation([1, 2, 3])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 1", rel
+        )
+        stats = BruteForceStats()
+        list(iter_valid_packages(query, rel, range(3), stats=stats))
+        assert stats.examined == 3
+        assert stats.valid == 3
+        assert stats.bounds == CardinalityBounds(1, 1)
+
+    def test_explicit_bounds_override_pruning(self):
+        rel = value_relation([1, 2, 3])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 1", rel
+        )
+        stats = BruteForceStats()
+        # Disable pruning: examine all 2^3 subsets.
+        list(
+            iter_valid_packages(
+                query, rel, range(3), bounds=CardinalityBounds(0, 3), stats=stats
+            )
+        )
+        assert stats.examined == 8
+        assert stats.valid == 3
+
+    def test_examine_limit_enforced(self):
+        rel = value_relation([1] * 20)
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 10", rel
+        )
+        with pytest.raises(SearchSpaceExceeded):
+            list(iter_valid_packages(query, rel, range(20), examine_limit=50))
+
+    def test_empty_bounds_yield_nothing(self):
+        rel = value_relation([1])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 5", rel
+        )
+        assert list(iter_valid_packages(query, rel, range(1))) == []
+
+
+class TestRepeatSemantics:
+    def test_multisets_enumerated(self):
+        rel = value_relation([10, 20])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T REPEAT 2 SUCH THAT COUNT(*) = 2", rel
+        )
+        packages = list(iter_valid_packages(query, rel, range(2)))
+        # {0,0}, {0,1}, {1,1}.
+        assert len(packages) == 3
+
+    def test_multiplicity_cap_respected(self):
+        rel = value_relation([10])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T REPEAT 2 SUCH THAT COUNT(*) = 3", rel
+        )
+        assert list(iter_valid_packages(query, rel, range(1))) == []
+
+
+class TestFinders:
+    def test_find_best_maximize(self):
+        rel = value_relation([1, 5, 3])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 2 "
+            "MAXIMIZE SUM(T.value)",
+            rel,
+        )
+        best = find_best(query, rel, range(3))
+        assert objective_value(best, query) == 8  # 5 + 3
+
+    def test_find_best_minimize(self):
+        rel = value_relation([1, 5, 3])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 2 "
+            "MINIMIZE SUM(T.value)",
+            rel,
+        )
+        assert objective_value(find_best(query, rel, range(3)), query) == 4
+
+    def test_find_best_without_objective_returns_any_valid(self):
+        rel = value_relation([1, 2])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 1", rel
+        )
+        assert find_best(query, rel, range(2)) is not None
+
+    def test_find_first_stops_early(self):
+        rel = value_relation([1] * 10)
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) >= 1", rel
+        )
+        package = find_first(query, rel, range(10))
+        assert package.cardinality == 1
+
+    def test_find_best_none_when_infeasible(self):
+        rel = value_relation([1])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.value) >= 100", rel
+        )
+        assert find_best(query, rel, range(1)) is None
+
+    def test_candidate_subset_respected(self):
+        rel = value_relation([1, 100, 3])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 1 "
+            "MAXIMIZE SUM(T.value)",
+            rel,
+        )
+        best = find_best(query, rel, [0, 2])  # rid 1 excluded
+        assert objective_value(best, query) == 3

@@ -1,0 +1,175 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.relational import write_csv
+
+
+@pytest.fixture
+def recipes_csv(tmp_path, meals):
+    path = tmp_path / "Recipes.csv"
+    write_csv(meals, path)
+    return str(path)
+
+
+QUERY = (
+    "SELECT PACKAGE(R) AS P FROM Recipes R "
+    "WHERE R.gluten = 'free' "
+    "SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 1200 AND 1600 "
+    "MAXIMIZE SUM(P.protein)"
+)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestQueryCommand:
+    def test_basic_query(self, recipes_csv):
+        code, text = run(["query", "--csv", recipes_csv, "--query", QUERY])
+        assert code == 0
+        assert "status: optimal" in text
+        assert "objective:" in text
+        assert "steak" in text  # highest-protein gluten-free meal
+
+    def test_query_from_file(self, recipes_csv, tmp_path):
+        query_path = tmp_path / "q.paql"
+        query_path.write_text(QUERY)
+        code, text = run(
+            ["query", "--csv", recipes_csv, "--query-file", str(query_path)]
+        )
+        assert code == 0
+
+    def test_json_output(self, recipes_csv):
+        code, text = run(
+            ["query", "--csv", recipes_csv, "--query", QUERY, "--json"]
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["status"] == "optimal"
+        assert payload["package"]["cardinality"] == 3
+
+    def test_infeasible_exit_code(self, recipes_csv):
+        bad = QUERY.replace("BETWEEN 1200 AND 1600", "BETWEEN 1 AND 2")
+        code, text = run(["query", "--csv", recipes_csv, "--query", bad])
+        assert code == 1
+        assert "no valid package" in text
+
+    def test_top_k(self, recipes_csv):
+        code, text = run(
+            ["query", "--csv", recipes_csv, "--query", QUERY, "--top", "3"]
+        )
+        assert code == 0
+        assert text.count("== package #") == 3
+
+    def test_top_k_json(self, recipes_csv):
+        code, text = run(
+            [
+                "query", "--csv", recipes_csv, "--query", QUERY,
+                "--top", "3", "--json",
+            ]
+        )
+        payload = json.loads(text)
+        assert len(payload) == 3
+        objectives = [p["objective"] for p in payload]
+        assert objectives == sorted(objectives, reverse=True)
+
+    def test_diverse_subset(self, recipes_csv):
+        code, text = run(
+            [
+                "query", "--csv", recipes_csv, "--query", QUERY,
+                "--top", "5", "--diverse", "2",
+            ]
+        )
+        assert code == 0
+        assert text.count("== package #") == 2
+
+    def test_explain(self, recipes_csv):
+        code, text = run(
+            ["query", "--csv", recipes_csv, "--query", QUERY, "--explain"]
+        )
+        assert "cardinality bounds" in text
+
+    def test_strategy_choice(self, recipes_csv):
+        code, text = run(
+            [
+                "query", "--csv", recipes_csv, "--query", QUERY,
+                "--strategy", "brute-force",
+            ]
+        )
+        assert code == 0
+        assert "strategy: brute-force" in text
+
+    def test_relation_override(self, tmp_path, meals):
+        path = tmp_path / "data.csv"
+        write_csv(meals, path)
+        code, text = run(
+            [
+                "query", "--csv", str(path), "--relation", "Recipes",
+                "--query", QUERY,
+            ]
+        )
+        assert code == 0
+
+
+class TestErrorHandling:
+    def test_missing_csv(self):
+        code, _ = run(["query", "--csv", "/nope/missing.csv", "--query", QUERY])
+        assert code == 2
+
+    def test_missing_query(self, recipes_csv):
+        code, _ = run(["query", "--csv", recipes_csv])
+        assert code == 2
+
+    def test_both_query_sources(self, recipes_csv, tmp_path):
+        query_path = tmp_path / "q.paql"
+        query_path.write_text(QUERY)
+        code, _ = run(
+            [
+                "query", "--csv", recipes_csv,
+                "--query", QUERY, "--query-file", str(query_path),
+            ]
+        )
+        assert code == 2
+
+    def test_bad_paql_reported(self, recipes_csv):
+        code, _ = run(
+            ["query", "--csv", recipes_csv, "--query", "SELECT nonsense"]
+        )
+        assert code == 2
+
+    def test_wrong_relation_name(self, recipes_csv):
+        query = QUERY.replace("Recipes", "Other")
+        code, _ = run(
+            ["query", "--csv", recipes_csv, "--query", query]
+        )
+        assert code == 2
+
+
+class TestDescribeCommand:
+    def test_describe(self):
+        code, text = run(["describe", "--query", QUERY])
+        assert code == 0
+        assert "gluten is exactly free" in text
+        assert "maximize the total protein" in text
+
+
+class TestDemoCommand:
+    def test_meal_demo(self):
+        code, text = run(["demo", "meal"])
+        assert code == 0
+        assert "status: optimal" in text
+
+    def test_vacation_demo(self):
+        code, text = run(["demo", "vacation"])
+        assert code == 0
+
+    def test_portfolio_demo(self):
+        code, text = run(["demo", "portfolio"])
+        assert code == 0

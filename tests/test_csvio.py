@@ -1,0 +1,120 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro.relational import (
+    Column,
+    ColumnType,
+    Relation,
+    Schema,
+    SchemaError,
+    read_csv,
+    write_csv,
+)
+
+
+@pytest.fixture
+def rel():
+    schema = Schema(
+        [
+            Column("name", ColumnType.TEXT),
+            Column("value", ColumnType.FLOAT),
+            Column("active", ColumnType.BOOL),
+            Column("count", ColumnType.INT),
+        ]
+    )
+    rows = [
+        {"name": "alpha", "value": 1.5, "active": True, "count": 3},
+        {"name": "it's", "value": None, "active": False, "count": -1},
+    ]
+    return Relation("T", schema, rows)
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, rel, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(rel, path)
+        back = read_csv(path, "T")
+        assert back.rows() == rel.rows()
+
+    def test_round_trip_with_explicit_schema(self, rel, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(rel, path)
+        back = read_csv(path, "T", schema=rel.schema)
+        assert back.schema == rel.schema
+        assert back.rows() == rel.rows()
+
+
+class TestInference:
+    def test_type_inference(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b,c,d\n1,2.5,hello,true\n2,3,world,false\n")
+        rel = read_csv(path, "T")
+        assert rel.schema.type_of("a") is ColumnType.INT
+        assert rel.schema.type_of("b") is ColumnType.FLOAT
+        assert rel.schema.type_of("c") is ColumnType.TEXT
+        assert rel.schema.type_of("d") is ColumnType.BOOL
+
+    def test_empty_cells_become_null(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,\n,2\n")
+        rel = read_csv(path, "T")
+        assert rel[0]["b"] is None
+        assert rel[1]["a"] is None
+
+    def test_numeric_looking_text_column(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("code\n007x\n12ab\n")
+        rel = read_csv(path, "T")
+        assert rel.schema.type_of("code") is ColumnType.TEXT
+
+
+class TestSchemas:
+    def test_explicit_schema_coerces(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("v\n3\n4\n")
+        schema = Schema.of(v=ColumnType.FLOAT)
+        rel = read_csv(path, "T", schema=schema)
+        assert rel[0]["v"] == 3.0
+        assert isinstance(rel[0]["v"], float)
+
+    def test_schema_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(SchemaError, match="missing"):
+            read_csv(path, "T", schema=Schema.of(b=ColumnType.INT))
+
+    def test_bad_coercion_raises(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("v\nhello\n")
+        with pytest.raises(ValueError):
+            read_csv(path, "T", schema=Schema.of(v=ColumnType.INT))
+
+
+class TestEdgeCases:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv(path, "T")
+
+    def test_header_only_gives_zero_rows(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n")
+        rel = read_csv(path, "T")
+        assert len(rel) == 0
+        assert rel.schema.names == ("a", "b")
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError, match="cells"):
+            read_csv(path, "T")
+
+    def test_quoted_commas_preserved(self, tmp_path, rel):
+        schema = Schema.of(text=ColumnType.TEXT)
+        source = Relation("T", schema, [{"text": "a,b,c"}])
+        path = tmp_path / "data.csv"
+        write_csv(source, path)
+        back = read_csv(path, "T")
+        assert back[0]["text"] == "a,b,c"

@@ -1,0 +1,126 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.core import PackageQueryEvaluator, ResultStatus
+from repro.core.engine import evaluate
+from repro.datasets import (
+    MEAL_PLANNER_QUERY,
+    PORTFOLIO_QUERY,
+    VACATION_QUERY,
+    generate_recipes,
+    generate_stocks,
+    generate_travel_products,
+    integer_relation,
+    uniform_relation,
+)
+
+
+class TestRecipes:
+    def test_deterministic_given_seed(self):
+        first = generate_recipes(50, seed=3)
+        second = generate_recipes(50, seed=3)
+        assert first.rows() == second.rows()
+
+    def test_different_seeds_differ(self):
+        assert generate_recipes(50, seed=1).rows() != generate_recipes(
+            50, seed=2
+        ).rows()
+
+    def test_schema_and_ranges(self):
+        recipes = generate_recipes(200)
+        for row in recipes:
+            assert row["gluten"] in ("free", "full")
+            assert 120 <= row["calories"] <= 1600
+            assert row["protein"] > 0
+            assert 1.0 <= row["rating"] <= 5.0
+            assert 5 <= row["cook_minutes"] <= 120
+
+    def test_gluten_fraction_respected(self):
+        recipes = generate_recipes(800, gluten_free_fraction=0.9)
+        free = sum(1 for row in recipes if row["gluten"] == "free")
+        assert free / len(recipes) > 0.8
+
+    def test_headline_query_feasible_at_scale(self):
+        recipes = generate_recipes(150)
+        result = evaluate(MEAL_PLANNER_QUERY, recipes)
+        assert result.status is ResultStatus.OPTIMAL
+
+
+class TestTravel:
+    def test_kind_counts(self):
+        travel = generate_travel_products(n_flights=10, n_hotels=8, n_cars=5)
+        kinds = [row["kind"] for row in travel]
+        assert kinds.count("flight") == 10
+        assert kinds.count("hotel") == 8
+        assert kinds.count("car") == 5
+
+    def test_indicator_columns_consistent(self):
+        travel = generate_travel_products()
+        for row in travel:
+            total = row["is_flight"] + row["is_hotel"] + row["is_car"]
+            assert total == 1
+            assert row[f"is_{row['kind']}"] == 1
+
+    def test_beach_distance_only_for_hotels(self):
+        travel = generate_travel_products()
+        for row in travel:
+            if row["kind"] == "hotel":
+                assert row["beach_meters"] is not None
+            else:
+                assert row["beach_meters"] is None
+
+    def test_vacation_query_feasible(self):
+        travel = generate_travel_products()
+        result = evaluate(VACATION_QUERY, travel)
+        assert result.status is ResultStatus.OPTIMAL
+        rows = result.package.rows()
+        assert sum(row["is_flight"] for row in rows) == 2
+        assert sum(row["is_hotel"] for row in rows) == 1
+        assert sum(row["price"] for row in rows) <= 2000
+
+
+class TestStocks:
+    def test_tech_value_equals_price_for_tech(self):
+        stocks = generate_stocks(100)
+        for row in stocks:
+            if row["sector"] == "tech":
+                assert row["tech_value"] == row["price"]
+            else:
+                assert row["tech_value"] == 0.0
+
+    def test_term_indicators(self):
+        stocks = generate_stocks(100)
+        for row in stocks:
+            assert row["is_short"] + row["is_long"] == 1
+            assert (row["term"] == "short") == (row["is_short"] == 1)
+
+    def test_portfolio_query_feasible(self):
+        stocks = generate_stocks(120)
+        result = evaluate(PORTFOLIO_QUERY, stocks)
+        assert result.status is ResultStatus.OPTIMAL
+        rows = result.package.rows()
+        total = sum(row["price"] for row in rows)
+        tech = sum(row["tech_value"] for row in rows)
+        assert total <= 50000
+        assert tech >= 0.3 * total - 1e-6
+
+
+class TestGeneric:
+    def test_uniform_relation_shape(self):
+        rel = uniform_relation(30, columns=("a", "b"), low=5, high=6, seed=1)
+        assert len(rel) == 30
+        for row in rel:
+            assert 5 <= row["a"] <= 6
+            assert 5 <= row["b"] <= 6
+
+    def test_uniform_null_fraction(self):
+        rel = uniform_relation(300, null_fraction=0.5, seed=2)
+        nulls = sum(1 for row in rel if row["value"] is None)
+        assert 90 <= nulls <= 210
+
+    def test_integer_relation(self):
+        rel = integer_relation(50, low=2, high=4, seed=3)
+        for row in rel:
+            assert 2 <= row["value"] <= 4
+            assert isinstance(row["value"], int)

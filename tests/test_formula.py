@@ -1,0 +1,145 @@
+"""Tests for global-formula normalization (NNF over comparisons).
+
+The key property: normalization preserves satisfaction.  For random
+formulas and random aggregate values, the original and the normalized
+formula agree on (folded, Boolean) truth.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formula import FALSE, TRUE, conjunctive_leaves, normalize_formula
+from repro.paql import ast
+from repro.paql.errors import PaQLUnsupportedError
+from repro.paql.eval import eval_expr
+from repro.paql.parser import parse_expression
+
+from tests.paql_strategies import global_formulas
+
+
+def norm(text):
+    return normalize_formula(parse_expression(text))
+
+
+def only_allowed_nodes(node):
+    allowed = (ast.And, ast.Or, ast.Comparison, ast.Literal)
+    if not isinstance(node, allowed):
+        return False
+    if isinstance(node, (ast.And, ast.Or)):
+        return all(only_allowed_nodes(arg) for arg in node.args)
+    return True
+
+
+class TestShapes:
+    def test_between_becomes_conjunction(self):
+        node = norm("SUM(calories) BETWEEN 10 AND 20")
+        assert isinstance(node, ast.And)
+        ops = {arg.op for arg in node.args}
+        assert ops == {ast.CmpOp.GE, ast.CmpOp.LE}
+
+    def test_not_between_becomes_disjunction(self):
+        node = norm("SUM(calories) NOT BETWEEN 10 AND 20")
+        assert isinstance(node, ast.Or)
+        ops = {arg.op for arg in node.args}
+        assert ops == {ast.CmpOp.LT, ast.CmpOp.GT}
+
+    def test_in_list_becomes_disjunction_of_equalities(self):
+        node = norm("COUNT(*) IN (1, 2, 3)")
+        assert isinstance(node, ast.Or)
+        assert all(arg.op is ast.CmpOp.EQ for arg in node.args)
+
+    def test_not_pushes_into_comparisons(self):
+        node = norm("NOT SUM(fat) <= 5")
+        assert isinstance(node, ast.Comparison)
+        assert node.op is ast.CmpOp.GT
+
+    def test_double_negation_cancels(self):
+        assert norm("NOT NOT COUNT(*) = 1") == norm("COUNT(*) = 1")
+
+    def test_de_morgan(self):
+        node = norm("NOT (COUNT(*) = 1 AND SUM(fat) <= 5)")
+        assert isinstance(node, ast.Or)
+
+    def test_ne_expands_to_lt_or_gt(self):
+        node = norm("COUNT(*) <> 3")
+        assert isinstance(node, ast.Or)
+        assert {arg.op for arg in node.args} == {ast.CmpOp.LT, ast.CmpOp.GT}
+
+    def test_literal_folding(self):
+        assert norm("TRUE AND COUNT(*) = 1") == norm("COUNT(*) = 1")
+        assert norm("FALSE AND COUNT(*) = 1") == FALSE
+        assert norm("TRUE OR COUNT(*) = 1") == TRUE
+        assert norm("NOT TRUE") == FALSE
+
+    def test_empty_in_list(self):
+        node = normalize_formula(
+            ast.InList(ast.Aggregate(ast.AggFunc.COUNT, None), ())
+        )
+        assert node == FALSE
+
+    def test_is_null_over_aggregate_rejected(self):
+        with pytest.raises(PaQLUnsupportedError, match="IS NULL"):
+            norm("SUM(fat) IS NULL")
+
+    @given(global_formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_normal_form_only_contains_allowed_nodes(self, formula):
+        assert only_allowed_nodes(normalize_formula(formula))
+
+
+class TestConjunctiveLeaves:
+    def test_and_splits(self):
+        leaves = conjunctive_leaves(norm("COUNT(*) = 1 AND SUM(fat) <= 5"))
+        assert len(leaves) == 2
+
+    def test_single_leaf(self):
+        assert len(conjunctive_leaves(norm("COUNT(*) = 1"))) == 1
+
+    def test_top_level_or_is_opaque(self):
+        node = norm("COUNT(*) = 1 OR COUNT(*) = 2")
+        leaves = conjunctive_leaves(node)
+        assert leaves == [node]
+
+
+def _random_aggregate_values(draw_source):
+    """A resolver mapping every aggregate node to a drawn value."""
+    cache = {}
+
+    def resolver(node):
+        if node not in cache:
+            cache[node] = draw_source(node)
+        return cache[node]
+
+    return resolver
+
+
+class TestSemanticEquivalence:
+    @given(global_formulas(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=250, deadline=None)
+    def test_normalization_preserves_folded_truth(self, formula, seed):
+        import random
+
+        rng = random.Random(seed)
+
+        values = {}
+
+        def resolver(node):
+            if node not in values:
+                roll = rng.random()
+                if roll < 0.1:
+                    values[node] = None  # NULL aggregate (e.g. empty AVG)
+                elif roll < 0.5:
+                    values[node] = rng.randint(-5, 5)
+                else:
+                    values[node] = round(rng.uniform(-10, 10), 3)
+            return values[node]
+
+        try:
+            normalized = normalize_formula(formula)
+        except PaQLUnsupportedError:
+            return
+
+        original_truth = eval_expr(formula, None, resolver) is True
+        normalized_truth = eval_expr(normalized, None, resolver) is True
+        assert original_truth == normalized_truth

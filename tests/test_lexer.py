@@ -1,0 +1,183 @@
+"""Tests for the PaQL lexer."""
+
+import pytest
+
+from repro.paql.errors import PaQLSyntaxError
+from repro.paql.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [token.type for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof_only(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only(self):
+        assert kinds("  \t\n  ") == [TokenType.EOF]
+
+    def test_keywords_are_case_insensitive(self):
+        for text in ("select", "SELECT", "SeLeCt"):
+            token = tokenize(text)[0]
+            assert token.type is TokenType.KEYWORD
+            assert token.value == "SELECT"
+
+    def test_identifier_preserves_case(self):
+        token = tokenize("Recipes")[0]
+        assert token.type is TokenType.NAME
+        assert token.value == "Recipes"
+
+    def test_identifier_with_underscore_and_digits(self):
+        token = tokenize("cook_minutes2")[0]
+        assert token.value == "cook_minutes2"
+
+    def test_paql_specific_keywords(self):
+        for word in ("PACKAGE", "SUCH", "THAT", "REPEAT", "MAXIMIZE", "MINIMIZE"):
+            assert tokenize(word)[0].type is TokenType.KEYWORD
+
+    def test_punctuation(self):
+        assert kinds("( ) , . * ;")[:-1] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.DOT,
+            TokenType.STAR,
+            TokenType.SEMICOLON,
+        ]
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.value == 42
+        assert isinstance(token.value, int)
+
+    def test_float(self):
+        token = tokenize("2.5")[0]
+        assert token.value == 2.5
+        assert isinstance(token.value, float)
+
+    def test_float_leading_dot(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_scientific_notation(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5E-2")[0].value == 0.025
+        assert tokenize("1e+2")[0].value == 100.0
+
+    def test_qualified_name_dot_is_not_decimal(self):
+        tokens = tokenize("R.calories")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.NAME,
+            TokenType.DOT,
+            TokenType.NAME,
+        ]
+
+    def test_number_then_dot_then_name(self):
+        # "3.x" must lex as NUMBER DOT NAME, not a malformed float.
+        tokens = tokenize("3.x")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.NUMBER,
+            TokenType.DOT,
+            TokenType.NAME,
+        ]
+
+    def test_e_followed_by_name_is_not_exponent(self):
+        tokens = tokenize("2e")
+        assert tokens[0].value == 2
+        assert tokens[1].type is TokenType.NAME
+
+    def test_unicode_digit_is_not_a_number(self):
+        # '²'.isdigit() is True but int('²') raises; the lexer must
+        # reject it as an unexpected character, not crash.
+        with pytest.raises(PaQLSyntaxError):
+            tokenize("²")
+        with pytest.raises(PaQLSyntaxError):
+            tokenize("x = ²3")
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert tokenize("'free'")[0].value == "free"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(PaQLSyntaxError):
+            tokenize("'oops")
+
+    def test_string_keeps_case_and_spaces(self):
+        assert tokenize("'Gluten Free'")[0].value == "Gluten Free"
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("<=", "<="), (">=", ">="), ("<>", "<>"), ("!=", "<>"), ("=", "="),
+         ("<", "<"), (">", ">"), ("+", "+"), ("-", "-"), ("/", "/")],
+    )
+    def test_operator_lexing(self, text, expected):
+        token = tokenize(text)[0]
+        assert token.type is TokenType.OPERATOR
+        assert token.value == expected
+
+    def test_adjacent_operators_split_greedily(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+        assert values("a<b") == ["a", "<", "b"]
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        assert values("a -- comment here\n b") == ["a", "b"]
+
+    def test_comment_at_end_of_input(self):
+        assert values("a -- trailing") == ["a"]
+
+    def test_positions_track_lines(self):
+        tokens = tokenize("SELECT\n  PACKAGE")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(PaQLSyntaxError) as excinfo:
+            tokenize("a\n  ?")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 3
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = tokenize("FROM")[0]
+        assert token.is_keyword("FROM")
+        assert not token.is_keyword("WHERE")
+
+    def test_str_rendering(self):
+        assert "NAME" in str(tokenize("abc")[0])
+
+
+def test_full_headline_query_lexes():
+    text = """
+    SELECT PACKAGE(R) AS P
+    FROM Recipes R
+    WHERE R.gluten = 'free'
+    SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+    MAXIMIZE SUM(P.protein)
+    """
+    tokens = tokenize(text)
+    assert tokens[-1].type is TokenType.EOF
+    keyword_values = [t.value for t in tokens if t.type is TokenType.KEYWORD]
+    assert "PACKAGE" in keyword_values
+    assert "BETWEEN" in keyword_values
+    assert "MAXIMIZE" in keyword_values

@@ -1,0 +1,184 @@
+"""Tests for the PaQL query linter."""
+
+import pytest
+
+from repro.paql.lint import lint
+from repro.paql.semantics import parse_and_analyze
+from repro.relational import ColumnType, Relation, Schema
+
+
+def value_relation(values, name="T"):
+    schema = Schema.of(
+        value=ColumnType.FLOAT, ghost=ColumnType.FLOAT, tag=ColumnType.TEXT
+    )
+    rows = [
+        {"value": float(v), "ghost": None, "tag": "x"} for v in values
+    ]
+    return Relation(name, schema, rows)
+
+
+def warnings_for(text, relation):
+    query = parse_and_analyze(text, relation.schema)
+    return lint(query, relation)
+
+
+def codes(warnings):
+    return [w.code for w in warnings]
+
+
+@pytest.fixture
+def rel():
+    return value_relation([10, 20, 30, 40])
+
+
+class TestCleanQueries:
+    def test_headline_style_query_is_clean(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T WHERE T.tag = 'x' "
+            "SUCH THAT COUNT(*) = 2 AND SUM(T.value) BETWEEN 30 AND 60 "
+            "MAXIMIZE SUM(T.value)",
+            rel,
+        )
+        assert warnings == []
+
+    def test_clauseless_query_is_clean(self, rel):
+        assert warnings_for("SELECT PACKAGE(T) FROM T", rel) == []
+
+
+class TestBetween:
+    def test_inverted_between_flagged(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "SUM(T.value) BETWEEN 100 AND 50",
+            rel,
+        )
+        assert "empty-between" in codes(warnings)
+
+    def test_inverted_between_in_where(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T WHERE T.value BETWEEN 9 AND 3",
+            rel,
+        )
+        assert "empty-between" in codes(warnings)
+
+    def test_proper_between_clean(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "SUM(T.value) BETWEEN 30 AND 60",
+            rel,
+        )
+        assert "empty-between" not in codes(warnings)
+
+
+class TestCountVsData:
+    def test_impossible_count_flagged(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 9", rel
+        )
+        assert "count-exceeds-data" in codes(warnings)
+
+    def test_repeat_raises_the_ceiling(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T REPEAT 3 SUCH THAT COUNT(*) = 9", rel
+        )
+        assert "count-exceeds-data" not in codes(warnings)
+
+    def test_strict_greater_at_limit(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) > 4", rel
+        )
+        assert "count-exceeds-data" in codes(warnings)
+
+    def test_achievable_count_clean(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 4", rel
+        )
+        assert "count-exceeds-data" not in codes(warnings)
+
+
+class TestTrivialBounds:
+    def test_sum_lower_bound_below_any_package(self, rel):
+        # Nonnegative data: SUM >= -5 holds for every package.
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.value) >= -5", rel
+        )
+        assert "trivial-constraint" in codes(warnings)
+
+    def test_sum_upper_bound_above_total(self, rel):
+        # Total of all positive values is 100: SUM <= 1000 binds nothing.
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.value) <= 1000", rel
+        )
+        assert "trivial-constraint" in codes(warnings)
+
+    def test_binding_bound_clean(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.value) <= 50", rel
+        )
+        assert "trivial-constraint" not in codes(warnings)
+
+
+class TestAllNullColumns:
+    def test_where_on_all_null_column(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T WHERE T.ghost > 0", rel
+        )
+        assert "all-null-column" in codes(warnings)
+
+    def test_aggregate_on_all_null_column(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.ghost) >= 1", rel
+        )
+        assert "all-null-column" in codes(warnings)
+
+    def test_objective_on_all_null_column(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T MAXIMIZE SUM(T.ghost)", rel
+        )
+        assert "all-null-column" in codes(warnings)
+
+    def test_partially_null_column_clean(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.value) >= 50", rel
+        )
+        assert "all-null-column" not in codes(warnings)
+
+
+class TestRedundancyAndRepeat:
+    def test_duplicate_conjuncts_flagged(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 2 AND COUNT(*) = 2",
+            rel,
+        )
+        assert "redundant-constraint" in codes(warnings)
+
+    def test_mergeable_bounds_flagged(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T WHERE "
+            "T.value >= 5 AND T.value >= 10",
+            rel,
+        )
+        assert "redundant-constraint" in codes(warnings)
+
+    def test_repeat_with_count_ceiling_one(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T REPEAT 3 SUCH THAT COUNT(*) = 1", rel
+        )
+        assert "repeat-unused" in codes(warnings)
+
+    def test_repeat_with_room_clean(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T REPEAT 3 SUCH THAT COUNT(*) = 3", rel
+        )
+        assert "repeat-unused" not in codes(warnings)
+
+
+class TestWarningRendering:
+    def test_str_contains_code_and_fragment(self, rel):
+        warnings = warnings_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 9", rel
+        )
+        text = str(warnings[0])
+        assert "count-exceeds-data" in text
+        assert "9" in text

@@ -1,0 +1,197 @@
+"""Metamorphic tests: engine-level invariants under query transformations.
+
+Each test transforms a query (or its data) in a way with a *known*
+effect on the optimum and checks the engine honors it.  These catch
+whole-pipeline bugs — translation slips, pruning overtightening,
+objective-sign errors — that no single-module unit test would.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EngineOptions
+from repro.core.engine import PackageQueryEvaluator, evaluate
+from repro.relational import ColumnType, Relation, Schema
+
+
+def value_relation(values, name="T"):
+    schema = Schema.of(value=ColumnType.FLOAT, weight=ColumnType.FLOAT)
+    rows = [
+        {"value": float(v), "weight": float((i * 7) % 13 + 1)}
+        for i, v in enumerate(values)
+    ]
+    return Relation(name, schema, rows)
+
+
+VALUES = st.lists(st.integers(1, 80), min_size=5, max_size=9)
+
+
+def base_query(count_high, sum_rhs, direction="MAXIMIZE"):
+    return (
+        f"SELECT PACKAGE(T) FROM T SUCH THAT "
+        f"COUNT(*) BETWEEN 1 AND {count_high} AND SUM(T.value) <= {sum_rhs} "
+        f"{direction} SUM(T.value)"
+    )
+
+
+class TestObjectiveTransformations:
+    @given(VALUES, st.integers(2, 4), st.integers(30, 160))
+    @settings(max_examples=25, deadline=None)
+    def test_scaling_the_objective_scales_the_optimum(self, values, k, rhs):
+        rel = value_relation(values)
+        plain = evaluate(base_query(k, rhs), rel)
+        scaled_text = base_query(k, rhs).replace(
+            "MAXIMIZE SUM(T.value)", "MAXIMIZE 3 * SUM(T.value)"
+        )
+        scaled = evaluate(scaled_text, rel)
+        assert plain.found == scaled.found
+        if plain.found:
+            assert scaled.objective == pytest.approx(3 * plain.objective)
+
+    @given(VALUES, st.integers(2, 4), st.integers(30, 160))
+    @settings(max_examples=25, deadline=None)
+    def test_minimize_negated_equals_maximize(self, values, k, rhs):
+        rel = value_relation(values)
+        maximize = evaluate(base_query(k, rhs, "MAXIMIZE"), rel)
+        minimize_negated = evaluate(
+            base_query(k, rhs).replace(
+                "MAXIMIZE SUM(T.value)", "MINIMIZE 0 - SUM(T.value)"
+            ),
+            rel,
+        )
+        assert maximize.found == minimize_negated.found
+        if maximize.found:
+            assert minimize_negated.objective == pytest.approx(
+                -maximize.objective
+            )
+
+    @given(VALUES, st.integers(2, 4), st.integers(30, 160))
+    @settings(max_examples=25, deadline=None)
+    def test_constant_shift_shifts_optimum_via_count(self, values, k, rhs):
+        # Adding 2 * COUNT(*) to a MAXIMIZE objective adds exactly
+        # 2 * |P*| where P* may change; weaker check: new optimum >=
+        # old optimum + 2 * (old package size) since the old optimal
+        # package is still feasible.
+        rel = value_relation(values)
+        plain = evaluate(base_query(k, rhs), rel)
+        shifted = evaluate(
+            base_query(k, rhs).replace(
+                "MAXIMIZE SUM(T.value)",
+                "MAXIMIZE SUM(T.value) + 2 * COUNT(*)",
+            ),
+            rel,
+        )
+        assert plain.found == shifted.found
+        if plain.found:
+            floor = plain.objective + 2 * plain.package.cardinality
+            assert shifted.objective >= floor - 1e-6
+
+
+class TestConstraintTransformations:
+    @given(VALUES, st.integers(2, 4), st.integers(30, 160))
+    @settings(max_examples=25, deadline=None)
+    def test_loosening_sum_budget_cannot_hurt(self, values, k, rhs):
+        rel = value_relation(values)
+        tight = evaluate(base_query(k, rhs), rel)
+        loose = evaluate(base_query(k, rhs + 50), rel)
+        if tight.found:
+            assert loose.found
+            assert loose.objective >= tight.objective - 1e-6
+
+    @given(VALUES, st.integers(2, 3), st.integers(30, 160))
+    @settings(max_examples=25, deadline=None)
+    def test_raising_count_ceiling_cannot_hurt(self, values, k, rhs):
+        rel = value_relation(values)
+        small = evaluate(base_query(k, rhs), rel)
+        large = evaluate(base_query(k + 2, rhs), rel)
+        if small.found:
+            assert large.found
+            assert large.objective >= small.objective - 1e-6
+
+    @given(VALUES, st.integers(2, 4), st.integers(30, 160))
+    @settings(max_examples=25, deadline=None)
+    def test_adding_a_constraint_satisfied_by_the_optimum_is_noop(
+        self, values, k, rhs
+    ):
+        rel = value_relation(values)
+        plain = evaluate(base_query(k, rhs), rel)
+        if not plain.found:
+            return
+        actual = plain.objective
+        extended = base_query(k, rhs).replace(
+            " MAXIMIZE",
+            f" AND SUM(T.value) >= {actual - 1} MAXIMIZE",
+        )
+        constrained = evaluate(extended, rel)
+        assert constrained.found
+        assert constrained.objective == pytest.approx(actual)
+
+    @given(VALUES, st.integers(2, 4), st.integers(30, 160))
+    @settings(max_examples=20, deadline=None)
+    def test_redundant_duplicate_constraint_is_noop(self, values, k, rhs):
+        rel = value_relation(values)
+        text = base_query(k, rhs)
+        duplicated = text.replace(
+            " MAXIMIZE", f" AND SUM(T.value) <= {rhs} MAXIMIZE"
+        )
+        assert evaluate(text, rel).objective == evaluate(duplicated, rel).objective
+
+
+class TestDataTransformations:
+    @given(VALUES, st.integers(2, 4), st.integers(30, 160))
+    @settings(max_examples=20, deadline=None)
+    def test_adding_tuples_cannot_hurt_maximization(self, values, k, rhs):
+        rel_small = value_relation(values)
+        rel_big = value_relation(values + [25, 40])
+        small = evaluate(base_query(k, rhs), rel_small)
+        big = evaluate(base_query(k, rhs), rel_big)
+        if small.found:
+            assert big.found
+            assert big.objective >= small.objective - 1e-6
+
+    @given(VALUES, st.integers(30, 160))
+    @settings(max_examples=20, deadline=None)
+    def test_repeat_k_plus_one_cannot_hurt(self, values, rhs):
+        rel = value_relation(values)
+        text_r1 = (
+            f"SELECT PACKAGE(T) FROM T REPEAT 1 SUCH THAT "
+            f"COUNT(*) BETWEEN 1 AND 3 AND SUM(T.value) <= {rhs} "
+            f"MAXIMIZE SUM(T.value)"
+        )
+        text_r2 = text_r1.replace("REPEAT 1", "REPEAT 2")
+        first = evaluate(text_r1, rel)
+        second = evaluate(text_r2, rel)
+        if first.found:
+            assert second.found
+            assert second.objective >= first.objective - 1e-6
+
+    @given(VALUES, st.integers(2, 4), st.integers(30, 160))
+    @settings(max_examples=20, deadline=None)
+    def test_row_order_does_not_change_the_optimum(self, values, k, rhs):
+        forward = evaluate(base_query(k, rhs), value_relation(values))
+        backward = evaluate(
+            base_query(k, rhs), value_relation(list(reversed(values)))
+        )
+        assert forward.found == backward.found
+        if forward.found:
+            assert forward.objective == pytest.approx(backward.objective)
+
+
+class TestRewriteTransparency:
+    @given(VALUES, st.integers(2, 4), st.integers(30, 160))
+    @settings(max_examples=20, deadline=None)
+    def test_rewrite_on_off_same_answer(self, values, k, rhs):
+        rel = value_relation(values)
+        # A query with rewritable fat: constants to fold, duplicates.
+        text = (
+            f"SELECT PACKAGE(T) FROM T SUCH THAT "
+            f"COUNT(*) BETWEEN 1 AND {k} AND "
+            f"SUM(T.value) <= {rhs} AND SUM(T.value) <= {rhs + 10} "
+            f"MAXIMIZE SUM(T.value) * (1 + 1) / 2"
+        )
+        with_rewrite = evaluate(text, rel, options=EngineOptions(rewrite=True))
+        without = evaluate(text, rel, options=EngineOptions(rewrite=False))
+        assert with_rewrite.found == without.found
+        if with_rewrite.found:
+            assert with_rewrite.objective == pytest.approx(without.objective)

@@ -1,0 +1,166 @@
+"""Tests for the Package multiset and its aggregate semantics."""
+
+import pytest
+
+from repro.core import Package, PackageError
+from repro.paql import ast
+from repro.paql.parser import parse_expression
+from repro.relational import ColumnType, Relation, Schema
+
+
+def agg(text):
+    return parse_expression(text)
+
+
+@pytest.fixture
+def rel():
+    schema = Schema.of(value=ColumnType.FLOAT, tag=ColumnType.TEXT)
+    rows = [
+        {"value": 10.0, "tag": "a"},
+        {"value": 20.0, "tag": "b"},
+        {"value": None, "tag": "c"},
+        {"value": -5.0, "tag": None},
+    ]
+    return Relation("T", schema, rows)
+
+
+class TestConstruction:
+    def test_from_iterable_counts_occurrences(self, rel):
+        package = Package(rel, [0, 1, 0])
+        assert package.counts == ((0, 2), (1, 1))
+        assert package.cardinality == 3
+
+    def test_from_dict(self, rel):
+        package = Package(rel, {2: 1, 0: 3})
+        assert package.counts == ((0, 3), (2, 1))
+
+    def test_zero_multiplicities_dropped(self, rel):
+        package = Package(rel, {0: 0, 1: 2})
+        assert package.rids == (1,)
+
+    def test_negative_multiplicity_rejected(self, rel):
+        with pytest.raises(PackageError, match="negative"):
+            Package(rel, {0: -1})
+
+    def test_out_of_range_rid_rejected(self, rel):
+        with pytest.raises(PackageError, match="out of range"):
+            Package(rel, [99])
+
+    def test_empty_package(self, rel):
+        package = Package(rel, [])
+        assert not package
+        assert package.cardinality == 0
+        assert len(package) == 0
+
+
+class TestProtocol:
+    def test_membership(self, rel):
+        package = Package(rel, [0, 1])
+        assert 0 in package
+        assert 2 not in package
+
+    def test_multiplicity(self, rel):
+        package = Package(rel, [0, 0, 1])
+        assert package.multiplicity(0) == 2
+        assert package.multiplicity(3) == 0
+
+    def test_equality_and_hash(self, rel):
+        assert Package(rel, [0, 1]) == Package(rel, {0: 1, 1: 1})
+        assert hash(Package(rel, [0, 1])) == hash(Package(rel, [1, 0]))
+        assert Package(rel, [0]) != Package(rel, [0, 0])
+
+    def test_rows_repeat_by_multiplicity(self, rel):
+        rows = Package(rel, [0, 0, 1]).rows()
+        assert [row["tag"] for row in rows] == ["a", "a", "b"]
+
+    def test_distinct_rows_carry_multiplicity(self, rel):
+        rows = Package(rel, [0, 0, 1]).distinct_rows()
+        assert rows[0]["_multiplicity"] == 2
+        assert rows[1]["_multiplicity"] == 1
+
+    def test_repr_shows_multiplicity(self, rel):
+        assert "0x2" in repr(Package(rel, [0, 0]))
+
+
+class TestReplace:
+    def test_swap(self, rel):
+        package = Package(rel, [0, 1])
+        swapped = package.replace([0], [2])
+        assert swapped.rids == (1, 2)
+        assert package.rids == (0, 1)  # original untouched
+
+    def test_add_and_remove(self, rel):
+        package = Package(rel, [0])
+        assert package.replace([], [1]).cardinality == 2
+        assert package.replace([0], []).cardinality == 0
+
+    def test_remove_missing_rejected(self, rel):
+        with pytest.raises(PackageError, match="not in package"):
+            Package(rel, [0]).replace([1], [])
+
+    def test_multiplicity_decrement(self, rel):
+        package = Package(rel, [0, 0])
+        assert package.replace([0], []).multiplicity(0) == 1
+
+
+class TestOverlapAndDistance:
+    def test_overlap_multiset(self, rel):
+        left = Package(rel, [0, 0, 1])
+        right = Package(rel, [0, 1, 2])
+        assert left.overlap(right) == 2
+
+    def test_jaccard_identical(self, rel):
+        package = Package(rel, [0, 1])
+        assert package.jaccard_distance(package) == 0.0
+
+    def test_jaccard_disjoint(self, rel):
+        assert Package(rel, [0]).jaccard_distance(Package(rel, [1])) == 1.0
+
+    def test_jaccard_both_empty(self, rel):
+        assert Package(rel, []).jaccard_distance(Package(rel, [])) == 0.0
+
+
+class TestAggregates:
+    def test_count_star(self, rel):
+        assert Package(rel, [0, 0, 2]).aggregate(agg("COUNT(*)")) == 3
+        assert Package(rel, []).aggregate(agg("COUNT(*)")) == 0
+
+    def test_count_expr_skips_nulls_weights_multiplicity(self, rel):
+        package = Package(rel, [0, 0, 2])
+        assert package.aggregate(agg("COUNT(value)")) == 2
+
+    def test_sum_weights_multiplicity(self, rel):
+        package = Package(rel, [0, 0, 1])
+        assert package.aggregate(agg("SUM(value)")) == 40.0
+
+    def test_sum_skips_nulls(self, rel):
+        assert Package(rel, [0, 2]).aggregate(agg("SUM(value)")) == 10.0
+
+    def test_sum_of_empty_package_is_zero(self, rel):
+        # Matches the ILP translation (see module docstring).
+        assert Package(rel, []).aggregate(agg("SUM(value)")) == 0
+
+    def test_avg(self, rel):
+        package = Package(rel, [0, 1, 1])
+        assert package.aggregate(agg("AVG(value)")) == pytest.approx(50 / 3)
+
+    def test_avg_of_empty_is_null(self, rel):
+        assert Package(rel, []).aggregate(agg("AVG(value)")) is None
+
+    def test_min_max(self, rel):
+        package = Package(rel, [0, 1, 3])
+        assert package.aggregate(agg("MIN(value)")) == -5.0
+        assert package.aggregate(agg("MAX(value)")) == 20.0
+
+    def test_min_of_all_null_is_null(self, rel):
+        assert Package(rel, [2]).aggregate(agg("MIN(value)")) is None
+
+    def test_aggregate_over_expression(self, rel):
+        package = Package(rel, [0, 1])
+        assert package.aggregate(agg("SUM(value * 2)")) == 60.0
+
+    def test_aggregates_cached(self, rel):
+        package = Package(rel, [0, 1])
+        node = agg("SUM(value)")
+        first = package.aggregate(node)
+        assert package.aggregate(node) is first or package.aggregate(node) == first

@@ -1,0 +1,266 @@
+"""Tests for the PaQL parser."""
+
+import pytest
+
+from repro.paql import ast
+from repro.paql.errors import PaQLSyntaxError, PaQLUnsupportedError
+from repro.paql.parser import parse, parse_expression
+
+
+class TestQueryStructure:
+    def test_minimal_query(self):
+        query = parse("SELECT PACKAGE(R) FROM R")
+        assert query.relation == "R"
+        assert query.relation_alias == "R"
+        assert query.package_alias == "R"
+        assert query.repeat == 1
+        assert query.where is None
+        assert query.such_that is None
+        assert query.objective is None
+
+    def test_package_alias(self):
+        query = parse("SELECT PACKAGE(R) AS P FROM Recipes R")
+        assert query.relation == "Recipes"
+        assert query.relation_alias == "R"
+        assert query.package_alias == "P"
+
+    def test_package_may_name_the_relation_itself(self):
+        query = parse("SELECT PACKAGE(Recipes) FROM Recipes")
+        assert query.relation == "Recipes"
+
+    def test_package_alias_mismatch_rejected(self):
+        with pytest.raises(PaQLSyntaxError):
+            parse("SELECT PACKAGE(X) FROM Recipes R")
+
+    def test_repeat_clause(self):
+        query = parse("SELECT PACKAGE(R) FROM Recipes R REPEAT 3")
+        assert query.repeat == 3
+
+    def test_repeat_requires_positive_integer(self):
+        with pytest.raises(PaQLSyntaxError):
+            parse("SELECT PACKAGE(R) FROM Recipes R REPEAT 0")
+        with pytest.raises(PaQLSyntaxError):
+            parse("SELECT PACKAGE(R) FROM Recipes R REPEAT 1.5")
+
+    def test_multi_relation_from_unsupported(self):
+        with pytest.raises(PaQLUnsupportedError):
+            parse("SELECT PACKAGE(R) FROM Recipes R, Drinks D")
+
+    def test_trailing_semicolon_allowed(self):
+        parse("SELECT PACKAGE(R) FROM R;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PaQLSyntaxError):
+            parse("SELECT PACKAGE(R) FROM R garbage extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(PaQLSyntaxError):
+            parse("SELECT PACKAGE(R) WHERE a = 1")
+
+    def test_headline_query_shape(self):
+        query = parse(
+            "SELECT PACKAGE(R) AS P FROM Recipes R "
+            "WHERE R.gluten = 'free' "
+            "SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 "
+            "MAXIMIZE SUM(P.protein)"
+        )
+        assert isinstance(query.where, ast.Comparison)
+        assert isinstance(query.such_that, ast.And)
+        assert len(query.such_that.args) == 2
+        assert query.objective.direction is ast.Direction.MAXIMIZE
+
+    def test_minimize_objective(self):
+        query = parse(
+            "SELECT PACKAGE(R) FROM R MINIMIZE SUM(R.price)"
+        )
+        assert query.objective.direction is ast.Direction.MINIMIZE
+
+
+class TestExpressions:
+    def test_comparison_operators(self):
+        for text, op in [
+            ("a = 1", ast.CmpOp.EQ),
+            ("a <> 1", ast.CmpOp.NE),
+            ("a != 1", ast.CmpOp.NE),
+            ("a < 1", ast.CmpOp.LT),
+            ("a <= 1", ast.CmpOp.LE),
+            ("a > 1", ast.CmpOp.GT),
+            ("a >= 1", ast.CmpOp.GE),
+        ]:
+            expr = parse_expression(text)
+            assert isinstance(expr, ast.Comparison)
+            assert expr.op is op
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op is ast.BinOp.ADD
+        assert isinstance(expr.right, ast.BinaryOp)
+        assert expr.right.op is ast.BinOp.MUL
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op is ast.BinOp.MUL
+        assert isinstance(expr.left, ast.BinaryOp)
+
+    def test_left_associativity_of_subtraction(self):
+        expr = parse_expression("10 - 3 - 2")
+        # (10 - 3) - 2
+        assert expr.op is ast.BinOp.SUB
+        assert isinstance(expr.left, ast.BinaryOp)
+        assert expr.right == ast.Literal(2)
+
+    def test_unary_minus_folds_into_literal(self):
+        assert parse_expression("-5") == ast.Literal(-5)
+        assert parse_expression("-2.5") == ast.Literal(-2.5)
+
+    def test_unary_minus_on_column(self):
+        expr = parse_expression("-price")
+        assert isinstance(expr, ast.UnaryMinus)
+
+    def test_boolean_precedence_and_over_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, ast.Or)
+        assert isinstance(expr.args[1], ast.And)
+
+    def test_and_flattening(self):
+        expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+        assert isinstance(expr, ast.And)
+        assert len(expr.args) == 3
+
+    def test_or_flattening(self):
+        expr = parse_expression("a = 1 OR b = 2 OR c = 3")
+        assert isinstance(expr, ast.Or)
+        assert len(expr.args) == 3
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression("NOT a = 1 AND b = 2")
+        assert isinstance(expr, ast.And)
+        assert isinstance(expr.args[0], ast.Not)
+
+    def test_double_not(self):
+        expr = parse_expression("NOT NOT a = 1")
+        assert isinstance(expr, ast.Not)
+        assert isinstance(expr.arg, ast.Not)
+
+    def test_between(self):
+        expr = parse_expression("calories BETWEEN 2000 AND 2500")
+        assert isinstance(expr, ast.Between)
+        assert not expr.negated
+        assert expr.low == ast.Literal(2000)
+        assert expr.high == ast.Literal(2500)
+
+    def test_not_between(self):
+        expr = parse_expression("calories NOT BETWEEN 1 AND 2")
+        assert isinstance(expr, ast.Between)
+        assert expr.negated
+
+    def test_between_and_does_not_capture_conjunction(self):
+        expr = parse_expression("a BETWEEN 1 AND 2 AND b = 3")
+        assert isinstance(expr, ast.And)
+        assert isinstance(expr.args[0], ast.Between)
+
+    def test_in_list(self):
+        expr = parse_expression("category IN ('a', 'b', 'c')")
+        assert isinstance(expr, ast.InList)
+        assert [item.value for item in expr.items] == ["a", "b", "c"]
+
+    def test_not_in_list(self):
+        expr = parse_expression("category NOT IN (1, -2)")
+        assert expr.negated
+        assert [item.value for item in expr.items] == [1, -2]
+
+    def test_in_subquery_unsupported(self):
+        with pytest.raises(PaQLUnsupportedError):
+            parse_expression("a IN (SELECT b FROM t)")
+
+    def test_is_null(self):
+        expr = parse_expression("rating IS NULL")
+        assert isinstance(expr, ast.IsNull)
+        assert not expr.negated
+
+    def test_is_not_null(self):
+        expr = parse_expression("rating IS NOT NULL")
+        assert expr.negated
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("FALSE") == ast.Literal(False)
+        assert parse_expression("NULL") == ast.Literal(None)
+
+    def test_qualified_column(self):
+        expr = parse_expression("R.calories")
+        assert expr == ast.ColumnRef("R", "calories")
+
+    def test_division(self):
+        expr = parse_expression("a / 2")
+        assert expr.op is ast.BinOp.DIV
+
+
+class TestAggregates:
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr == ast.Aggregate(ast.AggFunc.COUNT, None)
+        assert expr.is_count_star
+
+    def test_sum_of_column(self):
+        expr = parse_expression("SUM(P.calories)")
+        assert expr.func is ast.AggFunc.SUM
+        assert expr.argument == ast.ColumnRef("P", "calories")
+
+    def test_all_aggregate_functions(self):
+        for name, func in [
+            ("COUNT", ast.AggFunc.COUNT),
+            ("SUM", ast.AggFunc.SUM),
+            ("AVG", ast.AggFunc.AVG),
+            ("MIN", ast.AggFunc.MIN),
+            ("MAX", ast.AggFunc.MAX),
+        ]:
+            expr = parse_expression(f"{name}(x)")
+            assert expr.func is func
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(PaQLSyntaxError):
+            parse_expression("SUM(*)")
+
+    def test_aggregate_of_arithmetic(self):
+        expr = parse_expression("SUM(price * 2)")
+        assert isinstance(expr.argument, ast.BinaryOp)
+
+    def test_aggregate_arithmetic_combination(self):
+        expr = parse_expression("SUM(a) - SUM(b) >= 10")
+        assert isinstance(expr, ast.Comparison)
+        assert isinstance(expr.left, ast.BinaryOp)
+
+    def test_subquery_in_such_that_unsupported(self):
+        with pytest.raises(PaQLUnsupportedError):
+            parse(
+                "SELECT PACKAGE(R) FROM R SUCH THAT "
+                "COUNT(*) = (SELECT COUNT(*) FROM S)"
+            )
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT",
+            "SELECT PACKAGE",
+            "SELECT PACKAGE(R",
+            "SELECT PACKAGE(R) FROM",
+            "SELECT PACKAGE(R) FROM R WHERE",
+            "SELECT PACKAGE(R) FROM R SUCH",
+            "SELECT PACKAGE(R) FROM R MAXIMIZE",
+        ],
+    )
+    def test_truncated_queries_raise(self, text):
+        with pytest.raises((PaQLSyntaxError, PaQLUnsupportedError)):
+            parse(text)
+
+    def test_expression_trailing_garbage(self):
+        with pytest.raises(PaQLSyntaxError):
+            parse_expression("a = 1 b")
+
+    def test_error_message_mentions_expectation(self):
+        with pytest.raises(PaQLSyntaxError, match="expected"):
+            parse("SELECT BUNDLE(R) FROM R")

@@ -1,0 +1,135 @@
+"""Tests for evaluation planning (EXPLAIN for package queries).
+
+The load-bearing property: the plan's predicted strategy always
+matches what the engine's ``auto`` mode actually runs.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core import EngineOptions
+from repro.core.engine import PackageQueryEvaluator, evaluate
+from repro.core.plan import plan
+from repro.relational import ColumnType, Relation, Schema, write_csv
+
+from tests.conftest import HEADLINE
+
+
+def value_relation(values, name="T"):
+    schema = Schema.of(value=ColumnType.FLOAT)
+    return Relation(name, schema, [{"value": float(v)} for v in values])
+
+
+def plan_for(text, relation, options=None):
+    evaluator = PackageQueryEvaluator(relation)
+    query = evaluator.prepare(text)
+    return plan(query, relation, options=options)
+
+
+class TestPlanContents:
+    def test_translatable_query_plans_ilp(self, meals):
+        result = plan_for(HEADLINE, meals)
+        assert result.translatable
+        assert result.chosen_strategy == "ilp"
+        assert result.model_variables == result.candidate_count
+        assert result.model_integers == result.candidate_count
+        assert result.model_constraints >= 2
+
+    def test_candidate_count_matches_pushdown(self, meals):
+        result = plan_for(HEADLINE, meals)
+        free = sum(1 for row in meals if row["gluten"] == "free")
+        assert result.candidate_count == free
+
+    def test_space_sizes(self, meals):
+        result = plan_for(HEADLINE, meals)
+        assert result.space_unpruned == 2**result.candidate_count
+        assert 0 < result.space_pruned < result.space_unpruned
+
+    def test_untranslatable_small_plans_brute_force(self):
+        rel = value_relation([10, 20, 30, 40])
+        result = plan_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 2 "
+            "MAXIMIZE MIN(T.value)",
+            rel,
+        )
+        assert not result.translatable
+        assert "MIN" in result.translation_error
+        assert result.chosen_strategy == "brute-force"
+
+    def test_untranslatable_large_plans_local_search(self):
+        rel = value_relation(list(range(1, 41)))
+        result = plan_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 3 AND SUM(T.value) >= 30 MAXIMIZE MIN(T.value)",
+            rel,
+            options=EngineOptions(brute_force_limit=100),
+        )
+        assert result.chosen_strategy == "local-search"
+
+    def test_empty_bounds_plan(self):
+        rel = value_relation([1, 2])
+        result = plan_for(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 9", rel
+        )
+        assert result.chosen_strategy == "pruning"
+        assert result.bounds.empty
+
+    def test_text_rendering(self, meals):
+        text = plan_for(HEADLINE, meals).text()
+        assert "candidates after base constraints" in text
+        assert "strategy: ilp" in text
+        assert "linear encoding" in text
+
+
+class TestPlanAgreesWithEngine:
+    CASES = [
+        # (values, query) spanning each auto branch.
+        ([10, 20, 30], "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 2 "
+                       "MAXIMIZE SUM(T.value)"),
+        ([10, 20, 30], "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 2 "
+                       "MAXIMIZE MIN(T.value)"),
+        ([1, 2], "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 9"),
+    ]
+
+    @pytest.mark.parametrize("values,text", CASES)
+    def test_predicted_strategy_is_what_auto_runs(self, values, text):
+        rel = value_relation(values)
+        evaluator = PackageQueryEvaluator(rel)
+        query = evaluator.prepare(text)
+        predicted = plan(query, rel)
+        actual = evaluator.evaluate(text)
+        assert predicted.chosen_strategy == actual.strategy
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_agreement_on_random_workload(self, seed):
+        from repro.datasets import generate_recipes
+        from repro.datasets.workload import random_query
+
+        recipes = generate_recipes(25, seed=3)
+        query = random_query(
+            "Recipes",
+            {"calories": (120.0, 1600.0), "protein": (2.0, 120.0)},
+            seed=seed,
+        )
+        evaluator = PackageQueryEvaluator(recipes)
+        analyzed = evaluator.prepare(query)
+        predicted = plan(analyzed, recipes)
+        actual = evaluator.evaluate(query, EngineOptions(rewrite=False))
+        assert predicted.chosen_strategy == actual.strategy
+
+
+class TestPlanCli:
+    def test_plan_subcommand(self, tmp_path, meals):
+        path = tmp_path / "Recipes.csv"
+        write_csv(meals, path)
+        out = io.StringIO()
+        code = main(
+            ["plan", "--csv", str(path), "--query", HEADLINE], out=out
+        )
+        assert code == 0
+        assert "strategy: ilp" in out.getvalue()

@@ -1,0 +1,155 @@
+"""Tests for MILP presolve (bound tightening) and B&B ablations."""
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    BranchAndBoundOptions,
+    Model,
+    ObjectiveSense,
+    Status,
+    solve_milp,
+)
+from repro.solver.presolve import tighten_bounds
+
+
+class TestTightening:
+    def test_le_row_tightens_upper_bounds(self):
+        model = Model()
+        x = model.add_variable(upper=10)
+        y = model.add_variable(upper=10)
+        model.add_constraint({x: 1, y: 1}, "<=", 4)
+        result = tighten_bounds(model)
+        assert not result.infeasible
+        assert result.upper[x.index] == pytest.approx(4)
+        assert result.upper[y.index] == pytest.approx(4)
+
+    def test_ge_row_tightens_lower_bounds(self):
+        model = Model()
+        x = model.add_variable(upper=10)
+        y = model.add_variable(upper=3)
+        model.add_constraint({x: 1, y: 1}, ">=", 8)
+        result = tighten_bounds(model)
+        # y <= 3 forces x >= 5.
+        assert result.lower[x.index] == pytest.approx(5)
+
+    def test_zero_sum_row_fixes_variables(self):
+        # The MIN/MAX set-encoding shape: sum of binaries <= 0.
+        model = Model()
+        a = model.add_binary()
+        b = model.add_binary()
+        c = model.add_binary()
+        model.add_constraint({a: 1, b: 1}, "<=", 0)
+        result = tighten_bounds(model)
+        assert result.upper[a.index] == 0
+        assert result.upper[b.index] == 0
+        assert result.upper[c.index] == 1  # untouched
+        assert result.fixed == 2
+
+    def test_integer_bounds_round_inward(self):
+        model = Model()
+        x = model.add_variable(upper=10, integer=True)
+        model.add_constraint({x: 2}, "<=", 7)
+        result = tighten_bounds(model)
+        assert result.upper[x.index] == 3  # floor(3.5)
+
+    def test_continuous_bounds_not_rounded(self):
+        model = Model()
+        x = model.add_variable(upper=10)
+        model.add_constraint({x: 2}, "<=", 7)
+        result = tighten_bounds(model)
+        assert result.upper[x.index] == pytest.approx(3.5)
+
+    def test_infeasibility_detected(self):
+        model = Model()
+        x = model.add_binary()
+        model.add_constraint({x: 1}, ">=", 2)
+        assert tighten_bounds(model).infeasible
+
+    def test_equality_tightens_both_sides(self):
+        model = Model()
+        x = model.add_variable(upper=10)
+        y = model.add_variable(upper=2)
+        model.add_constraint({x: 1, y: 1}, "=", 8)
+        result = tighten_bounds(model)
+        assert result.lower[x.index] == pytest.approx(6)
+        assert result.upper[x.index] == pytest.approx(8)
+
+    def test_propagation_across_rounds(self):
+        # First row caps x, second then caps y through x's new bound.
+        model = Model()
+        x = model.add_variable(upper=100)
+        y = model.add_variable(upper=100)
+        model.add_constraint({x: 1}, "<=", 5)
+        model.add_constraint({y: 1, x: -1}, "<=", 0)  # y <= x
+        result = tighten_bounds(model)
+        assert result.upper[y.index] == pytest.approx(5)
+        assert result.rounds >= 2
+
+    def test_model_not_mutated(self):
+        model = Model()
+        x = model.add_variable(upper=10)
+        model.add_constraint({x: 1}, "<=", 4)
+        tighten_bounds(model)
+        assert model.variables[x.index].upper == 10
+
+    def test_infinite_bounds_block_tightening_of_others(self):
+        model = Model()
+        x = model.add_variable()  # unbounded above
+        y = model.add_variable(upper=10)
+        model.add_constraint({x: -1, y: 1}, "<=", 0)  # y <= x: no info on y
+        result = tighten_bounds(model)
+        assert result.upper[y.index] == pytest.approx(10)
+
+
+class TestAblations:
+    def _model(self, seed=5, n=16):
+        rng = np.random.default_rng(seed)
+        model = Model("abl")
+        items = [model.add_binary(f"i{j}") for j in range(n)]
+        weights = rng.integers(4, 30, size=n)
+        values = rng.integers(5, 50, size=n)
+        model.add_constraint(
+            {i: int(w) for i, w in zip(items, weights)},
+            "<=",
+            int(weights.sum() // 2),
+        )
+        # A couple of zero-sum rows presolve can exploit.
+        model.add_constraint({items[0]: 1, items[1]: 1}, "<=", 0)
+        model.set_objective(
+            {i: int(v) for i, v in zip(items, values)},
+            ObjectiveSense.MAXIMIZE,
+        )
+        return model
+
+    @pytest.mark.parametrize("presolve", [True, False])
+    @pytest.mark.parametrize("rounding", [True, False])
+    def test_options_do_not_change_the_optimum(self, presolve, rounding):
+        model = self._model()
+        baseline = solve_milp(
+            model, BranchAndBoundOptions(presolve=False, rounding=False)
+        )
+        variant = solve_milp(
+            model,
+            BranchAndBoundOptions(presolve=presolve, rounding=rounding),
+        )
+        assert variant.status is Status.OPTIMAL
+        assert variant.objective == pytest.approx(baseline.objective)
+
+    def test_presolve_detects_infeasibility_without_lp(self):
+        model = Model()
+        x = model.add_binary()
+        model.add_constraint({x: 1}, ">=", 3)
+        solution = solve_milp(model, BranchAndBoundOptions(presolve=True))
+        assert solution.status is Status.INFEASIBLE
+        assert solution.nodes == 0
+
+    def test_rounding_provides_early_incumbent_under_node_limit(self):
+        model = self._model(seed=9, n=20)
+        starved = solve_milp(
+            model,
+            BranchAndBoundOptions(node_limit=1, rounding=True, presolve=False),
+        )
+        # With one node and rounding, we should still have *a* solution.
+        assert starved.status in (Status.FEASIBLE, Status.OPTIMAL)
+        assert model.is_feasible(starved.x)

@@ -1,0 +1,100 @@
+"""Printer tests: deparsing and parse/print round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paql import ast
+from repro.paql.parser import parse, parse_expression
+from repro.paql.printer import print_expr, print_query
+
+from tests.paql_strategies import global_formulas, predicates
+
+
+class TestExpressionPrinting:
+    def test_literals(self):
+        assert print_expr(ast.Literal(3)) == "3"
+        assert print_expr(ast.Literal(2.5)) == "2.5"
+        assert print_expr(ast.Literal("free")) == "'free'"
+        assert print_expr(ast.Literal(True)) == "TRUE"
+        assert print_expr(ast.Literal(None)) == "NULL"
+
+    def test_string_quote_escaping(self):
+        assert print_expr(ast.Literal("it's")) == "'it''s'"
+
+    def test_count_star(self):
+        assert print_expr(ast.Aggregate(ast.AggFunc.COUNT, None)) == "COUNT(*)"
+
+    def test_aggregate(self):
+        node = ast.Aggregate(ast.AggFunc.SUM, ast.ColumnRef(None, "calories"))
+        assert print_expr(node) == "SUM(calories)"
+
+    def test_between_fully_parenthesized(self):
+        node = ast.Between(
+            ast.ColumnRef(None, "a"), ast.Literal(1), ast.Literal(2)
+        )
+        assert print_expr(node) == "(a BETWEEN 1 AND 2)"
+
+    def test_qualified_column(self):
+        assert print_expr(ast.ColumnRef("R", "fat")) == "R.fat"
+
+
+class TestQueryPrinting:
+    def test_minimal(self):
+        text = print_query(parse("SELECT PACKAGE(R) FROM R"))
+        assert text == "SELECT PACKAGE(R) AS R\nFROM R"
+
+    def test_full_query_contains_all_clauses(self):
+        query = parse(
+            "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 2 "
+            "WHERE R.gluten = 'free' "
+            "SUCH THAT COUNT(*) = 3 "
+            "MAXIMIZE SUM(P.protein)"
+        )
+        text = print_query(query)
+        assert "FROM Recipes R REPEAT 2" in text
+        assert "WHERE" in text
+        assert "SUCH THAT" in text
+        assert "MAXIMIZE" in text
+
+    def test_repeat_one_is_implicit(self):
+        text = print_query(parse("SELECT PACKAGE(R) FROM R"))
+        assert "REPEAT" not in text
+
+
+class TestRoundTrips:
+    def test_headline_query_round_trip(self):
+        text = (
+            "SELECT PACKAGE(R) AS P FROM Recipes R "
+            "WHERE R.gluten = 'free' "
+            "SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 "
+            "MAXIMIZE SUM(P.protein)"
+        )
+        query = parse(text)
+        assert parse(print_query(query)) == query
+
+    @given(predicates())
+    @settings(max_examples=150, deadline=None)
+    def test_predicate_round_trip(self, expr):
+        assert parse_expression(print_expr(expr)) == expr
+
+    @given(global_formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_global_formula_round_trip(self, expr):
+        assert parse_expression(print_expr(expr)) == expr
+
+    @given(predicates(), global_formulas(), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_query_round_trip(self, where, such_that, repeat):
+        query = ast.PackageQuery(
+            relation="Recipes",
+            relation_alias="R",
+            package_alias="P",
+            repeat=repeat,
+            where=where,
+            such_that=such_that,
+            objective=ast.Objective(
+                ast.Direction.MAXIMIZE,
+                ast.Aggregate(ast.AggFunc.SUM, ast.ColumnRef(None, "protein")),
+            ),
+        )
+        assert parse(print_query(query)) == query

@@ -1,0 +1,215 @@
+"""Tests for cardinality-based pruning (Section 4.1).
+
+Includes the soundness property the paper relies on: pruning never
+excludes a valid package — every package satisfying the global formula
+has cardinality inside the derived bounds.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CardinalityBounds,
+    Package,
+    check_global,
+    derive_bounds,
+    search_space_size,
+)
+from repro.paql.semantics import parse_and_analyze
+from repro.relational import ColumnType, Relation, Schema
+
+
+def analyzed(text, relation):
+    return parse_and_analyze(text, relation.schema)
+
+
+def value_relation(values):
+    schema = Schema.of(value=ColumnType.FLOAT)
+    return Relation("T", schema, [{"value": float(v)} for v in values])
+
+
+class TestBoundsAlgebra:
+    def test_intersect(self):
+        assert CardinalityBounds(1, 5).intersect(
+            CardinalityBounds(3, 9)
+        ) == CardinalityBounds(3, 5)
+
+    def test_hull(self):
+        assert CardinalityBounds(1, 2).hull(
+            CardinalityBounds(5, 9)
+        ) == CardinalityBounds(1, 9)
+
+    def test_hull_ignores_empty(self):
+        empty = CardinalityBounds(1, 0)
+        assert empty.hull(CardinalityBounds(2, 3)) == CardinalityBounds(2, 3)
+
+    def test_empty_detection(self):
+        assert CardinalityBounds(3, 2).empty
+        assert not CardinalityBounds(3, 3).empty
+
+    def test_search_space_size(self):
+        # n=4, k in [1, 2]: C(4,1) + C(4,2) = 10.
+        assert search_space_size(4, CardinalityBounds(1, 2)) == 10
+        assert search_space_size(4, CardinalityBounds(0, 4)) == 16
+        assert search_space_size(4, CardinalityBounds(5, 9)) == 0
+        assert search_space_size(4, CardinalityBounds(1, 0)) == 0
+
+
+class TestPaperExamples:
+    def test_count_bounds_direct(self):
+        rel = value_relation([1] * 10)
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) BETWEEN 2 AND 5", rel
+        )
+        assert derive_bounds(query, rel, range(10)) == CardinalityBounds(2, 5)
+
+    def test_count_equality(self):
+        rel = value_relation([1] * 10)
+        query = analyzed("SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 3", rel)
+        assert derive_bounds(query, rel, range(10)) == CardinalityBounds(3, 3)
+
+    def test_sum_window_paper_formula(self):
+        # The paper's example: l = ceil(a / max), u = floor(b / min).
+        values = [200, 300, 500, 800, 1000]
+        rel = value_relation(values)
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "SUM(T.value) BETWEEN 2000 AND 2500",
+            rel,
+        )
+        bounds = derive_bounds(query, rel, range(5))
+        assert bounds.lower == math.ceil(2000 / 1000)
+        # floor(2500 / 200) = 12, clipped to the 5 available candidates.
+        assert bounds.upper == min(math.floor(2500 / 200), 5)
+
+    def test_sum_window_upper_not_clipped(self):
+        # Same window with enough candidates that floor(b / min) binds.
+        values = [200, 300, 500, 800, 1000] + [250] * 10
+        rel = value_relation(values)
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "SUM(T.value) BETWEEN 2000 AND 2500",
+            rel,
+        )
+        bounds = derive_bounds(query, rel, range(len(values)))
+        assert bounds.upper == math.floor(2500 / 200)
+
+    def test_conjunction_intersects(self):
+        rel = value_relation([100] * 20)
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) >= 3 AND SUM(T.value) <= 500",
+            rel,
+        )
+        assert derive_bounds(query, rel, range(20)) == CardinalityBounds(3, 5)
+
+    def test_disjunction_hulls(self):
+        rel = value_relation([1] * 10)
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 2 OR COUNT(*) = 7",
+            rel,
+        )
+        assert derive_bounds(query, rel, range(10)) == CardinalityBounds(2, 7)
+
+    def test_infeasible_window_detected(self):
+        rel = value_relation([100, 200])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.value) >= 10000", rel
+        )
+        assert derive_bounds(query, rel, range(2)).empty
+
+    def test_negative_sum_upper_bound_infeasible(self):
+        # All positive values cannot sum to <= -5 (even empty: 0 > -5).
+        rel = value_relation([10, 20])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.value) <= -5", rel
+        )
+        assert derive_bounds(query, rel, range(2)).empty
+
+    def test_count_expr_lower_bound_carries(self):
+        rel = value_relation([1] * 10)
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(T.value) >= 4", rel
+        )
+        bounds = derive_bounds(query, rel, range(10))
+        assert bounds.lower == 4
+
+    def test_no_such_that_is_unbounded(self):
+        rel = value_relation([1] * 5)
+        query = analyzed("SELECT PACKAGE(T) FROM T", rel)
+        assert derive_bounds(query, rel, range(5)) == CardinalityBounds(0, 5)
+
+    def test_repeat_scales_max_cardinality(self):
+        rel = value_relation([1] * 5)
+        query = analyzed("SELECT PACKAGE(T) FROM T REPEAT 3", rel)
+        assert derive_bounds(query, rel, range(5)).upper == 15
+
+    def test_negative_data_mirrored_bounds(self):
+        # All-negative values, SUM <= -50: need at least ceil(50/20)=3
+        # tuples of the least-negative value.
+        rel = value_relation([-10, -15, -20])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.value) <= -50", rel
+        )
+        bounds = derive_bounds(query, rel, range(3))
+        assert bounds.lower == 3
+
+    def test_avg_contributes_no_bounds(self):
+        rel = value_relation([10, 20])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT AVG(T.value) <= 15", rel
+        )
+        assert derive_bounds(query, rel, range(2)) == CardinalityBounds(0, 2)
+
+
+@st.composite
+def pruning_scenarios(draw):
+    """A small relation plus a random global formula."""
+    n = draw(st.integers(3, 8))
+    values = draw(
+        st.lists(
+            st.integers(-50, 200).filter(lambda v: v != 0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    conjuncts = []
+    for _ in range(draw(st.integers(1, 3))):
+        kind = draw(st.sampled_from(["count", "sum"]))
+        op = draw(st.sampled_from(["<=", ">=", "=", "<", ">"]))
+        if kind == "count":
+            constant = draw(st.integers(0, n))
+            conjuncts.append(f"COUNT(*) {op} {constant}")
+        else:
+            constant = draw(st.integers(-200, 600))
+            conjuncts.append(f"SUM(T.value) {op} {constant}")
+    connector = draw(st.sampled_from([" AND ", " OR "]))
+    formula = connector.join(conjuncts)
+    return values, formula
+
+
+class TestSoundness:
+    @given(pruning_scenarios())
+    @settings(max_examples=120, deadline=None)
+    def test_every_valid_package_is_inside_the_bounds(self, scenario):
+        import itertools
+
+        values, formula = scenario
+        rel = value_relation(values)
+        query = analyzed(
+            f"SELECT PACKAGE(T) FROM T SUCH THAT {formula}", rel
+        )
+        bounds = derive_bounds(query, rel, range(len(values)))
+
+        for k in range(len(values) + 1):
+            for combo in itertools.combinations(range(len(values)), k):
+                package = Package(rel, combo)
+                if check_global(package, query):
+                    assert bounds.contains(package.cardinality), (
+                        f"valid package of size {package.cardinality} "
+                        f"outside bounds [{bounds.lower}, {bounds.upper}] "
+                        f"for {formula!r} over {values}"
+                    )

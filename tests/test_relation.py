@@ -1,0 +1,138 @@
+"""Tests for in-memory relations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.relational import Column, ColumnType, Relation, Schema, SchemaError
+
+
+@pytest.fixture
+def rel():
+    schema = Schema(
+        [
+            Column("name", ColumnType.TEXT),
+            Column("value", ColumnType.FLOAT),
+            Column("count", ColumnType.INT),
+        ]
+    )
+    rows = [
+        {"name": "a", "value": 1.5, "count": 3},
+        {"name": "b", "value": None, "count": 1},
+        {"name": "c", "value": -2.0, "count": 7},
+    ]
+    return Relation("T", schema, rows)
+
+
+class TestConstruction:
+    def test_length_and_iteration(self, rel):
+        assert len(rel) == 3
+        assert [row["name"] for row in rel] == ["a", "b", "c"]
+
+    def test_indexing(self, rel):
+        assert rel[0]["value"] == 1.5
+        assert rel[-1]["name"] == "c"
+
+    def test_row_tuple(self, rel):
+        assert rel.row_tuple(0) == ("a", 1.5, 3)
+
+    def test_rows_validated_against_schema(self):
+        schema = Schema.of(a=ColumnType.INT)
+        with pytest.raises(TypeError):
+            Relation("T", schema, [{"a": "not an int"}])
+
+    def test_relation_name_validated(self):
+        schema = Schema.of(a=ColumnType.INT)
+        with pytest.raises(SchemaError):
+            Relation("bad name", schema, [])
+
+    def test_empty_relation_allowed(self):
+        schema = Schema.of(a=ColumnType.INT)
+        assert len(Relation("T", schema, [])) == 0
+
+
+class TestFromDicts:
+    def test_schema_inference(self):
+        rel = Relation.from_dicts(
+            "T", [{"x": 1, "y": "a"}, {"x": 2.5, "y": "b"}]
+        )
+        assert rel.schema.type_of("x") is ColumnType.FLOAT
+        assert rel.schema.type_of("y") is ColumnType.TEXT
+
+    def test_missing_keys_become_null(self):
+        rel = Relation.from_dicts("T", [{"x": 1}, {"x": 2, "y": "b"}])
+        assert rel[0]["y"] is None
+
+    def test_empty_without_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_dicts("T", [])
+
+    def test_empty_with_schema_allowed(self):
+        schema = Schema.of(x=ColumnType.INT)
+        rel = Relation.from_dicts("T", [], schema=schema)
+        assert len(rel) == 0
+
+    def test_column_order_is_first_seen(self):
+        rel = Relation.from_dicts("T", [{"b": 1, "a": 2}])
+        assert rel.schema.names == ("b", "a")
+
+
+class TestColumnarAccess:
+    def test_column_values(self, rel):
+        assert rel.column("name") == ["a", "b", "c"]
+
+    def test_numeric_column_nan_for_null(self, rel):
+        array = rel.numeric_column("value")
+        assert array[0] == 1.5
+        assert math.isnan(array[1])
+        assert array[2] == -2.0
+
+    def test_numeric_column_cached(self, rel):
+        assert rel.numeric_column("value") is rel.numeric_column("value")
+
+    def test_numeric_column_rejects_text(self, rel):
+        with pytest.raises(SchemaError, match="not numeric"):
+            rel.numeric_column("name")
+
+    def test_column_stats_ignores_nulls(self, rel):
+        assert rel.column_stats("value") == (-2.0, 1.5)
+
+    def test_column_stats_all_null(self):
+        rel = Relation.from_dicts(
+            "T", [{"v": None}], schema=Schema.of(v=ColumnType.FLOAT)
+        )
+        assert rel.column_stats("v") == (None, None)
+
+    def test_int_column_as_numeric(self, rel):
+        array = rel.numeric_column("count")
+        assert list(array) == [3.0, 1.0, 7.0]
+
+
+class TestDerivation:
+    def test_filter(self, rel):
+        kept = rel.filter(lambda row: row["count"] > 2)
+        assert len(kept) == 2
+        assert [row["name"] for row in kept] == ["a", "c"]
+
+    def test_filter_does_not_mutate_source(self, rel):
+        rel.filter(lambda row: False)
+        assert len(rel) == 3
+
+    def test_take(self, rel):
+        taken = rel.take([2, 0])
+        assert [row["name"] for row in taken] == ["c", "a"]
+
+    def test_take_preserves_schema(self, rel):
+        assert rel.take([0]).schema == rel.schema
+
+    def test_head(self, rel):
+        assert len(rel.head(2)) == 2
+        assert len(rel.head(100)) == 3
+
+    def test_filtered_relation_has_fresh_cache(self, rel):
+        original = rel.numeric_column("value")
+        kept = rel.filter(lambda row: row["name"] != "b")
+        filtered = kept.numeric_column("value")
+        assert len(original) == 3
+        assert len(filtered) == 2

@@ -1,0 +1,200 @@
+"""Tests for PaQL semantic analysis."""
+
+import pytest
+
+from repro.paql import ast
+from repro.paql.errors import PaQLSemanticError
+from repro.paql.parser import parse
+from repro.paql.semantics import analyze, parse_and_analyze
+
+
+def q(text):
+    return parse(text)
+
+
+class TestColumnResolution:
+    def test_qualified_refs_become_unqualified(self, meals):
+        query = parse_and_analyze(
+            "SELECT PACKAGE(R) FROM Recipes R WHERE R.gluten = 'free'",
+            meals.schema,
+        )
+        assert query.where.left == ast.ColumnRef(None, "gluten")
+
+    def test_bare_names_resolve(self, meals):
+        query = parse_and_analyze(
+            "SELECT PACKAGE(R) FROM Recipes R WHERE gluten = 'free'",
+            meals.schema,
+        )
+        assert query.where.left.name == "gluten"
+
+    def test_relation_name_as_qualifier(self, meals):
+        parse_and_analyze(
+            "SELECT PACKAGE(Recipes) FROM Recipes WHERE Recipes.calories > 0",
+            meals.schema,
+        )
+
+    def test_package_alias_valid_inside_aggregates(self, meals):
+        parse_and_analyze(
+            "SELECT PACKAGE(R) AS P FROM Recipes R SUCH THAT SUM(P.calories) <= 10",
+            meals.schema,
+        )
+
+    def test_package_alias_invalid_in_where(self, meals):
+        with pytest.raises(PaQLSemanticError, match="qualifier"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) AS P FROM Recipes R WHERE P.calories > 0",
+                meals.schema,
+            )
+
+    def test_unknown_column_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="unknown column"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R WHERE R.sugar > 0",
+                meals.schema,
+            )
+
+    def test_unknown_qualifier_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="unknown qualifier"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R WHERE X.calories > 0",
+                meals.schema,
+            )
+
+    def test_error_lists_available_columns(self, meals):
+        with pytest.raises(PaQLSemanticError, match="calories"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R WHERE R.nope = 1", meals.schema
+            )
+
+
+class TestClausePlacement:
+    def test_aggregate_in_where_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="aggregate"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R WHERE SUM(calories) > 0",
+                meals.schema,
+            )
+
+    def test_bare_column_in_such_that_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="bare column"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R SUCH THAT calories > 0",
+                meals.schema,
+            )
+
+    def test_nested_aggregates_rejected(self, meals):
+        query = ast.PackageQuery(
+            relation="Recipes",
+            relation_alias="R",
+            package_alias="P",
+            such_that=ast.Comparison(
+                ast.CmpOp.GT,
+                ast.Aggregate(
+                    ast.AggFunc.SUM,
+                    ast.Aggregate(ast.AggFunc.MAX, ast.ColumnRef(None, "fat")),
+                ),
+                ast.Literal(0),
+            ),
+        )
+        with pytest.raises(PaQLSemanticError, match="nested"):
+            analyze(query, meals.schema)
+
+    def test_scalar_where_clause_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="Boolean"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R WHERE calories + 1",
+                meals.schema,
+            )
+
+    def test_objective_must_be_numeric(self, meals):
+        with pytest.raises(PaQLSemanticError):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R MAXIMIZE COUNT(*) > 1",
+                meals.schema,
+            )
+
+    def test_constant_objective_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="aggregate"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R MAXIMIZE 5",
+                meals.schema,
+            )
+
+
+class TestTypeChecking:
+    def test_arithmetic_on_text_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="numeric"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R WHERE gluten + 1 > 0",
+                meals.schema,
+            )
+
+    def test_comparing_text_with_number_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="compare"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R WHERE gluten = 3",
+                meals.schema,
+            )
+
+    def test_null_comparable_with_anything(self, meals):
+        parse_and_analyze(
+            "SELECT PACKAGE(R) FROM Recipes R WHERE gluten = NULL",
+            meals.schema,
+        )
+
+    def test_sum_of_text_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="numeric argument"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R SUCH THAT SUM(gluten) > 0",
+                meals.schema,
+            )
+
+    def test_count_of_text_allowed(self, meals):
+        parse_and_analyze(
+            "SELECT PACKAGE(R) FROM Recipes R SUCH THAT COUNT(gluten) > 0",
+            meals.schema,
+        )
+
+    def test_between_type_mismatch_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="BETWEEN"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R WHERE calories BETWEEN 'a' AND 'b'",
+                meals.schema,
+            )
+
+    def test_in_list_type_mismatch_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="IN list"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R WHERE calories IN ('x')",
+                meals.schema,
+            )
+
+    def test_unary_minus_on_text_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="numeric"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R WHERE -gluten = 1",
+                meals.schema,
+            )
+
+    def test_and_over_scalar_rejected(self, meals):
+        with pytest.raises(PaQLSemanticError, match="Boolean"):
+            parse_and_analyze(
+                "SELECT PACKAGE(R) FROM Recipes R WHERE (calories AND fat) = 1",
+                meals.schema,
+            )
+
+
+class TestNormalizationIsPure:
+    def test_input_ast_not_mutated(self, meals):
+        query = parse(
+            "SELECT PACKAGE(R) FROM Recipes R WHERE R.gluten = 'free'"
+        )
+        analyzed = analyze(query, meals.schema)
+        assert query.where.left.qualifier == "R"
+        assert analyzed.where.left.qualifier is None
+        assert analyzed is not query
+
+    def test_analysis_is_idempotent(self, meals, headline_query):
+        once = parse_and_analyze(headline_query, meals.schema)
+        twice = analyze(once, meals.schema)
+        assert once == twice

@@ -1,0 +1,140 @@
+"""Tests for the sqlite backend (the DBMS boundary)."""
+
+import pytest
+
+from repro.relational import (
+    Column,
+    ColumnType,
+    Database,
+    DatabaseError,
+    Relation,
+    Schema,
+    load_database,
+)
+
+
+@pytest.fixture
+def rel():
+    schema = Schema(
+        [
+            Column("name", ColumnType.TEXT),
+            Column("value", ColumnType.FLOAT),
+            Column("active", ColumnType.BOOL),
+            Column("count", ColumnType.INT),
+        ]
+    )
+    rows = [
+        {"name": "a", "value": 1.5, "active": True, "count": 3},
+        {"name": "b", "value": None, "active": False, "count": 1},
+        {"name": "c", "value": -2.0, "active": None, "count": 7},
+    ]
+    return Relation("T", schema, rows)
+
+
+class TestLoadAndFetch:
+    def test_round_trip_preserves_values(self, rel):
+        with Database() as db:
+            db.load_relation(rel)
+            back = db.fetch_relation("T")
+        assert back.rows() == rel.rows()
+
+    def test_bools_round_trip_as_python_bools(self, rel):
+        with Database() as db:
+            db.load_relation(rel)
+            back = db.fetch_relation("T")
+        assert back[0]["active"] is True
+        assert back[1]["active"] is False
+        assert back[2]["active"] is None
+
+    def test_int_valued_floats_come_back_as_floats(self):
+        rel = Relation(
+            "F",
+            Schema.of(v=ColumnType.FLOAT),
+            [{"v": 3.0}],
+        )
+        with Database() as db:
+            db.load_relation(rel)
+            back = db.fetch_relation("F")
+        assert isinstance(back[0]["v"], float)
+
+    def test_replace_reloads(self, rel):
+        with Database() as db:
+            db.load_relation(rel)
+            smaller = rel.take([0], name="T")
+            db.load_relation(smaller)
+            assert len(db.fetch_relation("T")) == 1
+
+    def test_has_relation(self, rel):
+        with Database() as db:
+            assert not db.has_relation("T")
+            db.load_relation(rel)
+            assert db.has_relation("T")
+
+    def test_unknown_relation_raises(self):
+        with Database() as db:
+            with pytest.raises(DatabaseError, match="no relation"):
+                db.fetch_relation("missing")
+
+    def test_load_database_helper(self, rel):
+        db = load_database([rel])
+        assert db.has_relation("T")
+        db.close()
+
+
+class TestQuerying:
+    def test_select_rids_all(self, rel):
+        with Database() as db:
+            db.load_relation(rel)
+            assert db.select_rids("T") == [0, 1, 2]
+
+    def test_select_rids_filtered(self, rel):
+        with Database() as db:
+            db.load_relation(rel)
+            assert db.select_rids("T", "count > 2") == [0, 2]
+
+    def test_select_rids_with_params(self, rel):
+        with Database() as db:
+            db.load_relation(rel)
+            assert db.select_rids("T", "name = ?", ("b",)) == [1]
+
+    def test_select_rids_unknown_table(self):
+        with Database() as db:
+            with pytest.raises(DatabaseError):
+                db.select_rids("missing")
+
+    def test_bad_sql_wrapped(self, rel):
+        with Database() as db:
+            db.load_relation(rel)
+            with pytest.raises(DatabaseError, match="SQL failed"):
+                db.execute("SELECT nope FROM T")
+
+    def test_aggregate(self, rel):
+        with Database() as db:
+            db.load_relation(rel)
+            assert db.aggregate("T", "MIN(count)") == 1
+            assert db.aggregate("T", "MAX(value)") == 1.5
+            assert db.aggregate("T", "SUM(count)", "count > 1") == 10
+
+
+class TestPackageTempTable:
+    def test_create_and_join(self, rel):
+        with Database() as db:
+            db.load_relation(rel)
+            db.create_temp_package_table("pkg", "T", [2, 0])
+            rows = db.execute(
+                "SELECT P.pid, R.name FROM pkg P JOIN T R ON R.rid = P.rid "
+                "ORDER BY P.pid"
+            )
+            assert [(row["pid"], row["name"]) for row in rows] == [
+                (0, "c"),
+                (1, "a"),
+            ]
+            db.drop_table("pkg")
+
+    def test_recreate_replaces(self, rel):
+        with Database() as db:
+            db.load_relation(rel)
+            db.create_temp_package_table("pkg", "T", [0, 1, 2])
+            db.create_temp_package_table("pkg", "T", [1])
+            rows = db.execute("SELECT COUNT(*) AS n FROM pkg")
+            assert rows[0]["n"] == 1

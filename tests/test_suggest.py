@@ -1,0 +1,120 @@
+"""Tests for constraint suggestion (the Figure 1 interface feature)."""
+
+import pytest
+
+from repro.core import (
+    suggest_for_cells,
+    suggest_for_column,
+    suggest_for_rows,
+)
+from repro.paql.parser import parse_expression
+from repro.paql.semantics import parse_and_analyze
+from repro.relational import ColumnType, Relation, Schema
+
+
+@pytest.fixture
+def rel():
+    schema = Schema.of(
+        fat=ColumnType.FLOAT, calories=ColumnType.FLOAT, gluten=ColumnType.TEXT
+    )
+    rows = [
+        {"fat": 5.0, "calories": 300.0, "gluten": "free"},
+        {"fat": 12.0, "calories": 600.0, "gluten": "full"},
+        {"fat": 20.0, "calories": 900.0, "gluten": "free"},
+        {"fat": 8.0, "calories": 450.0, "gluten": "free"},
+    ]
+    return Relation("Recipes", schema, rows)
+
+
+def kinds(suggestions):
+    return {s.kind for s in suggestions}
+
+
+class TestColumnSuggestions:
+    def test_numeric_column_covers_all_kinds(self, rel):
+        suggestions = suggest_for_column(rel, "fat")
+        assert kinds(suggestions) == {"base", "global", "objective"}
+
+    def test_paper_example_fat_column(self, rel):
+        # "when the user selects ... the 'fats' column, the system
+        # proposes constraints that would restrict the amount of fat in
+        # each meal, and objectives that would minimize the total fat."
+        suggestions = suggest_for_column(rel, "fat")
+        texts = [s.paql for s in suggestions]
+        assert any("MINIMIZE SUM(fat)" in text for text in texts)
+        assert any(text.startswith("(fat") for text in texts)
+
+    def test_categorical_column_membership(self, rel):
+        suggestions = suggest_for_column(rel, "gluten")
+        assert all(s.kind == "base" for s in suggestions)
+        texts = " ".join(s.paql for s in suggestions)
+        assert "'free'" in texts and "'full'" in texts
+
+    def test_fragments_parse_as_paql(self, rel):
+        for suggestion in suggest_for_column(rel, "fat"):
+            if suggestion.kind == "objective":
+                continue
+            parse_expression(suggestion.paql)
+
+    def test_base_fragments_are_analyzable(self, rel):
+        for suggestion in suggest_for_column(rel, "calories"):
+            if suggestion.kind != "base":
+                continue
+            text = f"SELECT PACKAGE(R) FROM Recipes R WHERE {suggestion.paql}"
+            parse_and_analyze(text, rel.schema)
+
+    def test_global_fragments_are_analyzable(self, rel):
+        for suggestion in suggest_for_column(rel, "calories"):
+            if suggestion.kind != "global":
+                continue
+            text = (
+                f"SELECT PACKAGE(R) FROM Recipes R SUCH THAT {suggestion.paql}"
+            )
+            parse_and_analyze(text, rel.schema)
+
+    def test_rationales_present(self, rel):
+        assert all(s.rationale for s in suggest_for_column(rel, "fat"))
+
+
+class TestCellSuggestions:
+    def test_range_anchored_at_selection(self, rel):
+        suggestions = suggest_for_cells(rel, "fat", [0, 2])  # 5.0 and 20.0
+        texts = " ".join(s.paql for s in suggestions)
+        assert "5.0" in texts
+        assert "20.0" in texts
+
+    def test_single_cell_no_degenerate_between(self, rel):
+        suggestions = suggest_for_cells(rel, "fat", [1])
+        assert not any("BETWEEN 12.0 AND 12.0" in s.paql for s in suggestions)
+
+    def test_sum_window_near_selection_total(self, rel):
+        suggestions = suggest_for_cells(rel, "calories", [0, 1])  # total 900
+        global_texts = [s.paql for s in suggestions if s.kind == "global"]
+        assert any("SUM(calories)" in text for text in global_texts)
+
+    def test_categorical_cells_single_value(self, rel):
+        suggestions = suggest_for_cells(rel, "gluten", [0, 2])  # both 'free'
+        assert any("= 'free'" in s.paql for s in suggestions)
+
+    def test_categorical_cells_multiple_values(self, rel):
+        suggestions = suggest_for_cells(rel, "gluten", [0, 1])
+        assert any("IN (" in s.paql for s in suggestions)
+
+    def test_empty_selection(self, rel):
+        assert suggest_for_cells(rel, "fat", []) == []
+
+
+class TestRowSuggestions:
+    def test_count_anchor_first(self, rel):
+        suggestions = suggest_for_rows(rel, [0, 1, 2])
+        assert "COUNT(*)" in suggestions[0].paql
+        assert "3" in suggestions[0].paql
+
+    def test_per_column_totals(self, rel):
+        suggestions = suggest_for_rows(rel, [0, 1])
+        texts = " ".join(s.paql for s in suggestions)
+        assert "SUM(fat)" in texts
+        assert "SUM(calories)" in texts
+
+    def test_empty_rows(self, rel):
+        assert suggest_for_rows(rel, []) == []

@@ -1,0 +1,137 @@
+"""Tests for the package-space visual summary (Section 3.2)."""
+
+import pytest
+
+from repro.core import (
+    Package,
+    candidate_dimensions,
+    choose_dimensions,
+    grid_summary,
+    iter_valid_packages,
+    layout,
+    render_grid,
+)
+from repro.paql.semantics import parse_and_analyze
+from repro.relational import ColumnType, Relation, Schema
+
+
+@pytest.fixture
+def rel():
+    schema = Schema.of(calories=ColumnType.FLOAT, protein=ColumnType.FLOAT)
+    rows = [
+        {"calories": 100.0 * (i + 1), "protein": 10.0 + (i * 7) % 23}
+        for i in range(8)
+    ]
+    return Relation("T", schema, rows)
+
+
+QUERY = (
+    "SELECT PACKAGE(T) FROM T SUCH THAT "
+    "COUNT(*) = 2 AND SUM(T.calories) <= 1200 "
+    "MAXIMIZE SUM(T.protein)"
+)
+
+
+@pytest.fixture
+def query(rel):
+    return parse_and_analyze(QUERY, rel.schema)
+
+
+@pytest.fixture
+def pool(rel, query):
+    return list(iter_valid_packages(query, rel, range(len(rel))))
+
+
+class TestCandidateDimensions:
+    def test_objective_aggregate_first(self, query):
+        dims = candidate_dimensions(query)
+        assert dims[0].label == "SUM(protein)"
+
+    def test_includes_such_that_aggregates_and_count(self, query):
+        labels = [d.label for d in candidate_dimensions(query)]
+        assert "SUM(calories)" in labels
+        assert "COUNT(*)" in labels
+
+    def test_no_duplicates(self, rel):
+        query = parse_and_analyze(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.protein) >= 1 "
+            "MAXIMIZE SUM(T.protein)",
+            rel.schema,
+        )
+        labels = [d.label for d in candidate_dimensions(query)]
+        assert labels.count("SUM(protein)") == 1
+
+
+class TestChooseDimensions:
+    def test_picks_two_distinct(self, query, pool):
+        x_dim, y_dim = choose_dimensions(query, pool)
+        assert x_dim.label != y_dim.label
+
+    def test_constant_dimension_deprioritized(self, query, pool):
+        # COUNT(*) is fixed at 2 across the pool, so it must never win
+        # over the varying SUM dimensions.
+        x_dim, y_dim = choose_dimensions(query, pool)
+        assert "COUNT" not in x_dim.label
+        assert "COUNT" not in y_dim.label
+
+    def test_needs_two_candidates(self, rel):
+        query = parse_and_analyze("SELECT PACKAGE(T) FROM T", rel.schema)
+        # Only COUNT(*) is available.
+        with pytest.raises(ValueError, match="two dimensions"):
+            choose_dimensions(query, [])
+
+
+class TestLayout:
+    def test_coordinates_normalized(self, query, pool):
+        summary = layout(query, pool)
+        for point in summary.points:
+            assert 0.0 <= point.x <= 1.0
+            assert 0.0 <= point.y <= 1.0
+
+    def test_raw_values_preserved(self, query, pool):
+        summary = layout(query, pool)
+        point = summary.points[0]
+        x_value = point.package.aggregate(summary.x_dimension.aggregate)
+        assert point.values[0] == pytest.approx(float(x_value))
+
+    def test_degenerate_axis_centers(self, rel, query):
+        # A single-package pool has no spread on any axis.
+        only = [Package(rel, [0, 1])]
+        summary = layout(query, only)
+        assert summary.points[0].x == 0.5
+        assert summary.points[0].y == 0.5
+
+    def test_explicit_dimensions_respected(self, query, pool):
+        dims = candidate_dimensions(query)
+        summary = layout(query, pool, dimensions=(dims[0], dims[1]))
+        assert summary.x_dimension == dims[0]
+
+
+class TestGrid:
+    def test_all_packages_binned(self, query, pool):
+        summary = layout(query, pool)
+        grid, _ = grid_summary(summary, cells=5)
+        assert sum(sum(row) for row in grid) == len(pool)
+
+    def test_current_package_located(self, query, pool):
+        summary = layout(query, pool)
+        grid, cell = grid_summary(summary, cells=5, current=pool[0])
+        assert cell is not None
+        row, col = cell
+        assert grid[row][col] >= 1
+
+    def test_missing_current_gives_none(self, rel, query, pool):
+        summary = layout(query, pool)
+        other = Package(rel, [6, 7])
+        _, cell = grid_summary(summary, cells=5, current=other)
+        assert cell is None
+
+    def test_render_marks_current(self, query, pool):
+        summary = layout(query, pool)
+        grid, cell = grid_summary(summary, cells=4, current=pool[0])
+        text = render_grid(grid, cell)
+        assert "@" in text
+        assert len(text.splitlines()) == 4
+
+    def test_render_empty_grid(self):
+        assert render_grid([]) == ""

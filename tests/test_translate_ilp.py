@@ -1,0 +1,412 @@
+"""Tests for the PaQL-to-ILP translation.
+
+The central correctness property: for every translatable query, the
+ILP's optimal package matches pruned brute force — same feasibility
+verdict and same optimal objective value.  Exercised across every
+encoding: COUNT/SUM linear constraints, AVG multiply-through, MIN/MAX
+set encodings, strict comparisons, disjunctions (big-M indicators),
+negations, REPEAT multiplicities, and no-good cuts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ILPTranslationError,
+    find_best,
+    is_valid,
+    translate,
+    validate,
+)
+from repro.core.validator import objective_value
+from repro.paql.semantics import parse_and_analyze
+from repro.relational import ColumnType, Relation, Schema
+from repro.solver import solve_milp, Status
+
+
+def value_relation(values, extra=None):
+    columns = {"value": ColumnType.FLOAT}
+    if extra:
+        columns.update({name: ColumnType.FLOAT for name in extra})
+    schema = Schema.of(**columns)
+    rows = []
+    for i, v in enumerate(values):
+        row = {"value": None if v is None else float(v)}
+        if extra:
+            for name, column_values in extra.items():
+                cell = column_values[i]
+                row[name] = None if cell is None else float(cell)
+        rows.append(row)
+    return Relation("T", schema, rows)
+
+
+def solve_text(text, relation, candidates=None):
+    query = parse_and_analyze(text, relation.schema)
+    candidates = list(range(len(relation))) if candidates is None else candidates
+    translation = translate(query, relation, candidates)
+    solution = solve_milp(translation.model)
+    if not solution.status.has_solution:
+        return query, None
+    return query, translation.decode(solution)
+
+
+def assert_matches_brute_force(text, relation):
+    """ILP and pruned brute force agree on feasibility and optimum."""
+    query = parse_and_analyze(text, relation.schema)
+    candidates = list(range(len(relation)))
+    translation = translate(query, relation, candidates)
+    solution = solve_milp(translation.model)
+    exact = find_best(query, relation, candidates)
+
+    if exact is None:
+        assert solution.status is Status.INFEASIBLE, (
+            f"brute force says infeasible, ILP returned {solution.status}"
+        )
+        return None
+    assert solution.status is Status.OPTIMAL
+    package = translation.decode(solution)
+    assert is_valid(package, query)
+    if query.objective is not None:
+        assert objective_value(package, query) == pytest.approx(
+            objective_value(exact, query), abs=1e-6
+        )
+    return package
+
+
+class TestLinearConstraints:
+    def test_count_and_sum(self):
+        rel = value_relation([10, 20, 30, 40, 50])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 2 AND SUM(T.value) BETWEEN 50 AND 70 "
+            "MAXIMIZE SUM(T.value)",
+            rel,
+        )
+
+    def test_infeasible_detected(self):
+        rel = value_relation([10, 20])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.value) >= 1000", rel
+        )
+
+    def test_arithmetic_between_aggregates(self):
+        rel = value_relation([10, 20, 30], extra={"w": [1, 2, 3]})
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "SUM(T.value) - 5 * SUM(T.w) >= 10 AND COUNT(*) >= 1 "
+            "MAXIMIZE SUM(T.value)",
+            rel,
+        )
+
+    def test_strict_count_comparisons_exact(self):
+        rel = value_relation([1, 1, 1, 1])
+        package = assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) > 1 AND COUNT(*) < 3 "
+            "MAXIMIZE SUM(T.value)",
+            rel,
+        )
+        assert package.cardinality == 2
+
+    def test_strict_sum_comparison(self):
+        rel = value_relation([10.5, 20.25, 30.75])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.value) > 31 "
+            "MINIMIZE SUM(T.value)",
+            rel,
+        )
+
+    def test_sum_with_nulls_contributes_zero(self):
+        rel = value_relation([10, None, 30])
+        query, package = solve_text(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 3 AND SUM(T.value) = 40",
+            rel,
+        )
+        assert package is not None
+        assert package.cardinality == 3
+
+    def test_count_expr_skips_nulls(self):
+        rel = value_relation([10, None, 30, None])
+        query, package = solve_text(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 3 AND COUNT(T.value) = 1 "
+            "MINIMIZE SUM(T.value)",
+            rel,
+        )
+        assert package is not None
+        assert validate(package, query).valid
+
+
+class TestAvgEncoding:
+    def test_avg_upper_bound(self):
+        rel = value_relation([10, 20, 30, 40])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 2 AND AVG(T.value) <= 20 MAXIMIZE SUM(T.value)",
+            rel,
+        )
+
+    def test_avg_requires_nonempty_support(self):
+        # AVG of an empty package is NULL -> no comparison holds; the
+        # support constraint must prevent the ILP from returning empty.
+        rel = value_relation([10, 20])
+        query, package = solve_text(
+            "SELECT PACKAGE(T) FROM T SUCH THAT AVG(T.value) <= 100", rel
+        )
+        assert package is not None
+        assert package.cardinality >= 1
+
+    def test_avg_with_nulls(self):
+        rel = value_relation([10, None, 50])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) >= 2 AND AVG(T.value) >= 30 MAXIMIZE COUNT(*)",
+            rel,
+        )
+
+    def test_avg_against_nonconstant_rejected(self):
+        rel = value_relation([10, 20], extra={"w": [1, 2]})
+        query = parse_and_analyze(
+            "SELECT PACKAGE(T) FROM T SUCH THAT AVG(T.value) <= SUM(T.w)",
+            rel.schema,
+        )
+        with pytest.raises(ILPTranslationError, match="AVG"):
+            translate(query, rel, [0, 1])
+
+
+class TestMinMaxEncodings:
+    @pytest.mark.parametrize(
+        "constraint",
+        [
+            "MIN(T.value) >= 15",
+            "MIN(T.value) > 15",
+            "MIN(T.value) <= 15",
+            "MIN(T.value) < 15",
+            "MIN(T.value) = 20",
+            "MAX(T.value) <= 35",
+            "MAX(T.value) < 35",
+            "MAX(T.value) >= 35",
+            "MAX(T.value) > 35",
+            "MAX(T.value) = 30",
+            "MIN(T.value) <> 20",
+            "NOT MIN(T.value) >= 15",
+        ],
+    )
+    def test_minmax_operator_matrix(self, constraint):
+        rel = value_relation([10, 15, 20, 30, 35, 40])
+        assert_matches_brute_force(
+            f"SELECT PACKAGE(T) FROM T SUCH THAT "
+            f"COUNT(*) BETWEEN 1 AND 3 AND {constraint} "
+            f"MAXIMIZE SUM(T.value)",
+            rel,
+        )
+
+    def test_minmax_threshold_on_boundary_value(self):
+        rel = value_relation([10, 20, 20, 30])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 2 AND MIN(T.value) = 20 MAXIMIZE SUM(T.value)",
+            rel,
+        )
+
+    def test_minmax_with_nulls_ignored(self):
+        rel = value_relation([10, None, 30])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) >= 1 AND MIN(T.value) >= 20 MAXIMIZE COUNT(*)",
+            rel,
+        )
+
+    def test_negated_coefficient_flips_operator(self):
+        rel = value_relation([10, 20, 30])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 2 AND -MIN(T.value) <= -15 MAXIMIZE SUM(T.value)",
+            rel,
+        )
+
+    def test_minmax_against_aggregate_rejected(self):
+        rel = value_relation([10, 20])
+        query = parse_and_analyze(
+            "SELECT PACKAGE(T) FROM T SUCH THAT MIN(T.value) <= COUNT(*)",
+            rel.schema,
+        )
+        with pytest.raises(ILPTranslationError, match="MIN/MAX"):
+            translate(query, rel, [0, 1])
+
+    def test_minmax_objective_rejected(self):
+        rel = value_relation([10, 20])
+        query = parse_and_analyze(
+            "SELECT PACKAGE(T) FROM T MAXIMIZE MIN(T.value)", rel.schema
+        )
+        with pytest.raises(ILPTranslationError, match="objectives"):
+            translate(query, rel, [0, 1])
+
+
+class TestBooleanStructure:
+    def test_top_level_disjunction(self):
+        rel = value_relation([10, 20, 30, 40])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "(COUNT(*) = 1 AND SUM(T.value) >= 40) OR "
+            "(COUNT(*) = 3 AND SUM(T.value) <= 60) "
+            "MAXIMIZE SUM(T.value)",
+            rel,
+        )
+
+    def test_nested_or_inside_and(self):
+        rel = value_relation([5, 10, 15, 20, 25])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 2 AND (SUM(T.value) <= 16 OR SUM(T.value) >= 44) "
+            "MINIMIZE SUM(T.value)",
+            rel,
+        )
+
+    def test_or_of_or(self):
+        rel = value_relation([1, 2, 3, 4])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 1 OR (COUNT(*) = 2 OR COUNT(*) = 4) "
+            "MAXIMIZE SUM(T.value)",
+            rel,
+        )
+
+    def test_not_over_conjunction(self):
+        rel = value_relation([10, 20, 30])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) BETWEEN 1 AND 2 AND "
+            "NOT (SUM(T.value) >= 30 AND SUM(T.value) <= 40) "
+            "MAXIMIZE SUM(T.value)",
+            rel,
+        )
+
+    def test_in_list_over_count(self):
+        rel = value_relation([1, 2, 3, 4, 5])
+        package = assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) IN (1, 4) "
+            "MAXIMIZE SUM(T.value)",
+            rel,
+        )
+        assert package.cardinality == 4
+
+    def test_or_with_minmax_branch(self):
+        rel = value_relation([10, 20, 300, 400])
+        assert_matches_brute_force(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 2 AND (MAX(T.value) <= 25 OR SUM(T.value) >= 700) "
+            "MAXIMIZE SUM(T.value)",
+            rel,
+        )
+
+    def test_false_literal_infeasible(self):
+        rel = value_relation([1])
+        query, package = solve_text(
+            "SELECT PACKAGE(T) FROM T SUCH THAT FALSE", rel
+        )
+        assert package is None
+
+    def test_true_literal_trivial(self):
+        rel = value_relation([1])
+        query, package = solve_text(
+            "SELECT PACKAGE(T) FROM T SUCH THAT TRUE", rel
+        )
+        assert package is not None  # the empty package satisfies TRUE
+
+
+class TestRepeat:
+    def test_repeat_allows_multiplicity(self):
+        rel = value_relation([10])
+        query, package = solve_text(
+            "SELECT PACKAGE(T) FROM T REPEAT 3 SUCH THAT SUM(T.value) = 30",
+            rel,
+        )
+        assert package is not None
+        assert package.multiplicity(0) == 3
+
+    def test_repeat_cap_respected(self):
+        rel = value_relation([10])
+        query, package = solve_text(
+            "SELECT PACKAGE(T) FROM T REPEAT 2 SUCH THAT SUM(T.value) = 30",
+            rel,
+        )
+        assert package is None
+
+    def test_repeat_objective(self):
+        rel = value_relation([10, 25])
+        query, package = solve_text(
+            "SELECT PACKAGE(T) FROM T REPEAT 2 SUCH THAT "
+            "SUM(T.value) <= 60 MAXIMIZE SUM(T.value)",
+            rel,
+        )
+        assert objective_value(package, query) == pytest.approx(60)
+
+
+class TestNoGoodCuts:
+    def test_exclusion_binary(self):
+        rel = value_relation([10, 20, 30])
+        query = parse_and_analyze(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) = 2 "
+            "MAXIMIZE SUM(T.value)",
+            rel.schema,
+        )
+        translation = translate(query, rel, [0, 1, 2])
+        first = translation.decode(solve_milp(translation.model))
+        translation.exclude_package(first)
+        second = translation.decode(solve_milp(translation.model))
+        assert first != second
+        assert is_valid(second, query)
+        assert objective_value(second, query) <= objective_value(first, query)
+
+    def test_exclusion_with_repeat(self):
+        rel = value_relation([10, 20])
+        query = parse_and_analyze(
+            "SELECT PACKAGE(T) FROM T REPEAT 2 SUCH THAT "
+            "SUM(T.value) >= 30 MINIMIZE SUM(T.value)",
+            rel.schema,
+        )
+        translation = translate(query, rel, [0, 1])
+        first = translation.decode(solve_milp(translation.model))
+        translation.exclude_package(first)
+        solution = solve_milp(translation.model)
+        assert solution.status.has_solution
+        second = translation.decode(solution)
+        assert second != first
+        assert is_valid(second, query)
+
+
+@st.composite
+def random_instances(draw):
+    n = draw(st.integers(3, 7))
+    values = draw(
+        st.lists(st.integers(1, 50), min_size=n, max_size=n)
+    )
+    conjuncts = []
+    count_hi = draw(st.integers(1, min(4, n)))
+    conjuncts.append(f"COUNT(*) BETWEEN 1 AND {count_hi}")
+    sum_op = draw(st.sampled_from(["<=", ">="]))
+    sum_rhs = draw(st.integers(5, 120))
+    conjuncts.append(f"SUM(T.value) {sum_op} {sum_rhs}")
+    if draw(st.booleans()):
+        minmax = draw(st.sampled_from(["MIN", "MAX"]))
+        op = draw(st.sampled_from(["<=", ">="]))
+        threshold = draw(st.integers(1, 50))
+        conjuncts.append(f"{minmax}(T.value) {op} {threshold}")
+    direction = draw(st.sampled_from(["MAXIMIZE", "MINIMIZE"]))
+    text = (
+        "SELECT PACKAGE(T) FROM T SUCH THAT "
+        + " AND ".join(conjuncts)
+        + f" {direction} SUM(T.value)"
+    )
+    return values, text
+
+
+class TestRandomizedEquivalence:
+    @given(random_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_ilp_matches_brute_force(self, instance):
+        values, text = instance
+        rel = value_relation(values)
+        assert_matches_brute_force(text, rel)

@@ -1,0 +1,166 @@
+"""Tests for column types and schemas."""
+
+import pytest
+
+from repro.relational.schema import Column, Schema, SchemaError
+from repro.relational.types import ColumnType, infer_type
+
+
+class TestColumnType:
+    def test_numeric_flag(self):
+        assert ColumnType.INT.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.TEXT.is_numeric
+        assert not ColumnType.BOOL.is_numeric
+
+    def test_sql_names(self):
+        assert ColumnType.INT.sql_name == "INTEGER"
+        assert ColumnType.FLOAT.sql_name == "REAL"
+        assert ColumnType.TEXT.sql_name == "TEXT"
+        assert ColumnType.BOOL.sql_name == "INTEGER"
+
+    def test_validate_accepts_matching_values(self):
+        ColumnType.INT.validate(3)
+        ColumnType.FLOAT.validate(2.5)
+        ColumnType.FLOAT.validate(3)  # ints are valid floats
+        ColumnType.TEXT.validate("x")
+        ColumnType.BOOL.validate(True)
+
+    def test_validate_accepts_null_everywhere(self):
+        for ctype in ColumnType:
+            ctype.validate(None)
+
+    def test_validate_rejects_mismatches(self):
+        with pytest.raises(TypeError):
+            ColumnType.INT.validate(2.5)
+        with pytest.raises(TypeError):
+            ColumnType.TEXT.validate(3)
+        with pytest.raises(TypeError):
+            ColumnType.BOOL.validate(1)
+
+    def test_int_column_rejects_bool(self):
+        # bool is a subclass of int; must still be rejected.
+        with pytest.raises(TypeError):
+            ColumnType.INT.validate(True)
+        with pytest.raises(TypeError):
+            ColumnType.FLOAT.validate(False)
+
+    def test_coerce_numeric(self):
+        assert ColumnType.INT.coerce(3.0) == 3
+        assert ColumnType.FLOAT.coerce(3) == 3.0
+        assert ColumnType.INT.coerce(None) is None
+
+    def test_coerce_rejects_fractional_to_int(self):
+        with pytest.raises(ValueError):
+            ColumnType.INT.coerce(2.5)
+
+    def test_coerce_bool(self):
+        assert ColumnType.BOOL.coerce(1) is True
+        assert ColumnType.BOOL.coerce(0) is False
+        assert ColumnType.BOOL.coerce("true") is True
+        assert ColumnType.BOOL.coerce("No") is False
+
+    def test_coerce_bool_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ColumnType.BOOL.coerce("maybe")
+        with pytest.raises(ValueError):
+            ColumnType.BOOL.coerce(7)
+
+    def test_coerce_refuses_bool_to_numeric(self):
+        with pytest.raises(ValueError):
+            ColumnType.INT.coerce(True)
+        with pytest.raises(ValueError):
+            ColumnType.FLOAT.coerce(False)
+
+    def test_coerce_text(self):
+        assert ColumnType.TEXT.coerce(12) == "12"
+
+
+class TestInferType:
+    def test_all_ints(self):
+        assert infer_type([1, 2, 3]) is ColumnType.INT
+
+    def test_mixed_int_float(self):
+        assert infer_type([1, 2.5]) is ColumnType.FLOAT
+
+    def test_text_wins(self):
+        assert infer_type([1, "x"]) is ColumnType.TEXT
+
+    def test_pure_bool(self):
+        assert infer_type([True, False]) is ColumnType.BOOL
+
+    def test_bool_mixed_with_int_is_int(self):
+        assert infer_type([True, 2]) is ColumnType.INT
+
+    def test_nulls_ignored(self):
+        assert infer_type([None, 3, None]) is ColumnType.INT
+
+    def test_all_null_defaults_to_text(self):
+        assert infer_type([None, None]) is ColumnType.TEXT
+        assert infer_type([]) is ColumnType.TEXT
+
+
+class TestSchema:
+    def test_basic_construction(self):
+        schema = Schema([Column("a", ColumnType.INT), Column("b", ColumnType.TEXT)])
+        assert schema.names == ("a", "b")
+        assert len(schema) == 2
+        assert "a" in schema
+        assert schema.type_of("b") is ColumnType.TEXT
+
+    def test_of_constructor(self):
+        schema = Schema.of(x=ColumnType.FLOAT, y=ColumnType.INT)
+        assert schema.names == ("x", "y")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Column("a", ColumnType.INT), Column("a", ColumnType.TEXT)])
+
+    def test_case_insensitive_duplicates_rejected(self):
+        # sqlite folds identifier case; "A" and "a" would collide there.
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Column("A", ColumnType.INT), Column("a", ColumnType.TEXT)])
+
+    def test_unknown_lookup_raises_with_names(self):
+        schema = Schema.of(a=ColumnType.INT)
+        with pytest.raises(SchemaError, match="'a'"):
+            schema["zzz"]
+
+    @pytest.mark.parametrize(
+        "bad", ["", "1abc", "a-b", "a b", "rowid", "a;drop", "a²", "café"]
+    )
+    def test_unsafe_identifiers_rejected(self, bad):
+        with pytest.raises(SchemaError):
+            Column(bad, ColumnType.INT)
+
+    def test_numeric_names(self):
+        schema = Schema.of(
+            a=ColumnType.INT, b=ColumnType.TEXT, c=ColumnType.FLOAT
+        )
+        assert schema.numeric_names() == ("a", "c")
+
+    def test_validate_row_missing_column(self):
+        schema = Schema.of(a=ColumnType.INT, b=ColumnType.INT)
+        with pytest.raises(SchemaError, match="missing"):
+            schema.validate_row({"a": 1})
+
+    def test_validate_row_extra_column(self):
+        schema = Schema.of(a=ColumnType.INT)
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.validate_row({"a": 1, "z": 2})
+
+    def test_validate_row_type_error(self):
+        schema = Schema.of(a=ColumnType.INT)
+        with pytest.raises(TypeError):
+            schema.validate_row({"a": "oops"})
+
+    def test_equality_and_hash(self):
+        left = Schema.of(a=ColumnType.INT)
+        right = Schema.of(a=ColumnType.INT)
+        assert left == right
+        assert hash(left) == hash(right)
+        assert left != Schema.of(a=ColumnType.FLOAT)

@@ -1,0 +1,100 @@
+"""Tests for the package validator (the ground-truth oracle)."""
+
+import pytest
+
+from repro.core import Package, compare_objectives, is_valid, validate
+from repro.paql.semantics import parse_and_analyze
+
+from tests.conftest import HEADLINE
+
+
+def analyzed(text, relation):
+    return parse_and_analyze(text, relation.schema)
+
+
+class TestValidate:
+    def test_valid_headline_package(self, meals):
+        query = analyzed(HEADLINE, meals)
+        # omelette(400) + salad(250) + steak(700) = 1350 calories, all
+        # gluten-free, 3 meals.
+        package = Package(meals, [0, 2, 3])
+        report = validate(package, query)
+        assert report.valid
+        assert report.objective == pytest.approx(28 + 9 + 55)
+
+    def test_base_violation_detected(self, meals):
+        query = analyzed(HEADLINE, meals)
+        # pancakes (rid 1) is gluten = 'full'.
+        package = Package(meals, [1, 2, 3])
+        report = validate(package, query)
+        assert not report.base_ok
+        assert report.base_violations == [1]
+        assert not report.valid
+
+    def test_global_violation_detected(self, meals):
+        query = analyzed(HEADLINE, meals)
+        # Only two meals: COUNT(*) = 3 fails.
+        package = Package(meals, [0, 3])
+        report = validate(package, query)
+        assert report.base_ok
+        assert not report.global_ok
+
+    def test_sum_out_of_window_detected(self, meals):
+        query = analyzed(HEADLINE, meals)
+        # salad + soup + granola = 1000 calories < 1200.
+        package = Package(meals, [2, 6, 10])
+        assert not validate(package, query).global_ok
+
+    def test_repeat_violation_detected(self, meals):
+        query = analyzed(
+            "SELECT PACKAGE(R) FROM Recipes R SUCH THAT COUNT(*) = 2",
+            meals,
+        )
+        package = Package(meals, [0, 0])
+        report = validate(package, query)
+        assert not report.repeat_ok
+        assert not report.valid
+
+    def test_repeat_allowed_by_clause(self, meals):
+        query = analyzed(
+            "SELECT PACKAGE(R) FROM Recipes R REPEAT 2 SUCH THAT COUNT(*) = 2",
+            meals,
+        )
+        assert validate(Package(meals, [0, 0]), query).valid
+
+    def test_no_constraints_everything_valid(self, meals):
+        query = analyzed("SELECT PACKAGE(R) FROM Recipes R", meals)
+        assert is_valid(Package(meals, []), query)
+        assert is_valid(Package(meals, [0, 5]), query)
+
+    def test_objective_none_without_clause(self, meals):
+        query = analyzed("SELECT PACKAGE(R) FROM Recipes R", meals)
+        assert validate(Package(meals, [0]), query).objective is None
+
+
+class TestCompareObjectives:
+    def test_maximize_prefers_larger(self, meals):
+        query = analyzed(
+            "SELECT PACKAGE(R) FROM Recipes R MAXIMIZE SUM(R.protein)", meals
+        )
+        assert compare_objectives(query, 10.0, 5.0) < 0
+        assert compare_objectives(query, 5.0, 10.0) > 0
+        assert compare_objectives(query, 5.0, 5.0) == 0
+
+    def test_minimize_prefers_smaller(self, meals):
+        query = analyzed(
+            "SELECT PACKAGE(R) FROM Recipes R MINIMIZE SUM(R.fat)", meals
+        )
+        assert compare_objectives(query, 3.0, 9.0) < 0
+
+    def test_none_loses_to_number(self, meals):
+        query = analyzed(
+            "SELECT PACKAGE(R) FROM Recipes R MAXIMIZE SUM(R.protein)", meals
+        )
+        assert compare_objectives(query, None, 1.0) > 0
+        assert compare_objectives(query, 1.0, None) < 0
+        assert compare_objectives(query, None, None) == 0
+
+    def test_no_objective_always_ties(self, meals):
+        query = analyzed("SELECT PACKAGE(R) FROM Recipes R", meals)
+        assert compare_objectives(query, 1.0, 99.0) == 0

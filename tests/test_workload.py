@@ -1,0 +1,85 @@
+"""Tests for the random query-workload generator."""
+
+import pytest
+
+from repro.core import EngineOptions
+from repro.core.engine import PackageQueryEvaluator
+from repro.datasets import generate_recipes
+from repro.datasets.workload import WorkloadError, random_query, recipe_workload
+from repro.paql import ast
+from repro.paql.printer import print_query
+from repro.paql.semantics import analyze
+
+RANGES = {"calories": (120.0, 1600.0), "protein": (2.0, 120.0)}
+
+
+class TestRandomQuery:
+    def test_deterministic_given_seed(self):
+        first = random_query("Recipes", RANGES, seed=5)
+        second = random_query("Recipes", RANGES, seed=5)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        queries = {print_query(random_query("Recipes", RANGES, seed=i)) for i in range(10)}
+        assert len(queries) > 1
+
+    def test_always_has_count_and_sum(self):
+        for seed in range(20):
+            query = random_query("Recipes", RANGES, seed=seed)
+            aggregates = ast.find_aggregates(query.such_that)
+            funcs = {a.func for a in aggregates}
+            assert ast.AggFunc.COUNT in funcs
+            assert ast.AggFunc.SUM in funcs
+
+    def test_feature_toggles(self):
+        for seed in range(30):
+            query = random_query(
+                "Recipes",
+                RANGES,
+                seed=seed,
+                allow_disjunction=False,
+                allow_minmax=False,
+                allow_avg=False,
+            )
+            aggregates = ast.find_aggregates(query.such_that)
+            funcs = {a.func for a in aggregates}
+            assert ast.AggFunc.MIN not in funcs
+            assert ast.AggFunc.MAX not in funcs
+            assert ast.AggFunc.AVG not in funcs
+            assert not any(
+                isinstance(n, ast.Or) for n in ast.walk(query.such_that)
+            )
+
+    def test_categorical_base_constraint(self):
+        query = random_query(
+            "Recipes", RANGES, seed=1, categorical=("gluten", "free")
+        )
+        assert query.where is not None
+
+    def test_objective_present(self):
+        query = random_query("Recipes", RANGES, seed=2)
+        assert query.objective is not None
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_query("Recipes", {}, seed=0)
+
+
+class TestWorkloadAgainstEngine:
+    def test_workload_queries_analyze_against_recipe_schema(self):
+        recipes = generate_recipes(50)
+        for query in recipe_workload(15):
+            analyze(query, recipes.schema)
+
+    def test_workload_queries_evaluate_without_error(self):
+        """Smoke-run a workload through the engine; every outcome must
+        be a definite verdict (optimal or infeasible) since auto uses
+        exact strategies for these translatable queries."""
+        recipes = generate_recipes(60, seed=3)
+        evaluator = PackageQueryEvaluator(recipes)
+        verdicts = set()
+        for query in recipe_workload(10, base_seed=100):
+            result = evaluator.evaluate(query)
+            verdicts.add(result.status.value)
+        assert verdicts <= {"optimal", "infeasible"}
+        assert "optimal" in verdicts  # at least one feasible query
