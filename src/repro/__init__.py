@@ -11,10 +11,12 @@ provides:
   relations, a sqlite backend the engine talks SQL to, CSV I/O);
 * :mod:`repro.solver` — a from-scratch MILP solver (bounded-variable
   simplex + branch and bound) with an optional scipy/HiGHS backend;
-* :mod:`repro.core` — the package-query engine: PaQL-to-ILP
-  translation, cardinality-based pruning, brute-force enumeration,
-  heuristic local search, multi-package enumeration, and the
-  interface abstractions (suggestions, exploration, summaries);
+* :mod:`repro.core` — the package-query engine: a pluggable strategy
+  registry (``ilp``, ``brute-force``, ``local-search``, ``sql``,
+  ``partition``) behind a shared cost model, PaQL-to-ILP translation,
+  cardinality-based pruning, sketch-refine partitioning, multi-package
+  enumeration, and the interface abstractions (suggestions,
+  exploration, summaries);
 * :mod:`repro.datasets` — seeded generators for the paper's meal
   planner, vacation planner and investment portfolio scenarios.
 

@@ -6,6 +6,11 @@ Usage::
     python -m repro query --csv recipes.csv --query-file q.paql --top 3
     python -m repro demo meal        # built-in scenario on synthetic data
     python -m repro describe --query "SELECT PACKAGE(...)"
+    python -m repro strategies       # list the registered strategies
+
+``query --strategy`` accepts ``auto`` or any registered evaluation
+strategy — ``brute-force``, ``ilp``, ``local-search``, ``partition``,
+``sql`` (see ``repro strategies`` for one-line descriptions).
 
 The relation name in the FROM clause must match the CSV's relation
 name, which defaults to the file's stem (``recipes.csv`` ->
@@ -21,6 +26,8 @@ import sys
 
 from repro.core.engine import EngineError, EngineOptions, PackageQueryEvaluator
 from repro.core.enumeration import diverse_subset, enumerate_top
+from repro.core.strategies import all_strategies, strategy_names
+from repro.core.translate_ilp import ILPTranslationError
 from repro.core.validator import objective_value
 from repro.paql.describe import describe_text
 from repro.paql.errors import PaQLError
@@ -171,6 +178,15 @@ def _cmd_describe(args, out):
     return 0
 
 
+def _cmd_strategies(args, out):
+    for strategy in sorted(all_strategies(), key=lambda s: s.name):
+        kind = "exact" if strategy.exact else "heuristic"
+        auto = "auto-eligible" if strategy.auto_eligible else "explicit only"
+        print(f"{strategy.name} ({kind}, {auto})", file=out)
+        print(f"  {strategy.summary}", file=out)
+    return 0
+
+
 _DEMOS = {
     "meal": (
         "repro.datasets",
@@ -230,7 +246,11 @@ def build_parser():
     query.add_argument(
         "--strategy",
         default="auto",
-        choices=["auto", "ilp", "brute-force", "local-search", "sql"],
+        choices=["auto", *strategy_names()],
+        help=(
+            "evaluation strategy: auto (cost-model choice) or one of "
+            "the registered strategies; see 'repro strategies'"
+        ),
     )
     query.add_argument(
         "--top", type=int, default=1, help="return the best N distinct packages"
@@ -252,8 +272,21 @@ def build_parser():
     desc.add_argument("--query-file", help="file containing PaQL text")
     desc.set_defaults(func=_cmd_describe)
 
+    strategies_cmd = sub.add_parser(
+        "strategies",
+        help=(
+            "list the registered evaluation strategies "
+            f"({', '.join(strategy_names())})"
+        ),
+    )
+    strategies_cmd.set_defaults(func=_cmd_strategies)
+
     plan_cmd = sub.add_parser(
-        "plan", help="show the evaluation plan without solving"
+        "plan",
+        help=(
+            "show the evaluation plan without solving (which strategy "
+            "auto would pick, and why)"
+        ),
     )
     plan_cmd.add_argument("--csv", required=True)
     plan_cmd.add_argument("--relation", help="relation name (default: file stem)")
@@ -275,7 +308,7 @@ def main(argv=None, out=None):
     args = parser.parse_args(argv)
     try:
         return args.func(args, out)
-    except (CliError, EngineError, PaQLError) as exc:
+    except (CliError, EngineError, ILPTranslationError, PaQLError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

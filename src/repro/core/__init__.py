@@ -39,6 +39,7 @@ from repro.core.sql_generate import (
     sql_enumerate,
     sql_find_best,
 )
+from repro.core.cost import StrategyChoice, choose_strategy
 from repro.core.engine import (
     EngineError,
     EngineOptions,
@@ -46,6 +47,21 @@ from repro.core.engine import (
     PackageQueryEvaluator,
     ResultStatus,
     evaluate,
+)
+from repro.core.partitioning import (
+    PartitionOptions,
+    Partitioning,
+    build_partitioning,
+    partition_attributes,
+)
+from repro.core.strategies import (
+    EvaluationContext,
+    Strategy,
+    StrategyEstimate,
+    all_strategies,
+    get_strategy,
+    register_strategy,
+    strategy_names,
 )
 from repro.core.formula import normalize_formula
 from repro.core.greedy import greedy_seed, random_seed
@@ -65,6 +81,7 @@ from repro.core.pruning import (
     CardinalityPruner,
     derive_bounds,
     search_space_size,
+    unpruned_bounds,
 )
 from repro.core.translate_ilp import ILPTranslation, ILPTranslationError, translate
 from repro.core.validator import (
@@ -106,7 +123,21 @@ __all__ = [
     "CardinalityPruner",
     "EngineError",
     "EngineOptions",
+    "EvaluationContext",
     "EvaluationResult",
+    "PartitionOptions",
+    "Partitioning",
+    "Strategy",
+    "StrategyChoice",
+    "StrategyEstimate",
+    "all_strategies",
+    "build_partitioning",
+    "choose_strategy",
+    "get_strategy",
+    "partition_attributes",
+    "register_strategy",
+    "strategy_names",
+    "unpruned_bounds",
     "ILPTranslation",
     "ILPTranslationError",
     "LocalSearch",

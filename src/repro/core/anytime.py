@@ -38,17 +38,30 @@ class AnytimeEnumerator:
         pool = enumerator.packages
     """
 
-    def __init__(self, query, relation, candidate_rids):
+    def __init__(self, query, relation, candidate_rids, bounds=None):
         self._query = query
         self._relation = relation
         self._candidates = list(candidate_rids)
-        self._bounds = derive_bounds(query, relation, self._candidates)
+        self._bounds = (
+            bounds
+            if bounds is not None
+            else derive_bounds(query, relation, self._candidates)
+        )
         self._iterator = iter_valid_packages(
             query, relation, self._candidates, bounds=self._bounds
         )
         self._packages = []
         self._complete = self._bounds.empty
         self._examined_slices = 0
+
+    @classmethod
+    def from_context(cls, ctx):
+        """Build from an :class:`~repro.core.strategies.base.EvaluationContext`.
+
+        Reuses the context's candidate rids and derived bounds instead
+        of re-deriving them (the pipeline already paid for both).
+        """
+        return cls(ctx.query, ctx.relation, ctx.candidate_rids, ctx.bounds)
 
     # -- state ---------------------------------------------------------------
 

@@ -1,0 +1,93 @@
+"""The shared strategy-selection cost model.
+
+Exactly one place decides what ``strategy="auto"`` runs:
+:func:`choose_strategy`.  Both the engine
+(:meth:`repro.core.engine.PackageQueryEvaluator.evaluate`) and the
+planner (:func:`repro.core.plan.plan`) call it with the same
+:class:`~repro.core.strategies.base.EvaluationContext`, which is what
+keeps EXPLAIN's prediction and the engine's behavior in lock-step (a
+property the tests enforce) — previously the two carried hand-duplicated
+copies of this logic.
+
+Selection is a ranked auction: every registered, auto-eligible strategy
+submits a :class:`~repro.core.strategies.base.StrategyEstimate` and the
+lowest ``(tier, cost, name)`` wins.  Tiers keep the ranking
+lexicographic — scalable decompositions (``partition``, tier 0) beat
+the exact ILP (tier 1) when they are eligible at all, the exact ILP
+beats exhaustive enumeration (tier 2), and heuristic local search
+(tier 3) is the safety net that is always eligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.strategies import all_strategies
+
+
+@dataclass
+class StrategyChoice:
+    """The cost model's verdict for one evaluation context.
+
+    Attributes:
+        name: the winning strategy's registry name.
+        decisions: human-readable decision trail, in evaluation order
+            (the planner prints these lines verbatim).
+        estimates: every auto-eligible strategy's estimate, by name.
+        translatable: whether the query has a linear encoding.
+        translation_error: the reason when it does not.
+    """
+
+    name: str
+    decisions: list = field(default_factory=list)
+    estimates: dict = field(default_factory=dict)
+    translatable: bool = False
+    translation_error: str | None = None
+
+
+def choose_strategy(ctx, exclude=()):
+    """Pick the strategy ``auto`` should run for ``ctx``.
+
+    Args:
+        ctx: the :class:`~repro.core.strategies.base.EvaluationContext`.
+        exclude: strategy names to leave out of the auction (used by
+            strategies falling back to the next-best choice).
+
+    Returns:
+        :class:`StrategyChoice`.  There is always a winner: the
+        ``local-search`` safety net is eligible in every context.
+    """
+    estimates = {}
+    contenders = []
+    for strategy in all_strategies():
+        if strategy.name in exclude or not strategy.auto_eligible:
+            continue
+        if not strategy.applicable(ctx.query, ctx):
+            continue
+        estimate = strategy.estimate(ctx)
+        estimates[strategy.name] = estimate
+        if estimate.eligible:
+            contenders.append((estimate.tier, estimate.cost, strategy.name))
+    if not contenders:  # pragma: no cover - local-search is always eligible
+        raise RuntimeError("no eligible strategy (registry misconfigured)")
+    _, _, winner = min(contenders)
+
+    translatable = ctx.translatable
+    decisions = []
+    if translatable:
+        if winner == "ilp":
+            decisions.append(estimates["ilp"].reason)
+        else:
+            decisions.append("query has a linear encoding")
+    else:
+        decisions.append(f"no linear encoding: {ctx.translation_error}")
+    if winner != "ilp":
+        decisions.append(estimates[winner].reason)
+
+    return StrategyChoice(
+        name=winner,
+        decisions=decisions,
+        estimates=estimates,
+        translatable=translatable,
+        translation_error=ctx.translation_error,
+    )

@@ -4,24 +4,33 @@ Orchestrates the full pipeline of Section 4: parse and analyze the
 PaQL text, push base constraints down (to the DBMS via SQL when a
 :class:`~repro.relational.sqlite_backend.Database` is attached, else
 in memory), derive cardinality bounds, and evaluate with one of the
-strategies — or, like the demo system, "heuristically combine all of
-them":
+registered strategies (:mod:`repro.core.strategies`) — or, like the
+demo system, "heuristically combine all of them" via the shared cost
+model (:mod:`repro.core.cost`):
 
 * ``ilp`` — translate to an integer program and solve exactly;
 * ``brute-force`` — pruned exhaustive enumeration (exact, small n);
 * ``local-search`` — the Section 4.2 heuristic (fast, incomplete);
-* ``auto`` — ILP when the query translates; otherwise brute force
-  when the pruned space is small enough, local search with a
-  brute-force safety net when it is not.
+* ``sql`` — generate-and-validate SQL against the sqlite backend
+  (exact, explicit dispatch only);
+* ``partition`` — offline k-partitioning, sketch ILP over
+  representatives, partition-by-partition refinement (heuristic,
+  scales past the exact ILP);
+* ``auto`` — ask the cost model, which ranks every registered
+  strategy's estimate: ``partition`` on large translatable inputs,
+  otherwise ILP when the query translates, brute force when the
+  pruned space is small enough, and local search as the safety net.
 
-Every returned package is re-validated against the original query —
-a strategy bug surfaces as an :class:`EngineError`, never as a wrong
+The engine itself is a thin orchestrator: strategy selection lives in
+:func:`repro.core.cost.choose_strategy` (shared verbatim with
+``repro plan``), evaluation lives in the strategy classes, and every
+returned package is re-validated here against the original query — a
+strategy bug surfaces as an :class:`EngineError`, never as a wrong
 answer.
 """
 
 from __future__ import annotations
 
-import enum
 import time
 from dataclasses import dataclass, field
 
@@ -29,32 +38,22 @@ from repro.paql.parser import parse
 from repro.paql.semantics import analyze
 from repro.paql.to_sql import to_sql
 from repro.paql.eval import eval_predicate
-from repro.core.brute_force import BruteForceStats, find_best
-from repro.core.local_search import LocalSearch, LocalSearchOptions
-from repro.core.pruning import derive_bounds, search_space_size
-from repro.core.translate_ilp import ILPTranslationError, translate
+from repro.core.cost import choose_strategy
+from repro.core.local_search import LocalSearchOptions
+from repro.core.partitioning import PartitionOptions
+from repro.core.pruning import derive_bounds
+from repro.core.result import EngineError, EvaluationResult, ResultStatus
+from repro.core.strategies import EvaluationContext, get_strategy
 from repro.core.validator import validate
-from repro.solver.branch_and_bound import BranchAndBoundOptions, solve_milp
-from repro.solver.scipy_backend import available as scipy_available
-from repro.solver.scipy_backend import solve_milp_scipy
-from repro.solver.status import Status
 
-
-class EngineError(Exception):
-    """Internal inconsistency: a strategy produced an invalid package."""
-
-
-class ResultStatus(enum.Enum):
-    """How to read the evaluation outcome."""
-
-    #: A valid package, provably objective-optimal (exact strategies).
-    OPTIMAL = "optimal"
-    #: A valid package without an optimality proof (heuristics/limits).
-    FEASIBLE = "feasible"
-    #: Proof that no valid package exists.
-    INFEASIBLE = "infeasible"
-    #: The strategy gave up without a proof either way.
-    UNKNOWN = "unknown"
+__all__ = [
+    "EngineError",
+    "EngineOptions",
+    "EvaluationResult",
+    "PackageQueryEvaluator",
+    "ResultStatus",
+    "evaluate",
+]
 
 
 @dataclass
@@ -62,13 +61,17 @@ class EngineOptions:
     """Evaluation options.
 
     Attributes:
-        strategy: ``auto`` | ``ilp`` | ``brute-force`` | ``local-search``.
+        strategy: ``auto`` or any registered strategy name —
+            ``ilp`` | ``brute-force`` | ``local-search`` | ``sql`` |
+            ``partition`` (see :mod:`repro.core.strategies`).
         solver_backend: ``builtin`` (from-scratch simplex + B&B),
             ``scipy`` (HiGHS), or ``auto`` (scipy when installed).
         brute_force_limit: ``auto`` falls back from local search to
             brute force only when the pruned space is at most this big.
         node_limit: branch-and-bound node cap.
         local_search: options for the heuristic strategy.
+        partition: options for the sketch-refine strategy
+            (:class:`~repro.core.partitioning.PartitionOptions`).
         use_pruning: apply cardinality bounds (the E1 ablation turns
             this off).
         rewrite: run the logical query-rewrite pass (constant folding,
@@ -81,27 +84,9 @@ class EngineOptions:
     brute_force_limit: int = 200000
     node_limit: int = 200000
     local_search: LocalSearchOptions = field(default_factory=LocalSearchOptions)
+    partition: PartitionOptions = field(default_factory=PartitionOptions)
     use_pruning: bool = True
     rewrite: bool = True
-
-
-@dataclass
-class EvaluationResult:
-    """The outcome of evaluating one package query."""
-
-    package: object
-    status: ResultStatus
-    strategy: str
-    query: object
-    objective: float | None = None
-    candidate_count: int = 0
-    bounds: object = None
-    elapsed_seconds: float = 0.0
-    stats: dict = field(default_factory=dict)
-
-    @property
-    def found(self):
-        return self.package is not None
 
 
 class PackageQueryEvaluator:
@@ -150,6 +135,24 @@ class PackageQueryEvaluator:
             if eval_predicate(query.where, self._relation[rid])
         ]
 
+    def context(self, query, options=None):
+        """Run the pipeline up to pruning; return the strategies' input.
+
+        parse/analyze must already have happened (``query`` is an
+        analyzed AST); this performs pushdown and bound derivation and
+        packages the state every later stage shares.
+        """
+        options = options or EngineOptions()
+        candidate_rids = self.candidates(query)
+        return EvaluationContext(
+            query=query,
+            relation=self._relation,
+            candidate_rids=candidate_rids,
+            bounds=derive_bounds(query, self._relation, candidate_rids),
+            options=options,
+            db=self._db,
+        )
+
     # -- evaluation -------------------------------------------------------------
 
     def evaluate(self, query_or_text, options=None):
@@ -165,10 +168,9 @@ class PackageQueryEvaluator:
             rewritten = rewrite_query(query)
             query = rewritten.query
             rewrites_applied = rewritten.applied
-        candidate_rids = self.candidates(query)
-        bounds = derive_bounds(query, self._relation, candidate_rids)
+        ctx = self.context(query, options)
 
-        if options.use_pruning and bounds.empty:
+        if options.use_pruning and ctx.bounds.empty:
             stats = {"reason": "cardinality bounds are empty"}
             if rewrites_applied:
                 stats["rewrites"] = rewrites_applied
@@ -177,31 +179,25 @@ class PackageQueryEvaluator:
                 status=ResultStatus.INFEASIBLE,
                 strategy="pruning",
                 query=query,
-                candidate_count=len(candidate_rids),
-                bounds=bounds,
+                candidate_count=ctx.candidate_count,
+                bounds=ctx.bounds,
                 elapsed_seconds=time.perf_counter() - started,
                 stats=stats,
             )
 
-        strategy = options.strategy
-        if strategy == "auto":
-            result = self._evaluate_auto(query, candidate_rids, bounds, options)
-        elif strategy == "ilp":
-            result = self._evaluate_ilp(query, candidate_rids, options)
-        elif strategy == "brute-force":
-            result = self._evaluate_brute_force(
-                query, candidate_rids, bounds, options
-            )
-        elif strategy == "local-search":
-            result = self._evaluate_local_search(query, candidate_rids, options)
-        elif strategy == "sql":
-            result = self._evaluate_sql(query, candidate_rids, bounds, options)
+        if options.strategy == "auto":
+            choice = choose_strategy(ctx)
+            result = get_strategy(choice.name).run(ctx)
+            if not choice.translatable:
+                result.stats.setdefault(
+                    "ilp_fallback_reason", choice.translation_error
+                )
         else:
-            raise ValueError(f"unknown strategy {strategy!r}")
+            result = get_strategy(options.strategy).run(ctx)
 
         result.query = query
-        result.candidate_count = len(candidate_rids)
-        result.bounds = bounds
+        result.candidate_count = ctx.candidate_count
+        result.bounds = ctx.bounds
         result.elapsed_seconds = time.perf_counter() - started
         if rewrites_applied:
             result.stats["rewrites"] = rewrites_applied
@@ -220,163 +216,6 @@ class PackageQueryEvaluator:
                 f"repeat_ok={report.repeat_ok}"
             )
         result.objective = report.objective
-
-    # -- strategies ---------------------------------------------------------------
-
-    def _evaluate_auto(self, query, candidate_rids, bounds, options):
-        try:
-            return self._evaluate_ilp(query, candidate_rids, options)
-        except ILPTranslationError as exc:
-            translation_error = str(exc)
-
-        space = search_space_size(len(candidate_rids), bounds)
-        if query.repeat == 1 and space <= options.brute_force_limit:
-            result = self._evaluate_brute_force(
-                query, candidate_rids, bounds, options
-            )
-            result.stats["ilp_fallback_reason"] = translation_error
-            return result
-
-        result = self._evaluate_local_search(query, candidate_rids, options)
-        result.stats["ilp_fallback_reason"] = translation_error
-        if result.package is None and (
-            query.repeat == 1 and space <= options.brute_force_limit
-        ):  # pragma: no cover - guarded by the branch above
-            result = self._evaluate_brute_force(
-                query, candidate_rids, bounds, options
-            )
-        return result
-
-    def _evaluate_ilp(self, query, candidate_rids, options):
-        translation = translate(query, self._relation, candidate_rids)
-
-        backend = options.solver_backend
-        if backend == "auto":
-            backend = "scipy" if scipy_available() else "builtin"
-        if backend == "scipy":
-            solution = solve_milp_scipy(translation.model)
-        else:
-            solution = solve_milp(
-                translation.model,
-                BranchAndBoundOptions(node_limit=options.node_limit),
-            )
-
-        stats = {
-            "solver_backend": backend,
-            "variables": translation.model.num_variables,
-            "constraints": translation.model.num_constraints,
-            "nodes": solution.nodes,
-            "iterations": solution.iterations,
-        }
-        if solution.status is Status.OPTIMAL:
-            return EvaluationResult(
-                package=translation.decode(solution),
-                status=ResultStatus.OPTIMAL,
-                strategy="ilp",
-                query=query,
-                stats=stats,
-            )
-        if solution.status is Status.FEASIBLE:
-            return EvaluationResult(
-                package=translation.decode(solution),
-                status=ResultStatus.FEASIBLE,
-                strategy="ilp",
-                query=query,
-                stats=stats,
-            )
-        if solution.status is Status.INFEASIBLE:
-            return EvaluationResult(
-                package=None,
-                status=ResultStatus.INFEASIBLE,
-                strategy="ilp",
-                query=query,
-                stats=stats,
-            )
-        return EvaluationResult(
-            package=None,
-            status=ResultStatus.UNKNOWN,
-            strategy="ilp",
-            query=query,
-            stats=stats,
-        )
-
-    def _evaluate_brute_force(self, query, candidate_rids, bounds, options):
-        stats = BruteForceStats()
-        effective_bounds = bounds if options.use_pruning else None
-        if not options.use_pruning:
-            from repro.core.pruning import CardinalityBounds
-
-            effective_bounds = CardinalityBounds(
-                0, len(candidate_rids) * query.repeat
-            )
-        package = find_best(
-            query,
-            self._relation,
-            candidate_rids,
-            bounds=effective_bounds,
-            stats=stats,
-        )
-        status = ResultStatus.OPTIMAL if package else ResultStatus.INFEASIBLE
-        return EvaluationResult(
-            package=package,
-            status=status,
-            strategy="brute-force",
-            query=query,
-            stats={"examined": stats.examined, "valid": stats.valid},
-        )
-
-    def _evaluate_sql(self, query, candidate_rids, bounds, options):
-        """The paper's option (i): SQL generate-and-validate statements."""
-        from repro.core.sql_generate import sql_find_best
-        from repro.relational.sqlite_backend import Database
-
-        db = self._db
-        owned = False
-        if db is None:
-            db = Database()
-            db.load_relation(self._relation)
-            owned = True
-        try:
-            package = sql_find_best(
-                db, query, self._relation, candidate_rids, bounds
-            )
-        finally:
-            if owned:
-                db.close()
-        status = ResultStatus.OPTIMAL if package else ResultStatus.INFEASIBLE
-        return EvaluationResult(
-            package=package,
-            status=status,
-            strategy="sql",
-            query=query,
-            stats={"bounds": [bounds.lower, bounds.upper]},
-        )
-
-    def _evaluate_local_search(self, query, candidate_rids, options):
-        search = LocalSearch(
-            query, self._relation, candidate_rids, options.local_search
-        )
-        outcome = search.run()
-        stats = {
-            "rounds": outcome.rounds,
-            "moves_evaluated": outcome.moves_evaluated,
-            "restarts": outcome.restarts_used,
-        }
-        if outcome.package is None:
-            return EvaluationResult(
-                package=None,
-                status=ResultStatus.UNKNOWN,
-                strategy="local-search",
-                query=query,
-                stats=stats,
-            )
-        return EvaluationResult(
-            package=outcome.package,
-            status=ResultStatus.FEASIBLE,
-            strategy="local-search",
-            query=query,
-            stats=stats,
-        )
 
 
 def evaluate(query_text, relation, db=None, options=None):

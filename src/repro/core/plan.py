@@ -14,6 +14,11 @@ the evaluator will do and why:
 * the ILP's size (variables, constraints, integer count) when one
   exists.
 
+The prediction is exact by construction: the strategy choice comes
+from the same :func:`repro.core.cost.choose_strategy` call the engine
+makes over the same :class:`~repro.core.strategies.base.EvaluationContext`
+— there is no second copy of the auto logic to drift out of sync.
+
 The CLI exposes this as ``repro plan``; tests assert the plan's
 predictions against what the engine then actually does.
 """
@@ -22,8 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.pruning import derive_bounds, search_space_size
-from repro.core.translate_ilp import ILPTranslationError, translate
+from repro.core.cost import choose_strategy
 
 
 @dataclass
@@ -56,11 +60,13 @@ class EvaluationPlan:
     decisions: list = field(default_factory=list)
 
     def lines(self):
+        from repro.core.pruning import format_count
+
         out = [
             f"candidates after base constraints: {self.candidate_count}",
             f"cardinality bounds: [{self.bounds.lower}, {self.bounds.upper}]",
-            f"search space: 2^n = {self.space_unpruned:g}, "
-            f"pruned = {self.space_pruned:g}",
+            f"search space: 2^n = {format_count(self.space_unpruned)}, "
+            f"pruned = {format_count(self.space_pruned)}",
         ]
         if self.translatable:
             out.append(
@@ -82,76 +88,58 @@ class EvaluationPlan:
 def plan(query, relation, candidate_rids=None, options=None):
     """Build the :class:`EvaluationPlan` for an analyzed query.
 
-    Mirrors :meth:`repro.core.engine.PackageQueryEvaluator` ``auto``
-    logic exactly (tested to agree with the strategy the engine
-    reports).
+    Calls the same cost model as the engine's ``auto`` mode over the
+    same evaluation context, so the predicted strategy is the strategy
+    (tested to agree with what the engine reports).
     """
-    from repro.core.engine import EngineOptions
+    from repro.core.engine import EngineOptions, PackageQueryEvaluator
+    from repro.core.pruning import derive_bounds
+    from repro.core.strategies import EvaluationContext
 
     options = options or EngineOptions()
     if candidate_rids is None:
-        from repro.core.engine import PackageQueryEvaluator
-
         candidate_rids = PackageQueryEvaluator(relation).candidates(query)
-    candidates = list(candidate_rids)
+    rids = list(candidate_rids)
+    ctx = EvaluationContext(
+        query=query,
+        relation=relation,
+        candidate_rids=rids,
+        bounds=derive_bounds(query, relation, rids),
+        options=options,
+    )
 
-    bounds = derive_bounds(query, relation, candidates)
-    unpruned = 2 ** len(candidates)
-    pruned = search_space_size(len(candidates), bounds)
-
-    decisions = []
-    if bounds.empty and options.use_pruning:
-        decisions.append(
-            "cardinality bounds are empty: infeasible without solving"
-        )
+    if ctx.bounds.empty and options.use_pruning:
         return EvaluationPlan(
-            candidate_count=len(candidates),
-            bounds=bounds,
-            space_unpruned=unpruned,
-            space_pruned=pruned,
+            candidate_count=ctx.candidate_count,
+            bounds=ctx.bounds,
+            space_unpruned=ctx.space_unpruned,
+            space_pruned=ctx.space_pruned,
             translatable=False,
             translation_error="not attempted (bounds empty)",
             chosen_strategy="pruning",
-            decisions=decisions,
+            decisions=[
+                "cardinality bounds are empty: infeasible without solving"
+            ],
         )
 
-    translation_error = None
+    choice = choose_strategy(ctx)
     model_variables = model_constraints = model_integers = 0
-    try:
-        translation = translate(query, relation, candidates)
-        translatable = True
+    translation, _ = ctx.try_translation()
+    if translation is not None:
         model_variables = translation.model.num_variables
         model_constraints = translation.model.num_constraints
         model_integers = len(translation.model.integer_indices())
-        decisions.append("query has a linear encoding: use the ILP solver")
-        chosen = "ilp"
-    except ILPTranslationError as exc:
-        translatable = False
-        translation_error = str(exc)
-        decisions.append(f"no linear encoding: {exc}")
-        if query.repeat == 1 and pruned <= options.brute_force_limit:
-            decisions.append(
-                f"pruned space {pruned:g} <= brute-force limit "
-                f"{options.brute_force_limit:g}: enumerate exhaustively"
-            )
-            chosen = "brute-force"
-        else:
-            decisions.append(
-                f"pruned space {pruned:g} exceeds the brute-force limit: "
-                "fall back to heuristic local search"
-            )
-            chosen = "local-search"
 
     return EvaluationPlan(
-        candidate_count=len(candidates),
-        bounds=bounds,
-        space_unpruned=unpruned,
-        space_pruned=pruned,
-        translatable=translatable,
-        translation_error=translation_error,
+        candidate_count=ctx.candidate_count,
+        bounds=ctx.bounds,
+        space_unpruned=ctx.space_unpruned,
+        space_pruned=ctx.space_pruned,
+        translatable=choice.translatable,
+        translation_error=choice.translation_error,
         model_variables=model_variables,
         model_constraints=model_constraints,
         model_integers=model_integers,
-        chosen_strategy=chosen,
-        decisions=decisions,
+        chosen_strategy=choice.name,
+        decisions=choice.decisions,
     )

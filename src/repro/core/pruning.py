@@ -71,16 +71,52 @@ class CardinalityBounds:
         return self.lower <= cardinality <= self.upper
 
 
-def search_space_size(n, bounds):
+def search_space_size(n, bounds, limit=None):
     """Number of candidate packages left after pruning (set semantics).
 
     ``sum(C(n, k))`` over the cardinalities in ``bounds`` clipped to
     ``[0, n]``; compare with the unpruned ``2**n``.
+
+    With ``limit`` set, the count saturates: any return value greater
+    than ``limit`` only promises the true count is also greater.  The
+    saturating path never materializes astronomically large binomials
+    (it bounds each term through ``lgamma`` first), so callers that
+    only need "is the space bigger than my budget?" — the cost model —
+    stay O(1)-ish even at ``n`` in the hundreds of thousands.
     """
     if bounds.empty:
         return 0
     low = max(0, bounds.lower)
     high = min(n, bounds.upper)
+    if high < low:
+        return 0
+
+    if limit is not None:
+        log_cap = math.log(max(float(limit), 1.0)) + 2.0
+        total = 0
+        for k in range(low, high + 1):
+            log_term = (
+                math.lgamma(n + 1)
+                - math.lgamma(k + 1)
+                - math.lgamma(n - k + 1)
+            )
+            if log_term > log_cap:
+                return limit + 1
+            total += math.comb(n, k)
+            if total > limit:
+                return total
+        return total
+
+    # Exact count.  When the range covers most cardinalities, summing
+    # the narrow complement against 2^n is far cheaper than summing
+    # the range itself (the unbounded-bounds case on a large relation
+    # is exactly 2^n, computed instantly).
+    width = high - low + 1
+    complement = low + (n - high)
+    if complement < width:
+        outside = sum(math.comb(n, k) for k in range(0, low))
+        outside += sum(math.comb(n, k) for k in range(high + 1, n + 1))
+        return 2**n - outside
     return sum(math.comb(n, k) for k in range(low, high + 1))
 
 
@@ -302,3 +338,23 @@ def _compare_const(value, op, constant):
 def derive_bounds(query, relation, candidate_rids):
     """Convenience wrapper around :class:`CardinalityPruner`."""
     return CardinalityPruner(query, relation, candidate_rids).bounds()
+
+
+def unpruned_bounds(candidate_count, repeat=1):
+    """The trivial bounds ``[0, n * repeat]`` (pruning disabled)."""
+    return CardinalityBounds(0, candidate_count * repeat)
+
+
+def format_count(count):
+    """Human-readable search-space size, safe for astronomically big ints.
+
+    ``2**n`` package counts overflow float formatting well before the
+    engine stops caring about them (``format(2**2000, 'g')`` raises
+    OverflowError); fall back to a power-of-ten approximation via the
+    bit length (``str(count)`` would trip the interpreter's 4300-digit
+    int-to-string guard long before that).
+    """
+    try:
+        return f"{float(count):g}"
+    except OverflowError:
+        return f"~1e+{int(count.bit_length() * 0.3010299956639812)}"

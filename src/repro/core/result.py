@@ -1,0 +1,49 @@
+"""Shared evaluation outcome types.
+
+These used to live inside :mod:`repro.core.engine`; they sit in their
+own module so the strategy implementations (:mod:`repro.core.strategies`)
+and the engine can both import them without a cycle.  The engine
+re-exports every name here, so ``from repro.core.engine import
+EvaluationResult`` keeps working.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EngineError(Exception):
+    """Internal inconsistency: a strategy produced an invalid package."""
+
+
+class ResultStatus(enum.Enum):
+    """How to read the evaluation outcome."""
+
+    #: A valid package, provably objective-optimal (exact strategies).
+    OPTIMAL = "optimal"
+    #: A valid package without an optimality proof (heuristics/limits).
+    FEASIBLE = "feasible"
+    #: Proof that no valid package exists.
+    INFEASIBLE = "infeasible"
+    #: The strategy gave up without a proof either way.
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class EvaluationResult:
+    """The outcome of evaluating one package query."""
+
+    package: object
+    status: ResultStatus
+    strategy: str
+    query: object
+    objective: float | None = None
+    candidate_count: int = 0
+    bounds: object = None
+    elapsed_seconds: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def found(self):
+        return self.package is not None

@@ -1,0 +1,99 @@
+"""Pluggable evaluation strategies and their discovery registry.
+
+Every evaluation strategy — ``ilp``, ``brute-force``, ``local-search``,
+``sql``, ``partition`` — is a :class:`~repro.core.strategies.base.Strategy`
+subclass registered here by name.  The engine dispatches *only* through
+this registry, and the shared cost model (:mod:`repro.core.cost`) ranks
+the registered strategies' estimates to implement ``strategy="auto"`` —
+so adding a strategy is: subclass, decorate with
+:func:`register_strategy`, import the module (see
+``docs/strategies.md``).  Neither the engine nor the planner needs to
+change.
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies.base import (
+    EvaluationContext,
+    Strategy,
+    StrategyEstimate,
+    solve_model,
+)
+
+_REGISTRY = {}
+
+
+def register_strategy(cls):
+    """Class decorator: instantiate and register a :class:`Strategy`.
+
+    Registration is keyed on ``cls.name``; registering the same name
+    twice replaces the previous entry (latest wins), which lets tests
+    and extensions override built-ins.
+    """
+    if not issubclass(cls, Strategy):
+        raise TypeError(f"{cls!r} is not a Strategy subclass")
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def get_strategy(name):
+    """The registered strategy instance for ``name``.
+
+    Raises:
+        ValueError: for names not in the registry.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown strategy {name!r} (registered: {known})"
+        ) from None
+
+
+def strategy_names():
+    """Sorted names of every registered strategy."""
+    return sorted(_REGISTRY)
+
+
+def all_strategies():
+    """Registered strategy instances, in registration order."""
+    return list(_REGISTRY.values())
+
+
+# -- built-in strategies ------------------------------------------------------
+# Importing a module is what registers its strategy; the order here is
+# the registration (and therefore cost-model iteration) order.
+
+from repro.core.strategies.ilp import ILPStrategy
+from repro.core.strategies.brute_force import BruteForceStrategy
+from repro.core.strategies.local_search import LocalSearchStrategy
+from repro.core.strategies.sql import SQLStrategy
+from repro.core.strategies.partition import PartitionStrategy
+
+for _cls in (
+    ILPStrategy,
+    BruteForceStrategy,
+    LocalSearchStrategy,
+    SQLStrategy,
+    PartitionStrategy,
+):
+    register_strategy(_cls)
+
+__all__ = [
+    "BruteForceStrategy",
+    "EvaluationContext",
+    "ILPStrategy",
+    "LocalSearchStrategy",
+    "PartitionStrategy",
+    "SQLStrategy",
+    "Strategy",
+    "StrategyEstimate",
+    "all_strategies",
+    "get_strategy",
+    "register_strategy",
+    "solve_model",
+    "strategy_names",
+]

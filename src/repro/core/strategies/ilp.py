@@ -1,0 +1,63 @@
+"""The ``ilp`` strategy: translate to an integer program, solve exactly."""
+
+from __future__ import annotations
+
+from repro.core.result import EvaluationResult, ResultStatus
+from repro.core.strategies.base import Strategy, StrategyEstimate, solve_model
+from repro.solver.status import Status
+
+
+class ILPStrategy(Strategy):
+    name = "ilp"
+    exact = True
+    summary = (
+        "translate the query to an integer linear program and solve it "
+        "exactly (builtin simplex + branch-and-bound, or scipy/HiGHS)"
+    )
+
+    def applicable(self, query, ctx):
+        return ctx.translatable
+
+    def estimate(self, ctx):
+        if not ctx.translatable:
+            return StrategyEstimate(
+                eligible=False,
+                tier=1,
+                cost=float("inf"),
+                reason=f"no linear encoding: {ctx.translation_error}",
+            )
+        n = ctx.candidate_count
+        # Branch-and-bound work grows superlinearly in the variable count.
+        return StrategyEstimate(
+            eligible=True,
+            tier=1,
+            cost=float(n) ** 1.5,
+            reason="query has a linear encoding: use the ILP solver",
+        )
+
+    def run(self, ctx):
+        translation = ctx.translation()
+        solution, backend = solve_model(translation.model, ctx.options)
+
+        stats = {
+            "solver_backend": backend,
+            "variables": translation.model.num_variables,
+            "constraints": translation.model.num_constraints,
+            "nodes": solution.nodes,
+            "iterations": solution.iterations,
+        }
+        if solution.status is Status.OPTIMAL:
+            status, package = ResultStatus.OPTIMAL, translation.decode(solution)
+        elif solution.status is Status.FEASIBLE:
+            status, package = ResultStatus.FEASIBLE, translation.decode(solution)
+        elif solution.status is Status.INFEASIBLE:
+            status, package = ResultStatus.INFEASIBLE, None
+        else:
+            status, package = ResultStatus.UNKNOWN, None
+        return EvaluationResult(
+            package=package,
+            status=status,
+            strategy=self.name,
+            query=ctx.query,
+            stats=stats,
+        )

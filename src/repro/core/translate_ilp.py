@@ -200,15 +200,20 @@ class ILPTranslation:
 
 
 class _Translator:
-    def __init__(self, query, relation, candidate_rids, epsilon):
+    def __init__(self, query, relation, candidate_rids, epsilon, upper_bounds=None):
         self._query = query
         self._relation = relation
         self._rids = list(candidate_rids)
         self._epsilon = epsilon
         self._model = Model(name="paql")
         repeat = float(query.repeat)
+        upper_bounds = upper_bounds or {}
         self._x = [
-            self._model.add_variable(f"x_{rid}", upper=repeat, integer=True)
+            self._model.add_variable(
+                f"x_{rid}",
+                upper=float(upper_bounds.get(rid, repeat)),
+                integer=True,
+            )
             for rid in self._rids
         ]
         self._value_cache = {}
@@ -539,7 +544,9 @@ class _Translator:
         )
 
 
-def translate(query, relation, candidate_rids, epsilon=DEFAULT_EPSILON):
+def translate(
+    query, relation, candidate_rids, epsilon=DEFAULT_EPSILON, upper_bounds=None
+):
     """Translate an analyzed package query into an ILP.
 
     Args:
@@ -547,6 +554,12 @@ def translate(query, relation, candidate_rids, epsilon=DEFAULT_EPSILON):
         relation: the base relation.
         candidate_rids: rids that satisfy the base constraints.
         epsilon: strictness slack for non-integral strict comparisons.
+        upper_bounds: optional per-rid multiplicity caps overriding
+            ``REPEAT`` (``dict rid -> int``).  The ``partition``
+            strategy's sketch uses this to let one representative
+            variable stand in for its whole partition; the resulting
+            model is *not* a faithful encoding of the query, so its
+            solutions must be refined before validation.
 
     Returns:
         :class:`ILPTranslation`.
@@ -555,4 +568,6 @@ def translate(query, relation, candidate_rids, epsilon=DEFAULT_EPSILON):
         ILPTranslationError: when no linear encoding exists (the
             evaluator falls back to search strategies).
     """
-    return _Translator(query, relation, candidate_rids, epsilon).translate()
+    return _Translator(
+        query, relation, candidate_rids, epsilon, upper_bounds
+    ).translate()

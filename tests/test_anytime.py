@@ -107,3 +107,25 @@ class TestProgressiveLayout:
         enumerator, query = enumerator_for(rel)
         with pytest.raises(ValueError, match="no packages"):
             progressive_layout(query, enumerator)
+
+
+class TestFromContext:
+    def test_from_context_matches_direct_construction(self, rel):
+        from repro.core.engine import PackageQueryEvaluator
+
+        text = (
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) = 2 AND SUM(T.value) <= 70"
+        )
+        evaluator = PackageQueryEvaluator(rel)
+        query = evaluator.prepare(text)
+        ctx = evaluator.context(query)
+
+        direct = AnytimeEnumerator(query, rel, ctx.candidate_rids)
+        direct.run_to_completion()
+        from_ctx = AnytimeEnumerator.from_context(ctx)
+        from_ctx.run_to_completion()
+        assert from_ctx.found == direct.found
+        assert [p.rids for p in from_ctx.packages] == [
+            p.rids for p in direct.packages
+        ]

@@ -98,3 +98,69 @@ class TestCompareObjectives:
     def test_no_objective_always_ties(self, meals):
         query = analyzed("SELECT PACKAGE(R) FROM Recipes R", meals)
         assert compare_objectives(query, 1.0, 99.0) == 0
+
+
+class TestBoundaryTolerance:
+    """Float noise at constraint boundaries must not invalidate packages.
+
+    Regression: solvers satisfy constraints within feasibility
+    tolerances, so an ILP optimum can sum to 27.599999999999998
+    against a bound of 27.6; the oracle accepts it (non-strict
+    comparisons get a 1e-9 relative slack) instead of raising
+    EngineError on arithmetic noise.
+    """
+
+    def _relation(self):
+        from repro.relational import ColumnType, Relation, Schema
+
+        schema = Schema.of(protein=ColumnType.FLOAT)
+        rows = [{"protein": value} for value in (5.8, 13.6, 8.2)]
+        return Relation("T", schema, rows)
+
+    def test_boundary_sum_accepted(self):
+        rel = self._relation()
+        assert 5.8 + 13.6 + 8.2 < 27.6  # the float-noise premise
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.protein) >= 27.6",
+            rel,
+        )
+        assert is_valid(Package(rel, [0, 1, 2]), query)
+
+    def test_real_violations_still_rejected(self):
+        rel = self._relation()
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.protein) >= 27.7",
+            rel,
+        )
+        assert not is_valid(Package(rel, [0, 1, 2]), query)
+
+    def test_strict_comparisons_stay_exact(self):
+        rel = self._relation()
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.protein) > 27.6",
+            rel,
+        )
+        assert not is_valid(Package(rel, [0, 1, 2]), query)
+
+    def test_between_boundary_accepted(self):
+        rel = self._relation()
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "SUM(T.protein) BETWEEN 27.6 AND 30",
+            rel,
+        )
+        assert is_valid(Package(rel, [0, 1, 2]), query)
+
+    def test_solver_boundary_optimum_survives_the_oracle_gate(self):
+        """The original crash: MINIMIZE onto a lower bound edge."""
+        from repro.core import EngineOptions, evaluate
+
+        rel = self._relation()
+        result = evaluate(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "COUNT(*) BETWEEN 1 AND 3 AND SUM(T.protein) >= 27.6 "
+            "MINIMIZE SUM(T.protein)",
+            rel,
+            options=EngineOptions(strategy="ilp"),
+        )
+        assert result.found
