@@ -84,6 +84,13 @@ from repro.core.pruning import (
     unpruned_bounds,
 )
 from repro.core.translate_ilp import ILPTranslation, ILPTranslationError, translate
+from repro.core.vectorize import (
+    UnsupportedExpression,
+    VectorEvaluator,
+    aggregate_value,
+    evaluator_for,
+    try_predicate_mask,
+)
 from repro.core.validator import (
     ValidationReport,
     check_global,
@@ -140,6 +147,11 @@ __all__ = [
     "unpruned_bounds",
     "ILPTranslation",
     "ILPTranslationError",
+    "UnsupportedExpression",
+    "VectorEvaluator",
+    "aggregate_value",
+    "evaluator_for",
+    "try_predicate_mask",
     "LocalSearch",
     "LocalSearchOptions",
     "LocalSearchResult",

@@ -34,10 +34,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.paql.parser import parse
 from repro.paql.semantics import analyze
 from repro.paql.to_sql import to_sql
 from repro.paql.eval import eval_predicate
+from repro.core.vectorize import try_predicate_mask
 from repro.core.cost import choose_strategy
 from repro.core.local_search import LocalSearchOptions
 from repro.core.partitioning import PartitionOptions
@@ -123,17 +126,29 @@ class PackageQueryEvaluator:
 
     def candidates(self, query):
         """rids satisfying the base constraints (SQL pushdown when possible)."""
+        return self._candidates_with_path(query)[0]
+
+    def _candidates_with_path(self, query):
+        """``(rids, path)`` where path records which WHERE engine ran.
+
+        Preference order: no WHERE at all (``none``), SQL pushdown
+        (``sql``), the compiled columnar kernel (``vectorized``), and
+        only when no kernel exists the per-row AST interpreter
+        (``interpreted``) — the compile-failure fallback.
+        """
         if query.where is None:
-            return list(range(len(self._relation)))
+            return list(range(len(self._relation))), "none"
         if self._db is not None:
-            return self._db.select_rids(
-                self._relation.name, to_sql(query.where)
-            )
+            rids = self._db.select_rids(self._relation.name, to_sql(query.where))
+            return rids, "sql"
+        mask = try_predicate_mask(query.where, self._relation)
+        if mask is not None:
+            return np.flatnonzero(mask).tolist(), "vectorized"
         return [
             rid
             for rid in range(len(self._relation))
             if eval_predicate(query.where, self._relation[rid])
-        ]
+        ], "interpreted"
 
     def context(self, query, options=None):
         """Run the pipeline up to pruning; return the strategies' input.
@@ -143,7 +158,7 @@ class PackageQueryEvaluator:
         packages the state every later stage shares.
         """
         options = options or EngineOptions()
-        candidate_rids = self.candidates(query)
+        candidate_rids, where_path = self._candidates_with_path(query)
         return EvaluationContext(
             query=query,
             relation=self._relation,
@@ -151,6 +166,7 @@ class PackageQueryEvaluator:
             bounds=derive_bounds(query, self._relation, candidate_rids),
             options=options,
             db=self._db,
+            where_path=where_path,
         )
 
     # -- evaluation -------------------------------------------------------------
@@ -171,7 +187,10 @@ class PackageQueryEvaluator:
         ctx = self.context(query, options)
 
         if options.use_pruning and ctx.bounds.empty:
-            stats = {"reason": "cardinality bounds are empty"}
+            stats = {
+                "reason": "cardinality bounds are empty",
+                "where_path": ctx.where_path,
+            }
             if rewrites_applied:
                 stats["rewrites"] = rewrites_applied
             return EvaluationResult(
@@ -198,6 +217,7 @@ class PackageQueryEvaluator:
         result.query = query
         result.candidate_count = ctx.candidate_count
         result.bounds = ctx.bounds
+        result.stats.setdefault("where_path", ctx.where_path)
         result.elapsed_seconds = time.perf_counter() - started
         if rewrites_applied:
             result.stats["rewrites"] = rewrites_applied

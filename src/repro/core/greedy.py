@@ -51,25 +51,54 @@ def _per_tuple_scores(query, relation, candidate_rids):
         if aggregate.func in (ast.AggFunc.AVG, ast.AggFunc.MIN, ast.AggFunc.MAX):
             return None
 
-    scores = []
-    for rid in candidate_rids:
-        row = relation[rid]
-        score = 0.0
-        for aggregate, coef in affine.terms.items():
-            if aggregate.is_count_star:
-                score += coef
-                continue
-            value = eval_scalar(aggregate.argument, row)
-            if value is None:
-                continue
-            if aggregate.func is ast.AggFunc.COUNT:
-                score += coef
-            else:  # SUM
-                score += coef * float(value)
-        scores.append(score)
+    scores = _columnar_scores(affine, relation, candidate_rids)
+    if scores is None:
+        scores = []
+        for rid in candidate_rids:
+            row = relation[rid]
+            score = 0.0
+            for aggregate, coef in affine.terms.items():
+                if aggregate.is_count_star:
+                    score += coef
+                    continue
+                value = eval_scalar(aggregate.argument, row)
+                if value is None:
+                    continue
+                if aggregate.func is ast.AggFunc.COUNT:
+                    score += coef
+                else:  # SUM
+                    score += coef * float(value)
+            scores.append(score)
     if query.objective.direction is ast.Direction.MINIMIZE:
         scores = [-s for s in scores]
     return scores
+
+
+def _columnar_scores(affine, relation, candidate_rids):
+    """Vectorized per-tuple contributions, or ``None`` on no kernel."""
+    import numpy as np
+
+    from repro.core.vectorize import UnsupportedExpression, evaluator_for
+
+    evaluator = evaluator_for(relation)
+    total = np.full(len(candidate_rids), 0.0)
+    try:
+        for aggregate, coef in affine.terms.items():
+            if aggregate.is_count_star:
+                total += coef
+                continue
+            values, nulls = evaluator.scalar_arrays(
+                aggregate.argument, candidate_rids
+            )
+            if aggregate.func is ast.AggFunc.COUNT:
+                total += coef * ~nulls
+            else:  # SUM: NULL contributes nothing
+                if values.dtype.kind not in "fiu":
+                    return None
+                total += coef * np.where(nulls, 0.0, values)
+    except UnsupportedExpression:
+        return None
+    return total.tolist()
 
 
 def random_seed(query, relation, candidate_rids, bounds=None, rng=None):

@@ -25,15 +25,18 @@ import itertools
 import random
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.paql import ast
 from repro.paql.errors import PaQLUnsupportedError
-from repro.paql.eval import eval_expr
+from repro.paql.eval import EvaluationError, eval_expr
 from repro.paql.to_sql import to_sql
 from repro.core.formula import conjunctive_leaves, normalize_formula
 from repro.core.greedy import greedy_seed, random_seed
 from repro.core.package import Package
 from repro.core.pruning import derive_bounds
 from repro.core.validator import compare_objectives, is_valid, objective_value
+from repro.core.vectorize import UnsupportedExpression, evaluator_for
 
 # ---------------------------------------------------------------------------
 # Violation measure (search guidance)
@@ -81,6 +84,382 @@ def _violation_of(node, package):
             return abs(gap) / scale
         return 0.0 if gap != 0 else 1.0 / scale  # NE
     raise PaQLUnsupportedError(f"cannot score node {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Vectorized single-move scoring
+# ---------------------------------------------------------------------------
+
+
+class VectorMoveScorer:
+    """Scores every 1-swap / add / remove neighbor with numpy deltas.
+
+    The row path materializes a :class:`~repro.core.package.Package`
+    per neighbor and recomputes its aggregates from scratch —
+    ``O(package x candidates)`` Python work per search round.  This
+    scorer observes that every aggregate the violation measure and the
+    objective touch (``COUNT(*)``, ``COUNT(e)``, ``SUM(e)``, and
+    ``AVG(e)`` as a sum/count quotient) changes *linearly* under a
+    single-tuple move, so one per-candidate contribution vector per
+    aggregate prices all neighbors at once:
+    ``new = base - contrib[out] + contrib[in]`` broadcast over the
+    whole move set.
+
+    Construction raises :class:`UnsupportedExpression` for formulas or
+    objectives outside that fragment (MIN/MAX aggregates, non-numeric
+    literals), in which case the search keeps the row path.  Moves are
+    laid out in exactly the row path's iteration order (replacements,
+    then adds, then removes) so first-minimum tie-breaking matches.
+    """
+
+    def __init__(self, query, relation, candidate_rids, normalized, bounds):
+        self._query = query
+        self._relation = relation
+        self._candidates = list(candidate_rids)
+        self._pos = {rid: i for i, rid in enumerate(self._candidates)}
+        self._repeat = query.repeat
+        self._bounds = bounds
+        self._normalized = normalized
+        self._objective = (
+            query.objective.expr if query.objective is not None else None
+        )
+        roots = []
+        if normalized is not None:
+            self._check_formula(normalized)
+            roots.append(normalized)
+        if self._objective is not None:
+            self._check_value(self._objective)
+            roots.append(self._objective)
+        evaluator = evaluator_for(relation)
+        self._specs = {}
+        for root in roots:
+            for aggregate in ast.find_aggregates(root):
+                if aggregate not in self._specs:
+                    self._specs[aggregate] = self._contribution(
+                        aggregate, evaluator
+                    )
+
+    # -- compile-time shape checks ----------------------------------------
+
+    def _check_formula(self, node):
+        if isinstance(node, ast.Literal):
+            return
+        if isinstance(node, (ast.And, ast.Or)):
+            for arg in node.args:
+                self._check_formula(arg)
+            return
+        if isinstance(node, ast.Comparison):
+            self._check_value(node.left)
+            self._check_value(node.right)
+            return
+        raise UnsupportedExpression(
+            f"cannot delta-score formula node {type(node).__name__}"
+        )
+
+    def _check_value(self, node):
+        if isinstance(node, ast.Literal):
+            if node.value is not None and not isinstance(
+                node.value, (int, float)
+            ):
+                raise UnsupportedExpression(
+                    f"non-numeric literal {node.value!r} in a scored expression"
+                )
+            return
+        if isinstance(node, ast.Aggregate):
+            if node.func in (ast.AggFunc.MIN, ast.AggFunc.MAX):
+                raise UnsupportedExpression(
+                    f"{node.func.value} does not change linearly under moves"
+                )
+            return
+        if isinstance(node, ast.UnaryMinus):
+            self._check_value(node.operand)
+            return
+        if isinstance(node, ast.BinaryOp):
+            self._check_value(node.left)
+            self._check_value(node.right)
+            return
+        raise UnsupportedExpression(
+            f"cannot delta-score value node {type(node).__name__}"
+        )
+
+    def _contribution(self, aggregate, evaluator):
+        """Per-candidate contribution vectors of one aggregate."""
+        if aggregate.is_count_star:
+            return ("plain", np.ones(len(self._candidates)))
+        values, nulls = evaluator.scalar_arrays(
+            aggregate.argument, self._candidates
+        )
+        notnull = (~nulls).astype(np.float64)
+        if aggregate.func is ast.AggFunc.COUNT:
+            return ("plain", notnull)
+        if values.dtype.kind not in "fiu":
+            raise UnsupportedExpression(
+                f"{aggregate.func.value} over a non-numeric argument"
+            )
+        summed = np.where(nulls, 0.0, values)
+        if aggregate.func is ast.AggFunc.SUM:
+            return ("plain", summed)
+        return ("avg", summed, notnull)  # AVG = weighted sum / count
+
+    # -- per-package move layout -------------------------------------------
+
+    #: Largest replacement matrix (package rids x incoming candidates)
+    #: the scorer will materialize per aggregate; beyond this it hands
+    #: the package back to the row path instead of ballooning memory.
+    MAX_MOVE_CELLS = 20_000_000
+
+    def _move_state(self, package):
+        """Geometry of the neighbor set, or ``None`` off-candidate."""
+        if len(package.rids) * len(self._candidates) > self.MAX_MOVE_CELLS:
+            return None
+        try:
+            pkg_pos = np.array(
+                [self._pos[rid] for rid in package.rids], dtype=np.intp
+            )
+        except KeyError:
+            return None
+        mults = np.array(
+            [package.multiplicity(rid) for rid in package.rids],
+            dtype=np.float64,
+        )
+        occupancy = np.zeros(len(self._candidates))
+        occupancy[pkg_pos] = mults
+        incoming_pos = np.flatnonzero(occupancy < self._repeat)
+        cardinality = package.cardinality
+        blocks = []
+        if len(pkg_pos) and len(incoming_pos):
+            blocks.append("replace")
+        if len(incoming_pos) and cardinality + 1 <= self._bounds.upper:
+            blocks.append("add")
+        if len(pkg_pos) and cardinality - 1 >= self._bounds.lower:
+            blocks.append("remove")
+        return {
+            "package": package,
+            "pkg_pos": pkg_pos,
+            "mults": mults,
+            "incoming_pos": incoming_pos,
+            "blocks": blocks,
+        }
+
+    def _block_values(self, state, block, vector):
+        """New primitive value per move in ``block`` for one vector."""
+        pkg_pos = state["pkg_pos"]
+        incoming_pos = state["incoming_pos"]
+        base = float(vector[pkg_pos] @ state["mults"])
+        if block == "replace":
+            return (
+                base
+                - vector[pkg_pos][:, None]
+                + vector[incoming_pos][None, :]
+            )
+        if block == "add":
+            return base + vector[incoming_pos]
+        return base - vector[pkg_pos]
+
+    def _block_aggregates(self, state, block):
+        """``aggregate -> (values, nulls)`` arrays for one move block."""
+        out = {}
+        for aggregate, spec in self._specs.items():
+            if spec[0] == "plain":
+                values = self._block_values(state, block, spec[1])
+                out[aggregate] = (values, np.False_)
+            else:
+                sums = self._block_values(state, block, spec[1])
+                counts = self._block_values(state, block, spec[2])
+                empty = counts <= 0.5  # counts are integral floats
+                with np.errstate(all="ignore"):
+                    values = sums / np.where(empty, 1.0, counts)
+                out[aggregate] = (values, empty)
+        return out
+
+    def _block_shape(self, state, block):
+        if block == "replace":
+            return (len(state["pkg_pos"]), len(state["incoming_pos"]))
+        if block == "add":
+            return (len(state["incoming_pos"]),)
+        return (len(state["pkg_pos"]),)
+
+    def _excluded(self, state, block, shape):
+        """Mask of skipped moves (replacing a tuple with itself)."""
+        if block != "replace":
+            return None
+        incoming_pos = state["incoming_pos"]
+        slot = np.searchsorted(incoming_pos, state["pkg_pos"])
+        mask = np.zeros(shape, dtype=bool)
+        rows = np.flatnonzero(
+            (slot < len(incoming_pos))
+            & (incoming_pos[np.minimum(slot, len(incoming_pos) - 1)]
+               == state["pkg_pos"])
+        )
+        mask[rows, slot[rows]] = True
+        return mask
+
+    def _decode(self, state, block, flat_index):
+        """Apply the move at ``flat_index`` within ``block``."""
+        package = state["package"]
+        rids = package.rids
+        incoming = state["incoming_pos"]
+        if block == "replace":
+            out_i, in_i = divmod(flat_index, len(incoming))
+            return package.replace(
+                [rids[out_i]], [self._candidates[incoming[in_i]]]
+            )
+        if block == "add":
+            return package.replace([], [self._candidates[incoming[flat_index]]])
+        return package.replace([rids[flat_index]], [])
+
+    # -- expression evaluation over move arrays ----------------------------
+
+    def _value_array(self, node, aggregates):
+        if isinstance(node, ast.Literal):
+            if node.value is None:
+                return np.float64(np.nan), np.True_
+            return np.float64(node.value), np.False_
+        if isinstance(node, ast.Aggregate):
+            return aggregates[node]
+        if isinstance(node, ast.UnaryMinus):
+            values, nulls = self._value_array(node.operand, aggregates)
+            return -values, nulls
+        left_v, left_n = self._value_array(node.left, aggregates)
+        right_v, right_n = self._value_array(node.right, aggregates)
+        nulls = left_n | right_n
+        if node.op is ast.BinOp.DIV and np.any(~nulls & (right_v == 0)):
+            raise EvaluationError("division by zero")
+        with np.errstate(all="ignore"):
+            if node.op is ast.BinOp.ADD:
+                values = left_v + right_v
+            elif node.op is ast.BinOp.SUB:
+                values = left_v - right_v
+            elif node.op is ast.BinOp.MUL:
+                values = left_v * right_v
+            else:
+                values = left_v / right_v
+        return values, nulls
+
+    def _violation_array(self, node, aggregates):
+        """Vectorized mirror of :func:`_violation_of`."""
+        if isinstance(node, ast.Literal):
+            return np.float64(0.0 if node.value else 1.0)
+        if isinstance(node, ast.And):
+            return sum(
+                self._violation_array(arg, aggregates) for arg in node.args
+            )
+        if isinstance(node, ast.Or):
+            return np.minimum.reduce(
+                [self._violation_array(arg, aggregates) for arg in node.args]
+            )
+        left, left_nulls = self._value_array(node.left, aggregates)
+        right, right_nulls = self._value_array(node.right, aggregates)
+        nulls = left_nulls | right_nulls
+        with np.errstate(all="ignore"):
+            scale = 1.0 + np.abs(right)
+            gap = left - right
+            if node.op in (ast.CmpOp.LE, ast.CmpOp.LT):
+                residual = np.maximum(0.0, gap) / scale
+            elif node.op in (ast.CmpOp.GE, ast.CmpOp.GT):
+                residual = np.maximum(0.0, -gap) / scale
+            elif node.op is ast.CmpOp.EQ:
+                residual = np.abs(gap) / scale
+            else:  # NE
+                residual = np.where(gap != 0, 0.0, 1.0 / scale)
+        return np.where(nulls, 1.0, residual)
+
+    def _violations(self, state, block, aggregates):
+        shape = self._block_shape(state, block)
+        if self._normalized is None:
+            return np.zeros(shape)
+        out = self._violation_array(self._normalized, aggregates)
+        return np.broadcast_to(out, shape)
+
+    # -- public scoring ----------------------------------------------------
+
+    def best_repair_move(self, package, current):
+        """Steepest-descent repair move.
+
+        Returns ``NotImplemented`` when the package strays off the
+        candidate set (row fallback), else ``(package, score, moves)``
+        with ``package=None`` when no move improves on ``current``.
+        """
+        state = self._move_state(package)
+        if state is None:
+            return NotImplemented
+        moves = 0
+        best_score = current
+        best = None
+        for block in state["blocks"]:
+            aggregates = self._block_aggregates(state, block)
+            scores = np.array(self._violations(state, block, aggregates))
+            excluded = self._excluded(state, block, scores.shape)
+            if excluded is not None:
+                scores[excluded] = np.inf
+                moves += scores.size - int(excluded.sum())
+            else:
+                moves += scores.size
+            flat = scores.ravel()
+            index = int(np.argmin(flat))
+            if flat[index] < best_score - 1e-12:
+                best_score = float(flat[index])
+                best = self._decode(state, block, index)
+        return best, best_score if best is not None else current, moves
+
+    def best_improving_move(self, package, current_value):
+        """Best valid objective-improving move (hill-climbing step).
+
+        Returns ``NotImplemented`` on row fallback, else
+        ``(package, value, moves)`` with ``package=None`` at a local
+        optimum.
+        """
+        state = self._move_state(package)
+        if state is None:
+            return NotImplemented
+        maximize = self._query.objective.direction is ast.Direction.MAXIMIZE
+        worst = -np.inf if maximize else np.inf
+        moves = 0
+        best = None
+        best_value = current_value
+        for block in state["blocks"]:
+            aggregates = self._block_aggregates(state, block)
+            shape = self._block_shape(state, block)
+            violations = self._violations(state, block, aggregates)
+            valid = violations == 0.0
+            excluded = self._excluded(state, block, shape)
+            if excluded is not None:
+                valid &= ~excluded
+                moves += violations.size - int(excluded.sum())
+            else:
+                moves += violations.size
+            chosen = np.flatnonzero(valid.ravel())
+            if not len(chosen):
+                continue
+            # Evaluate the objective over the *valid* neighbors only —
+            # the row path never computes objectives for violating
+            # packages, so e.g. a zero-divisor objective on an invalid
+            # neighbor must not raise here either.
+            subset = {
+                aggregate: (
+                    np.broadcast_to(vals, shape).ravel()[chosen],
+                    np.broadcast_to(nulls, shape).ravel()[chosen],
+                )
+                for aggregate, (vals, nulls) in aggregates.items()
+            }
+            values, nulls = self._value_array(self._objective, subset)
+            values = np.array(
+                np.broadcast_to(values, chosen.shape), dtype=np.float64
+            )
+            eligible = ~np.broadcast_to(nulls, chosen.shape) & ~np.isnan(values)
+            if not eligible.any():
+                continue
+            values[~eligible] = worst
+            pick = int(np.argmax(values) if maximize else np.argmin(values))
+            value = float(values[pick])
+            if not np.isfinite(value) or not eligible[pick]:
+                continue
+            if best_value is None or (
+                value > best_value if maximize else value < best_value
+            ):
+                best_value = value
+                best = self._decode(state, block, int(chosen[pick]))
+        return best, best_value, moves
 
 
 # ---------------------------------------------------------------------------
@@ -148,6 +527,12 @@ class LocalSearch:
         self._rng = random.Random(self._options.rng_seed)
         self._rounds = 0
         self._moves = 0
+        try:
+            self._scorer = VectorMoveScorer(
+                query, relation, self._candidates, self._normalized, self._bounds
+            )
+        except UnsupportedExpression:
+            self._scorer = None  # row-path scoring fallback
 
     # -- public ------------------------------------------------------------
 
@@ -252,6 +637,12 @@ class LocalSearch:
 
     def _best_single_move(self, package, current):
         """Steepest-descent choice among single moves (strict improvement)."""
+        if self._scorer is not None:
+            outcome = self._scorer.best_repair_move(package, current)
+            if outcome is not NotImplemented:
+                best, best_score, moves = outcome
+                self._moves += moves
+                return best, best_score
         best = None
         best_score = current
         for neighbor in self._single_moves(package):
@@ -296,21 +687,32 @@ class LocalSearch:
         current_value = objective_value(package, self._query)
         while self._rounds < self._options.max_rounds:
             self._rounds += 1
-            best = None
-            best_value = current_value
-            for neighbor in self._single_moves(package):
-                self._moves += 1
-                if self._score(neighbor) != 0.0:
-                    continue
-                value = objective_value(neighbor, self._query)
-                if compare_objectives(self._query, value, best_value) < 0:
-                    best = neighbor
-                    best_value = value
+            best, best_value = self._best_improving_move(package, current_value)
             if best is None:
                 return package
             package = best
             current_value = best_value
         return package
+
+    def _best_improving_move(self, package, current_value):
+        """One hill-climbing step: the best valid strictly-better move."""
+        if self._scorer is not None:
+            outcome = self._scorer.best_improving_move(package, current_value)
+            if outcome is not NotImplemented:
+                best, best_value, moves = outcome
+                self._moves += moves
+                return best, best_value
+        best = None
+        best_value = current_value
+        for neighbor in self._single_moves(package):
+            self._moves += 1
+            if self._score(neighbor) != 0.0:
+                continue
+            value = objective_value(neighbor, self._query)
+            if compare_objectives(self._query, value, best_value) < 0:
+                best = neighbor
+                best_value = value
+        return best, best_value
 
 
 def local_search(query, relation, candidate_rids, options=None):

@@ -169,7 +169,10 @@ class Package:
         """Evaluate an :class:`repro.paql.ast.Aggregate` over this package.
 
         Returns a number, or ``None`` (SQL NULL) per the module
-        docstring's semantics.
+        docstring's semantics.  Computation runs on the relation's
+        cached column arrays via :mod:`repro.core.vectorize` whenever
+        the aggregate argument compiles; expressions outside the
+        compilable fragment fall back to the row interpreter.
         """
         key = node
         if key in self._agg_cache:
@@ -181,7 +184,22 @@ class Package:
     def _compute_aggregate(self, node):
         if node.is_count_star:
             return self.cardinality
+        if self._counts:
+            from repro.core.vectorize import UnsupportedExpression, aggregate_value
 
+            try:
+                return aggregate_value(
+                    node,
+                    self._relation,
+                    [rid for rid, _ in self._counts],
+                    [multiplicity for _, multiplicity in self._counts],
+                )
+            except UnsupportedExpression:
+                pass
+        return self._compute_aggregate_rows(node)
+
+    def _compute_aggregate_rows(self, node):
+        """Row-interpreter aggregate (the compile-failure fallback)."""
         values = []
         weights = []
         for rid, multiplicity in self._counts:

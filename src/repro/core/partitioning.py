@@ -46,6 +46,11 @@ class PartitionOptions:
             packages out of huge candidate sets; with unbounded
             package sizes the refinement sub-problems degenerate into
             the very large-scale ILPs the strategy exists to avoid.
+            (Knapsack-shaped unbounded-cardinality queries are still
+            declined here, and deliberately so: the builtin solver's
+            dedicated knapsack fast path handles them exactly.  Since
+            the refine-step ILPs ride that same solver, the cap can sit
+            far higher than the original 64.)
         max_attributes: at most this many binning attributes (extra
             aggregate arguments are ignored for binning; refinement
             still uses real values, so this only affects sketch
@@ -58,7 +63,7 @@ class PartitionOptions:
     num_partitions: int = 0
     max_partitions: int = 256
     auto_threshold: int = 20000
-    max_package_cardinality: int = 64
+    max_package_cardinality: int = 256
     max_attributes: int = 3
     fallback: bool = True
 
@@ -125,6 +130,31 @@ def _bin_counts(k, dims):
     return counts
 
 
+def _feature_column(expr, relation, rids):
+    """Per-candidate values of one binning attribute, NULL as NaN.
+
+    Columnar when the expression compiles, row-interpreted otherwise.
+    """
+    from repro.core.vectorize import UnsupportedExpression, evaluator_for
+
+    try:
+        values, nulls = evaluator_for(relation).scalar_arrays(expr, rids)
+        if values.dtype.kind in "fiu":
+            values = values.astype(float, copy=True)
+            values[nulls] = np.nan
+            return values
+    except UnsupportedExpression:
+        pass
+    return np.array(
+        [
+            np.nan if (value := eval_scalar(expr, relation[rid])) is None
+            else float(value)
+            for rid in rids
+        ],
+        dtype=float,
+    )
+
+
 def build_partitioning(query, relation, candidate_rids, k, max_attributes=3):
     """Quantile-bin ``candidate_rids`` into (at most) ``k`` partitions.
 
@@ -155,9 +185,7 @@ def build_partitioning(query, relation, candidate_rids, k, max_attributes=3):
 
     features = np.empty((n, len(attributes)), dtype=float)
     for column, expr in enumerate(attributes):
-        for row, rid in enumerate(rids):
-            value = eval_scalar(expr, relation[rid])
-            features[row, column] = np.nan if value is None else float(value)
+        features[:, column] = _feature_column(expr, relation, rids)
     # NULLs bin with the column median so they do not distort spreads.
     for column in range(features.shape[1]):
         values = features[:, column]

@@ -71,6 +71,71 @@ class CardinalityBounds:
         return self.lower <= cardinality <= self.upper
 
 
+#: ``search_space_size`` stays exact below this ``n``; approximation
+#: needs headroom for its ~1e-12 relative error to be invisible next to
+#: the sheer magnitude of the counts it replaces.
+_APPROX_MIN_N = 4096
+
+#: ... and whenever the cheaper of (window, complement) has at most
+#: this many big-integer terms, which exact summation handles fast.
+_APPROX_MIN_TERMS = 256
+
+
+def _log2_comb(n, k):
+    """``log2 C(n, k)`` through ``lgamma`` (no big integers)."""
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    ) / math.log(2)
+
+
+def _pow2_int(log2_value):
+    """``round(2**log2_value)`` as an arbitrary-size int.
+
+    Floats top out near 2**1024; split into a 52-bit mantissa and an
+    integer shift so astronomically large counts still materialize.
+    """
+    if log2_value < 62:
+        return int(round(2.0**log2_value))
+    shift = int(log2_value) - 52
+    return int(round(2.0 ** (log2_value - shift))) << shift
+
+
+def _approx_range_sum(n, low, high):
+    """Log-space approximation of ``sum(C(n, k) for k in [low, high])``.
+
+    Equivalent to evaluating the regularized incomplete beta
+    ``2**n * (I_half(n-low, low+1) - I_half(n-high-1, high+2))`` but
+    computed directly: anchor at the window's dominant term (the
+    endpoint nearest ``n/2``, or the center when the window straddles
+    it), then accumulate the neighboring terms through the pmf ratio
+    recurrences ``C(n,k-1)/C(n,k) = k/(n-k+1)`` outward until they stop
+    mattering.  All arithmetic is float (terms are *relative* to the
+    dominant one, so nothing overflows); only the final
+    ``2**log2(total)`` materializes a big integer.  Relative error is
+    ~1e-12 — invisible at the magnitudes where the exact big-integer
+    summation becomes too slow to use.
+    """
+    k_star = min(max(n // 2, low), high)
+    relative_sum = 1.0
+    term = 1.0
+    k = k_star
+    while k > low:
+        term *= k / (n - k + 1)
+        k -= 1
+        relative_sum += term
+        if term < 1e-16 * relative_sum:
+            break
+    term = 1.0
+    k = k_star
+    while k < high:
+        term *= (n - k) / (k + 1)
+        k += 1
+        relative_sum += term
+        if term < 1e-16 * relative_sum:
+            break
+    return _pow2_int(_log2_comb(n, k_star) + math.log2(relative_sum))
+
+
 def search_space_size(n, bounds, limit=None):
     """Number of candidate packages left after pruning (set semantics).
 
@@ -83,6 +148,14 @@ def search_space_size(n, bounds, limit=None):
     (it bounds each term through ``lgamma`` first), so callers that
     only need "is the space bigger than my budget?" — the cost model —
     stay O(1)-ish even at ``n`` in the hundreds of thousands.
+
+    Without a limit the count is exact while that is affordable: small
+    ``n``, or a narrow window, or a narrow complement (summed against
+    ``2**n``).  Balanced mid-range windows at huge ``n`` — where exact
+    summation would grind through hundreds of thousands of
+    thousand-digit integers — switch to the log-space approximation
+    (:func:`_approx_range_sum`, ~1e-12 relative); only the display
+    paths consume such counts.
     """
     if bounds.empty:
         return 0
@@ -113,6 +186,8 @@ def search_space_size(n, bounds, limit=None):
     # is exactly 2^n, computed instantly).
     width = high - low + 1
     complement = low + (n - high)
+    if n >= _APPROX_MIN_N and min(width, complement) > _APPROX_MIN_TERMS:
+        return _approx_range_sum(n, low, high)
     if complement < width:
         outside = sum(math.comb(n, k) for k in range(0, low))
         outside += sum(math.comb(n, k) for k in range(high + 1, n + 1))
@@ -139,16 +214,36 @@ class CardinalityPruner:
     # -- data statistics ------------------------------------------------------
 
     def _argument_values(self, expr):
-        """Non-NULL per-candidate values of an aggregate argument."""
+        """Non-NULL per-candidate values of an aggregate argument.
+
+        Evaluated on the relation's cached column arrays when the
+        expression compiles (:mod:`repro.core.vectorize`); the row
+        interpreter is the compile-failure fallback.
+        """
         if expr in self._value_cache:
             return self._value_cache[expr]
-        values = []
-        for rid in self._candidates:
-            value = eval_scalar(expr, self._relation[rid])
-            if value is not None:
-                values.append(float(value))
+        values = self._vectorized_values(expr)
+        if values is None:
+            values = []
+            for rid in self._candidates:
+                value = eval_scalar(expr, self._relation[rid])
+                if value is not None:
+                    values.append(float(value))
         self._value_cache[expr] = values
         return values
+
+    def _vectorized_values(self, expr):
+        from repro.core.vectorize import UnsupportedExpression, evaluator_for
+
+        try:
+            array, nulls = evaluator_for(self._relation).scalar_arrays(
+                expr, self._candidates
+            )
+        except UnsupportedExpression:
+            return None
+        if array.dtype.kind not in "fiu":
+            return None
+        return array[~nulls].tolist()
 
     # -- public API -----------------------------------------------------------
 

@@ -47,6 +47,10 @@ class EvaluationContext:
         options: the :class:`~repro.core.engine.EngineOptions` in force.
         db: optional sqlite :class:`~repro.relational.sqlite_backend.Database`
             (the ``sql`` strategy uses it; others ignore it).
+        where_path: which WHERE evaluation engine produced
+            ``candidate_rids`` — ``none`` | ``sql`` | ``vectorized`` |
+            ``interpreted`` (the row-interpreter fallback); surfaced in
+            result stats so benchmarks can assert the columnar path ran.
 
     The ILP translation is computed lazily and cached: the cost model,
     the planner and the ``ilp``/``partition`` strategies all share one
@@ -59,6 +63,7 @@ class EvaluationContext:
     bounds: object
     options: object
     db: object = None
+    where_path: str = "none"
     _translation: object = field(default=None, init=False, repr=False)
     _translation_error: str | None = field(default=None, init=False, repr=False)
     _translation_tried: bool = field(default=False, init=False, repr=False)

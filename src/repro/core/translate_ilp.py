@@ -222,12 +222,36 @@ class _Translator:
     # -- data access -------------------------------------------------------
 
     def _values(self, argument):
-        """Per-candidate values of an aggregate argument (None for NULL)."""
+        """Per-candidate values of an aggregate argument (None for NULL).
+
+        Pulled from the relation's cached column arrays when the
+        argument compiles (:mod:`repro.core.vectorize`); row-evaluated
+        otherwise.
+        """
         if argument not in self._value_cache:
-            self._value_cache[argument] = [
-                eval_scalar(argument, self._relation[rid]) for rid in self._rids
-            ]
+            self._value_cache[argument] = (
+                self._vectorized_values(argument)
+                or [eval_scalar(argument, self._relation[rid]) for rid in self._rids]
+            )
         return self._value_cache[argument]
+
+    def _vectorized_values(self, argument):
+        from repro.core.vectorize import UnsupportedExpression, evaluator_for
+
+        if not self._rids:
+            return None
+        try:
+            values, nulls = evaluator_for(self._relation).scalar_arrays(
+                argument, self._rids
+            )
+        except UnsupportedExpression:
+            return None
+        if values.dtype.kind not in "fiu":
+            return None
+        return [
+            None if null else float(value)
+            for value, null in zip(values.tolist(), nulls.tolist())
+        ]
 
     # -- linear forms over x ---------------------------------------------------
 

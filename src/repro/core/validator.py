@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.paql import ast
 from repro.paql.eval import eval_expr, eval_predicate
+from repro.core.vectorize import try_predicate_mask
 
 #: Relative slack allowed on non-strict global-constraint comparisons.
 DEFAULT_TOLERANCE = 1e-9
@@ -126,10 +127,17 @@ def validate(package, query):
         :class:`ValidationReport`.
     """
     base_violations = []
-    if query.where is not None:
-        for rid, _ in package.counts:
-            if not eval_predicate(query.where, package.relation[rid]):
-                base_violations.append(rid)
+    if query.where is not None and package.counts:
+        rids = [rid for rid, _ in package.counts]
+        mask = try_predicate_mask(query.where, package.relation, rids)
+        if mask is not None:
+            base_violations = [rid for rid, ok in zip(rids, mask) if not ok]
+        else:  # no columnar kernel: re-check row by row
+            base_violations = [
+                rid
+                for rid in rids
+                if not eval_predicate(query.where, package.relation[rid])
+            ]
 
     repeat_ok = all(mult <= query.repeat for _, mult in package.counts)
 

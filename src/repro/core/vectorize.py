@@ -1,0 +1,536 @@
+"""Vectorized evaluation of PaQL expressions over relation columns.
+
+The row interpreter (:mod:`repro.paql.eval`) evaluates one AST node on
+one row dict at a time; every hot path that touches all ``n`` candidate
+tuples — WHERE filtering, bound derivation, package re-validation,
+local-search scoring, partition binning, ILP coefficient extraction —
+pays ``O(n)`` Python interpretation.  This module compiles the same
+ASTs once into numpy kernels that evaluate whole
+:class:`~repro.relational.relation.Relation` columns at a time.
+
+Semantics are the interpreter's, exactly:
+
+* **NULL** is tracked with explicit null masks (from
+  :meth:`Relation.column_arrays`), never conflated with float NaN
+  data.  Arithmetic involving NULL is NULL; comparisons involving NULL
+  are *unknown*.
+* **Three-valued logic** is carried as ``(true, unknown)`` mask pairs
+  (:class:`TriBool`): ``NOT unknown`` stays unknown, ``unknown OR
+  true`` is true, ``unknown AND false`` is false — and the top-level
+  predicate folds unknown to false, exactly like
+  :func:`~repro.paql.eval.eval_predicate`.
+* **Division by zero** raises
+  :class:`~repro.paql.eval.EvaluationError` whenever any evaluated row
+  divides by zero with both operands non-NULL, matching the eager row
+  loop (the interpreter evaluates every row of a filter and has no
+  Boolean short-circuit).
+
+One deliberate deviation: numeric arithmetic runs in float64.  The row
+interpreter inherits Python's arbitrary-precision integers, so INT
+expressions whose intermediate values exceed 2**53 can round here.
+Package data lives far below that regime; the property tests pin
+agreement on it.
+
+Anything outside the compilable fragment — aggregates in scalar
+positions, text arithmetic, ordered comparisons across kinds — raises
+:class:`UnsupportedExpression` at compile time, and every caller falls
+back to the row interpreter, so vectorization is always a pure
+optimization, never a semantics change.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.paql import ast
+from repro.paql.eval import EvaluationError
+from repro.relational.relation import aggregate_reduce
+from repro.relational.types import ColumnType
+
+__all__ = [
+    "TriBool",
+    "UnsupportedExpression",
+    "VectorEvaluator",
+    "aggregate_value",
+    "evaluator_for",
+    "try_predicate_mask",
+]
+
+
+class UnsupportedExpression(Exception):
+    """The expression has no vectorized kernel; use the row interpreter."""
+
+
+class TriBool(NamedTuple):
+    """Three-valued verdict vectors: definite-true and unknown masks.
+
+    Components may be numpy arrays or numpy bool scalars (broadcast at
+    the evaluation boundary); definite-false is ``~true & ~unknown``.
+    """
+
+    true: object
+    unknown: object
+
+
+#: Expression kinds, mirroring the semantic analyzer's coarse types.
+_NUMERIC = "numeric"
+_TEXT = "text"
+_NULL = "null"
+_BOOL = "bool"
+
+_FALSE = np.bool_(False)
+_TRUE = np.bool_(True)
+
+_CMP_UFUNCS = {
+    ast.CmpOp.EQ: np.equal,
+    ast.CmpOp.NE: np.not_equal,
+    ast.CmpOp.LT: np.less,
+    ast.CmpOp.LE: np.less_equal,
+    ast.CmpOp.GT: np.greater,
+    ast.CmpOp.GE: np.greater_equal,
+}
+
+_AGG_NAMES = {
+    ast.AggFunc.COUNT: "count",
+    ast.AggFunc.SUM: "sum",
+    ast.AggFunc.AVG: "avg",
+    ast.AggFunc.MIN: "min",
+    ast.AggFunc.MAX: "max",
+}
+
+
+def _not3(tri):
+    return TriBool(~(tri.true | tri.unknown), tri.unknown)
+
+
+def _and3(parts):
+    any_false = _FALSE
+    all_true = _TRUE
+    for part in parts:
+        any_false = any_false | ~(part.true | part.unknown)
+        all_true = all_true & part.true
+    return TriBool(all_true, ~(any_false | all_true))
+
+
+def _or3(parts):
+    any_true = _FALSE
+    all_false = _TRUE
+    for part in parts:
+        any_true = any_true | part.true
+        all_false = all_false & ~(part.true | part.unknown)
+    return TriBool(any_true, ~(any_true | all_false))
+
+
+class VectorEvaluator:
+    """Compiles and runs PaQL kernels over one relation's columns.
+
+    Kernels are bound to the relation's cached column arrays at compile
+    time and memoized per AST node, so repeated evaluation (validator
+    calls, local-search rounds, refinement steps) pays compilation
+    once.  Use :func:`evaluator_for` to share one evaluator per
+    relation.
+    """
+
+    def __init__(self, relation):
+        # Held weakly: evaluators live in a WeakKeyDictionary keyed by
+        # their relation (:func:`evaluator_for`); a strong reference
+        # here would pin the key and leak every relation ever
+        # evaluated.  Callers always hold the relation while using the
+        # evaluator, so the dereference cannot observe a dead ref.
+        self._relation_ref = weakref.ref(relation)
+        self._compiled = {}
+
+    @property
+    def _relation(self):
+        relation = self._relation_ref()
+        if relation is None:  # pragma: no cover - callers own the relation
+            raise RuntimeError("relation was garbage-collected")
+        return relation
+
+    # -- public entry points -----------------------------------------------
+
+    def predicate_mask(self, node, rids=None):
+        """Boolean mask of rows where ``node`` is definitely true.
+
+        Args:
+            node: an analyzed Boolean formula (WHERE-style; no
+                aggregates).
+            rids: row indices to evaluate (all rows when ``None``).
+
+        Returns:
+            A bool array aligned with ``rids`` (or the full relation),
+            with unknown folded to false like
+            :func:`~repro.paql.eval.eval_predicate`.
+
+        Raises:
+            UnsupportedExpression: no kernel exists for ``node``.
+            EvaluationError: a runtime fault the interpreter would also
+                raise (division by zero on an evaluated row).
+        """
+        kind, fn = self._kernel(node)
+        if kind is not _BOOL:
+            raise UnsupportedExpression(
+                f"{type(node).__name__} is not a Boolean formula"
+            )
+        indices = self._indices(rids)
+        tri = fn(indices)
+        return self._broadcast(tri.true, indices)
+
+    def scalar_arrays(self, node, rids=None):
+        """``(values, nulls)`` of a scalar expression over rows.
+
+        ``values`` is float64 (text expressions return a unicode
+        array); ``nulls`` marks rows where the interpreter would return
+        ``None``.  Boolean sub-formulas evaluate to 1.0/0.0 with
+        unknown as NULL, matching ``eval_scalar``'s True/False/None.
+        """
+        kind, fn = self._kernel(node)
+        indices = self._indices(rids)
+        if kind is _BOOL:
+            tri = fn(indices)
+            values = self._broadcast(tri.true, indices).astype(np.float64)
+            return values, self._broadcast(tri.unknown, indices)
+        values, nulls = fn(indices)
+        return (
+            self._broadcast_values(values, indices),
+            self._broadcast(nulls, indices),
+        )
+
+    def aggregate(self, node, rids, weights=None):
+        """Evaluate an :class:`~repro.paql.ast.Aggregate` over a multiset.
+
+        Args:
+            node: the aggregate node.
+            rids: distinct row indices of the package.
+            weights: per-rid multiplicities (defaults to 1 each).
+
+        Returns:
+            The aggregate value with package semantics (see
+            :mod:`repro.core.package`): weighted, NULL rows excluded,
+            SUM of nothing is 0, AVG/MIN/MAX of nothing is ``None``.
+        """
+        if node.is_count_star:
+            if weights is None:
+                return len(rids)
+            return int(sum(weights))
+        values, nulls = self.scalar_arrays(node.argument, rids)
+        if values.dtype.kind not in "fiu" and node.func is not ast.AggFunc.COUNT:
+            raise UnsupportedExpression(
+                f"{node.func.value} over a non-numeric argument"
+            )
+        if values.dtype.kind not in "fiu":
+            values = np.zeros(len(nulls), dtype=np.float64)
+        return aggregate_reduce(_AGG_NAMES[node.func], values, nulls, weights)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _indices(self, rids):
+        if rids is None:
+            return None
+        return np.asarray(rids, dtype=np.intp)
+
+    def _length(self, indices):
+        return len(self._relation) if indices is None else len(indices)
+
+    def _broadcast(self, mask, indices):
+        out = np.broadcast_to(np.asarray(mask, dtype=bool), (self._length(indices),))
+        return out.copy()
+
+    def _broadcast_values(self, values, indices):
+        out = np.broadcast_to(np.asarray(values), (self._length(indices),))
+        return out.copy()
+
+    def _kernel(self, node):
+        """Memoized compile of ``node`` to ``(kind, fn)``."""
+        cached = self._compiled.get(node)
+        if cached is None:
+            try:
+                cached = self._compile(node)
+            except UnsupportedExpression as exc:
+                cached = (None, str(exc))
+            self._compiled[node] = cached
+        kind, fn = cached
+        if kind is None:
+            raise UnsupportedExpression(fn)
+        return cached
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile(self, node):
+        if isinstance(node, ast.Literal):
+            return self._compile_literal(node)
+        if isinstance(node, ast.ColumnRef):
+            return self._compile_column(node)
+        if isinstance(node, ast.UnaryMinus):
+            return self._compile_unary_minus(node)
+        if isinstance(node, ast.BinaryOp):
+            return self._compile_binary_op(node)
+        if isinstance(node, ast.Comparison):
+            return self._compile_comparison(node)
+        if isinstance(node, ast.Between):
+            return self._compile_between(node)
+        if isinstance(node, ast.InList):
+            return self._compile_in_list(node)
+        if isinstance(node, ast.IsNull):
+            return self._compile_is_null(node)
+        if isinstance(node, ast.And):
+            return self._compile_junction(node, _and3)
+        if isinstance(node, ast.Or):
+            return self._compile_junction(node, _or3)
+        if isinstance(node, ast.Not):
+            return self._compile_not(node)
+        raise UnsupportedExpression(
+            f"no vectorized kernel for {type(node).__name__}"
+        )
+
+    def _compile_literal(self, node):
+        value = node.value
+        if value is None:
+            return _NULL, lambda indices: (np.float64(np.nan), _TRUE)
+        if isinstance(value, bool):
+            # In a Boolean position this is a constant verdict; in a
+            # numeric comparison the Boolean branch converts as 1.0/0.0
+            # (Python compares bools as ints, so parity holds).
+            tri = TriBool(np.bool_(value), _FALSE)
+            return _BOOL, lambda indices: tri
+        if isinstance(value, (int, float)):
+            scalar = np.float64(value)
+            return _NUMERIC, lambda indices: (scalar, _FALSE)
+        if isinstance(value, str):
+            return _TEXT, lambda indices: (value, _FALSE)
+        raise UnsupportedExpression(f"literal {value!r} has no columnar form")
+
+    def _compile_column(self, node):
+        if node.name not in self._relation.schema:
+            raise UnsupportedExpression(
+                f"unknown column {node.name!r}"
+            )
+        values, nulls = self._relation.column_arrays(node.name)
+        column_type = self._relation.schema.type_of(node.name)
+        kind = _TEXT if column_type is ColumnType.TEXT else _NUMERIC
+
+        def fn(indices):
+            if indices is None:
+                return values, nulls
+            return values[indices], nulls[indices]
+
+        return kind, fn
+
+    def _numeric_operand(self, node):
+        """Compile a subexpression required to be numeric (or NULL)."""
+        kind, fn = self._kernel(node)
+        if kind in (_NUMERIC, _NULL):
+            return fn
+        raise UnsupportedExpression(
+            f"{kind} operand in numeric arithmetic"
+        )
+
+    def _compile_unary_minus(self, node):
+        operand = self._numeric_operand(node.operand)
+
+        def fn(indices):
+            values, nulls = operand(indices)
+            return -values, nulls
+
+        return _NUMERIC, fn
+
+    def _compile_binary_op(self, node):
+        left = self._numeric_operand(node.left)
+        right = self._numeric_operand(node.right)
+        op = node.op
+
+        def fn(indices):
+            lv, ln = left(indices)
+            rv, rn = right(indices)
+            nulls = ln | rn
+            if op is ast.BinOp.DIV:
+                # The row loop raises per evaluated row; a literal-only
+                # zero divisor over zero rows therefore must not raise.
+                if self._length(indices) > 0 and np.any(~nulls & (rv == 0)):
+                    raise EvaluationError("division by zero")
+            with np.errstate(all="ignore"):
+                if op is ast.BinOp.ADD:
+                    values = lv + rv
+                elif op is ast.BinOp.SUB:
+                    values = lv - rv
+                elif op is ast.BinOp.MUL:
+                    values = lv * rv
+                else:
+                    values = lv / rv
+            return values, nulls
+
+        return _NUMERIC, fn
+
+    def _compare(self, op, left_kind, left_fn, right_kind, right_fn):
+        """Build a TriBool kernel for one comparison.
+
+        Kind pairs follow the interpreter: same-kind compares
+        elementwise, NULL literals make everything unknown, and
+        cross-kind ``=``/``<>`` have Python's constant verdict (equality
+        across types is false).  Cross-kind *ordered* comparisons raise
+        in the interpreter, so they stay unsupported here.
+        """
+        if _NULL in (left_kind, right_kind):
+            return lambda indices: TriBool(_FALSE, _TRUE)
+        comparable = left_kind == right_kind
+        if not comparable and op in (ast.CmpOp.EQ, ast.CmpOp.NE):
+            constant = op is ast.CmpOp.NE
+
+            def mismatch(indices):
+                _, ln = left_fn(indices)
+                _, rn = right_fn(indices)
+                unknown = ln | rn
+                verdict = np.broadcast_to(np.bool_(constant), np.shape(unknown))
+                return TriBool(verdict & ~unknown, unknown)
+
+            return mismatch
+        if not comparable:
+            raise UnsupportedExpression(
+                f"ordered comparison between {left_kind} and {right_kind}"
+            )
+        ufunc = _CMP_UFUNCS[op]
+
+        def fn(indices):
+            lv, ln = left_fn(indices)
+            rv, rn = right_fn(indices)
+            unknown = ln | rn
+            with np.errstate(invalid="ignore"):
+                verdict = ufunc(lv, rv)
+            return TriBool(verdict & ~unknown, unknown)
+
+        return fn
+
+    def _comparison_operand(self, node):
+        """Compile a comparison side to ``(kind, scalar_fn)``.
+
+        Boolean sub-results (nested comparisons are not generated by
+        the parser, but bool literals and BOOL columns are real) become
+        numeric 1.0/0.0 — Python compares bools as ints.
+        """
+        kind, fn = self._kernel(node)
+        if kind is _BOOL:
+            def as_numeric(indices, fn=fn):
+                tri = fn(indices)
+                values = np.asarray(tri.true, dtype=np.float64)
+                return values, tri.unknown
+
+            return _NUMERIC, as_numeric
+        return kind, fn
+
+    def _compile_comparison(self, node):
+        left_kind, left_fn = self._comparison_operand(node.left)
+        right_kind, right_fn = self._comparison_operand(node.right)
+        fn = self._compare(node.op, left_kind, left_fn, right_kind, right_fn)
+        return _BOOL, fn
+
+    def _compile_between(self, node):
+        value_kind, value_fn = self._comparison_operand(node.expr)
+        low_kind, low_fn = self._comparison_operand(node.low)
+        high_kind, high_fn = self._comparison_operand(node.high)
+        lower = self._compare(ast.CmpOp.GE, value_kind, value_fn, low_kind, low_fn)
+        upper = self._compare(ast.CmpOp.LE, value_kind, value_fn, high_kind, high_fn)
+        negated = node.negated
+
+        def fn(indices):
+            tri = _and3([lower(indices), upper(indices)])
+            return _not3(tri) if negated else tri
+
+        return _BOOL, fn
+
+    def _compile_in_list(self, node):
+        value_kind, value_fn = self._comparison_operand(node.expr)
+        members = [
+            self._compare(
+                ast.CmpOp.EQ, value_kind, value_fn, *self._comparison_operand(item)
+            )
+            for item in node.items
+        ]
+        negated = node.negated
+
+        def fn(indices):
+            tri = _or3([member(indices) for member in members])
+            return _not3(tri) if negated else tri
+
+        return _BOOL, fn
+
+    def _compile_is_null(self, node):
+        kind, fn = self._kernel(node.expr)
+        negated = node.negated
+        if kind is _BOOL:
+            def bool_fn(indices):
+                tri = fn(indices)
+                verdict = np.asarray(tri.unknown, dtype=bool)
+                return TriBool(~verdict if negated else verdict, _FALSE)
+
+            return _BOOL, bool_fn
+
+        def scalar_fn(indices):
+            _, nulls = fn(indices)
+            verdict = np.asarray(nulls, dtype=bool)
+            return TriBool(~verdict if negated else verdict, _FALSE)
+
+        return _BOOL, scalar_fn
+
+    def _compile_junction(self, node, combine):
+        parts = []
+        for arg in node.args:
+            kind, fn = self._kernel(arg)
+            if kind is not _BOOL:
+                raise UnsupportedExpression(
+                    f"{kind} operand in a Boolean junction"
+                )
+            parts.append(fn)
+
+        def fn(indices):
+            return combine([part(indices) for part in parts])
+
+        return _BOOL, fn
+
+    def _compile_not(self, node):
+        kind, fn = self._kernel(node.arg)
+        if kind is not _BOOL:
+            raise UnsupportedExpression(f"NOT over a {kind} operand")
+
+        def negated(indices):
+            return _not3(fn(indices))
+
+        return _BOOL, negated
+
+
+# -- per-relation evaluator sharing ----------------------------------------
+
+_EVALUATORS = weakref.WeakKeyDictionary()
+
+
+def evaluator_for(relation):
+    """The shared :class:`VectorEvaluator` for ``relation`` (cached)."""
+    evaluator = _EVALUATORS.get(relation)
+    if evaluator is None:
+        evaluator = VectorEvaluator(relation)
+        _EVALUATORS[relation] = evaluator
+    return evaluator
+
+
+def try_predicate_mask(node, relation, rids=None):
+    """Predicate mask, or ``None`` when the expression is unsupported.
+
+    Runtime faults (:class:`~repro.paql.eval.EvaluationError`) still
+    propagate — the row interpreter would raise them too.
+    """
+    try:
+        return evaluator_for(relation).predicate_mask(node, rids)
+    except UnsupportedExpression:
+        return None
+
+
+def aggregate_value(node, relation, rids, weights=None):
+    """Vectorized package aggregate (see :meth:`VectorEvaluator.aggregate`).
+
+    Raises:
+        UnsupportedExpression: when the argument has no kernel; callers
+            fall back to the row loop.
+    """
+    return evaluator_for(relation).aggregate(node, rids, weights)

@@ -1,12 +1,14 @@
 """Relational substrate: schemas, in-memory relations, sqlite backend."""
 
 from repro.relational.csvio import read_csv, write_csv
-from repro.relational.relation import Relation
+from repro.relational.relation import AGGREGATE_FUNCS, Relation, aggregate_reduce
 from repro.relational.schema import Column, Schema, SchemaError
 from repro.relational.sqlite_backend import Database, DatabaseError, load_database
 from repro.relational.types import ColumnType, infer_type
 
 __all__ = [
+    "AGGREGATE_FUNCS",
+    "aggregate_reduce",
     "Column",
     "ColumnType",
     "Database",

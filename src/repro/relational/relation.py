@@ -3,11 +3,22 @@
 A :class:`Relation` is the tuple source that package queries draw from.
 It stores rows row-major (tuples of values in schema order) for cheap
 iteration and slicing, and lazily materializes numpy column vectors for
-the numeric work the evaluation strategies do (cardinality-bound
-derivation, ILP coefficient extraction, greedy scoring).
+the columnar work the evaluation pipeline does (vectorized WHERE
+filtering, cardinality-bound derivation, ILP coefficient extraction,
+bulk aggregates, greedy scoring).
+
+Columnar access comes in two flavours:
+
+* :meth:`Relation.numeric_column` — float64 array with NULL as NaN
+  (numeric columns only; the historical API).
+* :meth:`Relation.column_arrays` — ``(values, nulls)`` pair for *any*
+  column type, with NULL-ness tracked by an explicit boolean mask so
+  legitimate NaN data is never conflated with NULL.  This is what the
+  expression compiler (:mod:`repro.core.vectorize`) consumes.
 
 Relations are immutable after construction; derived relations
-(``filter``, ``take``) share no mutable state with their source.
+(``filter``, ``filter_mask``, ``take``) share no mutable state with
+their source.
 """
 
 from __future__ import annotations
@@ -15,7 +26,53 @@ from __future__ import annotations
 import numpy as np
 
 from repro.relational.schema import Schema, SchemaError, _check_identifier
-from repro.relational.types import infer_type
+from repro.relational.types import ColumnType, infer_type
+
+#: Aggregate reducers usable with :meth:`Relation.bulk_aggregate` and
+#: :func:`aggregate_reduce`.
+AGGREGATE_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+def aggregate_reduce(func, values, nulls, weights=None):
+    """Reduce a value vector with SQL/package aggregate semantics.
+
+    Args:
+        func: one of :data:`AGGREGATE_FUNCS`.
+        values: float64 array of per-row values (entries under ``nulls``
+            are ignored).
+        nulls: boolean array marking SQL NULL entries.
+        weights: optional per-row multiplicities (defaults to 1).
+
+    Returns:
+        A float (or int for counts), or ``None`` for NULL results:
+        ``sum`` of an empty selection is 0 (matching the ILP
+        translation), ``avg``/``min``/``max`` of an empty or all-NULL
+        selection is ``None``.
+    """
+    valid = ~nulls
+    if weights is None:
+        total_weight = int(np.count_nonzero(valid))
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        total_weight = float(weights[valid].sum()) if valid.any() else 0.0
+    if func == "count":
+        return int(total_weight)
+    if func == "sum":
+        if not valid.any():
+            return 0
+        kept = values[valid]
+        return float(kept.sum() if weights is None else kept @ weights[valid])
+    if not valid.any():
+        return None
+    kept = values[valid]
+    if func == "avg":
+        weighted = kept.sum() if weights is None else kept @ weights[valid]
+        return float(weighted / total_weight)
+    if func == "min":
+        return float(kept.min())
+    if func == "max":
+        return float(kept.max())
+    raise ValueError(f"unknown aggregate function {func!r}")
 
 
 class Relation:
@@ -137,6 +194,70 @@ class Relation:
         self._column_cache[name] = array
         return array
 
+    def column_arrays(self, name):
+        """Return ``(values, nulls)`` arrays for column ``name``.
+
+        ``nulls`` is a boolean mask marking SQL NULL entries (computed
+        from the stored values, so float NaN *data* is not conflated
+        with NULL).  ``values`` depends on the column type:
+
+        * INT / FLOAT — float64, with NULL entries as NaN;
+        * BOOL — float64 0.0/1.0, with NULL entries as NaN;
+        * TEXT — numpy unicode array, with NULL entries as ``""``.
+
+        Both arrays are cached and must not be mutated by callers.
+        """
+        key = ("arrays", name)
+        if key in self._column_cache:
+            return self._column_cache[key]
+        column = self._schema[name]
+        raw = self.column(column.name)
+        nulls = np.array([value is None for value in raw], dtype=bool)
+        if column.type is ColumnType.TEXT:
+            values = np.array(
+                ["" if value is None else value for value in raw]
+            )
+        else:
+            values = np.array(
+                [
+                    np.nan if value is None else float(value)
+                    for value in raw
+                ],
+                dtype=np.float64,
+            )
+        nulls.setflags(write=False)
+        values.setflags(write=False)
+        self._column_cache[key] = (values, nulls)
+        return values, nulls
+
+    def bulk_aggregate(self, func, name, rids=None, weights=None):
+        """Aggregate a numeric column over a row subset in one pass.
+
+        Args:
+            func: one of :data:`AGGREGATE_FUNCS` (lower-case names).
+            name: the column to aggregate.
+            rids: row indices to include (all rows when ``None``).
+            weights: optional per-rid multiplicities, aligned with
+                ``rids``.
+
+        Returns:
+            The aggregate with package semantics (see
+            :func:`aggregate_reduce`); NULL rows are excluded, a
+            ``sum`` over nothing is 0 and ``avg``/``min``/``max`` over
+            nothing is ``None``.
+        """
+        column = self._schema[name]
+        if not column.type.is_numeric and column.type is not ColumnType.BOOL:
+            raise SchemaError(
+                f"column {name!r} is {column.type.value}, not aggregatable"
+            )
+        values, nulls = self.column_arrays(name)
+        if rids is not None:
+            index = np.asarray(rids, dtype=np.intp)
+            values = values[index]
+            nulls = nulls[index]
+        return aggregate_reduce(func, values, nulls, weights)
+
     def column_stats(self, name):
         """Return ``(min, max)`` of a numeric column, ignoring NULLs.
 
@@ -158,10 +279,28 @@ class Relation:
         kept = [row for row in self if predicate(row)]
         return Relation(name or self._name, self._schema, kept)
 
+    def filter_mask(self, mask, name=None):
+        """Return a new relation keeping rows where ``mask`` is true.
+
+        ``mask`` is a length-``len(self)`` boolean array (or sequence),
+        e.g. a predicate mask from the vectorized expression compiler.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self._rows),):
+            raise ValueError(
+                f"mask length {mask.shape} does not match relation "
+                f"cardinality {len(self._rows)}"
+            )
+        return self.take(np.flatnonzero(mask), name=name)
+
     def take(self, indices, name=None):
-        """Return a new relation with the rows at ``indices``, in order."""
+        """Return a new relation with the rows at ``indices``, in order.
+
+        ``indices`` may be any iterable of row indices, including a
+        numpy integer array.
+        """
         names = self._schema.names
-        kept = [dict(zip(names, self._rows[i])) for i in indices]
+        kept = [dict(zip(names, self._rows[int(i)])) for i in indices]
         return Relation(name or self._name, self._schema, kept)
 
     def head(self, count=5):

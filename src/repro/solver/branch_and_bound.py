@@ -8,6 +8,16 @@ node only tightens one bound.
 
 The search supports node limits and a relative gap tolerance, and
 reports FEASIBLE (incumbent without proof) or LIMIT when stopped early.
+
+Unbounded-cardinality knapsack-shaped models — ``MAXIMIZE SUM(gain)
+SUCH THAT SUM(cost) <= C`` with 0/1 multiplicities and no other
+constraints — get a dedicated fast path (:func:`_solve_knapsack`):
+depth-first search in gain/cost ratio order whose first descent *is*
+the greedy-rounding incumbent and whose per-node dual bound is the
+Dantzig LP optimum read off prefix sums in O(log n), no simplex at
+all.  The generic search thrashed on these (50s+ at 20k candidates:
+every node pays a dense 20k-variable LP); the fast path solves 100k
+candidates in well under a second.
 """
 
 from __future__ import annotations
@@ -18,12 +28,16 @@ import math
 
 import numpy as np
 
-from repro.solver.model import ObjectiveSense, Solution
+from repro.solver.model import ConstraintSense, ObjectiveSense, Solution
 from repro.solver.simplex import solve_lp
 from repro.solver.status import Status
 
 #: A value is integral if within this distance of an integer.
 INT_TOL = 1e-6
+
+#: Bound-pruning slack of the knapsack fast path (matches the generic
+#: search's exact-mode slack in :func:`_gap_slack`).
+_KNAPSACK_EPS = 1e-9
 
 
 class BranchAndBoundOptions:
@@ -76,6 +90,142 @@ def _round_integral(x, integer_indices):
     return cleaned
 
 
+def _solve_knapsack(model, c, A, senses, b, lower, upper, options):
+    """Exact 0/1-knapsack fast path; ``None`` when the shape mismatches.
+
+    Applies to models with exactly one ``<=`` constraint with
+    nonnegative coefficients, all-binary variables, and a maximize
+    objective with nonnegative gains (``c <= 0`` in the minimize
+    orientation) — the translation of an unbounded-cardinality
+    ``SUM(cost) <= C MAXIMIZE SUM(gain)`` package query.
+
+    Depth-first branch and bound in gain/cost ratio order: the first
+    descent takes greedily while capacity lasts (the greedy-rounding
+    incumbent), and each node's dual bound is the Dantzig LP optimum of
+    its remaining subproblem, computed from prefix sums with one binary
+    search instead of a simplex solve.
+    """
+    n = len(c)
+    if n == 0 or len(senses) != 1 or senses[0] is not ConstraintSense.LE:
+        return None
+    if len(model.integer_indices()) != n:
+        return None
+    if np.any(lower != 0.0) or np.any(upper != 1.0):
+        return None
+    weights = A[0]
+    capacity = float(b[0])
+    gains = -c  # minimize orientation; gains >= 0 means MAXIMIZE
+    if capacity < 0 or np.any(weights < 0) or np.any(gains < 0):
+        return None
+
+    x = np.zeros(n)
+    base_value = 0.0
+    # Zero-cost gains are free: take them outright.  Zero-gain items
+    # can never improve the objective: leave them out.
+    free = (weights <= 0.0) & (gains > 0.0)
+    x[free] = 1.0
+    base_value += float(gains[free].sum())
+    live = np.flatnonzero((gains > 0.0) & (weights > 0.0) & (weights <= capacity))
+
+    order = live[np.argsort(-(gains[live] / weights[live]), kind="stable")]
+    item_weights = weights[order]
+    item_gains = gains[order]
+    m = len(order)
+    prefix_weight = np.concatenate([[0.0], np.cumsum(item_weights)])
+    prefix_gain = np.concatenate([[0.0], np.cumsum(item_gains)])
+
+    def dual_bound(k, cap_left, value):
+        """Dantzig LP optimum of the subproblem over items k..m-1."""
+        full = (
+            int(np.searchsorted(prefix_weight, prefix_weight[k] + cap_left, "right"))
+            - 1
+        )
+        bound = value + prefix_gain[full] - prefix_gain[k]
+        if full < m:
+            room = cap_left - (prefix_weight[full] - prefix_weight[k])
+            bound += item_gains[full] * room / item_weights[full]
+        return bound
+
+    taken = np.zeros(m, dtype=bool)
+    takes = []  # stack of taken positions, for O(1) backtracking
+    best_value = -math.inf
+    best_taken = None
+    j = 0
+    cap_left = capacity
+    value = 0.0
+    nodes = 0  # branch points (backtrack flips), comparable across solvers
+    steps = 0
+    # One forward step costs O(log m) — roughly three orders of
+    # magnitude less than the dense-simplex node the generic search
+    # budgets for — and a single descent alone scans up to m items, so
+    # the shared node_limit must not meter steps 1:1 (it would exhaust
+    # on the first descents at large n, silently degrading OPTIMAL to
+    # FEASIBLE).  Scale it, and never below one full descent.
+    step_limit = max(options.node_limit * 16, 4 * m)
+    limited = False
+
+    while True:
+        # Forward: descend greedily until pruned or at a leaf.
+        pruned = False
+        while j < m:
+            if steps >= step_limit or nodes >= options.node_limit:
+                limited = True
+                break
+            steps += 1
+            if dual_bound(j, cap_left, value) <= best_value + _KNAPSACK_EPS:
+                pruned = True
+                break
+            # Exact capacity check (no epsilon): the fast path must
+            # never hand back a package the validator would reject.
+            if item_weights[j] <= cap_left:
+                taken[j] = True
+                takes.append(j)
+                cap_left -= item_weights[j]
+                value += item_gains[j]
+            j += 1
+        if limited:
+            break
+        if not pruned and value > best_value:
+            best_value = value
+            best_taken = taken.copy()
+        # Backtrack: flip the deepest take to a skip, re-bound, repeat.
+        while True:
+            if not takes:
+                break
+            if nodes >= options.node_limit:
+                limited = True
+                break
+            i = takes.pop()
+            taken[i] = False
+            cap_left += item_weights[i]
+            value -= item_gains[i]
+            j = i + 1
+            nodes += 1
+            if dual_bound(j, cap_left, value) > best_value + _KNAPSACK_EPS:
+                break  # the skip branch is still promising
+        if limited:
+            break
+        if not takes and (
+            j > m
+            or dual_bound(j, cap_left, value) <= best_value + _KNAPSACK_EPS
+        ):
+            break
+
+    if best_taken is None:
+        # Even the greedy descent never completed (tiny node limits).
+        best_value = 0.0
+        best_taken = np.zeros(m, dtype=bool)
+    x[order[best_taken]] = 1.0
+    status = Status.FEASIBLE if limited else Status.OPTIMAL
+    return Solution(
+        status,
+        x=x,
+        objective=model.objective_value(x),
+        iterations=0,
+        nodes=nodes,
+    )
+
+
 def solve_milp(model, options=None):
     """Solve ``model`` exactly by branch and bound.
 
@@ -88,6 +238,10 @@ def solve_milp(model, options=None):
     options = options or BranchAndBoundOptions()
     c, A, senses, b, lower, upper = model.lp_arrays()
     integer_indices = model.integer_indices()
+
+    knapsack = _solve_knapsack(model, c, A, senses, b, lower, upper, options)
+    if knapsack is not None:
+        return knapsack
 
     total_iterations = 0
     nodes = 0

@@ -213,3 +213,49 @@ class TestSoundness:
                         f"outside bounds [{bounds.lower}, {bounds.upper}] "
                         f"for {formula!r} over {values}"
                     )
+
+
+class TestSearchSpaceApproximation:
+    """Exact-mode log-space approximation for huge balanced windows."""
+
+    def test_small_inputs_stay_exact(self):
+        import math
+
+        for n, low, high in [(10, 2, 4), (200, 50, 150), (1000, 0, 1000)]:
+            expected = sum(math.comb(n, k) for k in range(low, high + 1))
+            got = search_space_size(n, CardinalityBounds(low, high))
+            assert got == expected
+
+    def test_narrow_windows_stay_exact_even_at_huge_n(self):
+        import math
+
+        n = 10**6
+        assert search_space_size(n, CardinalityBounds(5, 5)) == math.comb(n, 5)
+        # Narrow complement: exact via the 2^n complement trick.
+        assert search_space_size(n, CardinalityBounds(0, n)) == 2**n
+
+    def test_balanced_windows_approximate_closely(self):
+        import math
+
+        from repro.core.pruning import _APPROX_MIN_N
+
+        n = _APPROX_MIN_N + 1000
+        for low, high in [(n // 4, 3 * n // 4), (n // 3, n // 2), (400, 900)]:
+            exact = sum(math.comb(n, k) for k in range(low, high + 1))
+            got = search_space_size(n, CardinalityBounds(low, high))
+            assert got != exact or low == high  # the approximate regime
+            error = abs(got - exact) * 10**12 // exact
+            assert error < 10**4, (
+                f"relative error {error}e-12 too large on [{low}, {high}]"
+            )
+
+    def test_balanced_window_at_huge_n_is_fast(self):
+        import time
+
+        n = 10**6
+        started = time.perf_counter()
+        value = search_space_size(n, CardinalityBounds(n // 4, 3 * n // 4))
+        elapsed = time.perf_counter() - started
+        assert elapsed < 1.0
+        # Mass inside [n/4, 3n/4] is within a whisker of all of 2^n.
+        assert 0.99 < value / 2**n <= 1.0 + 1e-9

@@ -1,0 +1,426 @@
+"""Compiled-kernel / row-interpreter agreement (the vectorize oracle).
+
+The vectorized expression compiler promises *exact* agreement with
+:mod:`repro.paql.eval` on everything it compiles, including NULL
+propagation, three-valued logic, mixed INT/FLOAT/TEXT columns, and
+runtime faults (division by zero raises for both).  These properties
+drive random predicates and scalar expressions from
+:mod:`tests.paql_strategies` over random relations and assert
+element-for-element parity — plus that unsupported expressions fall
+back cleanly through every layer that consumes the compiler.
+
+To keep exact equality a legitimate property, numeric literals and row
+values are drawn so both sides perform the same IEEE-double arithmetic:
+floats everywhere (float ops are identical in Python and numpy), and in
+the mixed-integer case magnitudes small enough (<= 100, trees of <= 6
+leaves) that Python's exact integers stay within float64's 2**53 exact
+range.  Outside that regime the compiler's documented float64 semantics
+may legitimately round where Python's big ints do not.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paql import ast
+from repro.paql.eval import EvaluationError, eval_predicate, eval_scalar
+from repro.relational import Column, ColumnType, Relation, Schema
+from repro.core.vectorize import (
+    UnsupportedExpression,
+    VectorEvaluator,
+    aggregate_value,
+    evaluator_for,
+    try_predicate_mask,
+)
+
+from tests.paql_strategies import (
+    COLUMN_NAMES,
+    TEXT_COLUMN_NAMES,
+    predicates,
+    scalar_numeric,
+)
+
+# ---------------------------------------------------------------------------
+# Random relations and literal normalization
+# ---------------------------------------------------------------------------
+
+_FLOAT_SCHEMA = Schema(
+    [Column(name, ColumnType.FLOAT) for name in COLUMN_NAMES]
+    + [Column(name, ColumnType.TEXT) for name in TEXT_COLUMN_NAMES]
+)
+
+_MIXED_SCHEMA = Schema(
+    [Column(name, ColumnType.INT) for name in COLUMN_NAMES[:2]]
+    + [Column(name, ColumnType.FLOAT) for name in COLUMN_NAMES[2:]]
+    + [Column(name, ColumnType.TEXT) for name in TEXT_COLUMN_NAMES]
+)
+
+_text_values = st.one_of(
+    st.none(), st.sampled_from(["", "x", "y", "free", "full"])
+)
+
+
+def _rows(draw_value):
+    return st.lists(
+        st.fixed_dictionaries(
+            {
+                **{name: draw_value for name in COLUMN_NAMES},
+                **{name: _text_values for name in TEXT_COLUMN_NAMES},
+            }
+        ),
+        min_size=1,
+        max_size=8,
+    )
+
+
+_float_value = st.one_of(
+    st.none(),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6),
+)
+
+_small_int_value = st.one_of(st.none(), st.integers(min_value=-100, max_value=100))
+
+
+def _float_rows():
+    return _rows(_float_value)
+
+
+def _mixed_rows():
+    """INT columns get small ints, FLOAT columns small floats."""
+    small_float = st.one_of(
+        st.none(),
+        st.floats(
+            allow_nan=False, allow_infinity=False, min_value=-100, max_value=100
+        ),
+    )
+    return st.lists(
+        st.fixed_dictionaries(
+            {
+                **{name: _small_int_value for name in COLUMN_NAMES[:2]},
+                **{name: small_float for name in COLUMN_NAMES[2:]},
+                **{name: _text_values for name in TEXT_COLUMN_NAMES},
+            }
+        ),
+        min_size=1,
+        max_size=8,
+    )
+
+
+def _map_literals(node, convert):
+    """Rebuild ``node`` with every numeric literal passed through ``convert``."""
+    if isinstance(node, ast.Literal):
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return node
+        return ast.Literal(convert(value))
+    if isinstance(node, ast.ColumnRef):
+        return node
+    if isinstance(node, ast.UnaryMinus):
+        return ast.UnaryMinus(_map_literals(node.operand, convert))
+    if isinstance(node, ast.BinaryOp):
+        return ast.BinaryOp(
+            node.op,
+            _map_literals(node.left, convert),
+            _map_literals(node.right, convert),
+        )
+    if isinstance(node, ast.Comparison):
+        return ast.Comparison(
+            node.op,
+            _map_literals(node.left, convert),
+            _map_literals(node.right, convert),
+        )
+    if isinstance(node, ast.Between):
+        return ast.Between(
+            _map_literals(node.expr, convert),
+            _map_literals(node.low, convert),
+            _map_literals(node.high, convert),
+            node.negated,
+        )
+    if isinstance(node, ast.InList):
+        return ast.InList(
+            _map_literals(node.expr, convert),
+            tuple(_map_literals(item, convert) for item in node.items),
+            node.negated,
+        )
+    if isinstance(node, ast.IsNull):
+        return ast.IsNull(_map_literals(node.expr, convert), node.negated)
+    if isinstance(node, ast.And):
+        return ast.And(tuple(_map_literals(arg, convert) for arg in node.args))
+    if isinstance(node, ast.Or):
+        return ast.Or(tuple(_map_literals(arg, convert) for arg in node.args))
+    if isinstance(node, ast.Not):
+        return ast.Not(_map_literals(node.arg, convert))
+    return node
+
+
+def _as_float(value):
+    return float(value)
+
+
+def _as_small_int(value):
+    return int(max(-100, min(100, round(value))))
+
+
+def _both_paths(relation, run_rows, run_vector):
+    """Run both paths, asserting fault parity; returns (rows, vector)."""
+    try:
+        expected = run_rows()
+        rows_raised = False
+    except EvaluationError:
+        expected, rows_raised = None, True
+    try:
+        got = run_vector()
+        vector_raised = False
+    except EvaluationError:
+        got, vector_raised = None, True
+    assert rows_raised == vector_raised, (
+        f"fault divergence: rows_raised={rows_raised} "
+        f"vector_raised={vector_raised}"
+    )
+    return expected, got
+
+
+# ---------------------------------------------------------------------------
+# Predicate agreement
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(node=predicates(), rows=_float_rows())
+def test_predicate_mask_matches_interpreter_on_floats(node, rows):
+    node = _map_literals(node, _as_float)
+    relation = Relation("r", _FLOAT_SCHEMA, rows)
+    evaluator = VectorEvaluator(relation)
+    expected, got = _both_paths(
+        relation,
+        lambda: [eval_predicate(node, row) for row in relation],
+        lambda: evaluator.predicate_mask(node).tolist(),
+    )
+    if expected is not None:
+        assert got == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(node=predicates(), rows=_mixed_rows())
+def test_predicate_mask_matches_interpreter_on_mixed_types(node, rows):
+    node = _map_literals(node, _as_small_int)
+    relation = Relation("r", _MIXED_SCHEMA, rows)
+    evaluator = VectorEvaluator(relation)
+    expected, got = _both_paths(
+        relation,
+        lambda: [eval_predicate(node, row) for row in relation],
+        lambda: evaluator.predicate_mask(node).tolist(),
+    )
+    if expected is not None:
+        assert got == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(node=predicates(), rows=_float_rows(), data=st.data())
+def test_predicate_mask_row_subsets(node, rows, data):
+    """Masks over rid subsets agree with per-row interpretation."""
+    node = _map_literals(node, _as_float)
+    relation = Relation("r", _FLOAT_SCHEMA, rows)
+    rids = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(rows) - 1),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    evaluator = VectorEvaluator(relation)
+    expected, got = _both_paths(
+        relation,
+        lambda: [eval_predicate(node, relation[rid]) for rid in rids],
+        lambda: evaluator.predicate_mask(node, rids).tolist(),
+    )
+    if expected is not None:
+        assert got == expected
+
+
+# ---------------------------------------------------------------------------
+# Scalar agreement
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(node=scalar_numeric(), rows=_float_rows())
+def test_scalar_values_match_interpreter(node, rows):
+    node = _map_literals(node, _as_float)
+    relation = Relation("r", _FLOAT_SCHEMA, rows)
+    evaluator = VectorEvaluator(relation)
+
+    def run_vector():
+        values, nulls = evaluator.scalar_arrays(node)
+        return [
+            None if null else value
+            for value, null in zip(values.tolist(), nulls.tolist())
+        ]
+
+    expected, got = _both_paths(
+        relation,
+        lambda: [eval_scalar(node, row) for row in relation],
+        run_vector,
+    )
+    if expected is None:
+        return
+    for have, want in zip(got, expected):
+        if want is None:
+            assert have is None
+        else:
+            assert have == float(want)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate agreement
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    func=st.sampled_from(list(ast.AggFunc)),
+    argument=scalar_numeric(),
+    rows=_float_rows(),
+    data=st.data(),
+)
+def test_aggregate_matches_row_fallback(func, argument, rows, data):
+    """Vectorized package aggregates equal the row-loop computation."""
+    argument = _map_literals(argument, _as_float)
+    relation = Relation("r", _FLOAT_SCHEMA, rows)
+    counts = data.draw(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=len(rows) - 1),
+            st.integers(min_value=1, max_value=3),
+            min_size=1,
+            max_size=len(rows),
+        )
+    )
+    node = ast.Aggregate(func, argument)
+    from repro.core.package import Package
+
+    package = Package(relation, counts)
+    rids = [rid for rid, _ in package.counts]
+    weights = [mult for _, mult in package.counts]
+    try:
+        expected = package._compute_aggregate_rows(node)
+        rows_raised = False
+    except EvaluationError:
+        expected, rows_raised = None, True
+    try:
+        got = aggregate_value(node, relation, rids, weights)
+        vector_raised = False
+    except EvaluationError:
+        got, vector_raised = None, True
+    assert rows_raised == vector_raised
+    if rows_raised:
+        return
+    if expected is None:
+        assert got is None
+    else:
+        assert got == pytest.approx(float(expected), rel=1e-9, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Unsupported expressions fall back cleanly
+# ---------------------------------------------------------------------------
+
+#: Arithmetic over text columns: the interpreter happily concatenates
+#: strings, the compiler refuses — the canonical fallback trigger.
+_TEXT_CONCAT_WHERE = ast.Comparison(
+    ast.CmpOp.EQ,
+    ast.BinaryOp(
+        ast.BinOp.ADD,
+        ast.ColumnRef(None, "gluten"),
+        ast.ColumnRef(None, "gluten"),
+    ),
+    ast.Literal("freefree"),
+)
+
+
+def test_unsupported_expression_raises_and_try_returns_none(meals):
+    evaluator = VectorEvaluator(meals)
+    with pytest.raises(UnsupportedExpression):
+        evaluator.predicate_mask(_TEXT_CONCAT_WHERE)
+    assert try_predicate_mask(_TEXT_CONCAT_WHERE, meals) is None
+    # ... and the verdict is memoized without poisoning later calls.
+    with pytest.raises(UnsupportedExpression):
+        evaluator.predicate_mask(_TEXT_CONCAT_WHERE)
+
+
+def test_engine_falls_back_to_interpreter_on_unsupported_where(meals):
+    """The candidate pipeline keeps working off the columnar path."""
+    from dataclasses import replace
+
+    from repro.core.engine import PackageQueryEvaluator
+
+    evaluator = PackageQueryEvaluator(meals)
+    query = evaluator.prepare(
+        "SELECT PACKAGE(R) FROM Recipes R WHERE R.gluten = 'free' "
+        "SUCH THAT COUNT(*) = 2"
+    )
+    twisted = replace(query, where=_TEXT_CONCAT_WHERE)
+    rids, path = evaluator._candidates_with_path(twisted)
+    assert path == "interpreted"
+    assert rids == [
+        rid
+        for rid in range(len(meals))
+        if eval_predicate(_TEXT_CONCAT_WHERE, meals[rid])
+    ]
+    ctx = evaluator.context(twisted)
+    assert ctx.where_path == "interpreted"
+
+
+def test_engine_reports_vectorized_where_path(meals):
+    from repro.core.engine import PackageQueryEvaluator
+
+    result = PackageQueryEvaluator(meals).evaluate(
+        "SELECT PACKAGE(R) FROM Recipes R WHERE R.gluten = 'free' "
+        "SUCH THAT COUNT(*) = 2 MAXIMIZE SUM(R.protein)"
+    )
+    assert result.stats["where_path"] == "vectorized"
+    assert result.found
+
+
+def test_validator_base_check_falls_back(meals):
+    """validate() agrees with the interpreter on unsupported WHERE."""
+    from dataclasses import replace
+
+    from repro.core.engine import PackageQueryEvaluator
+    from repro.core.package import Package
+    from repro.core.validator import validate
+
+    evaluator = PackageQueryEvaluator(meals)
+    query = evaluator.prepare(
+        "SELECT PACKAGE(R) FROM Recipes R WHERE R.gluten = 'free' "
+        "SUCH THAT COUNT(*) >= 1"
+    )
+    twisted = replace(query, where=_TEXT_CONCAT_WHERE)
+    package = Package(meals, [0, 1])
+    report = validate(package, twisted)
+    expected = [
+        rid
+        for rid in (0, 1)
+        if not eval_predicate(_TEXT_CONCAT_WHERE, meals[rid])
+    ]
+    assert report.base_violations == expected
+
+
+def test_evaluator_for_is_cached_per_relation(meals):
+    assert evaluator_for(meals) is evaluator_for(meals)
+
+
+def test_null_only_relation_aggregates():
+    relation = Relation(
+        "n",
+        Schema([Column("a", ColumnType.FLOAT)]),
+        [{"a": None}, {"a": None}],
+    )
+    node = ast.Aggregate(ast.AggFunc.AVG, ast.ColumnRef(None, "a"))
+    assert aggregate_value(node, relation, [0, 1]) is None
+    total = ast.Aggregate(ast.AggFunc.SUM, ast.ColumnRef(None, "a"))
+    assert aggregate_value(total, relation, [0, 1]) == 0
