@@ -81,7 +81,7 @@ def _where_validate_rows(query, relation, sample_packages):
 
 def _where_validate_vectorized(query, relation, sample_packages):
     evaluator = PackageQueryEvaluator(relation)
-    rids, path = evaluator._candidates_with_path(query)
+    rids, path, _ = evaluator._candidates_with_path(query)
     assert path == "vectorized"
     for package in sample_packages:
         validate(package, query)

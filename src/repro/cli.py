@@ -99,11 +99,13 @@ def _cmd_query(args, out):
     relation = _load_relation(args)
     text = _read_query_text(args)
     evaluator = PackageQueryEvaluator(relation)
-    options = EngineOptions(strategy=args.strategy)
+    options = EngineOptions(
+        strategy=args.strategy, shards=args.shards, workers=args.workers
+    )
 
     if args.top > 1:
         query = evaluator.prepare(text)
-        candidates = evaluator.candidates(query)
+        candidates = evaluator.candidates(query, options)
         packages = enumerate_top(query, relation, candidates, args.top)
         if args.diverse and len(packages) > args.diverse:
             packages = diverse_subset(packages, args.diverse)
@@ -162,7 +164,8 @@ def _cmd_plan(args, out):
     text = _read_query_text(args)
     evaluator = PackageQueryEvaluator(relation)
     query = evaluator.prepare(text)
-    print(plan(query, relation).text(), file=out)
+    options = EngineOptions(shards=args.shards, workers=args.workers)
+    print(plan(query, relation, options=options).text(), file=out)
     warnings = lint(query, relation)
     if warnings:
         print("advisories:", file=out)
@@ -185,6 +188,55 @@ def _cmd_strategies(args, out):
         print(f"{strategy.name} ({kind}, {auto})", file=out)
         print(f"  {strategy.summary}", file=out)
     return 0
+
+
+def _cmd_shard_bench(args, out):
+    from repro.core.shardbench import run_shard_bench
+
+    outcome = run_shard_bench(
+        n=args.n,
+        shards=args.shards,
+        workers=args.workers,
+        repeats=args.repeats,
+    )
+    if args.json:
+        print(json.dumps(outcome, indent=2, default=str), file=out)
+        return (
+            0
+            if outcome["candidates_identical"] and outcome["results_identical"]
+            else 1
+        )
+    info = outcome["shard_info"]
+    print(
+        f"workload: {outcome['n']} rows, {outcome['candidates']} candidates "
+        f"({outcome['where_path']})",
+        file=out,
+    )
+    print(
+        f"shards: {info['count']}  zone-skipped: {info['skipped']}  "
+        f"evaluated: {info['evaluated']}  workers: {info['workers']}",
+        file=out,
+    )
+    print(
+        f"WHERE scan:   {outcome['unsharded_seconds'] * 1e3:8.2f} ms -> "
+        f"{outcome['sharded_seconds'] * 1e3:8.2f} ms  "
+        f"({outcome['speedup']:.2f}x)",
+        file=out,
+    )
+    print(
+        f"scan+bounds:  {outcome['unsharded_pipeline_seconds'] * 1e3:8.2f} ms -> "
+        f"{outcome['sharded_pipeline_seconds'] * 1e3:8.2f} ms  "
+        f"({outcome['pipeline_speedup']:.2f}x)",
+        file=out,
+    )
+    identical = (
+        outcome["candidates_identical"] and outcome["results_identical"]
+    )
+    print(
+        f"results identical to unsharded: {'yes' if identical else 'NO'}",
+        file=out,
+    )
+    return 0 if identical else 1
 
 
 _DEMOS = {
@@ -265,6 +317,22 @@ def build_parser():
     query.add_argument(
         "--explain", action="store_true", help="print bounds and strategy stats"
     )
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "shard the scan stages into this many contiguous shards "
+            "(zone maps skip shards that cannot match; results are "
+            "identical to --shards 1)"
+        ),
+    )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker threads for sharded stages (0 = one per CPU)",
+    )
     query.set_defaults(func=_cmd_query)
 
     desc = sub.add_parser("describe", help="explain a PaQL query in English")
@@ -292,7 +360,38 @@ def build_parser():
     plan_cmd.add_argument("--relation", help="relation name (default: file stem)")
     plan_cmd.add_argument("--query", help="PaQL text")
     plan_cmd.add_argument("--query-file", help="file containing PaQL text")
+    plan_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="predict the sharded scan path at this shard count",
+    )
+    plan_cmd.add_argument(
+        "--workers", type=int, default=0, help="worker threads (0 = per CPU)"
+    )
     plan_cmd.set_defaults(func=_cmd_plan)
+
+    shard_bench = sub.add_parser(
+        "shard-bench",
+        help=(
+            "time the sharded scan pipeline against the single-pass "
+            "columnar path on the E12 clustered workload"
+        ),
+    )
+    shard_bench.add_argument(
+        "--n", type=int, default=100000, help="workload rows"
+    )
+    shard_bench.add_argument(
+        "--shards", type=int, default=8, help="shard count for the sharded side"
+    )
+    shard_bench.add_argument(
+        "--workers", type=int, default=0, help="worker threads (0 = per CPU)"
+    )
+    shard_bench.add_argument(
+        "--repeats", type=int, default=5, help="timing repetitions (best wins)"
+    )
+    shard_bench.add_argument("--json", action="store_true", help="JSON output")
+    shard_bench.set_defaults(func=_cmd_shard_bench)
 
     demo = sub.add_parser("demo", help="run a built-in paper scenario")
     demo.add_argument("scenario", choices=sorted(_DEMOS))

@@ -40,14 +40,16 @@ from repro.paql.parser import parse
 from repro.paql.semantics import analyze
 from repro.paql.to_sql import to_sql
 from repro.paql.eval import eval_predicate
-from repro.core.vectorize import try_predicate_mask
+from repro.core.vectorize import evaluator_for, try_predicate_mask
 from repro.core.cost import choose_strategy
 from repro.core.local_search import LocalSearchOptions
+from repro.core.parallel import effective_workers, parallel_map
 from repro.core.partitioning import PartitionOptions
 from repro.core.pruning import derive_bounds
 from repro.core.result import EngineError, EvaluationResult, ResultStatus
 from repro.core.strategies import EvaluationContext, get_strategy
 from repro.core.validator import validate
+from repro.relational.sharding import ShardedRelation
 
 __all__ = [
     "EngineError",
@@ -80,6 +82,15 @@ class EngineOptions:
         rewrite: run the logical query-rewrite pass (constant folding,
             interval merging, contradiction detection) before
             evaluation — the Section 5 "optimizing PaQL queries" layer.
+        shards: split the relation into this many contiguous shards
+            for the scan stages (WHERE filtering, pruning statistics);
+            1 (the default) keeps the single-pass path.  Sharding
+            never changes results — per-shard kernels concatenate to
+            exactly the single-pass answer, and zone statistics only
+            skip shards *proved* empty of matches (see
+            ``docs/sharding.md``).
+        workers: worker threads for shard- and partition-parallel
+            stages; 0 means one per CPU, 1 forces serial execution.
     """
 
     strategy: str = "auto"
@@ -90,6 +101,8 @@ class EngineOptions:
     partition: PartitionOptions = field(default_factory=PartitionOptions)
     use_pruning: bool = True
     rewrite: bool = True
+    shards: int = 1
+    workers: int = 0
 
 
 class PackageQueryEvaluator:
@@ -105,10 +118,23 @@ class PackageQueryEvaluator:
     def __init__(self, relation, db=None):
         self._relation = relation
         self._db = db
+        self._sharded = None
         if db is not None and not db.has_relation(relation.name):
             db.load_relation(relation)
 
     # -- helpers --------------------------------------------------------------
+
+    def sharded_relation(self, shards):
+        """The cached :class:`ShardedRelation` at ``shards`` shards.
+
+        Rebuilt only when the shard count changes; zone statistics are
+        cached inside and column arrays are shared with the base
+        relation, so repeated evaluation at one shard count pays the
+        split exactly once.
+        """
+        if self._sharded is None or self._sharded.num_shards != shards:
+            self._sharded = ShardedRelation(self._relation, shards)
+        return self._sharded
 
     def prepare(self, query_or_text):
         """Parse (if text) and analyze a query against the relation."""
@@ -124,31 +150,81 @@ class PackageQueryEvaluator:
             )
         return analyze(query, self._relation.schema)
 
-    def candidates(self, query):
+    def candidates(self, query, options=None):
         """rids satisfying the base constraints (SQL pushdown when possible)."""
-        return self._candidates_with_path(query)[0]
+        return self._candidates_with_path(query, options)[0]
 
-    def _candidates_with_path(self, query):
-        """``(rids, path)`` where path records which WHERE engine ran.
+    def _candidates_with_path(self, query, options=None):
+        """``(rids, path, shard_info)`` for the WHERE stage.
 
-        Preference order: no WHERE at all (``none``), SQL pushdown
-        (``sql``), the compiled columnar kernel (``vectorized``), and
-        only when no kernel exists the per-row AST interpreter
-        (``interpreted``) — the compile-failure fallback.
+        ``path`` records which WHERE engine ran.  Preference order: no
+        WHERE at all (``none``), SQL pushdown (``sql``), the compiled
+        columnar kernel — shard-parallel with zone-map skipping when
+        ``options.shards > 1`` (``vectorized-sharded``), single-pass
+        otherwise (``vectorized``) — and only when no kernel exists
+        the per-row AST interpreter (``interpreted``), the
+        compile-failure fallback.  ``shard_info`` is the
+        ``stats["shards"]`` payload when the sharded path ran, else
+        ``None``.
         """
         if query.where is None:
-            return list(range(len(self._relation))), "none"
+            return list(range(len(self._relation))), "none", None
         if self._db is not None:
             rids = self._db.select_rids(self._relation.name, to_sql(query.where))
-            return rids, "sql"
+            return rids, "sql", None
+        if options is not None and options.shards > 1:
+            sharded = self._sharded_candidates(query, options)
+            if sharded is not None:
+                rids, shard_info = sharded
+                return rids, "vectorized-sharded", shard_info
         mask = try_predicate_mask(query.where, self._relation)
         if mask is not None:
-            return np.flatnonzero(mask).tolist(), "vectorized"
+            return np.flatnonzero(mask).tolist(), "vectorized", None
         return [
             rid
             for rid in range(len(self._relation))
             if eval_predicate(query.where, self._relation[rid])
-        ], "interpreted"
+        ], "interpreted", None
+
+    def _sharded_candidates(self, query, options):
+        """Shard-parallel WHERE filtering; ``None`` when no kernel exists.
+
+        Per shard, the compiled predicate kernel runs over that
+        shard's zero-copy column views and surviving rids are offset
+        back to relation coordinates; concatenating in shard order
+        reproduces the single-pass result bit for bit (kernels are
+        elementwise).  Shards the zone-map analysis proves cannot
+        contain a match are skipped without touching their data.
+        """
+        evaluator = evaluator_for(self._relation)
+        if not evaluator.supports(query.where, boolean=True):
+            return None
+        sharded = self.sharded_relation(options.shards)
+        skippable = sharded.skippable_shards(query.where)
+        live = [
+            index
+            for index in range(sharded.num_shards)
+            if not skippable[index]
+        ]
+
+        def shard_rids(index):
+            part = sharded.shard_slice(index)
+            mask = evaluator.predicate_mask(query.where, part)
+            return part.start + np.flatnonzero(mask)
+
+        pieces = parallel_map(shard_rids, live, workers=options.workers)
+        rids = (
+            np.concatenate(pieces)
+            if pieces
+            else np.empty(0, dtype=np.intp)
+        )
+        shard_info = {
+            "count": sharded.num_shards,
+            "evaluated": len(live),
+            "skipped": sharded.num_shards - len(live),
+            "workers": effective_workers(options.workers, max(1, len(live))),
+        }
+        return rids.tolist(), shard_info
 
     def context(self, query, options=None):
         """Run the pipeline up to pruning; return the strategies' input.
@@ -158,15 +234,28 @@ class PackageQueryEvaluator:
         packages the state every later stage shares.
         """
         options = options or EngineOptions()
-        candidate_rids, where_path = self._candidates_with_path(query)
+        candidate_rids, where_path, shard_info = self._candidates_with_path(
+            query, options
+        )
+        sharded = None
+        if options.shards > 1 and self._db is None:
+            sharded = self.sharded_relation(options.shards)
         return EvaluationContext(
             query=query,
             relation=self._relation,
             candidate_rids=candidate_rids,
-            bounds=derive_bounds(query, self._relation, candidate_rids),
+            bounds=derive_bounds(
+                query,
+                self._relation,
+                candidate_rids,
+                sharded=sharded,
+                workers=options.workers,
+            ),
             options=options,
             db=self._db,
             where_path=where_path,
+            sharded=sharded,
+            shard_info=shard_info,
         )
 
     # -- evaluation -------------------------------------------------------------
@@ -191,6 +280,8 @@ class PackageQueryEvaluator:
                 "reason": "cardinality bounds are empty",
                 "where_path": ctx.where_path,
             }
+            if ctx.shard_info is not None:
+                stats["shards"] = ctx.shard_info
             if rewrites_applied:
                 stats["rewrites"] = rewrites_applied
             return EvaluationResult(
@@ -218,6 +309,8 @@ class PackageQueryEvaluator:
         result.candidate_count = ctx.candidate_count
         result.bounds = ctx.bounds
         result.stats.setdefault("where_path", ctx.where_path)
+        if ctx.shard_info is not None:
+            result.stats.setdefault("shards", ctx.shard_info)
         result.elapsed_seconds = time.perf_counter() - started
         if rewrites_applied:
             result.stats["rewrites"] = rewrites_applied
@@ -238,6 +331,26 @@ class PackageQueryEvaluator:
         result.objective = report.objective
 
 
-def evaluate(query_text, relation, db=None, options=None):
-    """One-call evaluation: build an evaluator, run one query."""
+def evaluate(query_text, relation, db=None, options=None, shards=None, workers=None):
+    """One-call evaluation: build an evaluator, run one query.
+
+    Args:
+        shards: shortcut for ``EngineOptions.shards`` — shard-parallel
+            scan stages with zone-map skipping (results are identical
+            to ``shards=1`` by construction).
+        workers: shortcut for ``EngineOptions.workers``.
+
+    Both shortcuts override the corresponding field of ``options``
+    when given.
+    """
+    if shards is not None or workers is not None:
+        from dataclasses import replace
+
+        options = options or EngineOptions()
+        overrides = {}
+        if shards is not None:
+            overrides["shards"] = shards
+        if workers is not None:
+            overrides["workers"] = workers
+        options = replace(options, **overrides)
     return PackageQueryEvaluator(relation, db).evaluate(query_text, options)

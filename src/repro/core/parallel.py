@@ -1,0 +1,182 @@
+"""Deterministic parallel execution for shard- and partition-level work.
+
+The sharding subsystem (:mod:`repro.relational.sharding`) decomposes
+scans into independent per-shard tasks; the partition strategy's
+refinement waves decompose into independent per-partition ILPs.  Both
+dispatch through this module, which provides exactly one execution
+abstraction: an ordered ``map`` over independent tasks.
+
+Design rules, in priority order:
+
+1. **Determinism.**  Results come back in input order regardless of
+   completion order, worker count, or backend — parallelism must never
+   change what a query returns (the shard parity suite pins this).
+2. **Serial fallback.**  One worker, one task, an unavailable pool, or
+   ``backend="serial"`` all run the plain Python loop — identical
+   results, zero pool overhead, and the engine stays dependency-free
+   on constrained hosts.
+3. **Exception transparency.**  The first (lowest-index) task failure
+   propagates, exactly as the serial loop would raise it.
+
+The thread backend is the default: the hot per-task work is numpy
+kernels, which release the GIL on large arrays.  The process backend
+exists for coarse CPU-bound tasks with picklable callables; anything
+unpicklable degrades to the serial loop rather than erroring.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "ExecutorPool",
+    "ParallelOptions",
+    "chunk_slices",
+    "effective_workers",
+    "parallel_map",
+]
+
+#: Recognized ``ParallelOptions.backend`` spellings.
+BACKENDS = ("thread", "process", "serial")
+
+
+def effective_workers(workers, task_count):
+    """Resolve a worker request against the machine and the task count.
+
+    Args:
+        workers: requested workers; ``0`` means one per CPU.
+        task_count: how many independent tasks there are.
+
+    Returns:
+        The worker count actually worth spawning: never more than
+        ``task_count``, never less than 1.
+    """
+    if task_count <= 1:
+        return 1
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, task_count))
+
+
+def chunk_slices(total, chunks):
+    """Split ``range(total)`` into ``chunks`` contiguous near-equal slices.
+
+    The first ``total % chunks`` slices carry one extra element, so
+    sizes differ by at most one.  Slices past ``total`` come back empty
+    (``chunks`` is honored exactly, which keeps shard numbering stable
+    when ``chunks > total``).
+    """
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    base, extra = divmod(total, chunks)
+    out = []
+    start = 0
+    for index in range(chunks):
+        stop = start + base + (1 if index < extra else 0)
+        out.append(slice(start, stop))
+        start = stop
+    return out
+
+
+@dataclass(frozen=True)
+class ParallelOptions:
+    """How to run independent tasks.
+
+    Attributes:
+        workers: worker count; ``0`` means one per CPU, ``1`` forces
+            the serial loop.
+        backend: ``thread`` (default; numpy kernels release the GIL),
+            ``process`` (coarse CPU-bound tasks; callables must
+            pickle), or ``serial`` (always the plain loop).
+    """
+
+    workers: int = 0
+    backend: str = "thread"
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r} (choose from {BACKENDS})"
+            )
+
+
+class ExecutorPool:
+    """An ordered-map executor with a guaranteed serial fallback.
+
+    One instance may be reused across calls; pools are created lazily
+    per ``map`` and torn down with it (worker lifetimes never outlive
+    the work, so there is nothing to leak across evaluations).
+    """
+
+    def __init__(self, options=None):
+        self._options = options or ParallelOptions()
+
+    @property
+    def options(self):
+        return self._options
+
+    def map(self, fn, items):
+        """``[fn(item) for item in items]`` with parallel execution.
+
+        Results are returned in input order (deterministic merge); the
+        lowest-index failure raises first, like the serial loop.
+        """
+        items = list(items)
+        workers = effective_workers(self._options.workers, len(items))
+        if workers == 1 or self._options.backend == "serial":
+            return [fn(item) for item in items]
+        if self._options.backend == "process":
+            return self._process_map(fn, items, workers)
+        return self._thread_map(fn, items, workers)
+
+    def _thread_map(self, fn, items, workers):
+        # The serial fallback covers pool/thread-start failures ONLY —
+        # an exception raised by a task must propagate (rule 3), never
+        # trigger a silent serial re-run of the whole workload.  Task
+        # errors surface from future.result(), which submission-order
+        # iteration raises lowest-index-first, exactly like the serial
+        # loop.
+        from concurrent.futures import ThreadPoolExecutor
+
+        try:
+            pool = ThreadPoolExecutor(max_workers=workers)
+        except RuntimeError:
+            return [fn(item) for item in items]
+        with pool:
+            try:
+                futures = [pool.submit(fn, item) for item in items]
+            except RuntimeError:
+                # Thread-start failure mid-submission (threads spawn
+                # lazily per submit); tasks are pure, re-run serially.
+                return [fn(item) for item in items]
+            return [future.result() for future in futures]
+
+    def _process_map(self, fn, items, workers):
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            pickle.dumps(fn)
+        except Exception:
+            return [fn(item) for item in items]
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, RuntimeError):
+            return [fn(item) for item in items]
+        with pool:
+            try:
+                futures = [pool.submit(fn, item) for item in items]
+                return [future.result() for future in futures]
+            except BrokenProcessPool:
+                # Pool infrastructure died (never a task exception —
+                # those propagate as themselves); tasks are pure.
+                return [fn(item) for item in items]
+
+
+def parallel_map(fn, items, workers=0, backend="thread"):
+    """One-shot ordered parallel map (see :class:`ExecutorPool`)."""
+    return ExecutorPool(ParallelOptions(workers=workers, backend=backend)).map(
+        fn, items
+    )

@@ -58,6 +58,15 @@ class PartitionOptions:
         fallback: when the sketch or a refine step comes up infeasible,
             fall back to the cost model's next-best strategy over the
             full candidate set (otherwise report UNKNOWN).
+        parallel_refine: refine in *waves* — solve every loaded
+            partition's refinement ILP concurrently (they are
+            independent: each expands one partition with the others
+            still represented), then commit the best wave member and
+            repeat.  Deterministic for any worker count (the winner is
+            chosen by objective with a fixed tie-break, never by
+            completion order), but a different refinement *order* than
+            the sequential most-mass-first walk, so it is opt-in
+            rather than a worker-count side effect.
     """
 
     num_partitions: int = 0
@@ -66,6 +75,7 @@ class PartitionOptions:
     max_package_cardinality: int = 256
     max_attributes: int = 3
     fallback: bool = True
+    parallel_refine: bool = False
 
     def resolved_count(self, n):
         """The actual partition count to build for ``n`` candidates."""
@@ -155,7 +165,7 @@ def _feature_column(expr, relation, rids):
     )
 
 
-def build_partitioning(query, relation, candidate_rids, k, max_attributes=3):
+def build_partitioning(query, relation, candidate_rids, k, max_attributes=3, workers=0):
     """Quantile-bin ``candidate_rids`` into (at most) ``k`` partitions.
 
     Args:
@@ -165,6 +175,9 @@ def build_partitioning(query, relation, candidate_rids, k, max_attributes=3):
         k: requested partition count; the result has between 1 and
             ``k`` non-empty groups (bin collisions merge).
         max_attributes: cap on binning dimensions.
+        workers: binning-attribute feature columns are independent
+            scans and evaluate concurrently through the worker pool
+            (0 = one worker per CPU); the binning itself is unchanged.
 
     Returns:
         :class:`Partitioning`.
@@ -183,9 +196,16 @@ def build_partitioning(query, relation, candidate_rids, k, max_attributes=3):
         representatives = [group[len(group) // 2] for group in groups]
         return Partitioning(groups, representatives, [])
 
+    from repro.core.parallel import parallel_map
+
+    columns = parallel_map(
+        lambda expr: _feature_column(expr, relation, rids),
+        attributes,
+        workers=workers,
+    )
     features = np.empty((n, len(attributes)), dtype=float)
-    for column, expr in enumerate(attributes):
-        features[:, column] = _feature_column(expr, relation, rids)
+    for column, values in enumerate(columns):
+        features[:, column] = values
     # NULLs bin with the column median so they do not distort spreads.
     for column in range(features.shape[1]):
         values = features[:, column]

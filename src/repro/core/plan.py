@@ -45,6 +45,10 @@ class EvaluationPlan:
             (0 when not translatable).
         chosen_strategy: what ``auto`` will run.
         decisions: human-readable decision trail, in order.
+        sharding: the sharded scan's ``stats["shards"]`` payload
+            (shard / zone-skip / worker counts) when
+            ``EngineOptions.shards > 1`` put the WHERE stage on the
+            parallel path; ``None`` otherwise.
     """
 
     candidate_count: int
@@ -58,6 +62,7 @@ class EvaluationPlan:
     model_integers: int = 0
     chosen_strategy: str = "ilp"
     decisions: list = field(default_factory=list)
+    sharding: dict | None = None
 
     def lines(self):
         from repro.core.pruning import format_count
@@ -68,6 +73,12 @@ class EvaluationPlan:
             f"search space: 2^n = {format_count(self.space_unpruned)}, "
             f"pruned = {format_count(self.space_pruned)}",
         ]
+        if self.sharding is not None:
+            out.append(
+                f"sharded scan: {self.sharding['count']} shards, "
+                f"{self.sharding['skipped']} skipped by zone maps, "
+                f"{self.sharding['workers']} workers"
+            )
         if self.translatable:
             out.append(
                 f"ILP encoding: {self.model_variables} variables "
@@ -98,15 +109,19 @@ def plan(query, relation, candidate_rids=None, options=None):
 
     options = options or EngineOptions()
     if candidate_rids is None:
-        candidate_rids = PackageQueryEvaluator(relation).candidates(query)
-    rids = list(candidate_rids)
-    ctx = EvaluationContext(
-        query=query,
-        relation=relation,
-        candidate_rids=rids,
-        bounds=derive_bounds(query, relation, rids),
-        options=options,
-    )
+        # The engine's own context pipeline: pushdown (sharded when
+        # options ask for it) + bound derivation, so the plan sees the
+        # same where_path / shard statistics evaluation will.
+        ctx = PackageQueryEvaluator(relation).context(query, options)
+    else:
+        rids = list(candidate_rids)
+        ctx = EvaluationContext(
+            query=query,
+            relation=relation,
+            candidate_rids=rids,
+            bounds=derive_bounds(query, relation, rids),
+            options=options,
+        )
 
     if ctx.bounds.empty and options.use_pruning:
         return EvaluationPlan(
@@ -120,6 +135,7 @@ def plan(query, relation, candidate_rids=None, options=None):
             decisions=[
                 "cardinality bounds are empty: infeasible without solving"
             ],
+            sharding=ctx.shard_info,
         )
 
     choice = choose_strategy(ctx)
@@ -142,4 +158,5 @@ def plan(query, relation, candidate_rids=None, options=None):
         model_integers=model_integers,
         chosen_strategy=choice.name,
         decisions=choice.decisions,
+        sharding=ctx.shard_info,
     )

@@ -195,55 +195,130 @@ def search_space_size(n, bounds, limit=None):
     return sum(math.comb(n, k) for k in range(low, high + 1))
 
 
+#: Sentinel: "this statistics path does not apply, try the next one".
+_UNCOMPUTED = object()
+
+#: Below this many candidates a single kernel pass beats per-shard
+#: dispatch (split + pool overhead exceeds the scan itself); the
+#: sharded statistics path only engages past it.  Either path computes
+#: the identical extent.
+_SHARD_STATS_MIN_CANDIDATES = 32768
+
+
 class CardinalityPruner:
     """Derives cardinality bounds for a query over a candidate set.
 
     Args:
         query: analyzed :class:`~repro.paql.ast.PackageQuery`.
         relation: the base relation.
-        candidate_rids: rids surviving the base constraints.
+        candidate_rids: rids surviving the base constraints (ascending).
+        sharded: optional
+            :class:`~repro.relational.sharding.ShardedRelation` over
+            ``relation``; argument statistics then reduce per-shard
+            partials — straight from the cached zone statistics for
+            bare columns over full candidate coverage (O(shards), no
+            scan), otherwise shard-parallel kernel partials merged in
+            shard order.  Either way the derived min/max (and hence
+            the bounds) are bit-identical to the unsharded scan.
+        workers: worker threads for the shard-parallel partials.
     """
 
-    def __init__(self, query, relation, candidate_rids):
+    def __init__(self, query, relation, candidate_rids, sharded=None, workers=0):
         self._query = query
         self._relation = relation
         self._candidates = list(candidate_rids)
         self._max_cardinality = len(self._candidates) * query.repeat
+        self._sharded = sharded
+        self._workers = workers
         self._value_cache = {}
 
     # -- data statistics ------------------------------------------------------
 
-    def _argument_values(self, expr):
-        """Non-NULL per-candidate values of an aggregate argument.
+    def _argument_range(self, expr):
+        """``(min, max)`` of an argument's non-NULL candidate values.
 
-        Evaluated on the relation's cached column arrays when the
-        expression compiles (:mod:`repro.core.vectorize`); the row
-        interpreter is the compile-failure fallback.
+        ``None`` when no candidate yields a non-NULL value.  Paths, in
+        preference order: zone statistics (bare numeric column, full
+        candidate coverage), compiled kernels over the cached column
+        arrays (per-shard partials when sharding is in force), and the
+        row interpreter as the compile-failure fallback.
         """
         if expr in self._value_cache:
             return self._value_cache[expr]
-        values = self._vectorized_values(expr)
-        if values is None:
+        extent = self._zone_range(expr)
+        if extent is _UNCOMPUTED:
+            extent = self._vectorized_range(expr)
+        if extent is _UNCOMPUTED:
             values = []
             for rid in self._candidates:
                 value = eval_scalar(expr, self._relation[rid])
                 if value is not None:
                     values.append(float(value))
-        self._value_cache[expr] = values
-        return values
+            extent = (min(values), max(values)) if values else None
+        self._value_cache[expr] = extent
+        return extent
 
-    def _vectorized_values(self, expr):
+    def _zone_range(self, expr):
+        """Min/max from zone statistics — exact only with every row a
+        candidate (a shard's zone min/max is over *all* its rows)."""
+        if (
+            self._sharded is None
+            or len(self._candidates) != len(self._relation)
+            or not isinstance(expr, ast.ColumnRef)
+            or expr.name not in self._relation.schema
+        ):
+            return _UNCOMPUTED
+        from repro.relational.types import ColumnType
+
+        if self._relation.schema.type_of(expr.name) is ColumnType.TEXT:
+            return _UNCOMPUTED
+        zone = self._sharded.column_zone(expr.name)
+        if zone.non_null == 0:
+            return None
+        return (zone.minimum, zone.maximum)
+
+    def _vectorized_range(self, expr):
+        from repro.core.parallel import parallel_map
         from repro.core.vectorize import UnsupportedExpression, evaluator_for
 
+        evaluator = evaluator_for(self._relation)
         try:
-            array, nulls = evaluator_for(self._relation).scalar_arrays(
-                expr, self._candidates
-            )
+            probe, _ = evaluator.scalar_arrays(expr, [])
         except UnsupportedExpression:
+            return _UNCOMPUTED
+        if probe.dtype.kind not in "fiu":
+            return _UNCOMPUTED
+
+        def extent_of(rids):
+            array, nulls = evaluator.scalar_arrays(expr, rids)
+            kept = array[~nulls]
+            if kept.size == 0:
+                return None
+            return (float(kept.min()), float(kept.max()))
+
+        if (
+            self._sharded is None
+            or len(self._candidates) < _SHARD_STATS_MIN_CANDIDATES
+        ):
+            return extent_of(self._candidates)
+        groups = [
+            group
+            for group in self._sharded.split_rids(self._candidates)
+            if len(group)
+        ]
+        extents = [
+            extent
+            for extent in parallel_map(
+                extent_of, groups, workers=self._workers
+            )
+            if extent is not None
+        ]
+        if not extents:
             return None
-        if array.dtype.kind not in "fiu":
-            return None
-        return array[~nulls].tolist()
+        return (
+            min(extent[0] for extent in extents),
+            max(extent[1] for extent in extents),
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -350,12 +425,12 @@ class CardinalityPruner:
         """
         unknown = CardinalityBounds(0, self._max_cardinality)
         empty = CardinalityBounds(1, 0)
-        values = self._argument_values(argument)
-        if not values:
+        extent = self._argument_range(argument)
+        if extent is None:
             # SUM over no non-NULL candidates is 0 for every package.
             satisfied = _compare_const(0.0, op, constant)
             return unknown if satisfied else empty
-        minimum, maximum = min(values), max(values)
+        minimum, maximum = extent
 
         if op in (ast.CmpOp.LE, ast.CmpOp.LT):
             sum_low, sum_high = -math.inf, constant
@@ -366,10 +441,23 @@ class CardinalityPruner:
 
         lower, upper = 0, self._max_cardinality
 
+        # Quotients can overflow to inf when the extreme value is
+        # subnormal; skipping the tightening (keeping the looser
+        # bound) stays sound.
+        def floor_div(a, b):
+            quotient = a / b
+            return math.floor(quotient) if math.isfinite(quotient) else None
+
+        def ceil_div(a, b):
+            quotient = a / b
+            return math.ceil(quotient) if math.isfinite(quotient) else None
+
         # Require k * minimum <= sum_high.
         if math.isfinite(sum_high):
             if minimum > 0:
-                upper = min(upper, math.floor(sum_high / minimum))
+                tightened = floor_div(sum_high, minimum)
+                if tightened is not None:
+                    upper = min(upper, tightened)
                 if upper < 0:
                     return empty
             elif minimum == 0:
@@ -377,20 +465,26 @@ class CardinalityPruner:
                     return empty
             else:  # minimum < 0: large k drives the floor down; need enough k.
                 if sum_high < 0:
-                    lower = max(lower, math.ceil(sum_high / minimum))
+                    tightened = ceil_div(sum_high, minimum)
+                    if tightened is not None:
+                        lower = max(lower, tightened)
 
         # Require k * maximum >= sum_low.
         if math.isfinite(sum_low):
             if maximum > 0:
                 if sum_low > 0:
-                    lower = max(lower, math.ceil(sum_low / maximum))
+                    tightened = ceil_div(sum_low, maximum)
+                    if tightened is not None:
+                        lower = max(lower, tightened)
             elif maximum == 0:
                 if sum_low > 0:
                     return empty
             else:  # maximum < 0: sums only get more negative with k.
                 if sum_low > 0:
                     return empty
-                upper = min(upper, math.floor(sum_low / maximum))
+                tightened = floor_div(sum_low, maximum)
+                if tightened is not None:
+                    upper = min(upper, tightened)
 
         if lower > upper:
             return empty
@@ -430,9 +524,16 @@ def _compare_const(value, op, constant):
     return value != constant
 
 
-def derive_bounds(query, relation, candidate_rids):
-    """Convenience wrapper around :class:`CardinalityPruner`."""
-    return CardinalityPruner(query, relation, candidate_rids).bounds()
+def derive_bounds(query, relation, candidate_rids, sharded=None, workers=0):
+    """Convenience wrapper around :class:`CardinalityPruner`.
+
+    ``sharded``/``workers`` switch the argument statistics onto
+    per-shard partials (zone stats or parallel kernel scans) without
+    changing any derived bound — see :class:`CardinalityPruner`.
+    """
+    return CardinalityPruner(
+        query, relation, candidate_rids, sharded=sharded, workers=workers
+    ).bounds()
 
 
 def unpruned_bounds(candidate_count, repeat=1):

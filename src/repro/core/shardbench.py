@@ -1,0 +1,131 @@
+"""The shared sharded-scan benchmark harness.
+
+One implementation behind two front ends — ``repro shard-bench`` (the
+CLI) and ``benchmarks/bench_e12_sharded.py`` (the CI experiment) — so
+the number a user reproduces locally is computed exactly the way CI
+computes it.
+
+The workload is the E12 shape: 100k append-ordered rows
+(:func:`repro.datasets.clustered_relation`), a selective WHERE whose
+``ts`` band covers ~7% of the data, and a SUM-constrained package
+query, so one timed pipeline pass exercises the sharded WHERE kernels,
+zone-map skipping, *and* the pruner's per-shard statistics.  Timings
+take the best of ``repeats`` runs after a warmup pass (kernel
+compilation and zone statistics are one-time costs both paths share).
+
+Besides the timings, :func:`run_shard_bench` verifies — on every run —
+that the sharded pipeline's candidate list is *identical* (values and
+order) to the single-pass list and that the full evaluation returns
+the same package, objective, and bounds.  The benchmark asserts these,
+so a merge/ordering divergence fails CI rather than shipping.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.engine import EngineOptions, PackageQueryEvaluator
+from repro.datasets import clustered_relation
+
+__all__ = ["SHARD_BENCH_QUERY", "run_shard_bench"]
+
+#: The E12 workload: a selective ts band over append-ordered data plus
+#: a SUM global constraint (so pruning statistics run in the timed
+#: stage too).
+SHARD_BENCH_QUERY = """
+SELECT PACKAGE(R) FROM Readings R
+WHERE R.ts BETWEEN 42 AND 49 AND R.cost + R.weight <= 160
+SUCH THAT COUNT(*) = 5 AND SUM(R.cost) <= 400
+MAXIMIZE SUM(R.gain)
+"""
+
+
+def _best_of(fn, repeats):
+    """Best wall-clock of ``repeats`` runs (noise-robust point estimate)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_shard_bench(n=100000, shards=8, workers=0, repeats=5, relation=None):
+    """Time the scan pipeline sharded versus single-pass.
+
+    Args:
+        n: workload size (rows).
+        shards: shard count for the sharded side.
+        workers: worker threads (0 = one per CPU).
+        repeats: timing repetitions; the best run counts.
+        relation: override the generated workload relation (tests).
+
+    Returns:
+        A dict of claim-relevant numbers: per-side seconds, the
+        speedup, zone-skip counts, candidate counts, and the parity
+        verdicts ``candidates_identical`` / ``results_identical``.
+    """
+    relation = relation if relation is not None else clustered_relation(n, seed=12)
+    evaluator = PackageQueryEvaluator(relation)
+    query = evaluator.prepare(SHARD_BENCH_QUERY)
+
+    plain = EngineOptions()
+    sharded = EngineOptions(shards=shards, workers=workers)
+
+    # Warmup: compile kernels, materialize column arrays and zone
+    # statistics — one-time costs shared by both sides.
+    baseline_ctx = evaluator.context(query, plain)
+    sharded_ctx = evaluator.context(query, sharded)
+
+    # The headline metric is the WHERE scan (candidate generation) —
+    # the stage sharding parallelizes; the full pipeline (scan +
+    # bound derivation) rides along as the end-to-end number.
+    unsharded_seconds = _best_of(
+        lambda: evaluator._candidates_with_path(query, plain), repeats
+    )
+    sharded_seconds = _best_of(
+        lambda: evaluator._candidates_with_path(query, sharded), repeats
+    )
+    unsharded_pipeline_seconds = _best_of(
+        lambda: evaluator.context(query, plain), repeats
+    )
+    sharded_pipeline_seconds = _best_of(
+        lambda: evaluator.context(query, sharded), repeats
+    )
+
+    candidates_identical = (
+        baseline_ctx.candidate_rids == sharded_ctx.candidate_rids
+        and baseline_ctx.bounds == sharded_ctx.bounds
+    )
+
+    plain_result = evaluator.evaluate(query, plain)
+    sharded_result = evaluator.evaluate(query, sharded)
+    results_identical = (
+        plain_result.status is sharded_result.status
+        and plain_result.objective == sharded_result.objective
+        and (plain_result.package is None) == (sharded_result.package is None)
+        and (
+            plain_result.package is None
+            or plain_result.package.counts == sharded_result.package.counts
+        )
+    )
+
+    return {
+        "n": len(relation),
+        "shards": shards,
+        "workers": workers,
+        "shard_info": sharded_ctx.shard_info,
+        "candidates": len(baseline_ctx.candidate_rids),
+        "unsharded_seconds": unsharded_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup": unsharded_seconds / max(sharded_seconds, 1e-12),
+        "unsharded_pipeline_seconds": unsharded_pipeline_seconds,
+        "sharded_pipeline_seconds": sharded_pipeline_seconds,
+        "pipeline_speedup": unsharded_pipeline_seconds
+        / max(sharded_pipeline_seconds, 1e-12),
+        "candidates_identical": candidates_identical,
+        "results_identical": results_identical,
+        "where_path": sharded_ctx.where_path,
+        "strategy": sharded_result.strategy,
+        "objective": sharded_result.objective,
+    }

@@ -49,8 +49,15 @@ class EvaluationContext:
             (the ``sql`` strategy uses it; others ignore it).
         where_path: which WHERE evaluation engine produced
             ``candidate_rids`` — ``none`` | ``sql`` | ``vectorized`` |
-            ``interpreted`` (the row-interpreter fallback); surfaced in
-            result stats so benchmarks can assert the columnar path ran.
+            ``vectorized-sharded`` (per-shard kernels with zone-map
+            skipping) | ``interpreted`` (the row-interpreter
+            fallback); surfaced in result stats so benchmarks can
+            assert the columnar path ran.
+        sharded: the :class:`~repro.relational.sharding.ShardedRelation`
+            in force when ``options.shards > 1`` (``None`` otherwise);
+            scan-shaped strategy work may fan out over it.
+        shard_info: the ``stats["shards"]`` payload of the sharded
+            WHERE pass (shard/skip/worker counts), when it ran.
 
     The ILP translation is computed lazily and cached: the cost model,
     the planner and the ``ilp``/``partition`` strategies all share one
@@ -64,6 +71,8 @@ class EvaluationContext:
     options: object
     db: object = None
     where_path: str = "none"
+    sharded: object = None
+    shard_info: dict | None = None
     _translation: object = field(default=None, init=False, repr=False)
     _translation_error: str | None = field(default=None, init=False, repr=False)
     _translation_tried: bool = field(default=False, init=False, repr=False)
@@ -72,6 +81,24 @@ class EvaluationContext:
     @property
     def candidate_count(self):
         return len(self.candidate_rids)
+
+    @property
+    def parallelism(self):
+        """Effective data-parallel width for scan-shaped work.
+
+        1 without sharding; otherwise the worker count the parallel
+        executor would actually use across the shards.  Cost-model
+        estimates divide their scan terms by this, which is what makes
+        ``plan()`` predict the parallel path.
+        """
+        from repro.core.parallel import effective_workers
+
+        shards = getattr(self.options, "shards", 1)
+        if self.sharded is None or shards <= 1:
+            return 1
+        return effective_workers(
+            getattr(self.options, "workers", 0), shards
+        )
 
     @property
     def space_unpruned(self):

@@ -87,7 +87,20 @@ class PartitionStrategy(Strategy):
             )
         k = opts.resolved_count(n)
         steps = min(k, max(1, ctx.bounds.upper))
-        cost = n + float(k) ** 1.5 + steps * float(n / k + k) ** 1.5
+        # The O(n) term is the binning scan: one pass per binning
+        # attribute, and those passes run concurrently — so the real
+        # parallel width is capped by the attribute count, not the
+        # shard count.  The estimate (and hence plan()) predicts that
+        # actual parallel path.
+        from repro.core.partitioning import partition_attributes
+
+        attrs = len(partition_attributes(ctx.query)[: opts.max_attributes])
+        width = max(1, min(ctx.parallelism, max(1, attrs)))
+        scan = n / width
+        cost = scan + float(k) ** 1.5 + steps * float(n / k + k) ** 1.5
+        parallel_note = (
+            f" (binning over {width} workers)" if width > 1 else ""
+        )
         return StrategyEstimate(
             eligible=True,
             tier=0,
@@ -95,6 +108,7 @@ class PartitionStrategy(Strategy):
             reason=(
                 f"{n} candidates >= partition threshold "
                 f"{opts.auto_threshold}: sketch-refine over {k} partitions"
+                f"{parallel_note}"
             ),
         )
 
@@ -105,12 +119,14 @@ class PartitionStrategy(Strategy):
             raise ILPTranslationError(ctx.translation_error)
         opts = ctx.options.partition
         repeat = ctx.query.repeat
+        workers = getattr(ctx.options, "workers", 0)
         parts = build_partitioning(
             ctx.query,
             ctx.relation,
             ctx.candidate_rids,
             opts.resolved_count(ctx.candidate_count),
             max_attributes=opts.max_attributes,
+            workers=workers,
         )
         stats = {
             "partitions": len(parts),
@@ -123,7 +139,12 @@ class PartitionStrategy(Strategy):
         pinned = {}
 
         def attempt(refining):
-            """Solve with refined choices pinned and ``refining`` expanded."""
+            """Solve with refined choices pinned and ``refining`` expanded.
+
+            Pure with respect to ``pinned``/``unrefined`` (read, never
+            written), so independent refinement attempts may run
+            concurrently; callers account for stats afterwards.
+            """
             rids = []
             upper = {}
             for rid, multiplicity in pinned.items():
@@ -148,11 +169,14 @@ class PartitionStrategy(Strategy):
                     {var_of[rid]: 1.0}, "=", float(multiplicity), name="pin"
                 )
             solution, backend = solve_model(translation.model, ctx.options)
+            return translation, solution, backend
+
+        def account(solution, backend):
             stats["solver_backend"] = backend
             stats["solver_nodes"] += solution.nodes
-            return translation, solution
 
-        translation, solution = attempt(None)
+        translation, solution, backend = attempt(None)
+        account(solution, backend)
         stats["sketch_variables"] = len(translation.x_vars)
         if solution.status not in _SOLVED:
             return self._fallback(
@@ -190,20 +214,63 @@ class PartitionStrategy(Strategy):
             ]
             if not loaded:
                 break
-            target = max(
-                loaded,
-                key=lambda q: (counts[parts.representatives[q]], -q),
-            )
-            unrefined.discard(target)
-            translation, solution = attempt(target)
-            stats["refine_steps"] += 1
-            if solution.status not in _SOLVED:
-                return self._fallback(
-                    ctx,
-                    f"refine step {stats['refine_steps']} "
-                    f"{solution.status.value}",
-                    stats,
+
+            if opts.parallel_refine and len(loaded) > 1:
+                # Refinement wave: the loaded partitions' refine ILPs
+                # are independent (each reads the shared pins and
+                # expands only itself), so solve them all concurrently
+                # and commit the best — deterministic for any worker
+                # count because the winner is picked by objective value
+                # with a partition-index tie-break, never by
+                # completion order.
+                from repro.core.parallel import parallel_map
+                from repro.solver.model import ObjectiveSense
+
+                wave = sorted(loaded)
+                outcomes = parallel_map(attempt, wave, workers=workers)
+                stats["refine_steps"] += len(wave)
+                stats["refine_waves"] = stats.get("refine_waves", 0) + 1
+                for _, wave_solution, wave_backend in outcomes:
+                    account(wave_solution, wave_backend)
+                solved = [
+                    (group_index, wave_translation, wave_solution)
+                    for group_index, (wave_translation, wave_solution, _)
+                    in zip(wave, outcomes)
+                    if wave_solution.status in _SOLVED
+                ]
+                if not solved:
+                    return self._fallback(
+                        ctx,
+                        f"refine wave {stats['refine_waves']} "
+                        "infeasible in every partition",
+                        stats,
+                    )
+                maximize = (
+                    translation.model.objective_sense
+                    is ObjectiveSense.MAXIMIZE
                 )
+                sign = 1.0 if maximize else -1.0
+                target, translation, solution = max(
+                    solved,
+                    key=lambda item: (sign * item[2].objective, -item[0]),
+                )
+            else:
+                target = max(
+                    loaded,
+                    key=lambda q: (counts[parts.representatives[q]], -q),
+                )
+                translation, solution, backend = attempt(target)
+                account(solution, backend)
+                stats["refine_steps"] += 1
+                if solution.status not in _SOLVED:
+                    return self._fallback(
+                        ctx,
+                        f"refine step {stats['refine_steps']} "
+                        f"{solution.status.value}",
+                        stats,
+                    )
+
+            unrefined.discard(target)
             var_of = dict(zip(translation.candidate_rids, translation.x_vars))
             for rid in parts.groups[target]:
                 value = int(round(solution.value_of(var_of[rid])))

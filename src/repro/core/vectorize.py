@@ -29,7 +29,13 @@ One deliberate deviation: numeric arithmetic runs in float64.  The row
 interpreter inherits Python's arbitrary-precision integers, so INT
 expressions whose intermediate values exceed 2**53 can round here.
 Package data lives far below that regime; the property tests pin
-agreement on it.
+agreement on it.  The deviation is *audited* rather than silent: when
+a kernel whose operands are provably integer-exact (INT columns,
+integer literals, and +/-/* combinations of them) sees input
+magnitudes that could push an intermediate past 2**53, it emits
+:class:`OverflowPrecisionWarning` — a cheap magnitude check on the
+inputs, so workloads in the safe regime pay almost nothing and
+workloads outside it are told instead of silently rounded.
 
 Anything outside the compilable fragment — aggregates in scalar
 positions, text arithmetic, ordered comparisons across kinds — raises
@@ -40,6 +46,7 @@ optimization, never a semantics change.
 
 from __future__ import annotations
 
+import warnings
 import weakref
 from typing import NamedTuple
 
@@ -51,6 +58,7 @@ from repro.relational.relation import aggregate_reduce
 from repro.relational.types import ColumnType
 
 __all__ = [
+    "OverflowPrecisionWarning",
     "TriBool",
     "UnsupportedExpression",
     "VectorEvaluator",
@@ -62,6 +70,42 @@ __all__ = [
 
 class UnsupportedExpression(Exception):
     """The expression has no vectorized kernel; use the row interpreter."""
+
+
+class OverflowPrecisionWarning(UserWarning):
+    """An integer-exact kernel's intermediate may exceed 2**53.
+
+    float64 represents every integer up to 2**53 exactly; past it,
+    compiled INT arithmetic can round where the row interpreter's
+    arbitrary-precision integers would not.  This warning is the
+    documented signal that a workload has left the exact regime (see
+    ``docs/paql-reference.md``); results remain the compiled float64
+    values.
+    """
+
+
+#: Largest magnitude below which every integer is exact in float64.
+_INT_SAFE_LIMIT = 2.0**53
+
+
+def _magnitude_peak(values):
+    """Largest finite ``|value|`` in a kernel operand (0.0 when none).
+
+    NULL entries are NaN in value arrays and are ignored; scalars
+    (literal operands) are handled uniformly.
+    """
+    array = np.abs(np.atleast_1d(np.asarray(values, dtype=np.float64)))
+    finite = array[~np.isnan(array)]
+    return float(finite.max()) if finite.size else 0.0
+
+
+def _warn_int_overflow(detail):
+    warnings.warn(
+        "compiled INT arithmetic may exceed 2**53 and round "
+        f"({detail}); the row interpreter's exact integers would not",
+        OverflowPrecisionWarning,
+        stacklevel=3,
+    )
 
 
 class TriBool(NamedTuple):
@@ -152,13 +196,30 @@ class VectorEvaluator:
 
     # -- public entry points -----------------------------------------------
 
+    def supports(self, node, boolean=False):
+        """Whether a compiled kernel exists for ``node`` (memoized).
+
+        A compile probe without evaluation: the engine's sharded scan
+        asks this once per call before fanning shards out, instead of
+        paying an empty evaluation of the whole kernel tree.  With
+        ``boolean=True``, also require a predicate-shaped kernel (what
+        :meth:`predicate_mask` accepts).
+        """
+        try:
+            kind, _ = self._kernel(node)
+        except UnsupportedExpression:
+            return False
+        return not boolean or kind is _BOOL
+
     def predicate_mask(self, node, rids=None):
         """Boolean mask of rows where ``node`` is definitely true.
 
         Args:
             node: an analyzed Boolean formula (WHERE-style; no
                 aggregates).
-            rids: row indices to evaluate (all rows when ``None``).
+            rids: row indices to evaluate — ``None`` for all rows, a
+                ``slice`` for a contiguous range (zero-copy views; the
+                sharded scan path), or any index sequence.
 
         Returns:
             A bool array aligned with ``rids`` (or the full relation),
@@ -217,6 +278,22 @@ class VectorEvaluator:
                 return len(rids)
             return int(sum(weights))
         values, nulls = self.scalar_arrays(node.argument, rids)
+        if node.func in (ast.AggFunc.SUM, ast.AggFunc.AVG) and self._int_exact(
+            node.argument
+        ):
+            # The aggregate itself is an intermediate: a SUM of exact
+            # ints can leave float64's exact range even when every
+            # operand is safe.  peak * weight-mass bounds it.
+            if weights is None:
+                mass = float(len(nulls))
+            else:
+                mass = float(np.abs(np.asarray(weights, dtype=np.float64)).sum())
+            peak = _magnitude_peak(values)
+            if peak * mass > _INT_SAFE_LIMIT:
+                _warn_int_overflow(
+                    f"{node.func.value} over magnitudes up to {peak:.4g} "
+                    f"across weight {mass:.4g}"
+                )
         if values.dtype.kind not in "fiu" and node.func is not ast.AggFunc.COUNT:
             raise UnsupportedExpression(
                 f"{node.func.value} over a non-numeric argument"
@@ -228,12 +305,18 @@ class VectorEvaluator:
     # -- plumbing ----------------------------------------------------------
 
     def _indices(self, rids):
-        if rids is None:
-            return None
+        if rids is None or isinstance(rids, slice):
+            # Slices index column arrays as views (no copy), which is
+            # what makes per-shard kernel evaluation cheap.
+            return rids
         return np.asarray(rids, dtype=np.intp)
 
     def _length(self, indices):
-        return len(self._relation) if indices is None else len(indices)
+        if indices is None:
+            return len(self._relation)
+        if isinstance(indices, slice):
+            return len(range(*indices.indices(len(self._relation))))
+        return len(indices)
 
     def _broadcast(self, mask, indices):
         out = np.broadcast_to(np.asarray(mask, dtype=bool), (self._length(indices),))
@@ -303,6 +386,33 @@ class VectorEvaluator:
             return _TEXT, lambda indices: (value, _FALSE)
         raise UnsupportedExpression(f"literal {value!r} has no columnar form")
 
+    def _int_exact(self, node):
+        """Is ``node`` integer-valued under the row interpreter?
+
+        True only for the fragment where the interpreter computes with
+        exact Python ints: integer literals, INT columns, and their
+        negations / + / - / * combinations.  Division leaves the
+        integer domain.
+        """
+        if isinstance(node, ast.Literal):
+            return isinstance(node.value, int) and not isinstance(
+                node.value, bool
+            )
+        if isinstance(node, ast.ColumnRef):
+            return (
+                node.name in self._relation.schema
+                and self._relation.schema.type_of(node.name) is ColumnType.INT
+            )
+        if isinstance(node, ast.UnaryMinus):
+            return self._int_exact(node.operand)
+        if isinstance(node, ast.BinaryOp):
+            return (
+                node.op is not ast.BinOp.DIV
+                and self._int_exact(node.left)
+                and self._int_exact(node.right)
+            )
+        return False
+
     def _compile_column(self, node):
         if node.name not in self._relation.schema:
             raise UnsupportedExpression(
@@ -311,6 +421,14 @@ class VectorEvaluator:
         values, nulls = self._relation.column_arrays(node.name)
         column_type = self._relation.schema.type_of(node.name)
         kind = _TEXT if column_type is ColumnType.TEXT else _NUMERIC
+        if column_type is ColumnType.INT:
+            # The float64 cast happened when the array was built; check
+            # once at compile time (arrays are cached and immutable).
+            peak = _magnitude_peak(values)
+            if peak > _INT_SAFE_LIMIT:
+                _warn_int_overflow(
+                    f"column {node.name!r} holds magnitudes up to {peak:.4g}"
+                )
 
         def fn(indices):
             if indices is None:
@@ -341,11 +459,28 @@ class VectorEvaluator:
         left = self._numeric_operand(node.left)
         right = self._numeric_operand(node.right)
         op = node.op
+        int_exact = op is not ast.BinOp.DIV and self._int_exact(node)
 
         def fn(indices):
             lv, ln = left(indices)
             rv, rn = right(indices)
             nulls = ln | rn
+            if int_exact:
+                # Cheap input-magnitude check: |a|+|b| (or |a|*|b|)
+                # bounds the intermediate, so exceeding 2**53 here is
+                # the documented precision hazard.
+                left_peak = _magnitude_peak(lv)
+                right_peak = _magnitude_peak(rv)
+                bound = (
+                    left_peak * right_peak
+                    if op is ast.BinOp.MUL
+                    else left_peak + right_peak
+                )
+                if bound > _INT_SAFE_LIMIT:
+                    _warn_int_overflow(
+                        f"{op.value} over operand magnitudes "
+                        f"{left_peak:.4g} and {right_peak:.4g}"
+                    )
             if op is ast.BinOp.DIV:
                 # The row loop raises per evaluated row; a literal-only
                 # zero divisor over zero rows therefore must not raise.

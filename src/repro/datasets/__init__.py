@@ -2,7 +2,11 @@
 
 from repro.datasets.recipes import MEAL_PLANNER_QUERY, RECIPE_SCHEMA, generate_recipes
 from repro.datasets.stocks import PORTFOLIO_QUERY, STOCK_SCHEMA, generate_stocks
-from repro.datasets.synthetic import integer_relation, uniform_relation
+from repro.datasets.synthetic import (
+    clustered_relation,
+    integer_relation,
+    uniform_relation,
+)
 from repro.datasets.travel import (
     TRAVEL_SCHEMA,
     VACATION_QUERY,
@@ -17,6 +21,7 @@ __all__ = [
     "STOCK_SCHEMA",
     "TRAVEL_SCHEMA",
     "VACATION_QUERY",
+    "clustered_relation",
     "generate_recipes",
     "generate_stocks",
     "WorkloadError",

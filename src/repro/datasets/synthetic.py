@@ -42,6 +42,39 @@ def uniform_relation(
     return Relation(name, schema, rows)
 
 
+def clustered_relation(
+    n,
+    columns=("cost", "gain", "weight"),
+    low=0.0,
+    high=100.0,
+    seed=0,
+    name="Readings",
+):
+    """A relation whose ``ts`` column increases with row position.
+
+    Models append-ordered data (logs, sensor readings, time series):
+    ``ts`` walks 0..100 monotonically with per-row jitter inside its
+    own slot, while the other columns stay uniform.  Range predicates
+    on ``ts`` therefore touch a contiguous band of rows — the shape
+    where zone-map shard skipping pays off (``docs/sharding.md``).
+    """
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [Column("label", ColumnType.TEXT), Column("ts", ColumnType.FLOAT)]
+        + [Column(column, ColumnType.FLOAT) for column in columns]
+    )
+    rows = []
+    for i in range(n):
+        row = {
+            "label": f"r{i}",
+            "ts": round((i + float(rng.random())) * 100.0 / max(n, 1), 6),
+        }
+        for column in columns:
+            row[column] = round(float(rng.uniform(low, high)), 3)
+        rows.append(row)
+    return Relation(name, schema, rows)
+
+
 def integer_relation(n, low=1, high=10, seed=0, name="Ints"):
     """A relation with one integer ``value`` column in ``[low, high]``."""
     rng = np.random.default_rng(seed)

@@ -3,6 +3,7 @@
 from repro.relational.csvio import read_csv, write_csv
 from repro.relational.relation import AGGREGATE_FUNCS, Relation, aggregate_reduce
 from repro.relational.schema import Column, Schema, SchemaError
+from repro.relational.sharding import ShardedRelation, ZoneStats, merge_zone_stats
 from repro.relational.sqlite_backend import Database, DatabaseError, load_database
 from repro.relational.types import ColumnType, infer_type
 
@@ -16,8 +17,11 @@ __all__ = [
     "Relation",
     "Schema",
     "SchemaError",
+    "ShardedRelation",
+    "ZoneStats",
     "infer_type",
     "load_database",
+    "merge_zone_stats",
     "read_csv",
     "write_csv",
 ]

@@ -113,14 +113,24 @@ def tighten_bounds(model, max_rounds=10, tol=1e-9):
                     residual = finite_sum - term_low
                 slack = rhs - residual
                 if coef > 0:
-                    bound = slack / coef
+                    # float() keeps numpy scalars from warning when a
+                    # subnormal coefficient overflows the quotient.
+                    bound = float(slack) / float(coef)
+                    # Tiny (subnormal) coefficients overflow the
+                    # division to inf; an infinite bound tightens
+                    # nothing, so skip instead of floor()-ing inf.
+                    if not math.isfinite(bound):
+                        continue
                     if integer[index]:
                         bound = math.floor(bound + tol)
                     if bound < upper[index] - tol:
                         upper[index] = bound
                         changed = True
                 else:
-                    bound = slack / coef  # coef < 0 flips the division
+                    # coef < 0 flips the division
+                    bound = float(slack) / float(coef)
+                    if not math.isfinite(bound):
+                        continue
                     if integer[index]:
                         bound = math.ceil(bound - tol)
                     if bound > lower[index] + tol:

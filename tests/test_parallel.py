@@ -1,0 +1,147 @@
+"""The parallel executor: ordered merge, fallbacks, chunking."""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro.core.parallel import (
+    ExecutorPool,
+    ParallelOptions,
+    chunk_slices,
+    effective_workers,
+    parallel_map,
+)
+
+
+class TestChunkSlices:
+    def test_covers_range_contiguously(self):
+        for total, chunks in [(10, 3), (7, 7), (100, 1), (5, 8), (0, 4)]:
+            slices = chunk_slices(total, chunks)
+            assert len(slices) == chunks
+            covered = []
+            for part in slices:
+                covered.extend(range(part.start, part.stop))
+            assert covered == list(range(total))
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [s.stop - s.start for s in chunk_slices(103, 8)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 103
+
+    def test_more_chunks_than_items_yields_empty_tail(self):
+        slices = chunk_slices(3, 5)
+        assert [s.stop - s.start for s in slices] == [1, 1, 1, 0, 0]
+
+    def test_rejects_nonpositive_chunks(self):
+        with pytest.raises(ValueError):
+            chunk_slices(10, 0)
+
+
+class TestEffectiveWorkers:
+    def test_never_exceeds_task_count(self):
+        assert effective_workers(16, 3) == 3
+
+    def test_single_task_is_serial(self):
+        assert effective_workers(0, 1) == 1
+        assert effective_workers(8, 0) == 1
+
+    def test_zero_means_cpu_count(self):
+        import os
+
+        assert effective_workers(0, 1000) == (os.cpu_count() or 1)
+
+    def test_explicit_count_honored(self):
+        assert effective_workers(2, 100) == 2
+
+
+class TestParallelMap:
+    def test_preserves_input_order_under_threads(self):
+        # Later items finish first; results must still merge in order.
+        def slow_for_small(item):
+            time.sleep(0.002 * (5 - item))
+            return item * 10
+
+        assert parallel_map(slow_for_small, range(5), workers=5) == [
+            0,
+            10,
+            20,
+            30,
+            40,
+        ]
+
+    def test_serial_when_one_worker(self):
+        seen_threads = set()
+
+        def record(item):
+            seen_threads.add(threading.current_thread().name)
+            return item
+
+        parallel_map(record, range(10), workers=1)
+        assert seen_threads == {threading.current_thread().name}
+
+    def test_exceptions_propagate(self):
+        def boom(item):
+            if item == 3:
+                raise ValueError("item 3")
+            return item
+
+        with pytest.raises(ValueError, match="item 3"):
+            parallel_map(boom, range(6), workers=4)
+
+    def test_empty_input(self):
+        assert parallel_map(lambda x: x, [], workers=4) == []
+
+    def test_task_runtime_error_propagates_without_serial_rerun(self):
+        # A RuntimeError from a *task* must propagate as-is — it must
+        # not be mistaken for a pool failure and trigger a silent
+        # serial re-execution of the whole workload.
+        calls = []
+
+        def boom(item):
+            calls.append(item)
+            if item == 1:
+                raise RuntimeError("task-level failure")
+            return item
+
+        with pytest.raises(RuntimeError, match="task-level failure"):
+            parallel_map(boom, range(4), workers=4)
+        assert calls.count(1) == 1  # ran once, not re-run serially
+
+    def test_serial_backend(self):
+        assert parallel_map(lambda x: x + 1, range(4), backend="serial") == [
+            1,
+            2,
+            3,
+            4,
+        ]
+
+    def test_process_backend_with_picklable_callable(self):
+        assert parallel_map(math.sqrt, [1.0, 4.0, 9.0], workers=2, backend="process") == [
+            1.0,
+            2.0,
+            3.0,
+        ]
+
+    def test_process_backend_degrades_on_unpicklable_callable(self):
+        # A closure cannot be pickled; the pool must fall back to the
+        # serial loop instead of erroring.
+        offset = 7
+        result = parallel_map(
+            lambda x: x + offset, range(3), workers=2, backend="process"
+        )
+        assert result == [7, 8, 9]
+
+
+class TestExecutorPool:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ParallelOptions(backend="gpu")
+
+    def test_reusable_across_calls(self):
+        pool = ExecutorPool(ParallelOptions(workers=2))
+        assert pool.map(lambda x: -x, [1, 2]) == [-1, -2]
+        assert pool.map(lambda x: x * x, [3, 4]) == [9, 16]

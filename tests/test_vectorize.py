@@ -364,7 +364,7 @@ def test_engine_falls_back_to_interpreter_on_unsupported_where(meals):
         "SUCH THAT COUNT(*) = 2"
     )
     twisted = replace(query, where=_TEXT_CONCAT_WHERE)
-    rids, path = evaluator._candidates_with_path(twisted)
+    rids, path, _ = evaluator._candidates_with_path(twisted)
     assert path == "interpreted"
     assert rids == [
         rid
@@ -424,3 +424,128 @@ def test_null_only_relation_aggregates():
     assert aggregate_value(node, relation, [0, 1]) is None
     total = ast.Aggregate(ast.AggFunc.SUM, ast.ColumnRef(None, "a"))
     assert aggregate_value(total, relation, [0, 1]) == 0
+
+
+# ---------------------------------------------------------------------------
+# OverflowPrecisionWarning: the audited float64/INT deviation
+# ---------------------------------------------------------------------------
+
+def _int_relation(values, name="Big"):
+    return Relation(
+        name,
+        Schema([Column("v", ColumnType.INT)]),
+        [{"v": value} for value in values],
+    )
+
+
+def _parse_predicate(text, relation):
+    from repro.paql.parser import parse
+    from repro.paql.semantics import analyze
+
+    query = parse(
+        f"SELECT PACKAGE(B) FROM {relation.name} B WHERE {text} "
+        "SUCH THAT COUNT(*) >= 0"
+    )
+    return analyze(query, relation.schema).where
+
+
+class TestOverflowPrecisionWarning:
+    def test_multiplication_past_2_53_warns(self):
+        from repro.core.vectorize import OverflowPrecisionWarning
+
+        relation = _int_relation([2**40, 3, 2**41])
+        where = _parse_predicate("B.v * B.v >= 0", relation)
+        with pytest.warns(OverflowPrecisionWarning, match="2\\*\\*53"):
+            try_predicate_mask(where, relation)
+
+    def test_addition_past_2_53_warns(self):
+        from repro.core.vectorize import OverflowPrecisionWarning
+
+        relation = _int_relation([2**52 + 11, 2**52 + 7])
+        where = _parse_predicate("B.v + B.v > 0", relation)
+        with pytest.warns(OverflowPrecisionWarning):
+            try_predicate_mask(where, relation)
+
+    def test_column_values_past_2_53_warn_at_compile(self):
+        from repro.core.vectorize import OverflowPrecisionWarning
+
+        # 2**53 + 1 rounds back to exactly 2**53 in float64; +2 is the
+        # first representable magnitude past the exact-integer limit.
+        relation = _int_relation([2**53 + 2, 5])
+        where = _parse_predicate("B.v > 0", relation)
+        with pytest.warns(OverflowPrecisionWarning, match="magnitudes"):
+            try_predicate_mask(where, relation)
+
+    def test_safe_magnitudes_stay_silent(self):
+        import warnings
+
+        from repro.core.vectorize import OverflowPrecisionWarning
+
+        relation = _int_relation([2**20, -(2**20), 123])
+        where = _parse_predicate("B.v * B.v + B.v >= 0", relation)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", OverflowPrecisionWarning)
+            mask = try_predicate_mask(where, relation)
+        assert mask is not None and mask.all()
+
+    def test_float_columns_never_warn(self):
+        import warnings
+
+        relation = Relation(
+            "Big",
+            Schema([Column("v", ColumnType.FLOAT)]),
+            [{"v": 2.0**60}, {"v": 3.0}],
+        )
+        where = _parse_predicate("B.v * B.v > 0", relation)
+        from repro.core.vectorize import OverflowPrecisionWarning
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", OverflowPrecisionWarning)
+            assert try_predicate_mask(where, relation) is not None
+
+    def test_division_is_outside_the_integer_domain(self):
+        import warnings
+
+        from repro.core.vectorize import OverflowPrecisionWarning
+
+        relation = _int_relation([2**50, 2**50])
+        where = _parse_predicate("B.v / 3 > 0", relation)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", OverflowPrecisionWarning)
+            assert try_predicate_mask(where, relation) is not None
+
+    def test_sum_aggregate_past_2_53_warns(self):
+        from repro.core.vectorize import OverflowPrecisionWarning
+
+        relation = _int_relation([2**43] * 3)
+        node = ast.Aggregate(ast.AggFunc.SUM, ast.ColumnRef(None, "v"))
+        # 3 rows alone stay exact; weight mass 2048 pushes the sum
+        # past 2**53.
+        with pytest.warns(OverflowPrecisionWarning, match="SUM"):
+            aggregate_value(node, relation, [0, 1, 2], weights=[1024, 1024, 1])
+
+    def test_small_sum_aggregate_stays_silent(self):
+        import warnings
+
+        from repro.core.vectorize import OverflowPrecisionWarning
+
+        relation = _int_relation([2**20, 5, 7])
+        node = ast.Aggregate(ast.AggFunc.SUM, ast.ColumnRef(None, "v"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", OverflowPrecisionWarning)
+            assert aggregate_value(node, relation, [0, 1, 2]) == 2**20 + 12
+
+    def test_null_entries_do_not_poison_the_check(self):
+        import warnings
+
+        from repro.core.vectorize import OverflowPrecisionWarning
+
+        relation = Relation(
+            "Big",
+            Schema([Column("v", ColumnType.INT)]),
+            [{"v": None}, {"v": 9}],
+        )
+        where = _parse_predicate("B.v + B.v >= 0", relation)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", OverflowPrecisionWarning)
+            assert try_predicate_mask(where, relation) is not None
