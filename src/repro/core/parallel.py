@@ -121,6 +121,12 @@ class ExecutorPool:
 
         Results are returned in input order (deterministic merge); the
         lowest-index failure raises first, like the serial loop.
+
+        Tasks run exactly once — except when the pool *infrastructure*
+        itself fails (a worker process dying, a thread refusing to
+        start), where a task that already reached a worker may run
+        again on the serial fallback.  Callers passing impure tasks
+        must tolerate that pool-failure replay.
         """
         items = list(items)
         workers = effective_workers(self._options.workers, len(items))
@@ -144,12 +150,24 @@ class ExecutorPool:
         except RuntimeError:
             return [fn(item) for item in items]
         with pool:
+            futures = []
             try:
-                futures = [pool.submit(fn, item) for item in items]
+                for item in items:
+                    futures.append(pool.submit(fn, item))
             except RuntimeError:
                 # Thread-start failure mid-submission (threads spawn
-                # lazily per submit); tasks are pure, re-run serially.
-                return [fn(item) for item in items]
+                # lazily per submit).  Already-submitted futures may be
+                # running or done — harvest them instead of re-running
+                # their items, and run only the unsubmitted remainder
+                # serially.  If nothing was submitted, no worker thread
+                # exists and the whole list runs serially.  Only the
+                # single item whose submit raised can ever replay (its
+                # work item may have been queued before the thread
+                # start failed) — the documented pool-failure caveat.
+                if not futures:
+                    return [fn(item) for item in items]
+                done = [future.result() for future in futures]
+                return done + [fn(item) for item in items[len(futures):]]
             return [future.result() for future in futures]
 
     def _process_map(self, fn, items, workers):

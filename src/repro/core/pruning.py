@@ -315,10 +315,14 @@ class CardinalityPruner:
         ]
         if not extents:
             return None
-        return (
-            min(extent[0] for extent in extents),
-            max(extent[1] for extent in extents),
-        )
+        lows = [extent[0] for extent in extents]
+        highs = [extent[1] for extent in extents]
+        # Python min/max drop NaN order-dependently; the unsharded
+        # whole-subset reduction propagates it, and the merged extent
+        # must match that whichever shard the NaN landed in.
+        if any(math.isnan(value) for value in lows + highs):
+            return (math.nan, math.nan)
+        return (min(lows), max(highs))
 
     # -- public API -----------------------------------------------------------
 
@@ -431,6 +435,12 @@ class CardinalityPruner:
             satisfied = _compare_const(0.0, op, constant)
             return unknown if satisfied else empty
         minimum, maximum = extent
+        if math.isnan(minimum) or math.isnan(maximum):
+            # NaN data poisons the extent: every sign test below is
+            # false, which would fall through to the negative-extreme
+            # branches and wrongly prove infeasibility.  No necessary
+            # condition follows from a NaN extent.
+            return unknown
 
         if op in (ast.CmpOp.LE, ast.CmpOp.LT):
             sum_low, sum_high = -math.inf, constant

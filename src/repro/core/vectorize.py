@@ -46,6 +46,7 @@ optimization, never a semantics change.
 
 from __future__ import annotations
 
+import threading
 import warnings
 import weakref
 from typing import NamedTuple
@@ -460,15 +461,23 @@ class VectorEvaluator:
         right = self._numeric_operand(node.right)
         op = node.op
         int_exact = op is not ast.BinOp.DIV and self._int_exact(node)
+        warned = False
+        warn_lock = threading.Lock()
 
         def fn(indices):
+            nonlocal warned
             lv, ln = left(indices)
             rv, rn = right(indices)
             nulls = ln | rn
-            if int_exact:
+            if int_exact and not warned:
                 # Cheap input-magnitude check: |a|+|b| (or |a|*|b|)
                 # bounds the intermediate, so exceeding 2**53 here is
-                # the documented precision hazard.
+                # the documented precision hazard.  At most one warning
+                # per compiled kernel: a sharded scan runs this closure
+                # once per shard (concurrently under a worker pool)
+                # with shard-specific magnitudes, which would defeat
+                # the warnings module's dedup.  The lock is taken only
+                # on the about-to-warn path, never on clean scans.
                 left_peak = _magnitude_peak(lv)
                 right_peak = _magnitude_peak(rv)
                 bound = (
@@ -477,10 +486,13 @@ class VectorEvaluator:
                     else left_peak + right_peak
                 )
                 if bound > _INT_SAFE_LIMIT:
-                    _warn_int_overflow(
-                        f"{op.value} over operand magnitudes "
-                        f"{left_peak:.4g} and {right_peak:.4g}"
-                    )
+                    with warn_lock:
+                        if not warned:
+                            warned = True
+                            _warn_int_overflow(
+                                f"{op.value} over operand magnitudes "
+                                f"{left_peak:.4g} and {right_peak:.4g}"
+                            )
             if op is ast.BinOp.DIV:
                 # The row loop raises per evaluated row; a literal-only
                 # zero divisor over zero rows therefore must not raise.

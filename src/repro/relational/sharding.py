@@ -80,6 +80,11 @@ def merge_zone_stats(parts):
     minimums = [part.minimum for part in parts if part.minimum is not None]
     maximums = [part.maximum for part in parts if part.maximum is not None]
     totals = [part.total for part in parts if part.total is not None]
+    # Python's min/max are order-dependent under NaN; numpy's whole-column
+    # reductions propagate it unconditionally, and the merged result must
+    # match them regardless of which shard the NaN landed in.
+    if any(math.isnan(value) for value in minimums + maximums):
+        minimums = maximums = [math.nan]
     return ZoneStats(
         count=count,
         null_count=null_count,
@@ -185,15 +190,19 @@ class ShardedRelation:
                 stats.append(ZoneStats(count, null_count))
                 continue
             kept = values[part][~shard_nulls]
-            stats.append(
-                ZoneStats(
-                    count=count,
-                    null_count=null_count,
-                    minimum=float(kept.min()),
-                    maximum=float(kept.max()),
-                    total=float(kept.sum()),
+            # NaN/±inf are valid FLOAT data; the reductions may produce
+            # non-finite statistics (consumers handle them), so the
+            # invalid-value warning is expected noise here.
+            with np.errstate(invalid="ignore"):
+                stats.append(
+                    ZoneStats(
+                        count=count,
+                        null_count=null_count,
+                        minimum=float(kept.min()),
+                        maximum=float(kept.max()),
+                        total=float(kept.sum()),
+                    )
                 )
-            )
         stats = tuple(stats)
         self._zone_cache[name] = stats
         return stats
@@ -215,8 +224,10 @@ class ShardedRelation:
 
         Empty shards are always skippable.  A ``None`` predicate, any
         division (whose by-zero errors must keep firing exactly as the
-        unsharded kernels would), and shapes outside the analysis all
-        conservatively keep every non-empty shard.
+        unsharded kernels would), shapes outside the analysis, and
+        columns whose zone statistics are not finite (NaN or ±inf data
+        gives min/max no bounding power) all conservatively keep every
+        non-empty shard.
 
         Memoized per predicate node: zone statistics are immutable for
         the relation's lifetime, so repeated scans of one query pay
@@ -345,6 +356,22 @@ def _contains_division(node):
     return False
 
 
+def _bounded(low, high, may_null, has_values):
+    """Interval constructor that never carries a NaN bound.
+
+    Interval arithmetic over infinite endpoints can produce NaN
+    (``inf + -inf``, ``inf - inf``); a NaN bound would silently fail
+    every comparison in :func:`_comparison_verdicts`, turning the
+    over-approximation into an unsound skip.  Widen each NaN bound to
+    unbounded on that side instead.
+    """
+    if math.isnan(low):
+        low = -math.inf
+    if math.isnan(high):
+        high = math.inf
+    return _Interval(low, high, may_null, has_values)
+
+
 def _interval(node, sharded, index):
     if isinstance(node, ast.Literal):
         value = node.value
@@ -353,6 +380,8 @@ def _interval(node, sharded, index):
         if isinstance(value, bool):
             value = float(value)
         if isinstance(value, (int, float)):
+            if math.isnan(value):
+                raise _Unsupported  # NaN compares false to everything
             return _Interval(float(value), float(value), False, True)
         raise _Unsupported  # text literals have no numeric interval
     if isinstance(node, ast.ColumnRef):
@@ -362,10 +391,17 @@ def _interval(node, sharded, index):
         zone = sharded.zone_stats(node.name)[index]
         if zone.non_null == 0:
             return _Interval(0.0, 0.0, zone.may_null, False)
+        if not (math.isfinite(zone.minimum) and math.isfinite(zone.maximum)):
+            # NaN data poisons min/max (every NaN comparison is false,
+            # so [NaN, NaN] would "prove" any shard empty), and ±inf
+            # endpoints feed NaN into downstream interval arithmetic.
+            # Non-finite zone statistics carry no usable bound: treat
+            # the column as unanalyzable so the shard is always kept.
+            raise _Unsupported
         return _Interval(zone.minimum, zone.maximum, zone.may_null, True)
     if isinstance(node, ast.UnaryMinus):
         operand = _interval(node.operand, sharded, index)
-        return _Interval(
+        return _bounded(
             -operand.high, -operand.low, operand.may_null, operand.has_values
         )
     if isinstance(node, ast.BinaryOp):
@@ -395,7 +431,7 @@ def _interval(node, sharded, index):
             # skip decision is already vetoed by _contains_division,
             # so this path only feeds enclosing intervals.
             low, high = -math.inf, math.inf
-        return _Interval(low, high, may_null, True)
+        return _bounded(low, high, may_null, True)
     raise _Unsupported
 
 

@@ -111,6 +111,56 @@ class TestParallelMap:
             parallel_map(boom, range(4), workers=4)
         assert calls.count(1) == 1  # ran once, not re-run serially
 
+    def test_thread_start_failure_mid_submission_runs_each_task_once(
+        self, monkeypatch
+    ):
+        # When thread start fails partway through submission, the
+        # already-submitted prefix must be harvested from its futures
+        # (those tasks may already be executing in the pool) and only
+        # the unsubmitted remainder run serially — never a full serial
+        # re-run that executes the prefix twice.  Mimicking CPython,
+        # the fake enqueues the boundary item's work before raising
+        # (submit queues, then thread start fails), so that one item
+        # may legitimately run twice — the documented pool-failure
+        # replay; every other item must run exactly once.
+        import concurrent.futures
+
+        class FlakyExecutor(concurrent.futures.ThreadPoolExecutor):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self._flaky_submissions = 0
+
+            def submit(self, fn, *args, **kwargs):
+                self._flaky_submissions += 1
+                if self._flaky_submissions > 2:
+                    super().submit(fn, *args, **kwargs)
+                    raise RuntimeError("can't start new thread")
+                return super().submit(fn, *args, **kwargs)
+
+        monkeypatch.setattr(
+            concurrent.futures, "ThreadPoolExecutor", FlakyExecutor
+        )
+        lock = threading.Lock()
+        calls = []
+
+        def task(item):
+            with lock:
+                calls.append(item)
+            return item * 10
+
+        assert parallel_map(task, range(6), workers=4) == [
+            0,
+            10,
+            20,
+            30,
+            40,
+            50,
+        ]
+        assert sorted(set(calls)) == list(range(6))
+        assert calls.count(2) in (1, 2)  # the boundary item may replay
+        for item in (0, 1, 3, 4, 5):
+            assert calls.count(item) == 1
+
     def test_serial_backend(self):
         assert parallel_map(lambda x: x + 1, range(4), backend="serial") == [
             1,

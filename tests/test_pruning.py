@@ -215,6 +215,25 @@ class TestSoundness:
                     )
 
 
+    def test_nan_data_never_proves_infeasibility(self):
+        # NaN poisons the SUM argument's extent (nan > 0, nan == 0,
+        # nan < 0 are all false), which used to fall through the sign
+        # analysis's negative-extreme branch and return unsatisfiable
+        # bounds — wrongly declaring queries INFEASIBLE even though
+        # packages avoiding the NaN row exist.
+        rel = value_relation([math.nan, 25.0, 10.0, 5.0])
+        query = analyzed(
+            "SELECT PACKAGE(T) FROM T SUCH THAT SUM(T.value) BETWEEN 40 AND 60",
+            rel,
+        )
+        bounds = derive_bounds(query, rel, range(4))
+        assert not bounds.empty
+        # {25, 10, 5} sums to 40 — a valid package the bounds must admit.
+        package = Package(rel, (1, 2, 3))
+        assert check_global(package, query)
+        assert bounds.contains(package.cardinality)
+
+
 class TestSearchSpaceApproximation:
     """Exact-mode log-space approximation for huge balanced windows."""
 

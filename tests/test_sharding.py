@@ -15,6 +15,8 @@ Two properties carry the subsystem:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -178,9 +180,13 @@ _ZONE_SCHEMA = Schema(
 @st.composite
 def zone_relations(draw):
     n = draw(st.integers(min_value=1, max_value=40))
+    # NaN and ±inf are legitimate FLOAT data (distinct from NULL per
+    # Relation.column_arrays); the skip analysis must stay sound when
+    # zone min/max are poisoned by them.
     values = st.one_of(
         st.none(),
         st.floats(allow_nan=False, allow_infinity=False, min_value=-50, max_value=50),
+        st.sampled_from([math.nan, math.inf, -math.inf]),
     )
     texts = st.one_of(st.none(), st.sampled_from(["a", "bb", "free"]))
     rows = []
@@ -256,6 +262,123 @@ class TestZoneSkipSoundness:
             relation.schema,
         ).where
         assert sharded.skippable_shards(where) == [False, True]
+
+
+class TestNonFiniteZoneData:
+    """NaN/±inf are valid FLOAT data and must never cause a wrong skip.
+
+    NaN poisons ``kept.min()``/``max()`` and compares false to
+    everything, so a naive interval analysis "proves" the shard empty
+    — dropping real matching rows.  ±inf endpoints feed NaN into
+    interval arithmetic (``inf + -inf``) with the same hazard.
+    """
+
+    @staticmethod
+    def _where(relation, text):
+        return analyze(
+            parse(
+                f"SELECT PACKAGE(T) FROM T WHERE {text} "
+                "SUCH THAT COUNT(*) = 1"
+            ),
+            relation.schema,
+        ).where
+
+    def test_nan_data_does_not_skip_a_shard_with_matches(self):
+        # Shard 0 is [NaN, 10.0]; row 1 satisfies value > 5 and the
+        # NaN-poisoned zone stats must not prove the shard empty.
+        relation = _relation([math.nan, 10.0, 1.0, 2.0])
+        sharded = ShardedRelation(relation, 2)
+        where = self._where(relation, "T.value > 5")
+        assert sharded.skippable_shards(where)[0] is False
+
+    def test_nan_data_preserves_candidate_parity_end_to_end(self):
+        schema = Schema(
+            [
+                Column("label", ColumnType.TEXT),
+                Column("cost", ColumnType.FLOAT),
+                Column("gain", ColumnType.FLOAT),
+            ]
+        )
+        rows = [
+            {"label": "nan", "cost": math.nan, "gain": 1.0},
+            {"label": "big", "cost": 10.0, "gain": 2.0},
+            {"label": "lo1", "cost": 1.0, "gain": 3.0},
+            {"label": "lo2", "cost": 2.0, "gain": 4.0},
+            {"label": "hit", "cost": 7.0, "gain": 5.0},
+        ]
+        relation = Relation("Parity", schema, rows)
+        text = (
+            "SELECT PACKAGE(P) FROM Parity P WHERE P.cost > 5 "
+            "SUCH THAT COUNT(*) = 2 MAXIMIZE SUM(P.gain)"
+        )
+        baseline = evaluate(text, relation)
+        for shards in (2, 3, 5):
+            sharded = evaluate(text, relation, shards=shards)
+            assert sharded.status is baseline.status
+            assert sharded.package.counts == baseline.package.counts
+            assert sharded.objective == baseline.objective
+
+    def test_infinite_endpoints_do_not_skip_via_nan_arithmetic(self):
+        # cost spans [-inf, +inf] in shard 0, so cost + cost has the
+        # inf + -inf corner; a NaN bound must widen, not skip, while
+        # shard 1 (all small values) is still provably empty.
+        relation = _relation([math.inf, -math.inf, 9.0, 1.0, 1.0, 1.0])
+        sharded = ShardedRelation(relation, 2)
+        where = self._where(relation, "T.value + T.value > 10")
+        skippable = sharded.skippable_shards(where)
+        assert skippable[0] is False
+        assert skippable[1] is True
+
+    def test_interval_arithmetic_widens_nan_bounds(self):
+        # Finite but huge data: a*a overflows to a [-inf, +inf]
+        # interval and b*b to [+inf, +inf]; their sum's lower bound is
+        # -inf + inf = NaN, which must widen to -inf, never survive as
+        # a NaN bound.
+        from repro.paql import ast
+        from repro.relational.sharding import _interval
+
+        schema = Schema(
+            [Column("a", ColumnType.FLOAT), Column("b", ColumnType.FLOAT)]
+        )
+        rows = [{"a": -1e200, "b": 1e200}, {"a": 1e200, "b": 1e200}]
+        sharded = ShardedRelation(Relation("Huge", schema, rows), 1)
+        square = lambda name: ast.BinaryOp(
+            ast.BinOp.MUL,
+            ast.ColumnRef(None, name),
+            ast.ColumnRef(None, name),
+        )
+        node = ast.BinaryOp(ast.BinOp.ADD, square("a"), square("b"))
+        interval = _interval(node, sharded, 0)
+        assert interval.low == -math.inf
+        assert interval.high == math.inf
+
+    def test_inf_only_data_keeps_its_shard(self):
+        relation = _relation([math.inf, math.inf, 1.0, 2.0])
+        sharded = ShardedRelation(relation, 2)
+        where = self._where(relation, "T.value > 100")
+        assert sharded.skippable_shards(where)[0] is False
+
+    def test_merge_zone_stats_propagates_nan_like_numpy(self):
+        # Whichever shard holds the NaN, the merged min/max must be
+        # NaN — matching a whole-column numpy reduction.
+        finite = ZoneStats(2, 0, 1.0, 2.0, 3.0)
+        poisoned = ZoneStats(2, 0, math.nan, math.nan, math.nan)
+        for parts in ([finite, poisoned], [poisoned, finite]):
+            merged = merge_zone_stats(parts)
+            assert math.isnan(merged.minimum)
+            assert math.isnan(merged.maximum)
+
+    @pytest.mark.parametrize("func", ["min", "max", "count"])
+    @pytest.mark.parametrize("rids", [None, [0, 1, 2, 3]])
+    def test_bulk_aggregate_parity_under_nan(self, func, rids):
+        relation = _relation([1.0, math.nan, 5.0, 2.0])
+        sharded = ShardedRelation(relation, 2)
+        expected = relation.bulk_aggregate(func, "value", rids=rids)
+        actual = sharded.bulk_aggregate(func, "value", rids=rids)
+        if isinstance(expected, float) and math.isnan(expected):
+            assert math.isnan(actual)
+        else:
+            assert actual == expected
 
 
 # ---------------------------------------------------------------------------
@@ -430,6 +553,49 @@ class TestShardedPruning:
             workers=2,
         )
         assert plain == sharded
+
+    @pytest.mark.parametrize("nan_row", [1, 48])
+    def test_extent_merge_propagates_nan_regardless_of_shard(
+        self, nan_row, monkeypatch
+    ):
+        # The shard-parallel statistics path merges per-shard extents;
+        # Python min/max drop NaN order-dependently while the unsharded
+        # whole-subset numpy reduction propagates it, so whichever
+        # shard holds the NaN the merged extent (and hence the bounds)
+        # must match the unsharded run.
+        import repro.core.pruning as pruning
+        from repro.paql import ast
+
+        monkeypatch.setattr(pruning, "_SHARD_STATS_MIN_CANDIDATES", 4)
+        values = [float(i) for i in range(50)]
+        values[nan_row] = math.nan
+        relation = _relation(values)
+        query = analyze(
+            parse(
+                "SELECT PACKAGE(T) FROM T "
+                "SUCH THAT SUM(T.value + T.value) BETWEEN 40 AND 60"
+            ),
+            relation.schema,
+        )
+        rids = list(range(len(relation)))
+        plain = pruning.CardinalityPruner(query, relation, rids)
+        sharded = pruning.CardinalityPruner(
+            query,
+            relation,
+            rids,
+            sharded=ShardedRelation(relation, 7),
+            workers=2,
+        )
+        arg = ast.BinaryOp(
+            ast.BinOp.ADD,
+            ast.ColumnRef(None, "value"),
+            ast.ColumnRef(None, "value"),
+        )
+        plain_extent = plain._vectorized_range(arg)
+        sharded_extent = sharded._vectorized_range(arg)
+        assert all(math.isnan(bound) for bound in plain_extent)
+        assert all(math.isnan(bound) for bound in sharded_extent)
+        assert plain.bounds() == sharded.bounds()
 
     def test_plan_reports_sharding(self):
         from repro.core.plan import plan

@@ -466,6 +466,30 @@ class TestOverflowPrecisionWarning:
         with pytest.warns(OverflowPrecisionWarning):
             try_predicate_mask(where, relation)
 
+    def test_binary_overflow_warns_once_per_compiled_kernel(self):
+        import warnings
+
+        from repro.core.vectorize import OverflowPrecisionWarning, evaluator_for
+
+        # A sharded scan re-runs the same compiled kernel once per
+        # shard; the audit must emit a single warning per kernel, not
+        # one per evaluation (shard-specific magnitudes would defeat
+        # the warnings module's dedup and spam stderr).
+        relation = _int_relation([2**52 + 11, 2**52 + 7, 3, 4])
+        where = _parse_predicate("B.v + B.v > 0", relation)
+        evaluator = evaluator_for(relation)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            evaluator.predicate_mask(where)
+            evaluator.predicate_mask(where, rids=slice(0, 2))
+            evaluator.predicate_mask(where, rids=slice(2, 4))
+        emitted = [
+            entry
+            for entry in caught
+            if issubclass(entry.category, OverflowPrecisionWarning)
+        ]
+        assert len(emitted) == 1
+
     def test_column_values_past_2_53_warn_at_compile(self):
         from repro.core.vectorize import OverflowPrecisionWarning
 
