@@ -100,7 +100,10 @@ def _cmd_query(args, out):
     text = _read_query_text(args)
     evaluator = PackageQueryEvaluator(relation)
     options = EngineOptions(
-        strategy=args.strategy, shards=args.shards, workers=args.workers
+        strategy=args.strategy,
+        shards=args.shards,
+        workers=args.workers,
+        reduce=args.reduce,
     )
 
     if args.top > 1:
@@ -164,7 +167,9 @@ def _cmd_plan(args, out):
     text = _read_query_text(args)
     evaluator = PackageQueryEvaluator(relation)
     query = evaluator.prepare(text)
-    options = EngineOptions(shards=args.shards, workers=args.workers)
+    options = EngineOptions(
+        shards=args.shards, workers=args.workers, reduce=args.reduce
+    )
     print(plan(query, relation, options=options).text(), file=out)
     warnings = lint(query, relation)
     if warnings:
@@ -234,6 +239,69 @@ def _cmd_shard_bench(args, out):
     )
     print(
         f"results identical to unsharded: {'yes' if identical else 'NO'}",
+        file=out,
+    )
+    return 0 if identical else 1
+
+
+def _cmd_reduce_bench(args, out):
+    from repro.core.reducebench import run_reduce_bench, write_record
+
+    outcome = run_reduce_bench(
+        n=args.n,
+        dominance_n=args.dominance_n,
+        repeats=args.repeats,
+        shards=args.shards,
+    )
+    if args.record:
+        write_record(outcome, args.record)
+    identical = (
+        outcome["fixing"]["objective_identical"]
+        and outcome["dominance"]["objective_identical"]
+    )
+    if args.json:
+        print(json.dumps(outcome, indent=2, default=str), file=out)
+        return 0 if identical else 1
+    fixing = outcome["fixing"]
+    reduction = fixing["reduction"]
+    print(
+        f"workload: {outcome['n']} rows, ILP strategy, "
+        f"best of {outcome['repeats']}",
+        file=out,
+    )
+    print(
+        f"fixing (safe):     {reduction['kept']} of {reduction['input']} "
+        f"candidates kept ({fixing['candidate_reduction']:.0%} reduced)",
+        file=out,
+    )
+    print(
+        f"  end-to-end:      {fixing['baseline_seconds'] * 1e3:8.1f} ms -> "
+        f"{fixing['reduced_seconds'] * 1e3:8.1f} ms  "
+        f"({fixing['speedup']:.2f}x)",
+        file=out,
+    )
+    if outcome["zone"] is not None:
+        zone = outcome["zone"]["stats"]
+        print(
+            f"  zone fast path:  {zone.get('fixed_shards', 0)} of "
+            f"{outcome['zone']['shards']} shards fixed without scanning",
+            file=out,
+        )
+    dominance = outcome["dominance"]
+    dom_stats = dominance["reduction"]
+    print(
+        f"dominance (aggr.): {dom_stats['kept']} of {dom_stats['input']} "
+        f"candidates kept at n={outcome['dominance_n']}",
+        file=out,
+    )
+    print(
+        f"  end-to-end:      {dominance['baseline_seconds'] * 1e3:8.1f} ms -> "
+        f"{dominance['reduced_seconds'] * 1e3:8.1f} ms  "
+        f"({dominance['speedup']:.2f}x)",
+        file=out,
+    )
+    print(
+        f"objectives identical to reduce=off: {'yes' if identical else 'NO'}",
         file=out,
     )
     return 0 if identical else 1
@@ -333,6 +401,17 @@ def build_parser():
         default=0,
         help="worker threads for sharded stages (0 = one per CPU)",
     )
+    query.add_argument(
+        "--reduce",
+        default="safe",
+        choices=["off", "safe", "aggressive"],
+        help=(
+            "candidate-space reduction before strategy dispatch: safe "
+            "fixes out provably-absent tuples (parity-preserving), "
+            "aggressive adds proof-gated dominance pruning, off "
+            "restores the unreduced pipeline"
+        ),
+    )
     query.set_defaults(func=_cmd_query)
 
     desc = sub.add_parser("describe", help="explain a PaQL query in English")
@@ -369,6 +448,12 @@ def build_parser():
     plan_cmd.add_argument(
         "--workers", type=int, default=0, help="worker threads (0 = per CPU)"
     )
+    plan_cmd.add_argument(
+        "--reduce",
+        default="safe",
+        choices=["off", "safe", "aggressive"],
+        help="predict the plan at this candidate-space reduction mode",
+    )
     plan_cmd.set_defaults(func=_cmd_plan)
 
     shard_bench = sub.add_parser(
@@ -392,6 +477,38 @@ def build_parser():
     )
     shard_bench.add_argument("--json", action="store_true", help="JSON output")
     shard_bench.set_defaults(func=_cmd_shard_bench)
+
+    reduce_bench = sub.add_parser(
+        "reduce-bench",
+        help=(
+            "time the reduced ILP pipeline against reduce=off on the "
+            "E13 workloads and verify objective parity"
+        ),
+    )
+    reduce_bench.add_argument(
+        "--n", type=int, default=100000, help="fixing-workload rows"
+    )
+    reduce_bench.add_argument(
+        "--dominance-n",
+        type=int,
+        default=30000,
+        help="dominance-workload rows (unreduced side pays generic B&B)",
+    )
+    reduce_bench.add_argument(
+        "--shards",
+        type=int,
+        default=8,
+        help="shard count for the zone fast-path check (0 disables)",
+    )
+    reduce_bench.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (best wins)"
+    )
+    reduce_bench.add_argument(
+        "--record",
+        help="write the outcome as a machine-readable JSON perf record",
+    )
+    reduce_bench.add_argument("--json", action="store_true", help="JSON output")
+    reduce_bench.set_defaults(func=_cmd_reduce_bench)
 
     demo = sub.add_parser("demo", help="run a built-in paper scenario")
     demo.add_argument("scenario", choices=sorted(_DEMOS))

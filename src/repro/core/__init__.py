@@ -83,6 +83,12 @@ from repro.core.pruning import (
     search_space_size,
     unpruned_bounds,
 )
+from repro.core.reduction import (
+    REDUCE_MODES,
+    Reduction,
+    apply_reduction,
+    reduce_candidates,
+)
 from repro.core.translate_ilp import ILPTranslation, ILPTranslationError, translate
 from repro.core.vectorize import (
     UnsupportedExpression,
@@ -145,6 +151,10 @@ __all__ = [
     "register_strategy",
     "strategy_names",
     "unpruned_bounds",
+    "REDUCE_MODES",
+    "Reduction",
+    "apply_reduction",
+    "reduce_candidates",
     "ILPTranslation",
     "ILPTranslationError",
     "UnsupportedExpression",

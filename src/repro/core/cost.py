@@ -74,6 +74,17 @@ def choose_strategy(ctx, exclude=()):
 
     translatable = ctx.translatable
     decisions = []
+    reduction = getattr(ctx, "reduction", None)
+    if reduction is not None and reduction.removed:
+        # Every estimate above already priced the *kept* candidate set
+        # (ctx.candidate_rids is post-reduction); say so, since the
+        # reduced count is what tipped the auction.
+        decisions.append(
+            f"reduction kept {len(reduction.kept_rids)} of "
+            f"{reduction.input_count} candidates (fixed {reduction.fixed}, "
+            f"dominated {reduction.dominated}): estimates priced on the "
+            "reduced set"
+        )
     if translatable:
         if winner == "ilp":
             decisions.append(estimates["ilp"].reason)

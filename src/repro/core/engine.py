@@ -91,6 +91,13 @@ class EngineOptions:
             ``docs/sharding.md``).
         workers: worker threads for shard- and partition-parallel
             stages; 0 means one per CPU, 1 forces serial execution.
+        reduce: candidate-space reduction mode (``docs/reduction.md``):
+            ``safe`` (the default) fixes out tuples the global
+            constraints prove absent from every acceptable package —
+            never changing feasibility status or optimal objective —
+            ``aggressive`` adds dominance pruning when its analysis
+            proves an optimal package survives, and ``off`` restores
+            the exact unreduced pipeline.
     """
 
     strategy: str = "auto"
@@ -103,6 +110,7 @@ class EngineOptions:
     rewrite: bool = True
     shards: int = 1
     workers: int = 0
+    reduce: str = "safe"
 
 
 class PackageQueryEvaluator:
@@ -227,11 +235,14 @@ class PackageQueryEvaluator:
         return rids.tolist(), shard_info
 
     def context(self, query, options=None):
-        """Run the pipeline up to pruning; return the strategies' input.
+        """Run the pipeline up to pruning and reduction; return the
+        strategies' input.
 
         parse/analyze must already have happened (``query`` is an
-        analyzed AST); this performs pushdown and bound derivation and
-        packages the state every later stage shares.
+        analyzed AST); this performs pushdown, bound derivation and
+        candidate-space reduction (``options.reduce``, see
+        :mod:`repro.core.reduction`) and packages the state every
+        later stage shares.
         """
         options = options or EngineOptions()
         candidate_rids, where_path, shard_info = self._candidates_with_path(
@@ -240,22 +251,29 @@ class PackageQueryEvaluator:
         sharded = None
         if options.shards > 1 and self._db is None:
             sharded = self.sharded_relation(options.shards)
+        bounds = derive_bounds(
+            query,
+            self._relation,
+            candidate_rids,
+            sharded=sharded,
+            workers=options.workers,
+        )
+        from repro.core.reduction import apply_reduction
+
+        candidate_rids, reduction = apply_reduction(
+            query, self._relation, candidate_rids, bounds, options, sharded
+        )
         return EvaluationContext(
             query=query,
             relation=self._relation,
             candidate_rids=candidate_rids,
-            bounds=derive_bounds(
-                query,
-                self._relation,
-                candidate_rids,
-                sharded=sharded,
-                workers=options.workers,
-            ),
+            bounds=bounds,
             options=options,
             db=self._db,
             where_path=where_path,
             sharded=sharded,
             shard_info=shard_info,
+            reduction=reduction,
         )
 
     # -- evaluation -------------------------------------------------------------
@@ -295,6 +313,30 @@ class PackageQueryEvaluator:
                 stats=stats,
             )
 
+        if ctx.reduction is not None and ctx.reduction.infeasible:
+            # The reducer found a constraint whose witness set is empty
+            # over the candidates — a proof no valid package exists,
+            # short-circuited exactly like empty cardinality bounds.
+            stats = {
+                "reason": ctx.reduction.infeasible_reason,
+                "where_path": ctx.where_path,
+                "reduction": ctx.reduction.stats(),
+            }
+            if ctx.shard_info is not None:
+                stats["shards"] = ctx.shard_info
+            if rewrites_applied:
+                stats["rewrites"] = rewrites_applied
+            return EvaluationResult(
+                package=None,
+                status=ResultStatus.INFEASIBLE,
+                strategy="reduction",
+                query=query,
+                candidate_count=ctx.base_candidate_count,
+                bounds=ctx.bounds,
+                elapsed_seconds=time.perf_counter() - started,
+                stats=stats,
+            )
+
         if options.strategy == "auto":
             choice = choose_strategy(ctx)
             result = get_strategy(choice.name).run(ctx)
@@ -306,11 +348,13 @@ class PackageQueryEvaluator:
             result = get_strategy(options.strategy).run(ctx)
 
         result.query = query
-        result.candidate_count = ctx.candidate_count
+        result.candidate_count = ctx.base_candidate_count
         result.bounds = ctx.bounds
         result.stats.setdefault("where_path", ctx.where_path)
         if ctx.shard_info is not None:
             result.stats.setdefault("shards", ctx.shard_info)
+        if ctx.reduction is not None:
+            result.stats.setdefault("reduction", ctx.reduction.stats())
         result.elapsed_seconds = time.perf_counter() - started
         if rewrites_applied:
             result.stats["rewrites"] = rewrites_applied
@@ -331,7 +375,15 @@ class PackageQueryEvaluator:
         result.objective = report.objective
 
 
-def evaluate(query_text, relation, db=None, options=None, shards=None, workers=None):
+def evaluate(
+    query_text,
+    relation,
+    db=None,
+    options=None,
+    shards=None,
+    workers=None,
+    reduce=None,
+):
     """One-call evaluation: build an evaluator, run one query.
 
     Args:
@@ -339,11 +391,13 @@ def evaluate(query_text, relation, db=None, options=None, shards=None, workers=N
             scan stages with zone-map skipping (results are identical
             to ``shards=1`` by construction).
         workers: shortcut for ``EngineOptions.workers``.
+        reduce: shortcut for ``EngineOptions.reduce`` — candidate-space
+            reduction mode (``off`` | ``safe`` | ``aggressive``).
 
-    Both shortcuts override the corresponding field of ``options``
+    All shortcuts override the corresponding field of ``options``
     when given.
     """
-    if shards is not None or workers is not None:
+    if shards is not None or workers is not None or reduce is not None:
         from dataclasses import replace
 
         options = options or EngineOptions()
@@ -352,5 +406,7 @@ def evaluate(query_text, relation, db=None, options=None, shards=None, workers=N
             overrides["shards"] = shards
         if workers is not None:
             overrides["workers"] = workers
+        if reduce is not None:
+            overrides["reduce"] = reduce
         options = replace(options, **overrides)
     return PackageQueryEvaluator(relation, db).evaluate(query_text, options)

@@ -49,6 +49,13 @@ class EvaluationPlan:
             (shard / zone-skip / worker counts) when
             ``EngineOptions.shards > 1`` put the WHERE stage on the
             parallel path; ``None`` otherwise.
+        reduction: the candidate-space reducer's ``stats["reduction"]``
+            payload (kept/fixed/dominated counts, zone-shard fixing,
+            dominance outcome) when ``EngineOptions.reduce`` is not
+            ``off`` and the query has global constraints; ``None``
+            otherwise.  ``candidate_count`` stays the pre-reduction
+            count; the search-space sizes describe the reduced set the
+            strategies actually face.
     """
 
     candidate_count: int
@@ -63,6 +70,7 @@ class EvaluationPlan:
     chosen_strategy: str = "ilp"
     decisions: list = field(default_factory=list)
     sharding: dict | None = None
+    reduction: dict | None = None
 
     def lines(self):
         from repro.core.pruning import format_count
@@ -79,6 +87,20 @@ class EvaluationPlan:
                 f"{self.sharding['skipped']} skipped by zone maps, "
                 f"{self.sharding['workers']} workers"
             )
+        if self.reduction is not None:
+            r = self.reduction
+            line = (
+                f"reduced scan: kept {r['kept']} of {r['input']} candidates "
+                f"(fixed {r['fixed']}, dominated {r['dominated']}, "
+                f"mode {r['mode']})"
+            )
+            zone = r.get("zone")
+            if zone is not None:
+                line += (
+                    f"; zone maps fixed {zone['fixed_shards']} shards "
+                    "without scanning"
+                )
+            out.append(line)
         if self.translatable:
             out.append(
                 f"ILP encoding: {self.model_variables} variables "
@@ -110,22 +132,33 @@ def plan(query, relation, candidate_rids=None, options=None):
     options = options or EngineOptions()
     if candidate_rids is None:
         # The engine's own context pipeline: pushdown (sharded when
-        # options ask for it) + bound derivation, so the plan sees the
-        # same where_path / shard statistics evaluation will.
+        # options ask for it) + bound derivation + reduction, so the
+        # plan sees the same where_path / shard / reduction statistics
+        # evaluation will.
         ctx = PackageQueryEvaluator(relation).context(query, options)
     else:
+        from repro.core.reduction import apply_reduction
+
         rids = list(candidate_rids)
+        bounds = derive_bounds(query, relation, rids)
+        rids, reduction = apply_reduction(
+            query, relation, rids, bounds, options
+        )
         ctx = EvaluationContext(
             query=query,
             relation=relation,
             candidate_rids=rids,
-            bounds=derive_bounds(query, relation, rids),
+            bounds=bounds,
             options=options,
+            reduction=reduction,
         )
+    reduction_stats = (
+        ctx.reduction.stats() if ctx.reduction is not None else None
+    )
 
     if ctx.bounds.empty and options.use_pruning:
         return EvaluationPlan(
-            candidate_count=ctx.candidate_count,
+            candidate_count=ctx.base_candidate_count,
             bounds=ctx.bounds,
             space_unpruned=ctx.space_unpruned,
             space_pruned=ctx.space_pruned,
@@ -136,6 +169,21 @@ def plan(query, relation, candidate_rids=None, options=None):
                 "cardinality bounds are empty: infeasible without solving"
             ],
             sharding=ctx.shard_info,
+            reduction=reduction_stats,
+        )
+
+    if ctx.reduction is not None and ctx.reduction.infeasible:
+        return EvaluationPlan(
+            candidate_count=ctx.base_candidate_count,
+            bounds=ctx.bounds,
+            space_unpruned=ctx.space_unpruned,
+            space_pruned=ctx.space_pruned,
+            translatable=False,
+            translation_error="not attempted (reduction proved infeasibility)",
+            chosen_strategy="reduction",
+            decisions=[ctx.reduction.infeasible_reason],
+            sharding=ctx.shard_info,
+            reduction=reduction_stats,
         )
 
     choice = choose_strategy(ctx)
@@ -147,7 +195,7 @@ def plan(query, relation, candidate_rids=None, options=None):
         model_integers = len(translation.model.integer_indices())
 
     return EvaluationPlan(
-        candidate_count=ctx.candidate_count,
+        candidate_count=ctx.base_candidate_count,
         bounds=ctx.bounds,
         space_unpruned=ctx.space_unpruned,
         space_pruned=ctx.space_pruned,
@@ -159,4 +207,5 @@ def plan(query, relation, candidate_rids=None, options=None):
         chosen_strategy=choice.name,
         decisions=choice.decisions,
         sharding=ctx.shard_info,
+        reduction=reduction_stats,
     )

@@ -370,7 +370,7 @@ class CardinalityPruner:
 
         # Only <aggregate> <op> <constant> patterns (either orientation)
         # yield bounds; richer arithmetic is left to the ILP.
-        aggregate, op, constant = _match_simple_comparison(node)
+        aggregate, op, constant = match_aggregate_comparison(node)
         if aggregate is None:
             return unknown
 
@@ -501,10 +501,14 @@ class CardinalityPruner:
         return CardinalityBounds(lower, upper)
 
 
-def _match_simple_comparison(node):
+def match_aggregate_comparison(node):
     """Match ``Aggregate <op> Literal`` in either orientation.
 
-    Returns ``(aggregate, op, constant)`` or ``(None, None, None)``.
+    Returns ``(aggregate, op, constant)`` with the comparison
+    normalized to aggregate-on-the-left (the operator is flipped when
+    the literal was on the left), or ``(None, None, None)``.  Shared
+    by the cardinality pruner and the candidate-space reducer
+    (:mod:`repro.core.reduction`).
     """
     left, right = node.left, node.right
     if isinstance(left, ast.Aggregate) and isinstance(right, ast.Literal):
@@ -518,6 +522,10 @@ def _match_simple_comparison(node):
         ):
             return right, node.op.flip(), float(left.value)
     return None, None, None
+
+
+#: Backwards-compatible private spelling (pre-reduction callers).
+_match_simple_comparison = match_aggregate_comparison
 
 
 def _compare_const(value, op, constant):

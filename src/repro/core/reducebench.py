@@ -1,0 +1,174 @@
+"""The shared candidate-space-reduction benchmark harness.
+
+One implementation behind two front ends — ``repro reduce-bench`` (the
+CLI) and ``benchmarks/bench_e13_reduction.py`` (the CI experiment) —
+so the number a user reproduces locally is computed exactly the way CI
+computes it.
+
+Two workloads over the E12 clustered relation (100k append-ordered
+rows by default):
+
+* **Fixing** (:data:`REDUCE_BENCH_QUERY`): a ``MAX(ts)`` global
+  constraint covering ~30% of the data plus a cardinality cap and a
+  SUM objective.  ``reduce="safe"`` proves ~70% of the candidates out
+  of every acceptable package before translation, so the ILP strategy
+  builds, presolves, and solves a model one third the size — at
+  bit-identical optimal objective.
+
+* **Dominance** (:data:`DOMINANCE_BENCH_QUERY`): a knapsack-shaped
+  query where ``reduce="aggressive"``'s dominance pass (proof-gated:
+  it runs only when the survival analysis succeeds) keeps only the
+  candidates that could still appear in some optimal package.
+
+Besides the timings, :func:`run_reduce_bench` verifies — on every run
+— that the reduced pipelines return the same status and *exactly* the
+same objective as ``reduce="off"``, and can persist the whole outcome
+as a machine-readable JSON perf record (``BENCH_e13.json``) so the
+repo accumulates a perf trajectory across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core.engine import EngineOptions, PackageQueryEvaluator
+from repro.datasets import clustered_relation
+
+__all__ = [
+    "DOMINANCE_BENCH_QUERY",
+    "REDUCE_BENCH_QUERY",
+    "run_reduce_bench",
+    "write_record",
+]
+
+#: The fixing workload: a selective MAX bound over append-ordered data,
+#: so the zone fast path can fix whole shards when sharding is on.
+REDUCE_BENCH_QUERY = """
+SELECT PACKAGE(R) FROM Readings R
+SUCH THAT COUNT(*) <= 12 AND MAX(R.ts) <= 30
+MAXIMIZE SUM(R.gain)
+"""
+
+#: The dominance workload: knapsack-shaped, one ordered key dimension.
+DOMINANCE_BENCH_QUERY = """
+SELECT PACKAGE(R) FROM Readings R
+SUCH THAT COUNT(*) <= 8 AND SUM(R.cost) <= 100
+MAXIMIZE SUM(R.gain)
+"""
+
+
+def _best_of(fn, repeats):
+    """Best wall-clock of ``repeats`` runs (noise-robust point estimate)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _timed_pair(evaluator, query_text, baseline_options, reduced_options, repeats):
+    """Time ``strategy="ilp"`` evaluation under two reduce modes."""
+    query = evaluator.prepare(query_text)
+    baseline = evaluator.evaluate(query, baseline_options)  # warmup + parity
+    reduced = evaluator.evaluate(query, reduced_options)
+    baseline_seconds = _best_of(
+        lambda: evaluator.evaluate(query, baseline_options), repeats
+    )
+    reduced_seconds = _best_of(
+        lambda: evaluator.evaluate(query, reduced_options), repeats
+    )
+    return {
+        "baseline_seconds": baseline_seconds,
+        "reduced_seconds": reduced_seconds,
+        "speedup": baseline_seconds / max(reduced_seconds, 1e-12),
+        "status": reduced.status.value,
+        "objective": reduced.objective,
+        "objective_identical": baseline.objective == reduced.objective
+        and baseline.status is reduced.status,
+        "reduction": reduced.stats.get("reduction", {}),
+        "baseline_variables": baseline.stats.get("variables"),
+        "reduced_variables": reduced.stats.get("variables"),
+    }
+
+
+def run_reduce_bench(n=100000, dominance_n=30000, repeats=3, shards=8):
+    """Benchmark reduction against the unreduced ILP pipeline.
+
+    Args:
+        n: fixing-workload size (rows).
+        dominance_n: dominance-workload size (kept smaller: its
+            unreduced baseline pays generic branch and bound).
+        repeats: timing repetitions; the best run counts.
+        shards: shard count for the zone-path statistics run (0
+            disables it).
+
+    Returns:
+        A dict of claim-relevant numbers: per-side seconds, speedups,
+        kept/fixed/dominated counts, the parity verdicts, and — when
+        ``shards`` — the zone fast path's whole-shard fixing counts.
+    """
+    relation = clustered_relation(n, seed=13)
+    evaluator = PackageQueryEvaluator(relation)
+
+    fixing = _timed_pair(
+        evaluator,
+        REDUCE_BENCH_QUERY,
+        EngineOptions(strategy="ilp", reduce="off"),
+        EngineOptions(strategy="ilp", reduce="safe"),
+        repeats,
+    )
+    reduction = fixing["reduction"]
+    fixing["candidate_reduction"] = (
+        (reduction["input"] - reduction["kept"]) / reduction["input"]
+        if reduction.get("input")
+        else 0.0
+    )
+
+    zone = None
+    if shards:
+        # Same query through the sharded scan path: the zone fast path
+        # must fix whole shards without scanning and still keep the
+        # candidate set identical.
+        query = evaluator.prepare(REDUCE_BENCH_QUERY)
+        plain_ctx = evaluator.context(
+            query, EngineOptions(strategy="ilp", reduce="safe")
+        )
+        sharded_ctx = evaluator.context(
+            query, EngineOptions(strategy="ilp", reduce="safe", shards=shards)
+        )
+        zone = {
+            "shards": shards,
+            "stats": sharded_ctx.reduction.stats().get("zone", {}),
+            "kept_identical": plain_ctx.candidate_rids
+            == sharded_ctx.candidate_rids,
+        }
+
+    dominance_relation = (
+        relation if dominance_n == n else clustered_relation(dominance_n, seed=13)
+    )
+    dominance = _timed_pair(
+        PackageQueryEvaluator(dominance_relation),
+        DOMINANCE_BENCH_QUERY,
+        EngineOptions(strategy="ilp", reduce="off"),
+        EngineOptions(strategy="ilp", reduce="aggressive"),
+        repeats,
+    )
+
+    return {
+        "experiment": "e13-reduction",
+        "n": n,
+        "dominance_n": dominance_n,
+        "repeats": repeats,
+        "fixing": fixing,
+        "zone": zone,
+        "dominance": dominance,
+    }
+
+
+def write_record(outcome, path):
+    """Persist a bench outcome as the ``BENCH_e13.json`` perf record."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(outcome, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")

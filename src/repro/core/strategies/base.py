@@ -58,10 +58,19 @@ class EvaluationContext:
             scan-shaped strategy work may fan out over it.
         shard_info: the ``stats["shards"]`` payload of the sharded
             WHERE pass (shard/skip/worker counts), when it ran.
+        reduction: the :class:`~repro.core.reduction.Reduction` that
+            produced ``candidate_rids`` (``None`` with ``reduce="off"``
+            or nothing to reduce).  ``candidate_rids`` is already the
+            *kept* set, so every strategy estimate and run is
+            reduction-aware for free; the base (pre-reduction) count
+            stays available as :attr:`base_candidate_count` for
+            user-facing reporting.
 
     The ILP translation is computed lazily and cached: the cost model,
     the planner and the ``ilp``/``partition`` strategies all share one
-    translation attempt instead of re-translating.
+    translation attempt instead of re-translating.  It consumes the
+    reduction's forced-tuple facts (variable lower bounds) when any
+    exist.
     """
 
     query: object
@@ -73,6 +82,7 @@ class EvaluationContext:
     where_path: str = "none"
     sharded: object = None
     shard_info: dict | None = None
+    reduction: object = None
     _translation: object = field(default=None, init=False, repr=False)
     _translation_error: str | None = field(default=None, init=False, repr=False)
     _translation_tried: bool = field(default=False, init=False, repr=False)
@@ -81,6 +91,20 @@ class EvaluationContext:
     @property
     def candidate_count(self):
         return len(self.candidate_rids)
+
+    @property
+    def base_candidate_count(self):
+        """Candidates after the base constraints, before reduction."""
+        if self.reduction is not None:
+            return self.reduction.input_count
+        return len(self.candidate_rids)
+
+    @property
+    def forced_rids(self):
+        """Rids reduction proved present in every valid package."""
+        if self.reduction is None:
+            return ()
+        return self.reduction.forced_rids
 
     @property
     def parallelism(self):
@@ -122,7 +146,10 @@ class EvaluationContext:
             self._translation_tried = True
             try:
                 self._translation = translate(
-                    self.query, self.relation, self.candidate_rids
+                    self.query,
+                    self.relation,
+                    self.candidate_rids,
+                    forced_ones=frozenset(self.forced_rids),
                 )
             except ILPTranslationError as exc:
                 self._translation_error = str(exc)
@@ -223,18 +250,34 @@ class Strategy(abc.ABC):
         :class:`~repro.core.result.EvaluationResult`."""
 
 
-def solve_model(model, options):
-    """Solve an ILP model honoring ``EngineOptions`` backend settings.
-
-    Returns ``(solution, backend_name)``.  Shared by the ``ilp`` and
-    ``partition`` strategies.
-    """
+def resolved_backend(options):
+    """The backend ``solve_model`` will actually run for ``options``."""
     backend = options.solver_backend
     if backend == "auto":
         backend = "scipy" if scipy_available() else "builtin"
+    return backend
+
+
+def solve_model(model, options, initial_solution=None):
+    """Solve an ILP model honoring ``EngineOptions`` backend settings.
+
+    Returns ``(solution, backend_name)``.  Shared by the ``ilp`` and
+    ``partition`` strategies.  ``initial_solution`` (a full-length
+    variable-value array) warm-starts the builtin branch and bound as
+    its incumbent so it prunes from node one; the scipy backend
+    ignores it (check :func:`resolved_backend` before paying to build
+    one).
+    """
+    backend = resolved_backend(options)
     if backend == "scipy":
         return solve_milp_scipy(model), backend
     return (
-        solve_milp(model, BranchAndBoundOptions(node_limit=options.node_limit)),
+        solve_milp(
+            model,
+            BranchAndBoundOptions(
+                node_limit=options.node_limit,
+                initial_solution=initial_solution,
+            ),
+        ),
         backend,
     )

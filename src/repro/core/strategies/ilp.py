@@ -2,9 +2,48 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.result import EvaluationResult, ResultStatus
-from repro.core.strategies.base import Strategy, StrategyEstimate, solve_model
+from repro.core.strategies.base import (
+    Strategy,
+    StrategyEstimate,
+    resolved_backend,
+    solve_model,
+)
 from repro.solver.status import Status
+
+#: Incumbent warm starts only engage past this many variables: below
+#: it the seed-and-validate cost rivals the whole solve, and small
+#: models are where equal-objective ties could flip which optimal
+#: package the search lands on.
+WARM_START_MIN_VARIABLES = 256
+
+
+def _warm_start(ctx, translation):
+    """A feasible greedy incumbent as a variable-value array, or None.
+
+    The greedy seed ranks candidates by per-tuple objective
+    contribution (:func:`repro.core.greedy.greedy_seed`); when the
+    resulting package validates against the query, its multiplicities
+    become the builtin branch-and-bound's initial primal bound.  The
+    solver re-checks the vector against the model, so a bad seed can
+    only be ignored, never believed.
+    """
+    from repro.core.greedy import greedy_seed
+    from repro.core.validator import is_valid
+
+    seed = greedy_seed(
+        ctx.query, ctx.relation, ctx.candidate_rids, bounds=ctx.bounds
+    )
+    if seed is None or not is_valid(seed, ctx.query):
+        return None
+    x = np.zeros(translation.model.num_variables)
+    for rid, variable in zip(translation.candidate_rids, translation.x_vars):
+        multiplicity = seed.multiplicity(rid)
+        if multiplicity:
+            x[variable.index] = float(multiplicity)
+    return x
 
 
 class ILPStrategy(Strategy):
@@ -37,7 +76,18 @@ class ILPStrategy(Strategy):
 
     def run(self, ctx):
         translation = ctx.translation()
-        solution, backend = solve_model(translation.model, ctx.options)
+        warm = None
+        if (
+            translation.model.num_variables >= WARM_START_MIN_VARIABLES
+            and resolved_backend(ctx.options) == "builtin"
+        ):
+            # Only the builtin branch and bound consumes a primal warm
+            # start; don't pay the greedy seed + validation for a
+            # backend that throws it away.
+            warm = _warm_start(ctx, translation)
+        solution, backend = solve_model(
+            translation.model, ctx.options, initial_solution=warm
+        )
 
         stats = {
             "solver_backend": backend,
@@ -45,6 +95,7 @@ class ILPStrategy(Strategy):
             "constraints": translation.model.num_constraints,
             "nodes": solution.nodes,
             "iterations": solution.iterations,
+            "warm_start": warm is not None,
         }
         if solution.status is Status.OPTIMAL:
             status, package = ResultStatus.OPTIMAL, translation.decode(solution)

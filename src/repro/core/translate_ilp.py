@@ -42,6 +42,7 @@ of aggregates.  The evaluator treats that as "solver limitation"
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 from repro.paql import ast
 from repro.paql.errors import PaQLUnsupportedError
@@ -56,6 +57,70 @@ DEFAULT_EPSILON = 1e-6
 
 class ILPTranslationError(Exception):
     """The query (or one clause) has no linear encoding."""
+
+
+@dataclass(frozen=True)
+class MinMaxPlan:
+    """The set-encoding shape of one ``MIN/MAX(e) <op> t`` comparison.
+
+    The single normalization that both the ILP translator and the
+    candidate-space reducer (:mod:`repro.core.reduction`) apply, so the
+    two can never drift: mirror MAX to MIN (negating values and the
+    threshold), then read off which tuple sets the comparison
+    constrains.
+
+    Attributes:
+        negate: evaluate over ``-e`` against ``-t`` (the MAX mirror).
+        bad: comparison selecting tuples that must be **absent** from
+            every satisfying package (``v <bad> t`` over the possibly
+            mirrored values), or ``None``.
+        witness: comparison selecting tuples of which at least one
+            must be **present**, or ``None``.
+        support: whether the package additionally needs a non-NULL
+            value of the argument (the aggregate of an all-NULL
+            package is NULL, which satisfies no comparison).  Witness
+            shapes imply their own support and leave this False.
+    """
+
+    negate: bool
+    bad: ast.CmpOp | None
+    witness: ast.CmpOp | None
+    support: bool
+
+
+#: ``MIN(values) <op> threshold`` set encodings, post-mirror.
+_MIN_PLANS = {
+    ast.CmpOp.GE: (ast.CmpOp.LT, None, True),
+    ast.CmpOp.GT: (ast.CmpOp.LE, None, True),
+    ast.CmpOp.LE: (None, ast.CmpOp.LE, False),
+    ast.CmpOp.LT: (None, ast.CmpOp.LT, False),
+    ast.CmpOp.EQ: (ast.CmpOp.LT, ast.CmpOp.EQ, False),
+}
+
+
+def minmax_plan(func, op):
+    """The :class:`MinMaxPlan` for ``func(e) <op> threshold``.
+
+    Raises:
+        ILPTranslationError: on ``<>`` (normalization expands it before
+            either consumer runs, so seeing one is a shape error).
+    """
+    negate = func is ast.AggFunc.MAX
+    if negate:
+        op = op.flip()
+    if op not in _MIN_PLANS:
+        raise ILPTranslationError(f"unexpected {op.value} on MIN/MAX")
+    bad, witness, support = _MIN_PLANS[op]
+    return MinMaxPlan(negate=negate, bad=bad, witness=witness, support=support)
+
+
+#: Scalar predicates for :class:`MinMaxPlan` selections (shared with
+#: the reducer's vectorized forms, which must agree on boundaries).
+PLAN_PREDICATES = {
+    ast.CmpOp.LT: lambda value, threshold: value < threshold,
+    ast.CmpOp.LE: lambda value, threshold: value <= threshold,
+    ast.CmpOp.EQ: lambda value, threshold: value == threshold,
+}
 
 
 class _AffineForm:
@@ -200,7 +265,15 @@ class ILPTranslation:
 
 
 class _Translator:
-    def __init__(self, query, relation, candidate_rids, epsilon, upper_bounds=None):
+    def __init__(
+        self,
+        query,
+        relation,
+        candidate_rids,
+        epsilon,
+        upper_bounds=None,
+        forced_ones=None,
+    ):
         self._query = query
         self._relation = relation
         self._rids = list(candidate_rids)
@@ -208,9 +281,11 @@ class _Translator:
         self._model = Model(name="paql")
         repeat = float(query.repeat)
         upper_bounds = upper_bounds or {}
+        forced_ones = forced_ones or frozenset()
         self._x = [
             self._model.add_variable(
                 f"x_{rid}",
+                lower=1.0 if rid in forced_ones else 0.0,
                 upper=float(upper_bounds.get(rid, repeat)),
                 integer=True,
             )
@@ -284,16 +359,21 @@ class _Translator:
         Needed by AVG (and MIN/MAX lower-bound encodings): the
         multiplied-through AVG constraint is vacuous on empty support,
         where the true AVG is NULL and satisfies nothing.
+
+        Deduplicated on the *emitted row* (the set of non-NULL
+        variables) rather than the argument AST: ``MIN(e) >= c`` and
+        ``MAX(e') <= c`` with differently-spelled but same-support
+        arguments used to emit the identical witness constraint twice.
         """
-        key = (argument, indicator)
-        if key in self._support_added:
-            return
-        self._support_added.add(key)
         coeffs = {
             x: 1.0
             for x, value in zip(self._x, self._values(argument))
             if value is not None
         }
+        key = (frozenset(x.index for x in coeffs), indicator)
+        if key in self._support_added:
+            return
+        self._support_added.add(key)
         self._emit(coeffs, ">=", 1.0, indicator)
 
     # -- constraint emission -------------------------------------------------------
@@ -445,51 +525,38 @@ class _Translator:
         self._emit_with_op(coeffs, op, 0.0, indicator)
 
     def _encode_minmax(self, aggregate, coef, constant, op, indicator):
-        """Set encodings for ``coef * MIN/MAX(e) + constant <op> 0``."""
+        """Set encodings for ``coef * MIN/MAX(e) + constant <op> 0``.
+
+        The which-sets-matter normalization lives in
+        :func:`minmax_plan`, shared with the candidate-space reducer
+        (:mod:`repro.core.reduction`), which derives its variable
+        fixings from the very same ``bad``/``witness`` selections.
+        """
         threshold = -constant / coef
         if coef < 0:
             op = op.flip()
-        func = aggregate.func
+        plan = minmax_plan(aggregate.func, op)
         values = self._values(aggregate.argument)
+        if plan.negate:
+            values = [None if v is None else -float(v) for v in values]
+            threshold = -threshold
 
-        def select(predicate):
+        def select(op):
+            predicate = PLAN_PREDICATES[op]
             return {
                 x: 1.0
                 for x, value in zip(self._x, values)
-                if value is not None and predicate(float(value))
+                if value is not None and predicate(float(value), threshold)
             }
 
-        # Normalize MAX to MIN by mirroring: MAX(e) op t  <=>  MIN(-e) flip(op) -t
-        if func is ast.AggFunc.MAX:
-            values = [None if v is None else -float(v) for v in values]
-            threshold = -threshold
-            op = op.flip()
-
-        # Now encode MIN(values) <op> threshold.
-        if op is ast.CmpOp.GE:
-            bad = select(lambda v: v < threshold)
+        if plan.bad is not None:
+            bad = select(plan.bad)
             if bad:
                 self._emit(bad, "<=", 0.0, indicator)
+        if plan.witness is not None:
+            self._emit(select(plan.witness), ">=", 1.0, indicator)
+        if plan.support:
             self._require_nonnull_support(aggregate.argument, indicator)
-        elif op is ast.CmpOp.GT:
-            bad = select(lambda v: v <= threshold)
-            if bad:
-                self._emit(bad, "<=", 0.0, indicator)
-            self._require_nonnull_support(aggregate.argument, indicator)
-        elif op is ast.CmpOp.LE:
-            good = select(lambda v: v <= threshold)
-            self._emit(good, ">=", 1.0, indicator)
-        elif op is ast.CmpOp.LT:
-            good = select(lambda v: v < threshold)
-            self._emit(good, ">=", 1.0, indicator)
-        elif op is ast.CmpOp.EQ:
-            bad = select(lambda v: v < threshold)
-            if bad:
-                self._emit(bad, "<=", 0.0, indicator)
-            witnesses = select(lambda v: v == threshold)
-            self._emit(witnesses, ">=", 1.0, indicator)
-        else:  # pragma: no cover - NE is expanded during normalization
-            raise ILPTranslationError("unexpected <> on MIN/MAX")
 
     # -- formula tree -----------------------------------------------------------
 
@@ -569,7 +636,12 @@ class _Translator:
 
 
 def translate(
-    query, relation, candidate_rids, epsilon=DEFAULT_EPSILON, upper_bounds=None
+    query,
+    relation,
+    candidate_rids,
+    epsilon=DEFAULT_EPSILON,
+    upper_bounds=None,
+    forced_ones=None,
 ):
     """Translate an analyzed package query into an ILP.
 
@@ -584,6 +656,12 @@ def translate(
             variable stand in for its whole partition; the resulting
             model is *not* a faithful encoding of the query, so its
             solutions must be refined before validation.
+        forced_ones: rids the candidate-space reducer proved present
+            in every valid package (:mod:`repro.core.reduction`);
+            their variables get lower bound 1, which presolve turns
+            into outright eliminations when ``REPEAT`` is 1.  Sound
+            facts only tighten the model — they never cut a feasible
+            solution.
 
     Returns:
         :class:`ILPTranslation`.
@@ -593,5 +671,5 @@ def translate(
             evaluator falls back to search strategies).
     """
     return _Translator(
-        query, relation, candidate_rids, epsilon, upper_bounds
+        query, relation, candidate_rids, epsilon, upper_bounds, forced_ones
     ).translate()

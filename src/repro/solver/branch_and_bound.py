@@ -49,9 +49,17 @@ class BranchAndBoundOptions:
             (0.0 proves exact optimality).
         iteration_limit: simplex iteration cap per LP.
         presolve: tighten variable bounds from constraint activities
-            before solving (see :mod:`repro.solver.presolve`).
+            before solving, then substitute fixed (zero-width)
+            variables out of the arrays entirely
+            (see :mod:`repro.solver.presolve`).
         rounding: try rounding the root LP solution into an early
             incumbent, which enables pruning from node one.
+        initial_solution: optional full-length variable-value array to
+            seed as the incumbent (a *primal warm start*) — typically
+            the greedy/local-search package the engine already built.
+            Checked against the model before use (an infeasible or
+            stale vector is silently dropped), so warm starts can only
+            tighten pruning, never change the answer.
     """
 
     def __init__(
@@ -61,12 +69,14 @@ class BranchAndBoundOptions:
         iteration_limit=50000,
         presolve=True,
         rounding=True,
+        initial_solution=None,
     ):
         self.node_limit = node_limit
         self.gap = gap
         self.iteration_limit = iteration_limit
         self.presolve = presolve
         self.rounding = rounding
+        self.initial_solution = initial_solution
 
 
 def _most_fractional(x, integer_indices):
@@ -246,14 +256,38 @@ def solve_milp(model, options=None):
     total_iterations = 0
     nodes = 0
 
+    elimination = None
+    objective_offset = 0.0
     if options.presolve:
-        from repro.solver.presolve import tighten_bounds
+        from repro.solver.presolve import eliminate_fixed, tighten_bounds
 
         presolved = tighten_bounds(model)
         if presolved.infeasible:
             return Solution(Status.INFEASIBLE, nodes=0)
         lower = presolved.lower
         upper = presolved.upper
+
+        # Zero-width variables (MIN/MAX bad sets, reducer-forced tuples
+        # under REPEAT 1) are substituted out of the arrays once, so
+        # neither the simplex nor the activity rounds carry them.
+        elimination = eliminate_fixed(
+            c, A, senses, b, lower, upper, integer_indices
+        )
+        if elimination is not None:
+            if elimination.infeasible:
+                return Solution(Status.INFEASIBLE, nodes=0)
+            c, A, senses, b = (
+                elimination.c,
+                elimination.A,
+                elimination.senses,
+                elimination.b,
+            )
+            lower, upper = elimination.lower, elimination.upper
+            integer_indices = elimination.integer_indices
+            objective_offset = elimination.objective_offset
+
+    def restore(x):
+        return elimination.restore(x) if elimination is not None else x
 
     root = solve_lp(c, A, senses, b, lower, upper, options.iteration_limit)
     total_iterations += root.iterations
@@ -267,10 +301,11 @@ def solve_milp(model, options=None):
         return Solution(Status.UNBOUNDED, iterations=total_iterations, nodes=nodes)
 
     if not integer_indices:
+        full = restore(root.x)
         return Solution(
             Status.OPTIMAL,
-            x=root.x,
-            objective=model.objective_value(root.x),
+            x=full,
+            objective=model.objective_value(full),
             iterations=total_iterations,
             nodes=nodes,
         )
@@ -279,13 +314,26 @@ def solve_milp(model, options=None):
     incumbent_value = math.inf  # in minimize orientation
     tie_breaker = itertools.count()
 
+    if options.initial_solution is not None:
+        # Primal warm start: adopt the caller's incumbent when it
+        # checks out against the model (and against presolve's
+        # fixings), so best-bound search prunes from node one.
+        warm = np.asarray(options.initial_solution, dtype=np.float64)
+        if len(warm) == model.num_variables and model.is_feasible(warm):
+            projected = (
+                elimination.project(warm) if elimination is not None else warm
+            )
+            if projected is not None:
+                incumbent_x = projected
+                incumbent_value = float(c @ projected)
+
     if options.rounding:
         for rounder in (round, math.floor, math.ceil):
             candidate = np.array(root.x, dtype=np.float64)
             for index in integer_indices:
                 candidate[index] = rounder(candidate[index])
             candidate = np.clip(candidate, lower, upper)
-            if model.is_feasible(candidate):
+            if model.is_feasible(restore(candidate)):
                 value = float(c @ candidate)
                 if value < incumbent_value:
                     incumbent_x = candidate
@@ -298,12 +346,18 @@ def solve_milp(model, options=None):
         heapq.heappush(heap, (bound, next(tie_breaker), lo, hi, lp_result))
 
     push(root.objective, lower, upper, root)
+    limited = False
 
     while heap:
         bound, _, node_lower, node_upper, lp_result = heapq.heappop(heap)
 
         if incumbent_x is not None:
-            if bound >= incumbent_value - _gap_slack(incumbent_value, options.gap):
+            # Relative slack is measured on the *model's* objective
+            # value: reduced-space values omit the eliminated
+            # variables' mass, which would inflate (or deflate) a
+            # gap-proportional slack arbitrarily.
+            slack = _gap_slack(incumbent_value + objective_offset, options.gap)
+            if bound >= incumbent_value - slack:
                 continue  # pruned by bound
 
         branch_var = _most_fractional(lp_result.x, integer_indices)
@@ -315,6 +369,7 @@ def solve_milp(model, options=None):
             continue
 
         if nodes >= options.node_limit:
+            limited = True
             break
 
         fractional_value = float(lp_result.x[branch_var])
@@ -339,12 +394,16 @@ def solve_milp(model, options=None):
             if (
                 incumbent_x is not None
                 and child.objective
-                >= incumbent_value - _gap_slack(incumbent_value, options.gap)
+                >= incumbent_value
+                - _gap_slack(incumbent_value + objective_offset, options.gap)
             ):
                 continue
             push(child.objective, child_lower, child_upper, child)
 
-    exhausted = not heap
+    # A node-limit break that happened to empty the heap is still a
+    # truncated search: the popped node's children were never pushed,
+    # so an empty heap alone is not an exhaustion proof.
+    exhausted = not heap and not limited
     if incumbent_x is None:
         status = Status.INFEASIBLE if exhausted else Status.LIMIT
         return Solution(status, iterations=total_iterations, nodes=nodes)
@@ -352,10 +411,11 @@ def solve_milp(model, options=None):
     status = Status.OPTIMAL if (exhausted or options.gap > 0.0) else Status.FEASIBLE
     if not exhausted and options.gap == 0.0:
         status = Status.FEASIBLE
-    objective = model.objective_value(incumbent_x)
+    full = restore(incumbent_x)
+    objective = model.objective_value(full)
     return Solution(
         status,
-        x=incumbent_x,
+        x=full,
         objective=objective,
         iterations=total_iterations,
         nodes=nodes,

@@ -42,6 +42,93 @@ class PresolveResult:
         self.rounds = rounds
 
 
+class FixedElimination:
+    """Substitution of zero-width variables out of the LP arrays.
+
+    Presolve's bound tightening turns many package-ILP variables into
+    outright fixings (``lower == upper`` — the MIN/MAX "bad" sets, the
+    reducer's forced tuples under ``REPEAT 1``).  Carrying them through
+    branch and bound costs every node a column of pricing and every
+    activity round a term; substituting them out once shrinks the
+    arrays instead.  :meth:`restore` scatters a reduced solution back
+    to full length (the permutation the solver reports through).
+
+    Attributes:
+        c, A, senses, b, lower, upper: the reduced LP arrays.
+        integer_indices: integer positions in *reduced* coordinates.
+        keep: original indices of the surviving variables.
+        infeasible: an empty row's residual test failed — the fixings
+            alone violate a constraint.
+        eliminated: how many variables were substituted out.
+    """
+
+    def __init__(self, c, A, senses, b, lower, upper, integer_indices, tol=1e-9):
+        fixed = (upper - lower) <= tol
+        self.keep = np.flatnonzero(~fixed)
+        self.eliminated = int(np.count_nonzero(fixed))
+        self._values = np.where(fixed, (lower + upper) / 2.0, 0.0)
+        self._length = len(lower)
+        self.infeasible = False
+
+        #: Objective mass of the eliminated variables: reduced-space
+        #: objective values differ from the model's by exactly this,
+        #: and anything *relative* (gap tolerances) must add it back.
+        self.objective_offset = float(c[fixed] @ self._values[fixed])
+        self.c = c[self.keep]
+        self.lower = lower[self.keep]
+        self.upper = upper[self.keep]
+        reduced_a = A[:, self.keep]
+        residual = b - A[:, fixed] @ self._values[fixed]
+
+        # Rows left empty by the substitution become pure residual
+        # tests: verify and drop them (a zero row would make the
+        # simplex carry dead weight through every node).
+        live_rows = []
+        for row, (sense, rhs) in enumerate(zip(senses, residual)):
+            if np.any(reduced_a[row]):
+                live_rows.append(row)
+                continue
+            if sense is ConstraintSense.LE and 0.0 > rhs + 1e-7:
+                self.infeasible = True
+            elif sense is ConstraintSense.GE and 0.0 < rhs - 1e-7:
+                self.infeasible = True
+            elif sense is ConstraintSense.EQ and abs(rhs) > 1e-7:
+                self.infeasible = True
+        self.A = reduced_a[live_rows]
+        self.b = residual[live_rows]
+        self.senses = [senses[row] for row in live_rows]
+
+        position = {int(index): spot for spot, index in enumerate(self.keep)}
+        self.integer_indices = [
+            position[index] for index in integer_indices if index in position
+        ]
+
+    def restore(self, x):
+        """Scatter a reduced solution back to full variable order."""
+        full = self._values.copy()
+        full[self.keep] = x
+        return full
+
+    def project(self, x):
+        """A full-length point's reduced coordinates, or ``None`` when
+        it contradicts the fixings (stale warm starts are dropped,
+        never trusted)."""
+        full = np.asarray(x, dtype=np.float64)
+        fixed_mask = np.ones(self._length, dtype=bool)
+        fixed_mask[self.keep] = False
+        if np.any(np.abs(full[fixed_mask] - self._values[fixed_mask]) > 1e-6):
+            return None
+        return full[self.keep]
+
+
+def eliminate_fixed(c, A, senses, b, lower, upper, integer_indices, tol=1e-9):
+    """Build a :class:`FixedElimination`, or ``None`` when nothing is
+    fixed (the arrays pass through untouched)."""
+    if not np.any((upper - lower) <= tol):
+        return None
+    return FixedElimination(c, A, senses, b, lower, upper, integer_indices, tol)
+
+
 def _activity_bounds(coeffs, lower, upper):
     """Min and max of ``sum(a_j x_j)`` over the box (may be +-inf)."""
     low = 0.0

@@ -51,6 +51,24 @@ def solve_milp_scipy(model):
     c, A, senses, b, lower, upper = model.lp_arrays()
     n = model.num_variables
 
+    if n == 0:
+        # HiGHS rejects empty models; a variable-free model (every
+        # candidate reduced away) is just a constraint check at zero
+        # activity: the empty package either satisfies every row or
+        # the model is infeasible.
+        feasible = all(
+            (sense is ConstraintSense.LE and 0.0 <= rhs + 1e-9)
+            or (sense is ConstraintSense.GE and 0.0 >= rhs - 1e-9)
+            or (sense is ConstraintSense.EQ and abs(rhs) <= 1e-9)
+            for sense, rhs in zip(senses, b)
+        )
+        if feasible:
+            empty = np.zeros(0)
+            return Solution(
+                Status.OPTIMAL, x=empty, objective=model.objective_value(empty)
+            )
+        return Solution(Status.INFEASIBLE)
+
     constraint_list = []
     if model.num_constraints:
         lb_rows = np.full(len(b), -np.inf)

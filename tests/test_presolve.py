@@ -1,4 +1,5 @@
-"""Tests for MILP presolve (bound tightening) and B&B ablations."""
+"""Tests for MILP presolve (bound tightening, fixed-variable
+elimination) and B&B ablations."""
 
 import numpy as np
 import pytest
@@ -10,7 +11,7 @@ from repro.solver import (
     Status,
     solve_milp,
 )
-from repro.solver.presolve import tighten_bounds
+from repro.solver.presolve import eliminate_fixed, tighten_bounds
 
 
 class TestTightening:
@@ -100,6 +101,172 @@ class TestTightening:
         model.add_constraint({x: -1, y: 1}, "<=", 0)  # y <= x: no info on y
         result = tighten_bounds(model)
         assert result.upper[y.index] == pytest.approx(10)
+
+
+class TestFixedElimination:
+    def _arrays(self, model):
+        c, A, senses, b, lower, upper = model.lp_arrays()
+        return c, A, senses, b, lower, upper, model.integer_indices()
+
+    def test_nothing_fixed_returns_none(self):
+        model = Model()
+        model.add_binary()
+        model.add_binary()
+        assert eliminate_fixed(*self._arrays(model)) is None
+
+    def test_substitutes_fixed_values_into_rows(self):
+        model = Model()
+        x = model.add_binary()
+        y = model.add_variable(lower=2, upper=2, integer=True)
+        z = model.add_binary()
+        model.add_constraint({x: 1, y: 3, z: 2}, "<=", 9)
+        elimination = eliminate_fixed(*self._arrays(model))
+        assert elimination.eliminated == 1
+        assert list(elimination.keep) == [x.index, z.index]
+        # 9 - 3*2 = 3 remains for x + 2z.
+        assert elimination.b[0] == pytest.approx(3.0)
+        assert elimination.A.shape == (1, 2)
+        assert elimination.integer_indices == [0, 1]
+
+    def test_restore_scatters_the_permutation_back(self):
+        model = Model()
+        model.add_binary()
+        model.add_variable(lower=2, upper=2)
+        model.add_binary()
+        elimination = eliminate_fixed(*self._arrays(model))
+        full = elimination.restore(np.array([1.0, 0.0]))
+        assert list(full) == [1.0, 2.0, 0.0]
+        # project() is the inverse on consistent points and rejects
+        # vectors contradicting the fixings (stale warm starts).
+        assert list(elimination.project(full)) == [1.0, 0.0]
+        assert elimination.project(np.array([1.0, 7.0, 0.0])) is None
+
+    def test_empty_rows_become_residual_tests(self):
+        model = Model()
+        x = model.add_variable(lower=3, upper=3)
+        model.add_binary()
+        model.add_constraint({x: 1}, "<=", 5)  # 3 <= 5: drop
+        elimination = eliminate_fixed(*self._arrays(model))
+        assert not elimination.infeasible
+        assert elimination.A.shape[0] == 0
+
+        model.add_constraint({x: 1}, ">=", 4)  # 3 >= 4: proof
+        elimination = eliminate_fixed(*self._arrays(model))
+        assert elimination.infeasible
+
+    def test_solver_eliminates_minmax_bad_sets(self):
+        # The package-ILP shape: a zero-sum row fixes its binaries, and
+        # the solve must return them at zero with the optimum intact.
+        model = Model()
+        items = [model.add_binary(f"i{j}") for j in range(6)]
+        model.add_constraint({items[0]: 1, items[1]: 1}, "<=", 0)
+        model.add_constraint({item: 1 for item in items}, "<=", 2)
+        model.set_objective(
+            {item: float(j + 1) for j, item in enumerate(items)},
+            ObjectiveSense.MAXIMIZE,
+        )
+        solution = solve_milp(model, BranchAndBoundOptions(presolve=True))
+        assert solution.status is Status.OPTIMAL
+        assert solution.objective == pytest.approx(5 + 6)
+        assert solution.value_of(items[0]) == 0.0
+        assert solution.value_of(items[1]) == 0.0
+        assert len(solution.x) == 6
+
+    def test_forced_lower_bounds_eliminate_under_repeat_one(self):
+        model = Model()
+        forced = model.add_variable(lower=1, upper=1, integer=True)
+        free = model.add_binary()
+        model.add_constraint({forced: 2, free: 3}, "<=", 5)
+        model.set_objective(
+            {forced: 1.0, free: 1.0}, ObjectiveSense.MAXIMIZE
+        )
+        solution = solve_milp(model)
+        assert solution.status is Status.OPTIMAL
+        assert solution.value_of(forced) == 1.0
+        assert solution.value_of(free) == 1.0
+
+
+class TestWarmStart:
+    def _knapsackish(self):
+        # Two constraints so the 0/1-knapsack fast path stays out of
+        # the way and the generic search runs.
+        model = Model()
+        items = [model.add_binary(f"i{j}") for j in range(8)]
+        weights = [4, 7, 5, 9, 3, 8, 6, 2]
+        model.add_constraint(
+            {item: w for item, w in zip(items, weights)}, "<=", 15
+        )
+        model.add_constraint({item: 1 for item in items}, "<=", 3)
+        model.set_objective(
+            {item: float(w + 1) for item, w in zip(items, weights)},
+            ObjectiveSense.MAXIMIZE,
+        )
+        return model, items
+
+    def test_feasible_warm_start_preserves_the_optimum(self):
+        model, items = self._knapsackish()
+        baseline = solve_milp(model)
+        warm = np.zeros(len(items))
+        warm[0] = warm[4] = 1.0  # weight 7, value 13: feasible
+        warmed = solve_milp(
+            model, BranchAndBoundOptions(initial_solution=warm)
+        )
+        assert warmed.status is Status.OPTIMAL
+        assert warmed.objective == pytest.approx(baseline.objective)
+
+    def test_infeasible_warm_start_is_dropped(self):
+        model, items = self._knapsackish()
+        warm = np.ones(len(items))  # violates both rows
+        warmed = solve_milp(
+            model, BranchAndBoundOptions(initial_solution=warm)
+        )
+        baseline = solve_milp(model)
+        assert warmed.status is Status.OPTIMAL
+        assert warmed.objective == pytest.approx(baseline.objective)
+
+    def test_gap_is_relative_to_the_model_objective_not_the_reduced_one(self):
+        # Regression: with fixed-variable elimination active, a
+        # relative gap measured on reduced-space values (which omit
+        # the eliminated variables' objective mass) can be inflated
+        # arbitrarily — here 0.15 * 896.5 instead of 0.15 * 103.5 —
+        # pruning a node that improves well beyond the requested gap.
+        model = Model()
+        fixed = model.add_variable(lower=1, upper=1)
+        a = model.add_binary()
+        b = model.add_binary()
+        model.add_constraint({a: 1, b: 1}, "<=", 1)
+        model.set_objective(
+            {fixed: -1000.0, a: 896.5, b: 946.5}, ObjectiveSense.MAXIMIZE
+        )
+        warm = np.array([1.0, 1.0, 0.0])  # objective -103.5
+        solution = solve_milp(
+            model,
+            BranchAndBoundOptions(
+                gap=0.15, rounding=False, initial_solution=warm
+            ),
+        )
+        # Taking b instead improves by 50 — far beyond 15% of 103.5 —
+        # so the search must not prune it.
+        assert solution.objective == pytest.approx(-53.5)
+
+    def test_warm_start_survives_under_tiny_node_limits(self):
+        model, items = self._knapsackish()
+        warm = np.zeros(len(items))
+        warm[7] = 1.0
+        starved = solve_milp(
+            model,
+            BranchAndBoundOptions(
+                node_limit=1,
+                rounding=False,
+                presolve=False,
+                initial_solution=warm,
+            ),
+        )
+        # The warm incumbent is the floor: never LIMIT-with-nothing —
+        # and a truncated search must never claim optimality, even
+        # when the node-limit break happened to empty the heap.
+        assert starved.status is Status.FEASIBLE
+        assert model.is_feasible(starved.x)
 
 
 class TestAblations:

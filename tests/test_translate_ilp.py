@@ -243,6 +243,38 @@ class TestMinMaxEncodings:
         with pytest.raises(ILPTranslationError, match="objectives"):
             translate(query, rel, [0, 1])
 
+    def test_same_support_witness_emitted_once(self):
+        # MIN(e) >= c and MAX(e') <= c with differently-spelled but
+        # same-support arguments used to emit the identical non-NULL
+        # witness row twice; dedup is on row content, not AST spelling.
+        rel = value_relation([10, 20, 30, None])
+        query = parse_and_analyze(
+            "SELECT PACKAGE(T) FROM T SUCH THAT "
+            "MIN(T.value + 0) >= 15 AND MAX(0 + T.value) <= 35",
+            rel.schema,
+        )
+        translation = translate(query, rel, [0, 1, 2, 3])
+        witness_rows = [
+            frozenset(constraint.coeffs)
+            for constraint in translation.model.constraints
+            if constraint.sense.value == ">=" and constraint.rhs == 1.0
+        ]
+        assert len(witness_rows) == len(set(witness_rows)) == 1
+
+    def test_forced_ones_become_lower_bounds(self):
+        rel = value_relation([10, 20, 30])
+        query = parse_and_analyze(
+            "SELECT PACKAGE(T) FROM T SUCH THAT COUNT(*) <= 2 "
+            "MAXIMIZE SUM(T.value)",
+            rel.schema,
+        )
+        translation = translate(query, rel, [0, 1, 2], forced_ones={1})
+        lowers = [variable.lower for variable in translation.x_vars]
+        assert lowers == [0.0, 1.0, 0.0]
+        solution = solve_milp(translation.model)
+        assert solution.status is Status.OPTIMAL
+        assert translation.decode(solution).multiplicity(1) == 1
+
 
 class TestBooleanStructure:
     def test_top_level_disjunction(self):
