@@ -4,6 +4,9 @@ Usage::
 
     python -m repro query --csv recipes.csv --query "SELECT PACKAGE(...)..."
     python -m repro query --csv recipes.csv --query-file q.paql --top 3
+    python -m repro explain --csv recipes.csv --query "..."   # stage table
+    python -m repro repl --csv recipes.csv                    # session REPL
+    python -m repro repl --csv recipes.csv --file queries.paql  # batch mode
     python -m repro demo meal        # built-in scenario on synthetic data
     python -m repro describe --query "SELECT PACKAGE(...)"
     python -m repro strategies       # list the registered strategies
@@ -99,12 +102,7 @@ def _cmd_query(args, out):
     relation = _load_relation(args)
     text = _read_query_text(args)
     evaluator = PackageQueryEvaluator(relation)
-    options = EngineOptions(
-        strategy=args.strategy,
-        shards=args.shards,
-        workers=args.workers,
-        reduce=args.reduce,
-    )
+    options = _engine_options(args)
 
     if args.top > 1:
         query = evaluator.prepare(text)
@@ -151,7 +149,14 @@ def _cmd_query(args, out):
             file=out,
         )
         for key, value in sorted(result.stats.items()):
+            if key == "stages":
+                continue  # rendered as a table below
             print(f"{key}: {value}", file=out)
+        if "stages" in result.stats:
+            from repro.core.ir import stage_table
+
+            for line in stage_table(result.stats["stages"]):
+                print(line, file=out)
     if not result.found:
         print("no valid package exists", file=out)
         return 1
@@ -167,9 +172,7 @@ def _cmd_plan(args, out):
     text = _read_query_text(args)
     evaluator = PackageQueryEvaluator(relation)
     query = evaluator.prepare(text)
-    options = EngineOptions(
-        shards=args.shards, workers=args.workers, reduce=args.reduce
-    )
+    options = _engine_options(args)
     print(plan(query, relation, options=options).text(), file=out)
     warnings = lint(query, relation)
     if warnings:
@@ -177,6 +180,264 @@ def _cmd_plan(args, out):
         for warning in warnings:
             print(f"  {warning}", file=out)
     return 0
+
+
+def _engine_options(args):
+    return EngineOptions(
+        strategy=getattr(args, "strategy", "auto"),
+        shards=args.shards,
+        workers=args.workers,
+        reduce=args.reduce,
+    )
+
+
+def _cmd_explain(args, out):
+    """Render the staged pipeline for one query as a table.
+
+    Executes by default (stage timings are real wall-clock); with
+    ``--simulate`` nothing is solved and the table shows the planner's
+    simulated records — same stages, same skip reasons.
+    """
+    from repro.core.session import EvaluationSession
+
+    relation = _load_relation(args)
+    text = _read_query_text(args)
+    session = EvaluationSession(relation, options=_engine_options(args))
+    outcome, table = session.explain(text, execute=not args.simulate)
+    if args.simulate:
+        print(f"strategy: {outcome.chosen_strategy} (simulated)", file=out)
+    else:
+        print(
+            f"status: {outcome.status.value}  strategy: {outcome.strategy}  "
+            f"candidates: {outcome.candidate_count}  "
+            f"({outcome.elapsed_seconds * 1000:.1f} ms)",
+            file=out,
+        )
+    for line in table:
+        print(line, file=out)
+    return 0
+
+
+def _split_statements(source):
+    """Split PaQL source on ``;`` outside string literals.
+
+    PaQL strings are single-quoted with ``''`` as the escape, so a
+    naive ``source.split(";")`` would cut inside a literal like
+    ``'a;b'``.  Returns ``(statements, remainder)`` where the
+    remainder is trailing text with no terminating semicolon (the
+    interactive loop keeps buffering it).
+    """
+    statements = []
+    piece = []
+    in_string = False
+    for ch in source:
+        if ch == "'":
+            in_string = not in_string
+            piece.append(ch)
+        elif ch == ";" and not in_string:
+            text = "".join(piece).strip()
+            if text:
+                statements.append(text)
+            piece = []
+        else:
+            piece.append(ch)
+    return statements, "".join(piece)
+
+
+def _repl_statement(session, statement, args, out):
+    """Run one REPL/batch statement; returns the per-statement payload."""
+    explain = False
+    body = statement.strip()
+    if body[:7].upper() == "EXPLAIN" and (len(body) == 7 or body[7].isspace()):
+        explain = True
+        body = body[7:].lstrip()
+    result = session.evaluate(body)
+    if args.json:
+        payload = {
+            "status": result.status.value,
+            "strategy": result.strategy,
+            "candidates": result.candidate_count,
+            "elapsed_seconds": result.elapsed_seconds,
+            "cached": result.stats.get("session", {}).get("result_cache")
+            == "hit",
+        }
+        if explain:
+            payload["stages"] = result.stats.get("stages", [])
+        if result.found:
+            payload["package"] = _package_json(result.package, result.query)
+        return payload
+    cached = (
+        "  [session cache]"
+        if result.stats.get("session", {}).get("result_cache") == "hit"
+        else ""
+    )
+    print(
+        f"status: {result.status.value}  strategy: {result.strategy}  "
+        f"candidates: {result.candidate_count}  "
+        f"({result.elapsed_seconds * 1000:.1f} ms){cached}",
+        file=out,
+    )
+    if explain and "stages" in result.stats:
+        from repro.core.ir import stage_table
+
+        for line in stage_table(result.stats["stages"]):
+            print(line, file=out)
+    if result.found:
+        _format_package(result.package, result.query, out)
+    else:
+        print("no valid package exists", file=out)
+    print(file=out)
+    return None
+
+
+def _cmd_repl(args, out):
+    """Interactive (or batch-file) evaluation session over one relation.
+
+    Statements are read until a terminating ``;`` — from ``--file`` in
+    batch mode, from stdin otherwise.  All statements share one
+    :class:`~repro.core.session.EvaluationSession`: compiled kernels,
+    shard/zone statistics, WHERE scans, reduction facts, translations
+    and validated results carry across statements.  Meta-commands:
+    ``\\stats`` prints the cache counters, ``\\quit`` exits; prefixing
+    a statement with ``EXPLAIN`` appends its stage table.
+    """
+    from repro.core.session import EvaluationSession
+
+    relation = _load_relation(args)
+    session = EvaluationSession(relation, options=_engine_options(args))
+    if args.file:
+        path = pathlib.Path(args.file)
+        if not path.exists():
+            raise CliError(f"no such file: {path}")
+        source = path.read_text(encoding="utf-8")
+    else:
+        source = None
+
+    payloads = []
+    failures = 0
+
+    def run_statement(statement):
+        nonlocal failures
+        try:
+            payload = _repl_statement(session, statement, args, out)
+        except (EngineError, ILPTranslationError, PaQLError) as exc:
+            failures += 1
+            if args.json:
+                payloads.append({"error": str(exc)})
+            else:
+                print(f"error: {exc}", file=out)
+            return
+        if payload is not None:
+            payloads.append(payload)
+
+    if source is not None:
+        statements, remainder = _split_statements(source)
+        if remainder.strip():
+            statements.append(remainder.strip())
+        for statement in statements:
+            run_statement(statement)
+    else:
+        # No prompt under --json: stdout must stay one parseable
+        # document, not prompts interleaved with the payload.
+        interactive = sys.stdin.isatty() and not args.json
+        buffer = ""
+        while True:
+            if interactive:
+                print("paql> ", end="", file=out, flush=True)
+            line = sys.stdin.readline()
+            if not line:
+                break
+            stripped = line.strip()
+            # PaQL has no backslash tokens, so a \-prefixed line is
+            # always a meta-command — even mid-statement, so a user
+            # can abort a half-typed statement with \quit.
+            if stripped.startswith("\\"):
+                if stripped == "\\quit":
+                    # Abort, don't evaluate: a half-typed statement in
+                    # the buffer is being abandoned, not submitted.
+                    buffer = ""
+                    break
+                if stripped == "\\stats":
+                    # Under --json meta output joins the document;
+                    # printing here would break the one-parseable-
+                    # document contract.
+                    if args.json:
+                        payloads.append(
+                            {"cache_stats": session.cache_stats()}
+                        )
+                    else:
+                        print(
+                            json.dumps(session.cache_stats(), indent=2),
+                            file=out,
+                        )
+                    continue
+                if args.json:
+                    payloads.append({"error": f"unknown command: {stripped}"})
+                else:
+                    print(f"unknown command: {stripped}", file=out)
+                continue
+            buffer += line
+            statements, buffer = _split_statements(buffer)
+            for statement in statements:
+                run_statement(statement)
+        if buffer.strip():
+            run_statement(buffer.strip())
+
+    if args.json:
+        # One parseable document: --stats folds into the payload
+        # instead of trailing a second JSON blob after a text header.
+        document = (
+            {"statements": payloads, "cache_stats": session.cache_stats()}
+            if args.stats
+            else payloads
+        )
+        print(json.dumps(document, indent=2, default=str), file=out)
+    elif args.stats:
+        print("session cache stats:", file=out)
+        print(json.dumps(session.cache_stats(), indent=2), file=out)
+    return 0 if failures == 0 else 1
+
+
+def _cmd_session_bench(args, out):
+    from repro.core.sessionbench import run_session_bench, write_record
+
+    outcome = run_session_bench(
+        n=args.n,
+        length=args.length,
+        shards=args.shards,
+        strategy=args.strategy,
+    )
+    if args.record:
+        write_record(outcome, args.record)
+    if args.json:
+        print(json.dumps(outcome, indent=2, default=str), file=out)
+        return 0 if outcome["objectives_identical"] else 1
+    print(
+        f"workload: {outcome['n']} rows, {outcome['length']} queries over "
+        f"{outcome['templates']} templates, strategy={outcome['strategy']}",
+        file=out,
+    )
+    print(
+        f"cold 2nd..Nth:      {outcome['cold_tail_seconds'] * 1e3:8.1f} ms",
+        file=out,
+    )
+    print(
+        f"warm 2nd..Nth:      {outcome['warm_tail_seconds'] * 1e3:8.1f} ms  "
+        f"({outcome['warm_speedup']:.2f}x, {outcome['result_replays']} "
+        "validated replays)",
+        file=out,
+    )
+    print(
+        f"artifact-only:      {outcome['ablation_tail_seconds'] * 1e3:8.1f} ms  "
+        f"({outcome['ablation_speedup']:.2f}x, results re-solved)",
+        file=out,
+    )
+    print(
+        "objectives identical to cold runs: "
+        f"{'yes' if outcome['objectives_identical'] else 'NO'}",
+        file=out,
+    )
+    return 0 if outcome["objectives_identical"] else 1
 
 
 def _cmd_describe(args, out):
@@ -358,20 +619,51 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_engine_flags(command, strategy=True):
+        """The engine option flags shared by every evaluating command."""
+        if strategy:
+            command.add_argument(
+                "--strategy",
+                default="auto",
+                choices=["auto", *strategy_names()],
+                help=(
+                    "evaluation strategy: auto (cost-model choice) or one "
+                    "of the registered strategies; see 'repro strategies'"
+                ),
+            )
+        command.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help=(
+                "shard the scan stages into this many contiguous shards "
+                "(zone maps skip shards that cannot match; results are "
+                "identical to --shards 1)"
+            ),
+        )
+        command.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="worker threads for sharded stages (0 = one per CPU)",
+        )
+        command.add_argument(
+            "--reduce",
+            default="safe",
+            choices=["off", "safe", "aggressive"],
+            help=(
+                "candidate-space reduction before strategy dispatch: safe "
+                "fixes out provably-absent tuples (parity-preserving), "
+                "aggressive adds proof-gated dominance pruning, off "
+                "restores the unreduced pipeline"
+            ),
+        )
+
     query = sub.add_parser("query", help="run a PaQL query against a CSV file")
     query.add_argument("--csv", required=True, help="CSV file with a header row")
     query.add_argument("--relation", help="relation name (default: file stem)")
     query.add_argument("--query", help="PaQL text")
     query.add_argument("--query-file", help="file containing PaQL text")
-    query.add_argument(
-        "--strategy",
-        default="auto",
-        choices=["auto", *strategy_names()],
-        help=(
-            "evaluation strategy: auto (cost-model choice) or one of "
-            "the registered strategies; see 'repro strategies'"
-        ),
-    )
     query.add_argument(
         "--top", type=int, default=1, help="return the best N distinct packages"
     )
@@ -385,33 +677,7 @@ def build_parser():
     query.add_argument(
         "--explain", action="store_true", help="print bounds and strategy stats"
     )
-    query.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        help=(
-            "shard the scan stages into this many contiguous shards "
-            "(zone maps skip shards that cannot match; results are "
-            "identical to --shards 1)"
-        ),
-    )
-    query.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="worker threads for sharded stages (0 = one per CPU)",
-    )
-    query.add_argument(
-        "--reduce",
-        default="safe",
-        choices=["off", "safe", "aggressive"],
-        help=(
-            "candidate-space reduction before strategy dispatch: safe "
-            "fixes out provably-absent tuples (parity-preserving), "
-            "aggressive adds proof-gated dominance pruning, off "
-            "restores the unreduced pipeline"
-        ),
-    )
+    _add_engine_flags(query)
     query.set_defaults(func=_cmd_query)
 
     desc = sub.add_parser("describe", help="explain a PaQL query in English")
@@ -439,22 +705,82 @@ def build_parser():
     plan_cmd.add_argument("--relation", help="relation name (default: file stem)")
     plan_cmd.add_argument("--query", help="PaQL text")
     plan_cmd.add_argument("--query-file", help="file containing PaQL text")
-    plan_cmd.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        help="predict the sharded scan path at this shard count",
-    )
-    plan_cmd.add_argument(
-        "--workers", type=int, default=0, help="worker threads (0 = per CPU)"
-    )
-    plan_cmd.add_argument(
-        "--reduce",
-        default="safe",
-        choices=["off", "safe", "aggressive"],
-        help="predict the plan at this candidate-space reduction mode",
-    )
+    _add_engine_flags(plan_cmd, strategy=False)
     plan_cmd.set_defaults(func=_cmd_plan)
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help=(
+            "run one query and render the staged pipeline as a table "
+            "(stage, fixpoint round, rows in/out, time, skip reason)"
+        ),
+    )
+    explain_cmd.add_argument("--csv", required=True)
+    explain_cmd.add_argument(
+        "--relation", help="relation name (default: file stem)"
+    )
+    explain_cmd.add_argument("--query", help="PaQL text")
+    explain_cmd.add_argument("--query-file", help="file containing PaQL text")
+    explain_cmd.add_argument(
+        "--simulate",
+        action="store_true",
+        help="simulate instead of executing (nothing is solved)",
+    )
+    _add_engine_flags(explain_cmd)
+    explain_cmd.set_defaults(func=_cmd_explain)
+
+    repl = sub.add_parser(
+        "repl",
+        help=(
+            "evaluate many queries over one relation in a shared "
+            "session (cached kernels, shards, scans, reduction facts, "
+            "validated results); reads ';'-terminated statements from "
+            "stdin, or from --file in batch mode"
+        ),
+    )
+    repl.add_argument("--csv", required=True, help="CSV file with a header row")
+    repl.add_argument("--relation", help="relation name (default: file stem)")
+    repl.add_argument(
+        "--file", help="batch mode: run the ';'-separated statements in FILE"
+    )
+    repl.add_argument("--json", action="store_true", help="JSON output")
+    repl.add_argument(
+        "--stats",
+        action="store_true",
+        help="print session cache statistics after the run",
+    )
+    _add_engine_flags(repl)
+    repl.set_defaults(func=_cmd_repl)
+
+    session_bench = sub.add_parser(
+        "session-bench",
+        help=(
+            "time a repeated query stream through an EvaluationSession "
+            "against per-query cold starts (the E14 workload) and "
+            "verify objective parity"
+        ),
+    )
+    session_bench.add_argument(
+        "--n", type=int, default=100000, help="workload rows"
+    )
+    session_bench.add_argument(
+        "--length", type=int, default=10, help="stream length (queries)"
+    )
+    session_bench.add_argument(
+        "--shards", type=int, default=8, help="shard count for both sides"
+    )
+    session_bench.add_argument(
+        "--strategy",
+        default="ilp",
+        choices=["auto", *strategy_names()],
+        help="engine strategy for both sides",
+    )
+    session_bench.add_argument(
+        "--record",
+        help="write the outcome as a machine-readable JSON perf record",
+    )
+    session_bench.add_argument("--json", action="store_true", help="JSON output")
+    session_bench.set_defaults(func=_cmd_session_bench)
 
     shard_bench = sub.add_parser(
         "shard-bench",

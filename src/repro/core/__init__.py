@@ -87,7 +87,16 @@ from repro.core.reduction import (
     REDUCE_MODES,
     Reduction,
     apply_reduction,
+    merge_reductions,
     reduce_candidates,
+    reduction_gate_reason,
+)
+from repro.core.ir import STAGE_NAMES, StageRecord, records_payload, stage_table
+from repro.core.pipeline import MAX_PRUNE_ROUNDS, PipelineState, run_analysis
+from repro.core.session import (
+    ArtifactCache,
+    EvaluationSession,
+    ReductionFactCache,
 )
 from repro.core.translate_ilp import ILPTranslation, ILPTranslationError, translate
 from repro.core.vectorize import (
@@ -154,7 +163,19 @@ __all__ = [
     "REDUCE_MODES",
     "Reduction",
     "apply_reduction",
+    "merge_reductions",
     "reduce_candidates",
+    "reduction_gate_reason",
+    "STAGE_NAMES",
+    "StageRecord",
+    "records_payload",
+    "stage_table",
+    "MAX_PRUNE_ROUNDS",
+    "PipelineState",
+    "run_analysis",
+    "ArtifactCache",
+    "EvaluationSession",
+    "ReductionFactCache",
     "ILPTranslation",
     "ILPTranslationError",
     "UnsupportedExpression",

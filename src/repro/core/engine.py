@@ -21,12 +21,17 @@ model (:mod:`repro.core.cost`):
   otherwise ILP when the query translates, brute force when the
   pruned space is small enough, and local search as the safety net.
 
-The engine itself is a thin orchestrator: strategy selection lives in
-:func:`repro.core.cost.choose_strategy` (shared verbatim with
+The engine itself is a thin orchestrator over the staged pipeline
+(:mod:`repro.core.pipeline`): the stage sequence — rewrite, WHERE
+filter, zone-skip, the prune/reduce fixpoint, strategy dispatch,
+validation — is data the planner simulates and ``repro explain``
+renders, not code duplicated per consumer.  Strategy selection lives
+in :func:`repro.core.cost.choose_strategy` (shared verbatim with
 ``repro plan``), evaluation lives in the strategy classes, and every
 returned package is re-validated here against the original query — a
 strategy bug surfaces as an :class:`EngineError`, never as a wrong
-answer.
+answer.  Per-stage records (rows in/out, wall-clock, skip reasons)
+are published as ``stats["stages"]``.
 """
 
 from __future__ import annotations
@@ -41,13 +46,12 @@ from repro.paql.semantics import analyze
 from repro.paql.to_sql import to_sql
 from repro.paql.eval import eval_predicate
 from repro.core.vectorize import evaluator_for, try_predicate_mask
-from repro.core.cost import choose_strategy
+from repro.core.ir import records_payload
 from repro.core.local_search import LocalSearchOptions
 from repro.core.parallel import effective_workers, parallel_map
 from repro.core.partitioning import PartitionOptions
-from repro.core.pruning import derive_bounds
+from repro.core.pipeline import dispatch_strategy, run_analysis, run_validate
 from repro.core.result import EngineError, EvaluationResult, ResultStatus
-from repro.core.strategies import EvaluationContext, get_strategy
 from repro.core.validator import validate
 from repro.relational.sharding import ShardedRelation
 
@@ -121,16 +125,39 @@ class PackageQueryEvaluator:
         db: optional :class:`~repro.relational.sqlite_backend.Database`;
             when given, the relation is loaded into it (if absent) and
             base constraints are pushed down as SQL.
+        artifacts: optional
+            :class:`~repro.core.session.ArtifactCache` — evaluation
+            then reuses WHERE results, bounds, reduction facts and ILP
+            translations across queries (how
+            :class:`~repro.core.session.EvaluationSession` wires its
+            caches through the pipeline).
     """
 
-    def __init__(self, relation, db=None):
+    def __init__(self, relation, db=None, artifacts=None):
         self._relation = relation
         self._db = db
         self._sharded = None
+        self._artifacts = artifacts
         if db is not None and not db.has_relation(relation.name):
             db.load_relation(relation)
 
     # -- helpers --------------------------------------------------------------
+
+    @property
+    def relation(self):
+        """The base relation this evaluator answers queries over."""
+        return self._relation
+
+    @property
+    def db(self):
+        """The attached sqlite database, or ``None``."""
+        return self._db
+
+    @property
+    def artifacts(self):
+        """The session's :class:`~repro.core.session.ArtifactCache`,
+        or ``None`` outside a session."""
+        return self._artifacts
 
     def sharded_relation(self, shards):
         """The cached :class:`ShardedRelation` at ``shards`` shards.
@@ -161,6 +188,41 @@ class PackageQueryEvaluator:
     def candidates(self, query, options=None):
         """rids satisfying the base constraints (SQL pushdown when possible)."""
         return self._candidates_with_path(query, options)[0]
+
+    def filtered_candidates(self, query, options=None, artifacts=None):
+        """The pipeline's WHERE stage: ``(rids, path, shard_info)``.
+
+        With an artifact cache, the result is keyed on the WHERE
+        clause and the shard count, so a second query sharing the
+        clause skips the scan entirely (the filter is a pure function
+        of the immutable relation).
+        """
+        if artifacts is None:
+            return self._candidates_with_path(query, options)
+        key = artifacts.where_key(query, options)
+        hit = artifacts.cached_where(key)
+        if hit is not None:
+            rids, path, shard_info = hit
+            # Copies, not aliases: a caller mutating a result's rid
+            # list or shards payload must never corrupt the cache.
+            # Stored rids are a compact numpy array (8 bytes/rid, so
+            # the cache's byte bound is meaningful); hand back the
+            # plain int list the pipeline works with.
+            return (
+                rids.tolist(),
+                path,
+                dict(shard_info) if shard_info else shard_info,
+            )
+        rids, path, shard_info = self._candidates_with_path(query, options)
+        artifacts.store_where(
+            key,
+            (
+                np.asarray(rids, dtype=np.intp),
+                path,
+                dict(shard_info) if shard_info else shard_info,
+            ),
+        )
+        return rids, path, shard_info
 
     def _candidates_with_path(self, query, options=None):
         """``(rids, path, shard_info)`` for the WHERE stage.
@@ -235,130 +297,77 @@ class PackageQueryEvaluator:
         return rids.tolist(), shard_info
 
     def context(self, query, options=None):
-        """Run the pipeline up to pruning and reduction; return the
-        strategies' input.
+        """Run the pipeline's analysis half; return the strategies' input.
 
         parse/analyze must already have happened (``query`` is an
-        analyzed AST); this performs pushdown, bound derivation and
-        candidate-space reduction (``options.reduce``, see
-        :mod:`repro.core.reduction`) and packages the state every
-        later stage shares.
+        analyzed AST, taken as already rewritten); this performs
+        pushdown, the bound-derivation / candidate-space-reduction
+        fixpoint (:mod:`repro.core.pipeline`), and packages the state
+        every later stage shares.
         """
         options = options or EngineOptions()
-        candidate_rids, where_path, shard_info = self._candidates_with_path(
-            query, options
-        )
-        sharded = None
-        if options.shards > 1 and self._db is None:
-            sharded = self.sharded_relation(options.shards)
-        bounds = derive_bounds(
+        return run_analysis(
+            self,
             query,
-            self._relation,
-            candidate_rids,
-            sharded=sharded,
-            workers=options.workers,
-        )
-        from repro.core.reduction import apply_reduction
-
-        candidate_rids, reduction = apply_reduction(
-            query, self._relation, candidate_rids, bounds, options, sharded
-        )
-        return EvaluationContext(
-            query=query,
-            relation=self._relation,
-            candidate_rids=candidate_rids,
-            bounds=bounds,
-            options=options,
-            db=self._db,
-            where_path=where_path,
-            sharded=sharded,
-            shard_info=shard_info,
-            reduction=reduction,
-        )
+            options,
+            artifacts=self._artifacts,
+            apply_rewrite=False,
+        ).ctx
 
     # -- evaluation -------------------------------------------------------------
 
     def evaluate(self, query_or_text, options=None):
-        """Evaluate a package query and return an :class:`EvaluationResult`."""
+        """Evaluate a package query and return an :class:`EvaluationResult`.
+
+        Runs the staged pipeline end to end — rewrite, WHERE filter,
+        zone-skip, the prune/reduce fixpoint, strategy dispatch,
+        validation — and publishes the per-stage records as
+        ``stats["stages"]`` (the same IR ``plan()`` simulates and
+        ``repro explain`` renders).
+        """
         options = options or EngineOptions()
         started = time.perf_counter()
 
         query = self.prepare(query_or_text)
-        rewrites_applied = []
-        if options.rewrite:
-            from repro.paql.rewrite import rewrite_query
+        state = run_analysis(self, query, options, artifacts=self._artifacts)
+        result = dispatch_strategy(state)
 
-            rewritten = rewrite_query(query)
-            query = rewritten.query
-            rewrites_applied = rewritten.applied
-        ctx = self.context(query, options)
-
-        if options.use_pruning and ctx.bounds.empty:
+        if result is None:
+            # A stage proved infeasibility without solving: empty
+            # cardinality bounds, or a reduction witness-set proof.
+            run_validate(state, self._check, None)
+            ctx = state.ctx
             stats = {
-                "reason": "cardinality bounds are empty",
+                "reason": state.halt_reason,
                 "where_path": ctx.where_path,
             }
-            if ctx.shard_info is not None:
-                stats["shards"] = ctx.shard_info
-            if rewrites_applied:
-                stats["rewrites"] = rewrites_applied
-            return EvaluationResult(
+            if ctx.reduction is not None:
+                stats["reduction"] = ctx.reduction.stats()
+            result = EvaluationResult(
                 package=None,
                 status=ResultStatus.INFEASIBLE,
-                strategy="pruning",
-                query=query,
-                candidate_count=ctx.candidate_count,
-                bounds=ctx.bounds,
-                elapsed_seconds=time.perf_counter() - started,
-                stats=stats,
-            )
-
-        if ctx.reduction is not None and ctx.reduction.infeasible:
-            # The reducer found a constraint whose witness set is empty
-            # over the candidates — a proof no valid package exists,
-            # short-circuited exactly like empty cardinality bounds.
-            stats = {
-                "reason": ctx.reduction.infeasible_reason,
-                "where_path": ctx.where_path,
-                "reduction": ctx.reduction.stats(),
-            }
-            if ctx.shard_info is not None:
-                stats["shards"] = ctx.shard_info
-            if rewrites_applied:
-                stats["rewrites"] = rewrites_applied
-            return EvaluationResult(
-                package=None,
-                status=ResultStatus.INFEASIBLE,
-                strategy="reduction",
-                query=query,
+                strategy=state.halt_strategy,
+                query=state.query,
                 candidate_count=ctx.base_candidate_count,
                 bounds=ctx.bounds,
-                elapsed_seconds=time.perf_counter() - started,
                 stats=stats,
             )
-
-        if options.strategy == "auto":
-            choice = choose_strategy(ctx)
-            result = get_strategy(choice.name).run(ctx)
-            if not choice.translatable:
-                result.stats.setdefault(
-                    "ilp_fallback_reason", choice.translation_error
-                )
         else:
-            result = get_strategy(options.strategy).run(ctx)
+            ctx = state.ctx
+            result.query = state.query
+            result.candidate_count = ctx.base_candidate_count
+            result.bounds = ctx.bounds
+            result.stats.setdefault("where_path", ctx.where_path)
+            if ctx.reduction is not None:
+                result.stats.setdefault("reduction", ctx.reduction.stats())
+            run_validate(state, self._check, result)
 
-        result.query = query
-        result.candidate_count = ctx.base_candidate_count
-        result.bounds = ctx.bounds
-        result.stats.setdefault("where_path", ctx.where_path)
-        if ctx.shard_info is not None:
-            result.stats.setdefault("shards", ctx.shard_info)
-        if ctx.reduction is not None:
-            result.stats.setdefault("reduction", ctx.reduction.stats())
+        if state.shard_info is not None:
+            result.stats.setdefault("shards", state.shard_info)
+        if state.rewrites_applied:
+            result.stats["rewrites"] = state.rewrites_applied
+        result.stats["stages"] = records_payload(state.records)
         result.elapsed_seconds = time.perf_counter() - started
-        if rewrites_applied:
-            result.stats["rewrites"] = rewrites_applied
-        self._check(result)
         return result
 
     def _check(self, result):

@@ -14,10 +14,16 @@ the evaluator will do and why:
 * the ILP's size (variables, constraints, integer count) when one
   exists.
 
-The prediction is exact by construction: the strategy choice comes
-from the same :func:`repro.core.cost.choose_strategy` call the engine
-makes over the same :class:`~repro.core.strategies.base.EvaluationContext`
-— there is no second copy of the auto logic to drift out of sync.
+The prediction is exact by construction: the plan *runs* the same
+analysis pipeline (:mod:`repro.core.pipeline`) the engine executes —
+rewrite, WHERE filter, zone-skip, the prune/reduce fixpoint — and then
+*simulates* the solve half over the identical
+:class:`~repro.core.strategies.base.EvaluationContext`, consulting the
+same :func:`repro.core.cost.choose_strategy`.  There is no second copy
+of the stage ordering or the auto logic to drift out of sync: the
+simulated stage records in :attr:`EvaluationPlan.stages` carry the
+same names, rounds, and skip reasons as the engine's executed
+``stats["stages"]`` (a property the tests enforce).
 
 The CLI exposes this as ``repro plan``; tests assert the plan's
 predictions against what the engine then actually does.
@@ -26,8 +32,6 @@ predictions against what the engine then actually does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-
-from repro.core.cost import choose_strategy
 
 
 @dataclass
@@ -51,11 +55,16 @@ class EvaluationPlan:
             parallel path; ``None`` otherwise.
         reduction: the candidate-space reducer's ``stats["reduction"]``
             payload (kept/fixed/dominated counts, zone-shard fixing,
-            dominance outcome) when ``EngineOptions.reduce`` is not
-            ``off`` and the query has global constraints; ``None``
-            otherwise.  ``candidate_count`` stays the pre-reduction
-            count; the search-space sizes describe the reduced set the
-            strategies actually face.
+            dominance outcome, fixpoint rounds) when
+            ``EngineOptions.reduce`` is not ``off`` and the query has
+            global constraints; ``None`` otherwise.
+            ``candidate_count`` stays the pre-reduction count; the
+            search-space sizes describe the reduced set the strategies
+            actually face.
+        stages: the simulated pipeline stage records
+            (:class:`~repro.core.ir.StageRecord`) — same names, rounds
+            and skip reasons as the engine's executed
+            ``stats["stages"]``.
     """
 
     candidate_count: int
@@ -71,6 +80,7 @@ class EvaluationPlan:
     decisions: list = field(default_factory=list)
     sharding: dict | None = None
     reduction: dict | None = None
+    stages: list = field(default_factory=list)
 
     def lines(self):
         from repro.core.pruning import format_count
@@ -118,81 +128,86 @@ class EvaluationPlan:
         return "\n".join(self.lines())
 
 
-def plan(query, relation, candidate_rids=None, options=None):
+def plan(query, relation, candidate_rids=None, options=None, evaluator=None):
     """Build the :class:`EvaluationPlan` for an analyzed query.
 
-    Calls the same cost model as the engine's ``auto`` mode over the
-    same evaluation context, so the predicted strategy is the strategy
-    (tested to agree with what the engine reports).
+    Runs the engine's own analysis pipeline in ``simulated`` mode —
+    the identical rewrite / WHERE / zone-skip / prune-reduce-fixpoint
+    code path — then consults the same cost model over the resulting
+    context, so the predicted strategy is the strategy and the
+    simulated stage list mirrors the executed one (both tested).
+
+    Args:
+        candidate_rids: pre-filtered candidates; skips the WHERE stage.
+        evaluator: reuse an existing
+            :class:`~repro.core.engine.PackageQueryEvaluator` (and its
+            shard/artifact caches) instead of building a fresh one —
+            the :class:`~repro.core.session.EvaluationSession` path.
     """
     from repro.core.engine import EngineOptions, PackageQueryEvaluator
-    from repro.core.pruning import derive_bounds
-    from repro.core.strategies import EvaluationContext
+    from repro.core.pipeline import run_analysis, simulate_solve
 
     options = options or EngineOptions()
-    if candidate_rids is None:
-        # The engine's own context pipeline: pushdown (sharded when
-        # options ask for it) + bound derivation + reduction, so the
-        # plan sees the same where_path / shard / reduction statistics
-        # evaluation will.
-        ctx = PackageQueryEvaluator(relation).context(query, options)
-    else:
-        from repro.core.reduction import apply_reduction
-
-        rids = list(candidate_rids)
-        bounds = derive_bounds(query, relation, rids)
-        rids, reduction = apply_reduction(
-            query, relation, rids, bounds, options
-        )
-        ctx = EvaluationContext(
-            query=query,
-            relation=relation,
-            candidate_rids=rids,
-            bounds=bounds,
-            options=options,
-            reduction=reduction,
-        )
+    if evaluator is None:
+        evaluator = PackageQueryEvaluator(relation)
+    state = run_analysis(
+        evaluator,
+        query,
+        options,
+        artifacts=evaluator.artifacts,
+        supplied_rids=candidate_rids,
+        mode="simulated",
+    )
+    choice = simulate_solve(state)
+    ctx = state.ctx
     reduction_stats = (
         ctx.reduction.stats() if ctx.reduction is not None else None
     )
 
-    if ctx.bounds.empty and options.use_pruning:
-        return EvaluationPlan(
-            candidate_count=ctx.base_candidate_count,
-            bounds=ctx.bounds,
-            space_unpruned=ctx.space_unpruned,
-            space_pruned=ctx.space_pruned,
-            translatable=False,
-            translation_error="not attempted (bounds empty)",
-            chosen_strategy="pruning",
-            decisions=[
+    if choice is None:
+        # The pipeline halted: empty cardinality bounds, or a
+        # reduction infeasibility proof.
+        if state.halt_strategy == "pruning":
+            error = "not attempted (bounds empty)"
+            decisions = [
                 "cardinality bounds are empty: infeasible without solving"
-            ],
-            sharding=ctx.shard_info,
-            reduction=reduction_stats,
-        )
-
-    if ctx.reduction is not None and ctx.reduction.infeasible:
+            ]
+        else:
+            error = "not attempted (reduction proved infeasibility)"
+            decisions = [state.halt_reason]
         return EvaluationPlan(
             candidate_count=ctx.base_candidate_count,
             bounds=ctx.bounds,
             space_unpruned=ctx.space_unpruned,
             space_pruned=ctx.space_pruned,
             translatable=False,
-            translation_error="not attempted (reduction proved infeasibility)",
-            chosen_strategy="reduction",
-            decisions=[ctx.reduction.infeasible_reason],
+            translation_error=error,
+            chosen_strategy=state.halt_strategy,
+            decisions=decisions,
             sharding=ctx.shard_info,
             reduction=reduction_stats,
+            stages=state.records,
         )
 
-    choice = choose_strategy(ctx)
     model_variables = model_constraints = model_integers = 0
     translation, _ = ctx.try_translation()
     if translation is not None:
         model_variables = translation.model.num_variables
         model_constraints = translation.model.num_constraints
         model_integers = len(translation.model.integer_indices())
+
+    # An explicit EngineOptions.strategy is what evaluation will
+    # dispatch — report it (matching the simulated stage record)
+    # instead of the cost model's auto pick, which only governs
+    # strategy="auto".
+    chosen = choice.name
+    decisions = choice.decisions
+    if options.strategy != "auto":
+        chosen = options.strategy
+        decisions = decisions + [
+            f"explicit dispatch: options.strategy = {options.strategy!r} "
+            f"(auto would pick {choice.name})"
+        ]
 
     return EvaluationPlan(
         candidate_count=ctx.base_candidate_count,
@@ -204,8 +219,9 @@ def plan(query, relation, candidate_rids=None, options=None):
         model_variables=model_variables,
         model_constraints=model_constraints,
         model_integers=model_integers,
-        chosen_strategy=choice.name,
-        decisions=choice.decisions,
+        chosen_strategy=chosen,
+        decisions=decisions,
         sharding=ctx.shard_info,
         reduction=reduction_stats,
+        stages=state.records,
     )

@@ -86,7 +86,9 @@ __all__ = [
     "REDUCE_MODES",
     "Reduction",
     "apply_reduction",
+    "merge_reductions",
     "reduce_candidates",
+    "reduction_gate_reason",
 ]
 
 #: Recognized ``EngineOptions.reduce`` spellings.
@@ -126,6 +128,9 @@ class Reduction:
             ``"skipped: <reason>"`` when the eligibility analysis
             could not prove an optimal package survives.
         elapsed_seconds: wall-clock spent reducing.
+        rounds: fixpoint rounds merged into this record (the pipeline's
+            prune/reduce loop re-derives bounds over the kept set and
+            re-reduces; see :mod:`repro.core.pipeline`).
     """
 
     mode: str
@@ -140,6 +145,7 @@ class Reduction:
     zone_shards_scanned: int
     dominance: str
     elapsed_seconds: float
+    rounds: int = 1
 
     @property
     def infeasible(self):
@@ -160,6 +166,8 @@ class Reduction:
             "forced": len(self.forced_rids),
             "dominance": self.dominance,
         }
+        if self.rounds > 1:
+            out["rounds"] = self.rounds
         if self.zone_shards_fixed or self.zone_shards_scanned:
             out["zone"] = {
                 "fixed_shards": self.zone_shards_fixed,
@@ -171,26 +179,46 @@ class Reduction:
         return out
 
 
-def apply_reduction(query, relation, candidate_rids, bounds, options, sharded=None):
+def reduction_gate_reason(query, candidate_rids, bounds, options):
+    """Why reduction would be skipped for this evaluation, or ``None``.
+
+    The single gate shared by the engine and the planner (through
+    :mod:`repro.core.pipeline`), so the two can never gate differently
+    — and the skip reason is what both record in the stage IR.
+    """
+    if options.reduce == "off":
+        return "reduction disabled (reduce=off)"
+    if query.such_that is None:
+        return "no global constraints"
+    if not candidate_rids:
+        return "no candidates to reduce"
+    if bounds.empty:
+        return "cardinality bounds are empty"
+    return None
+
+
+def apply_reduction(
+    query, relation, candidate_rids, bounds, options, sharded=None, fact_cache=None
+):
     """The pipeline's reduction stage: gate, run, and unpack.
 
-    The single place that decides *whether* reduction runs for an
-    evaluation — shared by the engine's context builder and the
-    planner so the two can never gate differently.  Skips (returning
-    ``(candidate_rids, None)``) when the mode is ``off``, there are no
-    global constraints, no candidates, or the cardinality bounds are
-    already empty (the engine short-circuits on those first).
+    Skips (returning ``(candidate_rids, None)``) whenever
+    :func:`reduction_gate_reason` says so: mode ``off``, no global
+    constraints, no candidates, or cardinality bounds already empty
+    (the engine short-circuits on those first).
+
+    Args:
+        fact_cache: optional
+            :class:`~repro.core.session.ReductionFactCache` — per-
+            conjunct facts (fixing masks, witness sets, dominance
+            keys) are reused across queries sharing a conjunct over
+            the same candidate set.
 
     Returns:
         ``(kept_rids, reduction)`` where ``reduction`` is the
         :class:`Reduction` or ``None`` when the stage was skipped.
     """
-    if (
-        options.reduce == "off"
-        or query.such_that is None
-        or not candidate_rids
-        or bounds.empty
-    ):
+    if reduction_gate_reason(query, candidate_rids, bounds, options) is not None:
         return candidate_rids, None
     reduction = reduce_candidates(
         query,
@@ -200,8 +228,52 @@ def apply_reduction(query, relation, candidate_rids, bounds, options, sharded=No
         mode=options.reduce,
         sharded=sharded,
         workers=getattr(options, "workers", 0),
+        fact_cache=fact_cache,
     )
     return reduction.kept_rids, reduction
+
+
+def merge_reductions(rounds):
+    """Collapse the fixpoint's per-round reductions into one record.
+
+    ``input_count`` stays the first round's (pre-reduction) candidate
+    count — what user-facing reporting shows — while ``kept_rids`` and
+    the infeasibility verdict come from the last round; removal
+    counters and wall-clock accumulate; forced rids union; the
+    dominance outcome is ``"applied"`` if any round applied it, else
+    the last round's.  Returns ``None`` for no rounds, the single
+    reduction unchanged for one.
+    """
+    rounds = [r for r in rounds if r is not None]
+    if not rounds:
+        return None
+    if len(rounds) == 1:
+        return rounds[0]
+    first, last = rounds[0], rounds[-1]
+    forced = sorted({rid for r in rounds for rid in r.forced_rids})
+    # "applied" in any round wins the merged label: a later round
+    # legitimately skipping (e.g. nothing left to dominate) must not
+    # hide that dominance pruning ran.
+    dominance = last.dominance
+    for r in rounds:
+        if r.dominance == "applied":
+            dominance = "applied"
+            break
+    return Reduction(
+        mode=last.mode,
+        input_count=first.input_count,
+        kept_rids=last.kept_rids,
+        fixed=sum(r.fixed for r in rounds),
+        dominated=sum(r.dominated for r in rounds),
+        forced_rids=tuple(forced),
+        infeasible_reason=last.infeasible_reason,
+        zone_shards_fixed=sum(r.zone_shards_fixed for r in rounds),
+        zone_shards_cleared=sum(r.zone_shards_cleared for r in rounds),
+        zone_shards_scanned=sum(r.zone_shards_scanned for r in rounds),
+        dominance=dominance,
+        elapsed_seconds=sum(r.elapsed_seconds for r in rounds),
+        rounds=len(rounds),
+    )
 
 
 def reduce_candidates(
@@ -213,6 +285,7 @@ def reduce_candidates(
     sharded=None,
     workers=0,
     tolerance=DEFAULT_TOLERANCE,
+    fact_cache=None,
 ):
     """Reduce ``candidate_rids`` for ``query`` (see module docstring).
 
@@ -231,6 +304,8 @@ def reduce_candidates(
         tolerance: the validator's boundary tolerance; fixing widens
             non-strict thresholds by it so reduction never removes a
             tuple some oracle-acceptable package contains.
+        fact_cache: optional per-conjunct fact cache (see
+            :func:`apply_reduction`).
 
     Returns:
         :class:`Reduction`.
@@ -260,7 +335,8 @@ def reduce_candidates(
             elapsed_seconds=time.perf_counter() - started,
         )
     return _Reducer(
-        query, relation, rids, bounds, mode, sharded, workers, tolerance
+        query, relation, rids, bounds, mode, sharded, workers, tolerance,
+        fact_cache,
     ).run(started)
 
 
@@ -268,7 +344,8 @@ class _Reducer:
     """One reduction run; all masks are positional over the input rids."""
 
     def __init__(
-        self, query, relation, rids, bounds, mode, sharded, workers, tolerance
+        self, query, relation, rids, bounds, mode, sharded, workers, tolerance,
+        fact_cache=None,
     ):
         self._query = query
         self._relation = relation
@@ -285,6 +362,11 @@ class _Reducer:
         self._sharded = sharded
         self._workers = workers
         self._tol = float(tolerance)
+        self._fact_cache = fact_cache
+        # One fingerprint per run, reused in every per-leaf cache key.
+        self._rids_key = (
+            fact_cache.fingerprint(self._rids) if fact_cache is not None else None
+        )
         self._evaluator = evaluator_for(relation)
         self._value_cache = {}
         self._zero = np.zeros(len(rids), dtype=bool)
@@ -305,7 +387,7 @@ class _Reducer:
             self._block_dominance(f"unsupported formula: {exc}")
         if normalized is not None:
             for leaf in conjunctive_leaves(normalized):
-                self._consume(leaf)
+                self._consume_with_cache(leaf)
         fixed = int(np.count_nonzero(self._zero))
         forced, infeasible_reason = self._resolve_witnesses()
 
@@ -339,6 +421,79 @@ class _Reducer:
 
     # -- conjunct dispatch ---------------------------------------------------
 
+    def _consume_with_cache(self, leaf):
+        """Consume a conjunct, reusing cached facts when a session
+        provides a fact cache.
+
+        A conjunct's facts (the positional fixing mask, witness masks,
+        dominance keys, dominance block, zone counters) are functions
+        of the conjunct AST, the candidate rid set, the repeat bound,
+        the tolerance, and the shard layout — everything else in the
+        query is irrelevant to them.  The cache key captures exactly
+        those inputs, so a second query sharing a conjunct over the
+        same candidates replays the facts instead of re-scanning.
+
+        The dominance block is captured *per conjunct* (the instance
+        field is stashed and restored around the consume), because the
+        first-block-wins field would otherwise hide a later conjunct's
+        block from the cache — and replaying that entry in a query
+        where no earlier conjunct blocks would run dominance unproven.
+        """
+        if self._fact_cache is None:
+            self._consume(leaf)
+            return
+        key = self._fact_cache.key_for(
+            leaf,
+            self._rids,
+            repeat=self._query.repeat,
+            tolerance=self._tol,
+            shards=self._sharded.num_shards if self._sharded is not None else 0,
+            fingerprint=self._rids_key,
+        )
+        hit = self._fact_cache.get(key)
+        if hit is not None:
+            self._zero |= hit.fixed_mask
+            self._witness_checks.extend(hit.witness_checks)
+            self._dominance_keys.extend(hit.dominance_keys)
+            if hit.dominance_block is not None:
+                self._block_dominance(hit.dominance_block)
+            self._zone_fixed += hit.zone[0]
+            self._zone_cleared += hit.zone[1]
+            self._zone_scanned += hit.zone[2]
+            return
+        outer_block = self._dominance_block
+        self._dominance_block = None
+        # The leaf's fixing mask is computed into a scratch array, not
+        # diffed out of the shared one: bits an earlier conjunct
+        # already fixed would vanish from a diff, and the cached entry
+        # would under-fix when replayed in a query without that
+        # earlier conjunct.
+        outer_zero = self._zero
+        self._zero = np.zeros_like(outer_zero)
+        witnesses_from = len(self._witness_checks)
+        keys_from = len(self._dominance_keys)
+        zone_before = (self._zone_fixed, self._zone_cleared, self._zone_scanned)
+        self._consume(leaf)
+        leaf_mask = self._zero
+        self._zero = outer_zero
+        self._zero |= leaf_mask
+        leaf_block = self._dominance_block
+        self._dominance_block = outer_block
+        if leaf_block is not None:
+            self._block_dominance(leaf_block)
+        self._fact_cache.store(
+            key,
+            fixed_mask=leaf_mask,
+            witness_checks=tuple(self._witness_checks[witnesses_from:]),
+            dominance_keys=tuple(self._dominance_keys[keys_from:]),
+            dominance_block=leaf_block,
+            zone=(
+                self._zone_fixed - zone_before[0],
+                self._zone_cleared - zone_before[1],
+                self._zone_scanned - zone_before[2],
+            ),
+        )
+
     def _consume(self, leaf):
         if not isinstance(leaf, ast.Comparison):
             # An Or at the top level constrains nothing per-tuple (a
@@ -360,8 +515,8 @@ class _Reducer:
             self._consume_linear(aggregate.argument, op, constant, kind="count")
         elif aggregate.func in (ast.AggFunc.MIN, ast.AggFunc.MAX):
             self._consume_minmax(aggregate, op, constant)
-        else:  # AVG: no per-tuple fixing, no proven dominance direction
-            self._block_dominance("AVG constraint has no dominance key")
+        else:  # AVG
+            self._consume_avg(aggregate, op, constant)
 
     # -- value extraction ----------------------------------------------------
 
@@ -483,6 +638,56 @@ class _Reducer:
             self._block_dominance("unexpected comparison operator")
         else:
             self._add_dominance_key(contrib, direction)
+
+    # -- AVG dominance keys --------------------------------------------------
+
+    def _consume_avg(self, aggregate, op, constant):
+        """Dominance keys (and support facts) from one AVG conjunct.
+
+        No per-tuple fixing: a tuple with a bad value can always be
+        averaged down by other members, so single membership never
+        forces the aggregate out of range.  But the conjunct *does*
+        have a proven dominance direction.  Writing ``AVG(e) <= c``
+        over the non-NULL members as ``sum(e_i - c) <= 0``, each
+        member contributes ``g_i = e_i - c`` (NULL members contribute
+        nothing to either the sum or the count).  Swapping member
+        ``j`` for a dominator ``k`` with ``g_k <= g_j`` and non-NULL-
+        ness preserved can only decrease the sum — and a decreased
+        sum over a no-smaller count can only shrink the constraint
+        violation, so every package the validator accepted before the
+        swap it accepts after (the relative-slack argument is the same
+        one SUM dominance already relies on).  ``>=`` mirrors with
+        ``ge``; ``=`` requires value-exact and nullity-exact swaps
+        (``eq`` keys).
+
+        AVG of zero non-NULL members is NULL, and a NULL comparison
+        can never hold — so the conjunct also needs non-NULL support
+        among the kept candidates, which doubles as an infeasibility /
+        forced-tuple witness exactly like the MIN/MAX support sets.
+        """
+        extracted = self._values(aggregate.argument)
+        if extracted is None:
+            self._block_dominance("AVG argument has no columnar kernel")
+            return
+        values, nulls = extracted
+        label = f"AVG {op.value} {constant:g}"
+        self._witness_checks.append((~nulls, f"non-NULL support for {label}"))
+        contributions = np.where(nulls, 0.0, values - float(constant))
+        if not np.all(np.isfinite(contributions)):
+            self._block_dominance("non-finite AVG data")
+            return
+        indicator = (~nulls).astype(np.float64)
+        if op in (ast.CmpOp.LE, ast.CmpOp.LT):
+            self._dominance_keys.append((contributions, "le"))
+            self._dominance_keys.append((indicator, "ge"))
+        elif op in (ast.CmpOp.GE, ast.CmpOp.GT):
+            self._dominance_keys.append((contributions, "ge"))
+            self._dominance_keys.append((indicator, "ge"))
+        elif op is ast.CmpOp.EQ:
+            self._dominance_keys.append((contributions, "eq"))
+            self._dominance_keys.append((indicator, "eq"))
+        else:  # pragma: no cover - NE is expanded during normalization
+            self._block_dominance("unexpected AVG comparison operator")
 
     # -- MIN / MAX fixing ----------------------------------------------------
 
@@ -750,6 +955,13 @@ class _Reducer:
         eq_keys = []
         for values, direction in self._dominance_keys:
             key = values[kept_idx]
+            if key.size and np.all(key == key[0]):
+                # A constant dimension constrains nothing: every le/ge
+                # comparison passes and every eq group is the whole
+                # set.  Dropping it keeps e.g. the AVG non-NULL
+                # indicator key (constant 1.0 on NULL-free data) from
+                # counting toward the pairwise dimension limit.
+                continue
             if direction == "le":
                 le_keys.append(key)
             elif direction == "ge":

@@ -1,0 +1,525 @@
+"""Evaluation sessions: one relation, many queries, cached artifacts.
+
+The repeated-query workload — steady-state analytics serving, an
+analyst iterating on one dataset, the ``repro repl`` — re-pays, on
+every call to :func:`repro.core.engine.evaluate`, work that is a pure
+function of the *immutable* relation and fragments of the query:
+sharding and zone statistics, compiled vectorize kernels, the WHERE
+scan, cardinality bounds, reduction facts, the ILP translation, and
+(for an exactly repeated query) the solve itself.
+
+:class:`EvaluationSession` keeps one
+:class:`~repro.core.engine.PackageQueryEvaluator` alive and threads an
+:class:`ArtifactCache` through the staged pipeline
+(:mod:`repro.core.pipeline`), so the second query over the same
+relation skips recompilation and re-sharding:
+
+* **kernels** — the relation's shared
+  :class:`~repro.core.vectorize.VectorEvaluator` compiles each AST
+  node once; holding the relation (and evaluator) alive across
+  queries is what keeps the kernel cache hot.
+* **sharding + zone statistics** — the evaluator's cached
+  :class:`~repro.relational.sharding.ShardedRelation` is built once
+  per shard count; its zone stats and skip analyses are cached inside.
+* **WHERE results** — keyed on the (canonical) WHERE clause and shard
+  count; a second query sharing the clause skips the scan.
+* **cardinality bounds** — keyed on the SUCH THAT clause, REPEAT, and
+  the candidate fingerprint.
+* **reduction facts** — keyed per *conjunct signature* (the printed
+  conjunct) plus the candidate fingerprint, so queries that share a
+  global constraint reuse its fixing mask, witness sets, and dominance
+  keys even when objectives differ.
+* **ILP translations** — keyed on the canonical query text and the
+  candidate/forced fingerprints.
+* **results** — an exactly repeated (query, options) pair replays the
+  stored package *through the engine's oracle gate*: the package is
+  re-validated against the query before being returned, so a stale or
+  corrupted cache entry surfaces as an
+  :class:`~repro.core.result.EngineError`, never as a wrong answer.
+  Disable with ``reuse_results=False`` to re-solve every time while
+  keeping the analysis-artifact reuse.
+
+Soundness note: every cache key covers *all* inputs its value depends
+on (clause text, candidate fingerprint, repeat, tolerance, shard
+layout, options), and the relation is immutable by construction —
+:class:`~repro.relational.relation.Relation` never mutates rows in
+place.  Cache entries are therefore replays, not approximations; the
+parity tests pin warm results bit-identical to cold ones.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import EngineOptions, PackageQueryEvaluator
+from repro.core.result import EvaluationResult
+from repro.paql.printer import print_expr, print_query
+
+__all__ = [
+    "ArtifactCache",
+    "ConjunctFacts",
+    "EvaluationSession",
+    "ReductionFactCache",
+]
+
+
+def _rids_fingerprint(rids):
+    """A compact digest identifying a candidate rid sequence.
+
+    Length plus a blake2b-128 over the raw int array bytes: cheap even
+    at hundreds of thousands of candidates, and collision-free for all
+    practical purposes — and a collision could at worst replay facts
+    for a *different* candidate set, which the engine's oracle gate
+    and the parity suites would surface, not silently accept.
+    """
+    array = np.ascontiguousarray(np.asarray(rids, dtype=np.int64))
+    digest = hashlib.blake2b(array.tobytes(), digest_size=16).hexdigest()
+    return (array.size, digest)
+
+
+class _BoundedCache:
+    """A small LRU: recently used entries survive, the rest age out.
+
+    Layers whose entries hold O(candidates)-sized payloads (reduction
+    fact arrays, ILP translations) pass a ``sizer`` and ``max_bytes``
+    so memory — not just entry count — bounds the cache: a long-lived
+    serving session over a large relation evicts by approximate bytes
+    instead of retaining hundreds of megabytes of arrays.
+    """
+
+    def __init__(self, maxsize, max_bytes=None, sizer=None):
+        self._maxsize = maxsize
+        self._max_bytes = max_bytes
+        self._sizer = sizer
+        self._entries = OrderedDict()
+        self._sizes = {}
+        self._total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, value):
+        if key in self._entries:
+            self._total_bytes -= self._sizes.pop(key, 0)
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self._sizer is not None:
+            size = self._sizer(value)
+            self._sizes[key] = size
+            self._total_bytes += size
+        while len(self._entries) > self._maxsize or (
+            self._max_bytes is not None
+            and self._total_bytes > self._max_bytes
+            and len(self._entries) > 1
+        ):
+            evicted, _ = self._entries.popitem(last=False)
+            self._total_bytes -= self._sizes.pop(evicted, 0)
+
+    def clear(self):
+        self._entries.clear()
+        self._sizes.clear()
+        self._total_bytes = 0
+
+    def stats(self):
+        out = {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+        if self._sizer is not None:
+            out["approx_bytes"] = self._total_bytes
+        return out
+
+
+@dataclass(frozen=True)
+class ConjunctFacts:
+    """Cached per-conjunct reduction facts (see
+    :meth:`repro.core.reduction._Reducer._consume_with_cache`).
+
+    All arrays are positional over the candidate rid sequence the key
+    fingerprints; they are never mutated after being stored.
+    """
+
+    fixed_mask: object
+    witness_checks: tuple
+    dominance_keys: tuple
+    dominance_block: str | None
+    zone: tuple
+
+
+def _facts_nbytes(facts):
+    """Approximate retained bytes of one :class:`ConjunctFacts` entry."""
+    total = facts.fixed_mask.nbytes
+    for mask, _ in facts.witness_checks:
+        total += getattr(mask, "nbytes", 0)
+    for values, _ in facts.dominance_keys:
+        total += getattr(values, "nbytes", 0)
+    return total
+
+
+class ReductionFactCache:
+    """Per-conjunct fact store, keyed by conjunct signature.
+
+    The signature is the *printed* conjunct (canonical PaQL text —
+    structurally equal ASTs print identically) plus everything else
+    the facts depend on: the candidate fingerprint, REPEAT, the
+    validator tolerance, and the shard layout (zone counters differ
+    with sharding even though the kept set does not).
+
+    Entries hold O(candidates)-sized arrays, so eviction is bounded
+    by approximate bytes as well as entry count.
+    """
+
+    def __init__(self, maxsize=256, max_bytes=64 * 1024 * 1024):
+        self._cache = _BoundedCache(
+            maxsize, max_bytes=max_bytes, sizer=_facts_nbytes
+        )
+
+    @staticmethod
+    def fingerprint(rids):
+        """Precompute the candidate fingerprint once per reduction run
+        (callers pass it back through ``key_for`` for every leaf)."""
+        return _rids_fingerprint(rids)
+
+    def key_for(self, leaf, rids, repeat, tolerance, shards, fingerprint=None):
+        return (
+            print_expr(leaf),
+            fingerprint if fingerprint is not None else _rids_fingerprint(rids),
+            int(repeat),
+            float(tolerance),
+            int(shards),
+        )
+
+    def get(self, key):
+        return self._cache.get(key)
+
+    def store(self, key, fixed_mask, witness_checks, dominance_keys,
+              dominance_block, zone):
+        self._cache.put(
+            key,
+            ConjunctFacts(
+                fixed_mask=fixed_mask,
+                witness_checks=witness_checks,
+                dominance_keys=dominance_keys,
+                dominance_block=dominance_block,
+                zone=zone,
+            ),
+        )
+
+    def stats(self):
+        return self._cache.stats()
+
+    def clear(self):
+        self._cache.clear()
+
+
+class ArtifactCache:
+    """The session's keyed artifact store, threaded through the pipeline.
+
+    One instance per :class:`EvaluationSession` (and per relation —
+    keys never include the relation because the cache never outlives
+    it).  See the module docstring for what each layer keys on.
+    """
+
+    def __init__(self):
+        # WHERE entries hold one rid array per clause (stored as a
+        # compact numpy array, sized by bytes like the other O(n)
+        # layers).
+        self._where = _BoundedCache(
+            64,
+            max_bytes=64 * 1024 * 1024,
+            sizer=lambda entry: entry[0].nbytes,
+        )
+        self._bounds = _BoundedCache(256)
+        # Translations hold one model row per candidate; bound them by
+        # approximate variable count (~96 bytes per variable across
+        # the model's coefficient maps) as well as entry count.
+        self._translations = _BoundedCache(
+            16,
+            max_bytes=128 * 1024 * 1024,
+            sizer=lambda t: 96 * max(1, t.model.num_variables),
+        )
+        self.reduction_facts = ReductionFactCache()
+
+    # -- WHERE results ------------------------------------------------------
+
+    def where_key(self, query, options):
+        # Workers never change the rids, but they appear in the
+        # sharded-path stats payload — keying on them keeps a replayed
+        # shard_info honest about the parallel width in force.
+        clause = "" if query.where is None else print_expr(query.where)
+        return (
+            clause,
+            getattr(options, "shards", 1),
+            getattr(options, "workers", 0),
+        )
+
+    def cached_where(self, key):
+        return self._where.get(key)
+
+    def store_where(self, key, value):
+        self._where.put(key, value)
+
+    # -- cardinality bounds -------------------------------------------------
+
+    @staticmethod
+    def fingerprint(rids):
+        """The candidate fingerprint; compute once per pipeline stage
+        and pass back through the lookup/store pair (hashing a large
+        rid array twice per stage is pure waste on the warm path)."""
+        return _rids_fingerprint(rids)
+
+    def _bounds_key(self, query, rids, fingerprint=None):
+        clause = (
+            "" if query.such_that is None else print_expr(query.such_that)
+        )
+        if fingerprint is None:
+            fingerprint = _rids_fingerprint(rids)
+        return (clause, int(query.repeat), fingerprint)
+
+    def cached_bounds(self, query, rids, fingerprint=None):
+        return self._bounds.get(self._bounds_key(query, rids, fingerprint))
+
+    def store_bounds(self, query, rids, bounds, fingerprint=None):
+        self._bounds.put(self._bounds_key(query, rids, fingerprint), bounds)
+
+    # -- ILP translations ---------------------------------------------------
+
+    def _translation_key(self, query, rids, forced, fingerprint=None):
+        if fingerprint is None:
+            fingerprint = _rids_fingerprint(rids)
+        return (print_query(query), fingerprint, tuple(forced))
+
+    def cached_translation(self, query, rids, forced, fingerprint=None):
+        return self._translations.get(
+            self._translation_key(query, rids, forced, fingerprint)
+        )
+
+    def store_translation(self, query, rids, forced, translation, fingerprint=None):
+        self._translations.put(
+            self._translation_key(query, rids, forced, fingerprint), translation
+        )
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def stats(self):
+        return {
+            "where": self._where.stats(),
+            "bounds": self._bounds.stats(),
+            "translations": self._translations.stats(),
+            "reduction_facts": self.reduction_facts.stats(),
+        }
+
+    def clear(self):
+        self._where.clear()
+        self._bounds.clear()
+        self._translations.clear()
+        self.reduction_facts.clear()
+
+
+@dataclass
+class _CachedResult:
+    """The replayable skeleton of one evaluation outcome."""
+
+    counts: object  # tuple of (rid, multiplicity), or None
+    status: object
+    strategy: str
+    query: object
+    objective: float | None
+    candidate_count: int
+    bounds: object
+    stats: dict = field(default_factory=dict)
+
+
+class EvaluationSession:
+    """One relation, many queries, with cross-query artifact reuse.
+
+    Args:
+        relation: the base :class:`~repro.relational.relation.Relation`
+            (treated as immutable for the session's lifetime).
+        db: optional sqlite backend, as for
+            :class:`~repro.core.engine.PackageQueryEvaluator`.
+        options: default :class:`~repro.core.engine.EngineOptions` for
+            ``evaluate``/``plan``/``explain`` calls that pass none.
+        reuse_results: replay validated results for exactly repeated
+            ``(query, options)`` pairs (see the module docstring).
+            Analysis artifacts are reused either way.
+    """
+
+    def __init__(self, relation, db=None, options=None, reuse_results=True):
+        self.artifacts = ArtifactCache()
+        self._evaluator = PackageQueryEvaluator(
+            relation, db, artifacts=self.artifacts
+        )
+        self._options = options or EngineOptions()
+        self._reuse_results = reuse_results
+        self._results = _BoundedCache(256)
+        self.queries_run = 0
+
+    @property
+    def relation(self):
+        return self._evaluator.relation
+
+    @property
+    def evaluator(self):
+        """The session's long-lived evaluator (shared shard caches)."""
+        return self._evaluator
+
+    # -- key construction ---------------------------------------------------
+
+    def _result_key(self, query, options):
+        # Canonical query text (the printer round-trips ASTs) plus the
+        # full options repr: any field that could change the outcome —
+        # strategy, backend, limits, reduce mode — is part of the
+        # dataclass repr, so differing options never share an entry.
+        return (print_query(query), repr(options))
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, query_or_text, options=None):
+        """Evaluate with artifact reuse; replay exact repeats validated.
+
+        Returns an :class:`~repro.core.result.EvaluationResult`.  On a
+        result-cache replay, ``stats["session"]`` records the hit and
+        the package has been re-validated against the query by the
+        same oracle gate the engine runs — a replay can fail loudly,
+        never silently return a wrong answer.
+        """
+        options = options or self._options
+        started = time.perf_counter()
+        query = self._evaluator.prepare(query_or_text)
+        key = self._result_key(query, options)
+        if self._reuse_results:
+            cached = self._results.get(key)
+            if cached is not None:
+                result = self._replay(cached, started)
+                self.queries_run += 1
+                return result
+        result = self._evaluator.evaluate(query, options)
+        self.queries_run += 1
+        if self._reuse_results:
+            self._store(key, result)
+        return result
+
+    def _store(self, key, result):
+        self._results.put(
+            key,
+            _CachedResult(
+                counts=(
+                    result.package.counts
+                    if result.package is not None
+                    else None
+                ),
+                status=result.status,
+                strategy=result.strategy,
+                query=result.query,
+                objective=result.objective,
+                candidate_count=result.candidate_count,
+                bounds=result.bounds,
+                # Deep copy both ways (store and replay): the stats
+                # tree holds nested dicts/lists, and a caller mutating
+                # a returned result must never corrupt the cache.
+                stats=copy.deepcopy(result.stats),
+            ),
+        )
+
+    def _replay(self, cached, started):
+        """Rebuild a cached outcome; re-validate through the oracle gate."""
+        from repro.core.package import Package
+
+        package = None
+        if cached.counts is not None:
+            package = Package(self.relation, dict(cached.counts))
+        stats = copy.deepcopy(cached.stats)
+        # The stage records describe the *original* run — this
+        # invocation executed nothing but the oracle re-validation, so
+        # relabel them (their timings are the first run's, which is
+        # what e.g. an EXPLAIN of a replayed statement should show,
+        # honestly marked).
+        for entry in stats.get("stages", ()):
+            entry["mode"] = "cached"
+        result = EvaluationResult(
+            package=package,
+            status=cached.status,
+            strategy=cached.strategy,
+            query=cached.query,
+            objective=cached.objective,
+            candidate_count=cached.candidate_count,
+            bounds=cached.bounds,
+            stats=stats,
+        )
+        # The engine's own validation gate: raises EngineError on any
+        # invalid replay and recomputes the objective from the package
+        # (so a replayed objective is always the validator's number).
+        self._evaluator._check(result)
+        result.stats["session"] = {"result_cache": "hit"}
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # -- planning and explain ------------------------------------------------
+
+    def plan(self, query_or_text, options=None):
+        """``repro plan`` over the session's evaluator and caches."""
+        from repro.core.plan import plan
+
+        options = options or self._options
+        query = self._evaluator.prepare(query_or_text)
+        return plan(query, self.relation, options=options, evaluator=self._evaluator)
+
+    def explain(self, query_or_text, options=None, execute=True):
+        """The staged-pipeline view of one query.
+
+        Returns ``(result_or_plan, table_lines)`` where the table is
+        the rendered stage records: stage, fixpoint round, rows in/out,
+        wall-clock, and skip reasons.  ``execute=True`` (default) runs
+        the query for real — timings are measured, the result is
+        returned; ``execute=False`` simulates (the ``plan()`` path, no
+        solving).  Executed explains bypass the result cache so the
+        stage timings are real, but they still warm it.
+        """
+        from repro.core.ir import stage_table
+
+        options = options or self._options
+        if execute:
+            query = self._evaluator.prepare(query_or_text)
+            result = self._evaluator.evaluate(query, options)
+            self.queries_run += 1
+            if self._reuse_results:
+                self._store(self._result_key(query, options), result)
+            return result, stage_table(result.stats["stages"])
+        report = self.plan(query_or_text, options)
+        return report, stage_table(report.stages)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def cache_stats(self):
+        """Hit/miss/entry counters for every cache layer."""
+        stats = self.artifacts.stats()
+        stats["results"] = self._results.stats()
+        stats["queries_run"] = self.queries_run
+        return stats
+
+    def invalidate(self):
+        """Drop every cached artifact and result (e.g. after swapping
+        in a new relation object is *not* supported — build a new
+        session for new data; this exists for tests and for reclaiming
+        memory mid-session)."""
+        self.artifacts.clear()
+        self._results.clear()

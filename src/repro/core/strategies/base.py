@@ -1,8 +1,9 @@
 """Strategy interface and the evaluation context threaded through it.
 
-The engine's pipeline is parse -> rewrite -> pushdown -> prune ->
-select -> run.  Everything the *select* and *run* stages need is
-carried by one :class:`EvaluationContext`, so strategies stop
+The engine's staged pipeline (:mod:`repro.core.pipeline`) is
+rewrite -> where-filter -> zone-skip -> [prune-bounds -> reduction]*
+-> strategy-dispatch -> validate.  Everything the dispatch and run
+stages need is carried by one :class:`EvaluationContext`, so strategies stop
 re-deriving state (candidate rids, cardinality bounds, the ILP
 translation) that an earlier stage already computed.
 
@@ -64,7 +65,13 @@ class EvaluationContext:
             *kept* set, so every strategy estimate and run is
             reduction-aware for free; the base (pre-reduction) count
             stays available as :attr:`base_candidate_count` for
-            user-facing reporting.
+            user-facing reporting.  With the pipeline's prune/reduce
+            fixpoint this is the *merged* record across rounds.
+        artifacts: the session's
+            :class:`~repro.core.session.ArtifactCache` when evaluation
+            runs inside an :class:`~repro.core.session.EvaluationSession`
+            (``None`` otherwise); the ILP translation consults it so a
+            repeated query skips rebuilding the model.
 
     The ILP translation is computed lazily and cached: the cost model,
     the planner and the ``ilp``/``partition`` strategies all share one
@@ -83,6 +90,7 @@ class EvaluationContext:
     sharded: object = None
     shard_info: dict | None = None
     reduction: object = None
+    artifacts: object = None
     _translation: object = field(default=None, init=False, repr=False)
     _translation_error: str | None = field(default=None, init=False, repr=False)
     _translation_tried: bool = field(default=False, init=False, repr=False)
@@ -144,6 +152,18 @@ class EvaluationContext:
         """
         if not self._translation_tried:
             self._translation_tried = True
+            fingerprint = None
+            if self.artifacts is not None:
+                fingerprint = self.artifacts.fingerprint(self.candidate_rids)
+                cached = self.artifacts.cached_translation(
+                    self.query,
+                    self.candidate_rids,
+                    self.forced_rids,
+                    fingerprint,
+                )
+                if cached is not None:
+                    self._translation = cached
+                    return self._translation, self._translation_error
             try:
                 self._translation = translate(
                     self.query,
@@ -151,6 +171,14 @@ class EvaluationContext:
                     self.candidate_rids,
                     forced_ones=frozenset(self.forced_rids),
                 )
+                if self.artifacts is not None:
+                    self.artifacts.store_translation(
+                        self.query,
+                        self.candidate_rids,
+                        self.forced_rids,
+                        self._translation,
+                        fingerprint,
+                    )
             except ILPTranslationError as exc:
                 self._translation_error = str(exc)
         return self._translation, self._translation_error

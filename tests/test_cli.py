@@ -152,6 +152,205 @@ class TestErrorHandling:
         assert code == 2
 
 
+class TestExplainCommand:
+    def test_executed_stage_table(self, recipes_csv):
+        code, text = run(["explain", "--csv", recipes_csv, "--query", QUERY])
+        assert code == 0
+        assert "status: optimal" in text
+        for stage in (
+            "rewrite",
+            "where-filter",
+            "zone-skip",
+            "prune-bounds",
+            "reduction",
+            "strategy-dispatch",
+            "validate",
+        ):
+            assert stage in text
+        assert "rows in" in text
+
+    def test_simulated_stage_table(self, recipes_csv):
+        code, text = run(
+            ["explain", "--csv", recipes_csv, "--query", QUERY, "--simulate"]
+        )
+        assert code == 0
+        assert "(simulated)" in text
+        assert "strategy-dispatch" in text
+
+    def test_simulated_header_honors_explicit_strategy(self, recipes_csv):
+        # --simulate with a fixed --strategy must report that strategy
+        # (what execution would dispatch), not the cost model's pick.
+        code, text = run(
+            [
+                "explain",
+                "--csv",
+                recipes_csv,
+                "--query",
+                QUERY,
+                "--simulate",
+                "--strategy",
+                "brute-force",
+            ]
+        )
+        assert code == 0
+        assert "strategy: brute-force (simulated)" in text
+
+    def test_skip_reasons_rendered(self, recipes_csv):
+        code, text = run(
+            [
+                "explain",
+                "--csv",
+                recipes_csv,
+                "--query",
+                QUERY,
+                "--reduce",
+                "off",
+            ]
+        )
+        assert code == 0
+        assert "reduction disabled (reduce=off)" in text
+
+
+class TestReplCommand:
+    def _batch(self, tmp_path, statements):
+        path = tmp_path / "queries.paql"
+        path.write_text(";\n".join(statements) + ";")
+        return str(path)
+
+    def test_batch_file_shares_one_session(self, recipes_csv, tmp_path):
+        batch = self._batch(tmp_path, [QUERY, QUERY])
+        code, text = run(
+            ["repl", "--csv", recipes_csv, "--file", batch, "--stats"]
+        )
+        assert code == 0
+        assert text.count("status: optimal") == 2
+        assert "[session cache]" in text  # the repeat replayed
+        assert "session cache stats" in text
+
+    def test_batch_json_payloads(self, recipes_csv, tmp_path):
+        batch = self._batch(tmp_path, [QUERY, QUERY])
+        code, text = run(
+            ["repl", "--csv", recipes_csv, "--file", batch, "--json"]
+        )
+        assert code == 0
+        payloads = json.loads(text)
+        assert len(payloads) == 2
+        assert payloads[0]["cached"] is False
+        assert payloads[1]["cached"] is True
+        assert (
+            payloads[0]["package"]["objective"]
+            == payloads[1]["package"]["objective"]
+        )
+
+    def test_explain_prefix_appends_stage_table(self, recipes_csv, tmp_path):
+        batch = self._batch(tmp_path, ["EXPLAIN " + QUERY])
+        code, text = run(["repl", "--csv", recipes_csv, "--file", batch])
+        assert code == 0
+        assert "strategy-dispatch" in text
+
+    def test_explain_prefix_accepts_a_newline(self, recipes_csv, tmp_path):
+        batch = self._batch(tmp_path, ["EXPLAIN\n" + QUERY])
+        code, text = run(["repl", "--csv", recipes_csv, "--file", batch])
+        assert code == 0
+        assert "strategy-dispatch" in text
+
+    def test_json_stats_meta_command_stays_parseable(
+        self, recipes_csv, monkeypatch
+    ):
+        source = io.StringIO(f"{QUERY};\n\\stats\n")
+        source.isatty = lambda: True  # even a tty must not print prompts
+        monkeypatch.setattr("sys.stdin", source)
+        code, text = run(["repl", "--csv", recipes_csv, "--json"])
+        assert code == 0
+        payloads = json.loads(text)  # one parseable document
+        assert payloads[1]["cache_stats"]["queries_run"] == 1
+
+    def test_bad_statement_reports_and_continues(self, recipes_csv, tmp_path):
+        batch = self._batch(tmp_path, ["SELECT NONSENSE", QUERY])
+        code, text = run(["repl", "--csv", recipes_csv, "--file", batch])
+        assert code == 1
+        assert "error:" in text
+        assert "status: optimal" in text
+
+    def test_semicolon_inside_string_literal(self, recipes_csv, tmp_path):
+        # The splitter must not cut inside a quoted PaQL string.
+        statement = (
+            "SELECT PACKAGE(R) FROM Recipes R WHERE R.name = 'a;b' "
+            "SUCH THAT COUNT(*) <= 1"
+        )
+        batch = self._batch(tmp_path, [statement])
+        code, text = run(["repl", "--csv", recipes_csv, "--file", batch])
+        assert code == 0
+        assert "error" not in text
+        assert text.count("status:") == 1
+
+    def test_two_statements_on_one_line(self, recipes_csv, monkeypatch):
+        source = io.StringIO(f"{QUERY}; {QUERY};\n")
+        source.isatty = lambda: False
+        monkeypatch.setattr("sys.stdin", source)
+        code, text = run(["repl", "--csv", recipes_csv])
+        assert code == 0
+        assert text.count("status: optimal") == 2
+        assert "[session cache]" in text
+
+    def test_json_with_stats_is_one_document(self, recipes_csv, tmp_path):
+        batch = self._batch(tmp_path, [QUERY])
+        code, text = run(
+            ["repl", "--csv", recipes_csv, "--file", batch, "--json", "--stats"]
+        )
+        assert code == 0
+        document = json.loads(text)  # a single parseable document
+        assert len(document["statements"]) == 1
+        assert document["cache_stats"]["queries_run"] == 1
+
+    def test_json_explain_includes_stages(self, recipes_csv, tmp_path):
+        batch = self._batch(tmp_path, ["EXPLAIN " + QUERY])
+        code, text = run(
+            ["repl", "--csv", recipes_csv, "--file", batch, "--json"]
+        )
+        assert code == 0
+        (payload,) = json.loads(text)
+        assert [s["name"] for s in payload["stages"]][0] == "rewrite"
+
+    def test_interactive_stream(self, recipes_csv, monkeypatch):
+        source = io.StringIO(f"\\stats\n{QUERY};\n\\quit\n")
+        source.isatty = lambda: False
+        monkeypatch.setattr("sys.stdin", source)
+        code, text = run(["repl", "--csv", recipes_csv])
+        assert code == 0
+        assert '"queries_run": 0' in text  # \stats before any query
+        assert "status: optimal" in text
+
+    def test_quit_aborts_a_half_typed_statement(self, recipes_csv, monkeypatch):
+        # The buffered fragment is itself valid PaQL, so this guards
+        # that \quit *discards* it rather than evaluating it.
+        source = io.StringIO("SELECT PACKAGE(R) FROM Recipes R\n\\quit\n")
+        source.isatty = lambda: False
+        monkeypatch.setattr("sys.stdin", source)
+        code, text = run(["repl", "--csv", recipes_csv])
+        assert code == 0
+        assert "error" not in text
+        assert "status:" not in text  # nothing was evaluated
+
+
+class TestSessionBenchCommand:
+    def test_tiny_run_parity(self):
+        code, text = run(
+            [
+                "session-bench",
+                "--n",
+                "2000",
+                "--length",
+                "4",
+                "--shards",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "objectives identical to cold runs: yes" in text
+        assert "validated replays" in text
+
+
 class TestDescribeCommand:
     def test_describe(self):
         code, text = run(["describe", "--query", QUERY])

@@ -428,16 +428,112 @@ class TestDominance:
         assert "cardinality bound too loose" in red.dominance
 
     def test_unanalyzable_conjunct_blocks_dominance_not_fixing(self):
+        # A disjunctive global constraint has no per-tuple dominance
+        # direction; fixing from the other conjuncts must still run.
         relation = _relation([(1.0, 2.0), (9.0, 2.0), (9.5, 2.0)])
         red = _reduce(
             relation,
             "SELECT PACKAGE(R) FROM Red R "
-            "SUCH THAT MAX(R.cost) <= 5 AND AVG(R.gain) >= 1 "
+            "SUCH THAT MAX(R.cost) <= 5 "
+            "AND (SUM(R.gain) >= 1 OR COUNT(*) >= 1) "
             "AND COUNT(*) <= 1 MAXIMIZE SUM(R.gain)",
             mode="aggressive",
         )
         assert red.fixed == 2  # MAX fixing still ran
         assert red.dominance.startswith("skipped:")
+
+    def test_avg_conjunct_contributes_dominance_keys(self):
+        # Identical AVG contributions and nullity: dominance collapses
+        # the duplicates to the cardinality bound, and the optimum is
+        # preserved (AVG <= c is the sum of (value - c) contributions).
+        relation = _relation([(10.0, 2.0)] * 10)
+        red = _reduce(
+            relation,
+            "SELECT PACKAGE(R) FROM Red R "
+            "SUCH THAT COUNT(*) <= 2 AND AVG(R.cost) <= 15 "
+            "MAXIMIZE SUM(R.gain)",
+            mode="aggressive",
+        )
+        assert red.dominance == "applied"
+        assert len(red.kept_rids) == 2
+
+    def test_avg_dominance_preserves_the_optimum(self):
+        rng = np.random.default_rng(17)
+        rows = [
+            (float(rng.uniform(1, 50)), float(rng.uniform(0, 10)))
+            for _ in range(200)
+        ]
+        relation = _relation(rows)
+        text = (
+            "SELECT PACKAGE(R) FROM Red R "
+            "SUCH THAT COUNT(*) <= 4 AND AVG(R.cost) <= 20 "
+            "MAXIMIZE SUM(R.gain)"
+        )
+        baseline = evaluate(
+            text, relation, options=EngineOptions(strategy="ilp"), reduce="off"
+        )
+        reduced = evaluate(
+            text,
+            relation,
+            options=EngineOptions(strategy="ilp"),
+            reduce="aggressive",
+        )
+        assert reduced.status is baseline.status is ResultStatus.OPTIMAL
+        assert reduced.objective == pytest.approx(baseline.objective, abs=2e-9)
+        assert reduced.stats["reduction"]["dominated"] > 100
+        assert reduced.stats["reduction"]["dominance"] == "applied"
+
+    def test_avg_dominance_applies_past_the_pairwise_limit(self):
+        # On NULL-free data the AVG support indicator is constant, so
+        # it must not count as a second ordered key dimension (which
+        # would trip DOMINANCE_PAIRWISE_LIMIT above 4096 candidates).
+        n = 4200
+        relation = _relation(
+            [(float(i % 37), float(i % 11)) for i in range(n)]
+        )
+        red = _reduce(
+            relation,
+            "SELECT PACKAGE(R) FROM Red R "
+            "SUCH THAT COUNT(*) <= 3 AND AVG(R.cost) <= 20 "
+            "MAXIMIZE SUM(R.gain)",
+            mode="aggressive",
+        )
+        assert red.dominance == "applied"
+        assert red.dominated > 0
+
+    def test_avg_nonfinite_data_blocks_dominance(self):
+        relation = _relation([(math.inf, 2.0), (5.0, 2.0), (6.0, 2.0)])
+        red = _reduce(
+            relation,
+            "SELECT PACKAGE(R) FROM Red R "
+            "SUCH THAT COUNT(*) <= 1 AND AVG(R.cost) <= 20 "
+            "MAXIMIZE SUM(R.gain)",
+            mode="aggressive",
+        )
+        assert red.dominated == 0
+        assert "non-finite AVG data" in red.dominance
+
+    def test_avg_support_witness_facts(self):
+        # AVG of zero non-NULL members is NULL, so the conjunct needs
+        # non-NULL support: all-NULL candidates prove infeasibility,
+        # a singleton non-NULL candidate is forced.
+        relation = _relation([(None, 1.0), (None, 2.0)])
+        red = _reduce(
+            relation, "SELECT PACKAGE(R) FROM Red R SUCH THAT AVG(R.cost) <= 5"
+        )
+        assert red.infeasible
+        relation = _relation([(None, 1.0), (3.0, 2.0)])
+        red = _reduce(
+            relation, "SELECT PACKAGE(R) FROM Red R SUCH THAT AVG(R.cost) <= 5"
+        )
+        assert red.forced_rids == (1,)
+        baseline = evaluate(
+            "SELECT PACKAGE(R) FROM Red R SUCH THAT AVG(R.cost) <= 5",
+            _relation([(None, 1.0), (None, 2.0)]),
+            reduce="off",
+            options=EngineOptions(strategy="brute-force"),
+        )
+        assert baseline.status is ResultStatus.INFEASIBLE
 
     def test_forced_tuples_are_never_dominated(self):
         # Row 0 is the only MIN witness but has the worst gain; every
@@ -557,6 +653,13 @@ _PARITY_TEMPLATES = (
     "AND COUNT(*) <= {k} MAXIMIZE SUM(R.gain)",
     "SELECT PACKAGE(R) FROM Red R WHERE R.cost >= {a} "
     "SUCH THAT SUM(R.cost) BETWEEN {a} AND {c} MAXIMIZE SUM(R.gain)",
+    # AVG conjuncts: dominance keys (aggressive) + support witnesses.
+    "SELECT PACKAGE(R) FROM Red R SUCH THAT COUNT(*) <= {k} "
+    "AND AVG(R.cost) <= {b} MAXIMIZE SUM(R.gain)",
+    "SELECT PACKAGE(R) FROM Red R SUCH THAT COUNT(*) <= {k} "
+    "AND AVG(R.cost) >= {a} MINIMIZE SUM(R.cost)",
+    "SELECT PACKAGE(R) FROM Red R SUCH THAT AVG(R.cost) = {a} "
+    "AND COUNT(*) <= {k} MAXIMIZE SUM(R.gain)",
 )
 
 
