@@ -86,3 +86,45 @@ def test_sharded_result_parity(benchmark, shards, workers):
             "objective": result.objective,
         }
     )
+    evaluator.close()
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+@pytest.mark.parametrize("backend", ["thread", "process", "shm-process"])
+def test_backend_result_parity(benchmark, backend, workers):
+    """Every backend returns the serial answer bit for bit (E15 axis).
+
+    The thread and process rows pin the pre-existing backends; the
+    shm-process row pins the zero-copy path on every push.  The
+    process backend is expected to *degrade* (task closures reference
+    the relation, which does not pickle cheaply) — parity must hold
+    regardless of which pool the work actually ran on.
+    """
+    relation = clustered_relation(10000, seed=5)
+    evaluator = PackageQueryEvaluator(relation)
+    baseline = evaluator.evaluate(SHARD_BENCH_QUERY, EngineOptions())
+
+    def run():
+        return evaluator.evaluate(
+            SHARD_BENCH_QUERY,
+            EngineOptions(
+                shards=8, workers=workers, parallel_backend=backend
+            ),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.status is baseline.status
+    assert result.objective == baseline.objective
+    assert result.package.counts == baseline.package.counts
+    assert result.candidate_count == baseline.candidate_count
+    assert result.bounds == baseline.bounds
+    benchmark.extra_info.update(
+        {
+            "backend": backend,
+            "workers": workers,
+            "shard_stats": result.stats["shards"],
+            "parallel_events": result.stats.get("parallel", []),
+            "objective": result.objective,
+        }
+    )
+    evaluator.close()

@@ -1,0 +1,120 @@
+"""E15 — zero-copy shared-memory multi-core execution (shm-process).
+
+Claim shape: the thread backend scales until the interpreter
+serializes it; real multi-core scaling needs processes, and processes
+historically paid per-task pickling of the data.  The shm-process
+backend exports the relation's column arrays into one shared-memory
+segment *once*; spawn workers attach at pool init and rebuild
+zero-copy numpy views, so per-task IPC is a compiled spec measured in
+bytes — never rows.
+
+Acceptance bars:
+
+* **Parity, always, on every host**: each (backend, workers)
+  configuration's candidate list — values *and* order — plus the
+  final package, objective, and bounds are bit-identical to the
+  serial single-pass run.  This is never skipped.
+* **IPC payload O(KB)**: the relation handle and a compiled WHERE
+  task spec each pickle under 4 KB regardless of row count.
+* **Scaling** (only meaningful with real cores; skipped below 4):
+  the shm-process scan reaches >= 3x at 8 workers over its own
+  1-worker run on the 1M-row uniform workload, and the thread
+  backend plateaus below shm-process at 8 workers.
+
+``REPRO_E15_N`` shrinks the scaling workload for CI smoke runs; the
+parity workload is always small and fast.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.engine import EngineOptions, PackageQueryEvaluator
+from repro.core.parallel import available_cpus
+from repro.core.shardbench import SCALING_BENCH_QUERY, run_scaling_bench
+from repro.datasets import clustered_relation
+from repro.relational import shm
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="no shared memory on this host"
+)
+
+CORES = available_cpus()
+E15_N = int(os.environ.get("REPRO_E15_N", "1000000"))
+
+
+def test_ipc_payload_is_kilobytes():
+    """Handle and per-task spec pickle under 4 KB at any row count."""
+    relation = clustered_relation(50000, seed=15)
+    export = shm.export_relation(relation)
+    try:
+        assert export.handle.pickled_size() < 4096
+    finally:
+        export.close()
+    evaluator = PackageQueryEvaluator(relation)
+    query = evaluator.prepare(SCALING_BENCH_QUERY)
+    spec = (query.where, 8, 3)  # the WHERE-scan task spec shape
+    assert len(pickle.dumps(spec)) < 4096
+    options = EngineOptions(shards=8, workers=2)
+    assert len(pickle.dumps(options)) < 4096  # rides the refine specs
+    evaluator.close()
+
+
+def test_scaling_parity(benchmark):
+    """Bit-identical results per (backend, workers) — never skipped."""
+    outcome = benchmark.pedantic(
+        lambda: run_scaling_bench(
+            n=min(E15_N, 40000),
+            shards=8,
+            worker_counts=(1, 2),
+            backends=("thread", "shm-process"),
+            repeats=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome["parity"], (
+        "a backend/worker configuration diverged from the serial "
+        f"single-pass run: {outcome['curves']}"
+    )
+    assert outcome["where_path"] == "vectorized"
+    benchmark.extra_info.update(outcome)
+
+
+@pytest.mark.skipif(
+    CORES < 4,
+    reason=f"scaling gate needs >= 4 cores (host grants {CORES})",
+)
+@pytest.mark.skipif(
+    E15_N < 1000000,
+    reason="the >=3x claim is defined on the 1M-row workload; "
+    "REPRO_E15_N shrank it (CI smoke runs parity only)",
+)
+def test_shm_scan_scaling(benchmark):
+    """>= 3x at 8 workers on the 1M-row scan; threads plateau below."""
+    outcome = benchmark.pedantic(
+        lambda: run_scaling_bench(
+            n=E15_N,
+            shards=8,
+            worker_counts=(1, 2, 4, 8),
+            backends=("thread", "shm-process"),
+            repeats=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome["parity"]
+    shm_curve = outcome["curves"]["shm-process"]
+    thread_curve = outcome["curves"]["thread"]
+    scaling = shm_curve["seconds"][0] / max(shm_curve["seconds"][-1], 1e-12)
+    assert scaling >= 3.0, (
+        f"shm-process scan only {scaling:.2f}x from 1 to 8 workers "
+        f"(curve: {[f'{s * 1e3:.1f}ms' for s in shm_curve['seconds']]})"
+    )
+    assert shm_curve["seconds"][-1] <= thread_curve["seconds"][-1], (
+        "the thread backend out-scaled shm-process at 8 workers — the "
+        "zero-copy path is not paying for itself"
+    )
+    assert shm_curve["attach_seconds"] is not None
+    benchmark.extra_info.update(outcome)

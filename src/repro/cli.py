@@ -29,6 +29,7 @@ import sys
 
 from repro.core.engine import EngineError, EngineOptions, PackageQueryEvaluator
 from repro.core.enumeration import diverse_subset, enumerate_top
+from repro.core.parallel import ENGINE_BACKENDS
 from repro.core.strategies import all_strategies, strategy_names
 from repro.core.translate_ilp import ILPTranslationError
 from repro.core.validator import objective_value
@@ -155,7 +156,11 @@ def _cmd_query(args, out):
         if "stages" in result.stats:
             from repro.core.ir import stage_table
 
-            for line in stage_table(result.stats["stages"]):
+            table = stage_table(
+                result.stats["stages"],
+                parallel=result.stats.get("parallel"),
+            )
+            for line in table:
                 print(line, file=out)
     if not result.found:
         print("no valid package exists", file=out)
@@ -188,6 +193,7 @@ def _engine_options(args):
         shards=args.shards,
         workers=args.workers,
         reduce=args.reduce,
+        parallel_backend=getattr(args, "parallel_backend", "thread"),
     )
 
 
@@ -202,8 +208,8 @@ def _cmd_explain(args, out):
 
     relation = _load_relation(args)
     text = _read_query_text(args)
-    session = EvaluationSession(relation, options=_engine_options(args))
-    outcome, table = session.explain(text, execute=not args.simulate)
+    with EvaluationSession(relation, options=_engine_options(args)) as session:
+        outcome, table = session.explain(text, execute=not args.simulate)
     if args.simulate:
         print(f"strategy: {outcome.chosen_strategy} (simulated)", file=out)
     else:
@@ -280,7 +286,11 @@ def _repl_statement(session, statement, args, out):
     if explain and "stages" in result.stats:
         from repro.core.ir import stage_table
 
-        for line in stage_table(result.stats["stages"]):
+        table = stage_table(
+            result.stats["stages"],
+            parallel=result.stats.get("parallel"),
+        )
+        for line in table:
             print(line, file=out)
     if result.found:
         _format_package(result.package, result.query, out)
@@ -464,6 +474,7 @@ def _cmd_shard_bench(args, out):
         shards=args.shards,
         workers=args.workers,
         repeats=args.repeats,
+        backend=args.backend,
     )
     if args.json:
         print(json.dumps(outcome, indent=2, default=str), file=out)
@@ -480,9 +491,17 @@ def _cmd_shard_bench(args, out):
     )
     print(
         f"shards: {info['count']}  zone-skipped: {info['skipped']}  "
-        f"evaluated: {info['evaluated']}  workers: {info['workers']}",
+        f"evaluated: {info['evaluated']}  workers: {info['workers']}  "
+        f"backend: {outcome['backend']}",
         file=out,
     )
+    if outcome.get("attach_seconds") is not None:
+        print(
+            f"shm attach:   {outcome['attach_seconds'] * 1e3:8.2f} ms "
+            f"(one-time export+spawn+warm)  teardown: "
+            f"{outcome['teardown_seconds'] * 1e3:.2f} ms",
+            file=out,
+        )
     print(
         f"WHERE scan:   {outcome['unsharded_seconds'] * 1e3:8.2f} ms -> "
         f"{outcome['sharded_seconds'] * 1e3:8.2f} ms  "
@@ -648,6 +667,18 @@ def build_parser():
             help="worker threads for sharded stages (0 = one per CPU)",
         )
         command.add_argument(
+            "--parallel-backend",
+            default="thread",
+            choices=list(ENGINE_BACKENDS),
+            help=(
+                "execution backend for shard-parallel stages: thread "
+                "(default), process (pickling pool), shm-process "
+                "(zero-copy shared-memory workers; degrades to thread "
+                "with the reason recorded in stats['parallel']), or "
+                "serial"
+            ),
+        )
+        command.add_argument(
             "--reduce",
             default="safe",
             choices=["off", "safe", "aggressive"],
@@ -800,6 +831,15 @@ def build_parser():
     )
     shard_bench.add_argument(
         "--repeats", type=int, default=5, help="timing repetitions (best wins)"
+    )
+    shard_bench.add_argument(
+        "--backend",
+        default="thread",
+        choices=["thread", "process", "shm-process"],
+        help=(
+            "parallel backend for the sharded side; shm-process also "
+            "reports its one-time attach/teardown overhead"
+        ),
     )
     shard_bench.add_argument("--json", action="store_true", help="JSON output")
     shard_bench.set_defaults(func=_cmd_shard_bench)

@@ -48,7 +48,16 @@ from repro.paql.eval import eval_predicate
 from repro.core.vectorize import evaluator_for, try_predicate_mask
 from repro.core.ir import records_payload
 from repro.core.local_search import LocalSearchOptions
-from repro.core.parallel import effective_workers, parallel_map
+from repro.core.parallel import (
+    ShmExecutionContext,
+    ShmUnavailable,
+    collect_parallel_events,
+    effective_workers,
+    note_parallel_event,
+    parallel_map,
+    pool_backend,
+    shm_worker_state,
+)
 from repro.core.partitioning import PartitionOptions
 from repro.core.pipeline import dispatch_strategy, run_analysis, run_validate
 from repro.core.result import EngineError, EvaluationResult, ResultStatus
@@ -93,8 +102,16 @@ class EngineOptions:
             exactly the single-pass answer, and zone statistics only
             skip shards *proved* empty of matches (see
             ``docs/sharding.md``).
-        workers: worker threads for shard- and partition-parallel
-            stages; 0 means one per CPU, 1 forces serial execution.
+        workers: workers for shard- and partition-parallel stages;
+            0 means one per available CPU, 1 forces serial execution.
+        parallel_backend: execution backend for those stages —
+            ``thread`` (default; numpy kernels release the GIL),
+            ``process`` (per-task pickling; coarse work only),
+            ``shm-process`` (zero-copy shared-memory workers that
+            attach to the relation once — the multi-core scan path,
+            see ``docs/sharding.md``), or ``serial``.  Backends never
+            change results; every degradation (e.g. shared memory
+            unavailable) is recorded in ``stats["parallel"]``.
         reduce: candidate-space reduction mode (``docs/reduction.md``):
             ``safe`` (the default) fixes out tuples the global
             constraints prove absent from every acceptable package —
@@ -115,6 +132,7 @@ class EngineOptions:
     shards: int = 1
     workers: int = 0
     reduce: str = "safe"
+    parallel_backend: str = "thread"
 
 
 class PackageQueryEvaluator:
@@ -138,6 +156,8 @@ class PackageQueryEvaluator:
         self._db = db
         self._sharded = None
         self._artifacts = artifacts
+        self._shm_ctx = None
+        self._shm_failure = None
         if db is not None and not db.has_relation(relation.name):
             db.load_relation(relation)
 
@@ -170,6 +190,60 @@ class PackageQueryEvaluator:
         if self._sharded is None or self._sharded.num_shards != shards:
             self._sharded = ShardedRelation(self._relation, shards)
         return self._sharded
+
+    def execution_context(self, options):
+        """The shared-memory execution context for ``options``, or ``None``.
+
+        Created lazily on the first sharded evaluation with
+        ``parallel_backend="shm-process"`` and cached for the
+        evaluator's lifetime (the export and the worker pool amortize
+        across queries — the session workload).  Rebuilt when the
+        requested worker count changes; any creation failure is
+        recorded as a parallel event once and cached so later calls
+        degrade instantly instead of retrying a broken host.
+        """
+        if (
+            options is None
+            or getattr(options, "parallel_backend", "thread") != "shm-process"
+            or getattr(options, "shards", 1) <= 1
+        ):
+            return None
+        requested = getattr(options, "workers", 0)
+        if self._shm_ctx is not None:
+            ctx, ctx_requested = self._shm_ctx
+            if ctx.alive and ctx_requested == requested:
+                return ctx
+            ctx.close()
+            self._shm_ctx = None
+        if self._shm_failure is not None:
+            note_parallel_event("shm-process", self._shm_failure)
+            return None
+        try:
+            ctx = ShmExecutionContext.create(self._relation, requested)
+        except ShmUnavailable as exc:
+            self._shm_failure = f"{exc}; degraded to the thread backend"
+            note_parallel_event("shm-process", self._shm_failure)
+            return None
+        self._shm_ctx = (ctx, requested)
+        return ctx
+
+    def close(self):
+        """Release owned resources (the shm export + worker pool).
+
+        Idempotent; the evaluator remains usable afterwards (a later
+        shm evaluation recreates the context).  Sessions call this
+        from their own ``close()``.
+        """
+        if self._shm_ctx is not None:
+            ctx, _ = self._shm_ctx
+            ctx.close()
+            self._shm_ctx = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
 
     def prepare(self, query_or_text):
         """Parse (if text) and analyze a query against the relation."""
@@ -265,6 +339,12 @@ class PackageQueryEvaluator:
         reproduces the single-pass result bit for bit (kernels are
         elementwise).  Shards the zone-map analysis proves cannot
         contain a match are skipped without touching their data.
+
+        With ``parallel_backend="shm-process"`` the live shards are
+        dispatched to the persistent attached workers — each task spec
+        is ``(where AST, shard count, shard index)``, a few hundred
+        bytes — and merged in the identical shard order; any pool
+        failure degrades to the thread path with a recorded event.
         """
         evaluator = evaluator_for(self._relation)
         if not evaluator.supports(query.where, boolean=True):
@@ -277,12 +357,32 @@ class PackageQueryEvaluator:
             if not skippable[index]
         ]
 
-        def shard_rids(index):
-            part = sharded.shard_slice(index)
-            mask = evaluator.predicate_mask(query.where, part)
-            return part.start + np.flatnonzero(mask)
+        pieces = None
+        backend = pool_backend(options)
+        workers = effective_workers(options.workers, max(1, len(live)))
+        shm = self.execution_context(options) if len(live) > 1 else None
+        if shm is not None:
+            specs = [(query.where, options.shards, index) for index in live]
+            try:
+                pieces = shm.map(_shm_where_scan, specs)
+                backend = "shm-process"
+                workers = min(shm.workers, max(1, len(live)))
+            except ShmUnavailable as exc:
+                note_parallel_event(
+                    "shm-process", f"{exc}; WHERE scan ran on threads"
+                )
+                pieces = None
 
-        pieces = parallel_map(shard_rids, live, workers=options.workers)
+        if pieces is None:
+
+            def shard_rids(index):
+                part = sharded.shard_slice(index)
+                mask = evaluator.predicate_mask(query.where, part)
+                return part.start + np.flatnonzero(mask)
+
+            pieces = parallel_map(
+                shard_rids, live, workers=options.workers, backend=backend
+            )
         rids = (
             np.concatenate(pieces)
             if pieces
@@ -292,7 +392,8 @@ class PackageQueryEvaluator:
             "count": sharded.num_shards,
             "evaluated": len(live),
             "skipped": sharded.num_shards - len(live),
-            "workers": effective_workers(options.workers, max(1, len(live))),
+            "workers": workers,
+            "backend": backend,
         }
         return rids.tolist(), shard_info
 
@@ -328,40 +429,48 @@ class PackageQueryEvaluator:
         options = options or EngineOptions()
         started = time.perf_counter()
 
-        query = self.prepare(query_or_text)
-        state = run_analysis(self, query, options, artifacts=self._artifacts)
-        result = dispatch_strategy(state)
-
-        if result is None:
-            # A stage proved infeasibility without solving: empty
-            # cardinality bounds, or a reduction witness-set proof.
-            run_validate(state, self._check, None)
-            ctx = state.ctx
-            stats = {
-                "reason": state.halt_reason,
-                "where_path": ctx.where_path,
-            }
-            if ctx.reduction is not None:
-                stats["reduction"] = ctx.reduction.stats()
-            result = EvaluationResult(
-                package=None,
-                status=ResultStatus.INFEASIBLE,
-                strategy=state.halt_strategy,
-                query=state.query,
-                candidate_count=ctx.base_candidate_count,
-                bounds=ctx.bounds,
-                stats=stats,
+        parallel_events = []
+        with collect_parallel_events(parallel_events):
+            query = self.prepare(query_or_text)
+            state = run_analysis(
+                self, query, options, artifacts=self._artifacts
             )
-        else:
-            ctx = state.ctx
-            result.query = state.query
-            result.candidate_count = ctx.base_candidate_count
-            result.bounds = ctx.bounds
-            result.stats.setdefault("where_path", ctx.where_path)
-            if ctx.reduction is not None:
-                result.stats.setdefault("reduction", ctx.reduction.stats())
-            run_validate(state, self._check, result)
+            result = dispatch_strategy(state)
 
+            if result is None:
+                # A stage proved infeasibility without solving: empty
+                # cardinality bounds, or a reduction witness-set proof.
+                run_validate(state, self._check, None)
+                ctx = state.ctx
+                stats = {
+                    "reason": state.halt_reason,
+                    "where_path": ctx.where_path,
+                }
+                if ctx.reduction is not None:
+                    stats["reduction"] = ctx.reduction.stats()
+                result = EvaluationResult(
+                    package=None,
+                    status=ResultStatus.INFEASIBLE,
+                    strategy=state.halt_strategy,
+                    query=state.query,
+                    candidate_count=ctx.base_candidate_count,
+                    bounds=ctx.bounds,
+                    stats=stats,
+                )
+            else:
+                ctx = state.ctx
+                result.query = state.query
+                result.candidate_count = ctx.base_candidate_count
+                result.bounds = ctx.bounds
+                result.stats.setdefault("where_path", ctx.where_path)
+                if ctx.reduction is not None:
+                    result.stats.setdefault(
+                        "reduction", ctx.reduction.stats()
+                    )
+                run_validate(state, self._check, result)
+
+        if parallel_events:
+            result.stats["parallel"] = parallel_events
         if state.shard_info is not None:
             result.stats.setdefault("shards", state.shard_info)
         if state.rewrites_applied:
@@ -384,6 +493,22 @@ class PackageQueryEvaluator:
         result.objective = report.objective
 
 
+def _shm_where_scan(spec):
+    """shm-process worker task: one shard's WHERE scan.
+
+    ``spec`` is ``(where AST, shard count, shard index)`` — bytes on
+    the wire; the relation comes from the worker's one-time attach.
+    Returns absolute rids, exactly what the in-process shard task
+    produces (the kernels are elementwise, so bit-identical).
+    """
+    where, shards, index = spec
+    state = shm_worker_state()
+    sharded = state.sharded(shards)
+    part = sharded.shard_slice(index)
+    mask = evaluator_for(state.relation).predicate_mask(where, part)
+    return part.start + np.flatnonzero(mask)
+
+
 def evaluate(
     query_text,
     relation,
@@ -392,6 +517,7 @@ def evaluate(
     shards=None,
     workers=None,
     reduce=None,
+    parallel_backend=None,
 ):
     """One-call evaluation: build an evaluator, run one query.
 
@@ -402,20 +528,30 @@ def evaluate(
         workers: shortcut for ``EngineOptions.workers``.
         reduce: shortcut for ``EngineOptions.reduce`` — candidate-space
             reduction mode (``off`` | ``safe`` | ``aggressive``).
+        parallel_backend: shortcut for
+            ``EngineOptions.parallel_backend`` (``thread`` |
+            ``process`` | ``shm-process`` | ``serial``).
 
     All shortcuts override the corresponding field of ``options``
     when given.
     """
-    if shards is not None or workers is not None or reduce is not None:
+    overrides = {}
+    if shards is not None:
+        overrides["shards"] = shards
+    if workers is not None:
+        overrides["workers"] = workers
+    if reduce is not None:
+        overrides["reduce"] = reduce
+    if parallel_backend is not None:
+        overrides["parallel_backend"] = parallel_backend
+    if overrides:
         from dataclasses import replace
 
-        options = options or EngineOptions()
-        overrides = {}
-        if shards is not None:
-            overrides["shards"] = shards
-        if workers is not None:
-            overrides["workers"] = workers
-        if reduce is not None:
-            overrides["reduce"] = reduce
-        options = replace(options, **overrides)
-    return PackageQueryEvaluator(relation, db).evaluate(query_text, options)
+        options = replace(options or EngineOptions(), **overrides)
+    evaluator = PackageQueryEvaluator(relation, db)
+    try:
+        return evaluator.evaluate(query_text, options)
+    finally:
+        # One-shot calls own no session: any shm export/pool created
+        # for this query is torn down (unlinked) before returning.
+        evaluator.close()

@@ -149,13 +149,15 @@ def _format_detail(record):
     return ", ".join(parts)
 
 
-def stage_table(records):
+def stage_table(records, parallel=None):
     """Render records as the ``repro explain`` text table.
 
     Accepts :class:`StageRecord` objects or their ``as_dict`` payloads
     (the ``stats["stages"]`` spelling).  Columns: stage, fixpoint
     round, rows in/out, wall-clock, and the skip reason or detail
-    summary.  Returns a list of lines.
+    summary.  ``parallel`` takes the ``stats["parallel"]`` degradation
+    events, rendered as a footer so a silent backend fallback is never
+    invisible in an EXPLAIN.  Returns a list of lines.
     """
     records = [
         StageRecord(
@@ -196,4 +198,13 @@ def stage_table(records):
     ]
     for row in body:
         lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
-    return [line.rstrip() for line in lines]
+    lines = [line.rstrip() for line in lines]
+    if parallel:
+        lines.append("parallel fallbacks:")
+        for event in parallel:
+            note = f"  {event.get('backend', '?')}: {event.get('fallback', '')}"
+            task = event.get("task")
+            if task:
+                note += f" [{task}]"
+            lines.append(note.rstrip())
+    return lines

@@ -14,38 +14,79 @@ Design rules, in priority order:
 2. **Serial fallback.**  One worker, one task, an unavailable pool, or
    ``backend="serial"`` all run the plain Python loop — identical
    results, zero pool overhead, and the engine stays dependency-free
-   on constrained hosts.
+   on constrained hosts.  Every degradation is *recorded*: a fallback
+   notes ``(backend, reason)`` through :func:`note_parallel_event`, so
+   ``stats["parallel"]`` and ``repro explain`` show why a run got
+   1-core performance instead of hiding it.
 3. **Exception transparency.**  The first (lowest-index) task failure
    propagates, exactly as the serial loop would raise it.
 
-The thread backend is the default: the hot per-task work is numpy
-kernels, which release the GIL on large arrays.  The process backend
-exists for coarse CPU-bound tasks with picklable callables; anything
-unpicklable degrades to the serial loop rather than erroring.
+Backends:
+
+* ``thread`` (default) — the hot per-task work is numpy kernels, which
+  release the GIL on large arrays.
+* ``process`` — coarse CPU-bound tasks with picklable callables;
+  anything unpicklable degrades to the serial loop (recorded).
+* ``shm-process`` — the zero-copy multi-core path: a persistent
+  spawn-safe :class:`ShmPool` whose workers attach *once* to a
+  relation exported through :mod:`repro.relational.shm`, then receive
+  only compiled task specs — per-task IPC is bytes, never the
+  relation.  Owned by an :class:`ShmExecutionContext` (engine /
+  session lifetime); every failure mode degrades to the thread
+  backend with a recorded event.
+* ``serial`` — always the plain loop.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 __all__ = [
     "ExecutorPool",
     "ParallelOptions",
+    "ShmExecutionContext",
+    "ShmPool",
+    "ShmUnavailable",
     "chunk_slices",
+    "collect_parallel_events",
     "effective_workers",
+    "note_parallel_event",
     "parallel_map",
+    "pool_backend",
+    "shm_worker_state",
 ]
 
-#: Recognized ``ParallelOptions.backend`` spellings.
+#: Recognized ``ParallelOptions.backend`` spellings (``shm-process`` is
+#: dispatched by the engine through :class:`ShmExecutionContext`, and
+#: maps to ``thread`` inside the ordinary pool — see :func:`pool_backend`).
 BACKENDS = ("thread", "process", "serial")
+
+#: Engine-level backend spellings (``EngineOptions.parallel_backend``).
+ENGINE_BACKENDS = ("thread", "process", "shm-process", "serial")
+
+
+def available_cpus():
+    """CPUs this process may actually run on.
+
+    Prefers the scheduler affinity mask (which cgroup/container limits
+    and ``taskset`` shrink) over the raw ``os.cpu_count()``; falls back
+    where affinity is unsupported (macOS, Windows).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def effective_workers(workers, task_count):
     """Resolve a worker request against the machine and the task count.
 
     Args:
-        workers: requested workers; ``0`` means one per CPU.
+        workers: requested workers; ``0`` means one per *available*
+            CPU (the affinity mask, not the raw core count).
         task_count: how many independent tasks there are.
 
     Returns:
@@ -55,7 +96,7 @@ def effective_workers(workers, task_count):
     if task_count <= 1:
         return 1
     if workers <= 0:
-        workers = os.cpu_count() or 1
+        workers = available_cpus()
     return max(1, min(workers, task_count))
 
 
@@ -77,6 +118,59 @@ def chunk_slices(total, chunks):
         out.append(slice(start, stop))
         start = stop
     return out
+
+
+# -- degradation events -------------------------------------------------------
+
+_EVENT_SINK = threading.local()
+
+
+class collect_parallel_events:
+    """Context manager collecting backend-degradation events into a list.
+
+    The engine wraps each evaluation in one of these and publishes the
+    collected entries as ``stats["parallel"]``; outside a collector,
+    :func:`note_parallel_event` is a no-op.  Entries are deduplicated
+    (the same fallback firing at several pipeline stages reads as one
+    fact, not noise).
+    """
+
+    def __init__(self, sink):
+        self._sink = sink
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = getattr(_EVENT_SINK, "events", None)
+        _EVENT_SINK.events = self._sink
+        return self._sink
+
+    def __exit__(self, *exc_info):
+        _EVENT_SINK.events = self._previous
+        return False
+
+
+def note_parallel_event(backend, fallback, task=None):
+    """Record one backend degradation: which backend, why it fell back."""
+    events = getattr(_EVENT_SINK, "events", None)
+    if events is None:
+        return
+    entry = {"backend": backend, "fallback": fallback}
+    if task is not None:
+        entry["task"] = task
+    if entry not in events:
+        events.append(entry)
+
+
+def pool_backend(options):
+    """The :class:`ExecutorPool` backend for an ``EngineOptions``.
+
+    ``shm-process`` is dispatched by the engine through its
+    :class:`ShmExecutionContext`; whenever shard work reaches the
+    ordinary pool instead (context creation failed, non-shard-parallel
+    stages), threads are its degradation target.
+    """
+    backend = getattr(options, "parallel_backend", "thread")
+    return "thread" if backend == "shm-process" else backend
 
 
 @dataclass(frozen=True)
@@ -147,14 +241,17 @@ class ExecutorPool:
 
         try:
             pool = ThreadPoolExecutor(max_workers=workers)
-        except RuntimeError:
+        except RuntimeError as exc:
+            note_parallel_event(
+                "thread", f"thread pool unavailable ({exc}); ran serially"
+            )
             return [fn(item) for item in items]
         with pool:
             futures = []
             try:
                 for item in items:
                     futures.append(pool.submit(fn, item))
-            except RuntimeError:
+            except RuntimeError as exc:
                 # Thread-start failure mid-submission (threads spawn
                 # lazily per submit).  Already-submitted futures may be
                 # running or done — harvest them instead of re-running
@@ -164,6 +261,11 @@ class ExecutorPool:
                 # single item whose submit raised can ever replay (its
                 # work item may have been queued before the thread
                 # start failed) — the documented pool-failure caveat.
+                note_parallel_event(
+                    "thread",
+                    f"thread start failed mid-submission ({exc}); "
+                    "remainder ran serially",
+                )
                 if not futures:
                     return [fn(item) for item in items]
                 done = [future.result() for future in futures]
@@ -177,11 +279,19 @@ class ExecutorPool:
 
         try:
             pickle.dumps(fn)
-        except Exception:
+        except Exception as exc:
+            note_parallel_event(
+                "process",
+                "callable does not pickle "
+                f"({type(exc).__name__}); ran serially",
+            )
             return [fn(item) for item in items]
         try:
             pool = ProcessPoolExecutor(max_workers=workers)
-        except (OSError, RuntimeError):
+        except (OSError, RuntimeError) as exc:
+            note_parallel_event(
+                "process", f"process pool unavailable ({exc}); ran serially"
+            )
             return [fn(item) for item in items]
         with pool:
             try:
@@ -190,6 +300,9 @@ class ExecutorPool:
             except BrokenProcessPool:
                 # Pool infrastructure died (never a task exception —
                 # those propagate as themselves); tasks are pure.
+                note_parallel_event(
+                    "process", "worker pool broke mid-run; re-ran serially"
+                )
                 return [fn(item) for item in items]
 
 
@@ -198,3 +311,270 @@ def parallel_map(fn, items, workers=0, backend="thread"):
     return ExecutorPool(ParallelOptions(workers=workers, backend=backend)).map(
         fn, items
     )
+
+
+# -- the shm-process backend --------------------------------------------------
+
+
+class ShmUnavailable(RuntimeError):
+    """The shm-process path cannot run (callers degrade to threads)."""
+
+
+class _ShmWorkerState:
+    """Per-worker-process state: the attached relation and derived views."""
+
+    def __init__(self, relation):
+        self._relation = relation
+        self._sharded = {}
+        self._scratch = OrderedDict()
+
+    @property
+    def relation(self):
+        """The zero-copy :class:`~repro.relational.shm.AttachedRelation`."""
+        return self._relation
+
+    def sharded(self, shards):
+        """A cached zero-copy ``ShardedRelation`` view at ``shards``."""
+        view = self._sharded.get(shards)
+        if view is None:
+            from repro.relational.sharding import ShardedRelation
+
+            view = ShardedRelation(self._relation, shards)
+            self._sharded[shards] = view
+        return view
+
+    def scratch_array(self, handle):
+        """Attach (or reuse) a shared scratch array by handle.
+
+        A small LRU of attachments: repeated tasks over the same
+        candidate-rid export attach once per worker, not once per task.
+        """
+        entry = self._scratch.get(handle.segment)
+        if entry is None:
+            from repro.relational import shm as shm_mod
+
+            entry = shm_mod.attach_array(handle)
+            self._scratch[handle.segment] = entry
+            while len(self._scratch) > 8:
+                _, (_, segment) = self._scratch.popitem(last=False)
+                try:
+                    segment.close()
+                except BufferError:
+                    pass
+        else:
+            self._scratch.move_to_end(handle.segment)
+        return entry[0]
+
+
+_WORKER_STATE = None
+
+
+def _shm_worker_init(handle):
+    """Pool initializer: attach to the shared relation exactly once."""
+    global _WORKER_STATE
+    from repro.relational.shm import attach_relation
+
+    _WORKER_STATE = _ShmWorkerState(attach_relation(handle))
+
+
+def shm_worker_state():
+    """The current worker's :class:`_ShmWorkerState` (task functions
+    call this instead of receiving data in their spec)."""
+    if _WORKER_STATE is None:
+        raise RuntimeError("not inside a shm-process worker")
+    return _WORKER_STATE
+
+
+def _shm_probe_task(_spec):
+    """No-op warmup task (forces worker spawn + attach)."""
+    return os.getpid()
+
+
+class ShmPool:
+    """A persistent spawn-context pool attached to one shared relation.
+
+    Workers run :func:`_shm_worker_init` once (attach, build state) and
+    then serve ordered maps of ``(module-level task fn, spec)`` pairs —
+    the fn pickles by reference, the spec is bytes.  Spawn (never fork)
+    keeps the pool safe under threads and on every platform.
+    """
+
+    def __init__(self, handle, workers):
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        self._workers = max(1, int(workers))
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_shm_worker_init,
+                initargs=(handle,),
+            )
+        except (OSError, RuntimeError, ValueError) as exc:
+            raise ShmUnavailable(f"cannot start shm worker pool: {exc}") from exc
+        self._broken = False
+
+    @property
+    def workers(self):
+        return self._workers
+
+    @property
+    def broken(self):
+        return self._broken
+
+    def map(self, fn, specs):
+        """Ordered map with lowest-index failure propagation.
+
+        Task exceptions propagate as themselves (determinism rule 3);
+        pool infrastructure death raises :class:`ShmUnavailable`, which
+        callers turn into a recorded thread-backend fallback.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        specs = list(specs)
+        try:
+            futures = [self._pool.submit(fn, spec) for spec in specs]
+        except RuntimeError as exc:  # shut down, or spawn refused
+            self._broken = True
+            raise ShmUnavailable(f"cannot submit to shm pool: {exc}") from exc
+        try:
+            return [future.result() for future in futures]
+        except BrokenProcessPool as exc:
+            # Pool infrastructure died; task exceptions propagate
+            # as themselves above, exactly like the serial loop.
+            self._broken = True
+            raise ShmUnavailable(f"shm worker pool broke: {exc}") from exc
+
+    def warm(self):
+        """Spin up every worker (spawn + attach) ahead of timed work."""
+        self.map(_shm_probe_task, range(self._workers))
+
+    def close(self):
+        # wait=True joins the worker processes before the caller
+        # unlinks the segment — a worker still spawning must finish
+        # (or fail) its attach first, not race an unlinked name.
+        self._broken = True
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+class ShmExecutionContext:
+    """Owns one relation's shared-memory export plus its worker pool.
+
+    The engine (or session) holds exactly one of these per evaluator
+    while ``parallel_backend="shm-process"`` is in force; ``close()``
+    tears down the pool, every scratch export, and the relation
+    segment (unlink included).  Also usable as a context manager.
+    """
+
+    def __init__(self, export, pool):
+        self._export = export
+        self._pool = pool
+        self._scratch = OrderedDict()
+        self._closed = False
+
+    @classmethod
+    def create(cls, relation, workers):
+        """Export ``relation`` and start the worker pool.
+
+        Raises:
+            ShmUnavailable: shared memory or the pool cannot be set up
+                (callers record the event and degrade to threads).
+        """
+        from repro.relational import shm as shm_mod
+
+        resolved = max(1, effective_workers(workers, task_count=1 << 30))
+        try:
+            export = shm_mod.export_relation(relation)
+        except shm_mod.SharedMemoryUnavailable as exc:
+            raise ShmUnavailable(str(exc)) from exc
+        try:
+            pool = ShmPool(export.handle, resolved)
+        except ShmUnavailable:
+            export.close()
+            raise
+        return cls(export, pool)
+
+    @property
+    def handle(self):
+        """The relation's :class:`~repro.relational.shm.SharedRelationHandle`."""
+        return self._export.handle
+
+    @property
+    def workers(self):
+        return self._pool.workers
+
+    @property
+    def alive(self):
+        return not self._closed and not self._pool.broken
+
+    def map(self, fn, specs):
+        """Ordered map over the persistent attached workers."""
+        if not self.alive:
+            raise ShmUnavailable("shm execution context is closed")
+        return self._pool.map(fn, specs)
+
+    def warm(self):
+        if not self.alive:
+            raise ShmUnavailable("shm execution context is closed")
+        self._pool.warm()
+
+    def shared_rids(self, rids):
+        """Export a candidate-rid array once; reuse across stages.
+
+        Keyed by content digest, so the pruner's and reducer's passes
+        over the same candidate set ship the rids to workers exactly
+        once per set (a small LRU bounds retained segments).
+        """
+        import hashlib
+
+        import numpy as np
+
+        from repro.relational import shm as shm_mod
+
+        if not self.alive:
+            raise ShmUnavailable("shm execution context is closed")
+        array = np.ascontiguousarray(np.asarray(rids, dtype=np.intp))
+        key = (
+            array.size,
+            hashlib.blake2b(array.tobytes(), digest_size=16).digest(),
+        )
+        entry = self._scratch.get(key)
+        if entry is None:
+            try:
+                entry = shm_mod.export_array(array)
+            except shm_mod.SharedMemoryUnavailable as exc:
+                raise ShmUnavailable(str(exc)) from exc
+            self._scratch[key] = entry
+            while len(self._scratch) > 4:
+                _, old = self._scratch.popitem(last=False)
+                old.close()
+        else:
+            self._scratch.move_to_end(key)
+        return entry.handle
+
+    def close(self):
+        """Tear down pool + exports; idempotent, unlinks every segment."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._pool.close()
+        except Exception:
+            pass
+        for export in self._scratch.values():
+            export.close()
+        self._scratch.clear()
+        self._export.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass

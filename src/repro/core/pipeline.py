@@ -50,6 +50,7 @@ from repro.core.ir import (
     STAGE_ZONE_SKIP,
     StageRecord,
 )
+from repro.core.parallel import pool_backend
 from repro.core.pruning import derive_bounds
 from repro.core.reduction import apply_reduction, merge_reductions, reduction_gate_reason
 
@@ -88,6 +89,10 @@ class PipelineState:
     where_path: str = "none"
     shard_info: dict | None = None
     sharded: object = None
+    #: Live :class:`~repro.core.parallel.ShmExecutionContext` (or
+    #: ``None``): the zero-copy worker pool the sharded stages hand
+    #: their shard tasks to when ``parallel_backend="shm-process"``.
+    shm: object = None
     base_candidate_count: int = 0
     bounds: object = None
     reduction: object = None
@@ -237,6 +242,8 @@ def _run_bounds(state, round_number):
             state.candidate_rids,
             sharded=state.sharded,
             workers=getattr(state.options, "workers", 0),
+            shm=state.shm,
+            backend=pool_backend(state.options),
         )
         if state.artifacts is not None:
             state.artifacts.store_bounds(
@@ -286,6 +293,7 @@ def _run_reduce(state, round_number):
         state.options,
         state.sharded,
         fact_cache=fact_cache,
+        shm=state.shm,
     )
     state.candidate_rids = kept
     detail = {}
@@ -390,6 +398,10 @@ def run_analysis(
     _run_where(state)
     state.base_candidate_count = len(state.candidate_rids)
     _run_zone_skip(state)
+    if state.sharded is not None:
+        context_for = getattr(evaluator, "execution_context", None)
+        if context_for is not None:
+            state.shm = context_for(options)
     _run_prune_fixpoint(state)
     state.ctx = EvaluationContext(
         query=state.query,
@@ -403,6 +415,7 @@ def run_analysis(
         shard_info=state.shard_info,
         reduction=state.reduction,
         artifacts=state.artifacts,
+        shm=state.shm,
     )
     return state
 

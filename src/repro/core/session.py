@@ -261,14 +261,16 @@ class ArtifactCache:
     # -- WHERE results ------------------------------------------------------
 
     def where_key(self, query, options):
-        # Workers never change the rids, but they appear in the
-        # sharded-path stats payload — keying on them keeps a replayed
-        # shard_info honest about the parallel width in force.
+        # Workers and the backend never change the rids, but they
+        # appear in the sharded-path stats payload — keying on them
+        # keeps a replayed shard_info honest about the parallel width
+        # and execution path in force.
         clause = "" if query.where is None else print_expr(query.where)
         return (
             clause,
             getattr(options, "shards", 1),
             getattr(options, "workers", 0),
+            getattr(options, "parallel_backend", "thread"),
         )
 
     def cached_where(self, key):
@@ -372,6 +374,20 @@ class EvaluationSession:
         self._reuse_results = reuse_results
         self._results = _BoundedCache(256)
         self.queries_run = 0
+
+    def close(self):
+        """Release pooled resources (the evaluator's shared-memory
+        execution context, when one was created).  Idempotent; the
+        session stays usable — a later shm-process evaluation simply
+        rebuilds the context."""
+        self._evaluator.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
 
     @property
     def relation(self):
@@ -503,7 +519,11 @@ class EvaluationSession:
             self.queries_run += 1
             if self._reuse_results:
                 self._store(self._result_key(query, options), result)
-            return result, stage_table(result.stats["stages"])
+            table = stage_table(
+                result.stats["stages"],
+                parallel=result.stats.get("parallel"),
+            )
+            return result, table
         report = self.plan(query_or_text, options)
         return report, stage_table(report.stages)
 

@@ -72,6 +72,12 @@ class EvaluationContext:
             runs inside an :class:`~repro.core.session.EvaluationSession`
             (``None`` otherwise); the ILP translation consults it so a
             repeated query skips rebuilding the model.
+        shm: the live :class:`~repro.core.parallel.ShmExecutionContext`
+            when ``options.parallel_backend == "shm-process"`` and the
+            evaluator's zero-copy export succeeded (``None`` otherwise);
+            strategies with shard-parallel phases (``partition``'s
+            refinement waves) ship compiled task specs to its workers
+            instead of pickling candidate data per task.
 
     The ILP translation is computed lazily and cached: the cost model,
     the planner and the ``ilp``/``partition`` strategies all share one
@@ -91,6 +97,7 @@ class EvaluationContext:
     shard_info: dict | None = None
     reduction: object = None
     artifacts: object = None
+    shm: object = None
     _translation: object = field(default=None, init=False, repr=False)
     _translation_error: str | None = field(default=None, init=False, repr=False)
     _translation_tried: bool = field(default=False, init=False, repr=False)

@@ -42,6 +42,52 @@ from repro.solver.status import Status
 _SOLVED = (Status.OPTIMAL, Status.FEASIBLE)
 
 
+def _summarize(translation, solution, backend):
+    """One refinement attempt's picklable outcome.
+
+    Waves never ship models or solver state across the pool boundary —
+    only the status, objective, node count, and the nonzero variable
+    counts the caller needs to pick a winner and commit pins.
+    """
+    counts = {}
+    if solution.status in _SOLVED:
+        for rid, variable in zip(
+            translation.candidate_rids, translation.x_vars
+        ):
+            value = int(round(solution.value_of(variable)))
+            if value > 0:
+                counts[rid] = value
+    return {
+        "status": solution.status,
+        "objective": solution.objective,
+        "nodes": solution.nodes,
+        "backend": backend,
+        "counts": counts,
+    }
+
+
+def _shm_refine_task(spec):
+    """shm-process worker task: solve one refinement attempt.
+
+    The spec carries only compiled inputs — query AST, rid list, upper
+    bounds, pinned multiplicities, engine options; the candidate data
+    itself is read zero-copy from the worker's attached shared-memory
+    relation.
+    """
+    from repro.core.parallel import shm_worker_state
+
+    query, rids, upper, pins, options = spec
+    relation = shm_worker_state().relation
+    translation = translate(query, relation, rids, upper_bounds=upper)
+    var_of = dict(zip(translation.candidate_rids, translation.x_vars))
+    for rid, multiplicity in pins.items():
+        translation.model.add_constraint(
+            {var_of[rid]: 1.0}, "=", float(multiplicity), name="pin"
+        )
+    solution, backend = solve_model(translation.model, options)
+    return _summarize(translation, solution, backend)
+
+
 class PartitionStrategy(Strategy):
     name = "partition"
     exact = False
@@ -138,8 +184,8 @@ class PartitionStrategy(Strategy):
         unrefined = set(range(len(parts)))
         pinned = {}
 
-        def attempt(refining):
-            """Solve with refined choices pinned and ``refining`` expanded.
+        def refine_inputs(refining):
+            """Model inputs ``(rids, upper)`` for one refinement attempt.
 
             Pure with respect to ``pinned``/``unrefined`` (read, never
             written), so independent refinement attempts may run
@@ -160,6 +206,11 @@ class PartitionStrategy(Strategy):
                 )
             if refining is not None:
                 rids.extend(parts.groups[refining])
+            return rids, upper
+
+        def attempt(refining):
+            """Solve with refined choices pinned, ``refining`` expanded."""
+            rids, upper = refine_inputs(refining)
             translation = translate(
                 ctx.query, ctx.relation, rids, upper_bounds=upper
             )
@@ -171,12 +222,16 @@ class PartitionStrategy(Strategy):
             solution, backend = solve_model(translation.model, ctx.options)
             return translation, solution, backend
 
-        def account(solution, backend):
-            stats["solver_backend"] = backend
-            stats["solver_nodes"] += solution.nodes
+        def attempt_summary(refining):
+            return _summarize(*attempt(refining))
+
+        def account(outcome):
+            stats["solver_backend"] = outcome["backend"]
+            stats["solver_nodes"] += outcome["nodes"]
 
         translation, solution, backend = attempt(None)
-        account(solution, backend)
+        summary = _summarize(translation, solution, backend)
+        account(summary)
         stats["sketch_variables"] = len(translation.x_vars)
         if solution.status not in _SOLVED:
             return self._fallback(
@@ -200,13 +255,7 @@ class PartitionStrategy(Strategy):
             )
 
         while True:
-            counts = {}
-            for rid, variable in zip(
-                translation.candidate_rids, translation.x_vars
-            ):
-                value = int(round(solution.value_of(variable)))
-                if value > 0:
-                    counts[rid] = value
+            counts = summary["counts"]
             loaded = [
                 group_index
                 for group_index in unrefined
@@ -223,20 +272,21 @@ class PartitionStrategy(Strategy):
                 # count because the winner is picked by objective value
                 # with a partition-index tie-break, never by
                 # completion order.
-                from repro.core.parallel import parallel_map
                 from repro.solver.model import ObjectiveSense
 
                 wave = sorted(loaded)
-                outcomes = parallel_map(attempt, wave, workers=workers)
+                outcomes, wave_backend = self._refine_wave(
+                    ctx, wave, refine_inputs, attempt_summary, pinned, workers
+                )
                 stats["refine_steps"] += len(wave)
                 stats["refine_waves"] = stats.get("refine_waves", 0) + 1
-                for _, wave_solution, wave_backend in outcomes:
-                    account(wave_solution, wave_backend)
+                stats["refine_backend"] = wave_backend
+                for outcome in outcomes:
+                    account(outcome)
                 solved = [
-                    (group_index, wave_translation, wave_solution)
-                    for group_index, (wave_translation, wave_solution, _)
-                    in zip(wave, outcomes)
-                    if wave_solution.status in _SOLVED
+                    (group_index, outcome)
+                    for group_index, outcome in zip(wave, outcomes)
+                    if outcome["status"] in _SOLVED
                 ]
                 if not solved:
                     return self._fallback(
@@ -250,30 +300,30 @@ class PartitionStrategy(Strategy):
                     is ObjectiveSense.MAXIMIZE
                 )
                 sign = 1.0 if maximize else -1.0
-                target, translation, solution = max(
+                target, summary = max(
                     solved,
-                    key=lambda item: (sign * item[2].objective, -item[0]),
+                    key=lambda item: (sign * item[1]["objective"], -item[0]),
                 )
             else:
                 target = max(
                     loaded,
                     key=lambda q: (counts[parts.representatives[q]], -q),
                 )
-                translation, solution, backend = attempt(target)
-                account(solution, backend)
+                summary = attempt_summary(target)
+                account(summary)
                 stats["refine_steps"] += 1
-                if solution.status not in _SOLVED:
+                if summary["status"] not in _SOLVED:
                     return self._fallback(
                         ctx,
                         f"refine step {stats['refine_steps']} "
-                        f"{solution.status.value}",
+                        f"{summary['status'].value}",
                         stats,
                     )
 
             unrefined.discard(target)
-            var_of = dict(zip(translation.candidate_rids, translation.x_vars))
+            refined_counts = summary["counts"]
             for rid in parts.groups[target]:
-                value = int(round(solution.value_of(var_of[rid])))
+                value = refined_counts.get(rid, 0)
                 if value > 0:
                     pinned[rid] = value
 
@@ -284,6 +334,44 @@ class PartitionStrategy(Strategy):
             query=ctx.query,
             stats=stats,
         )
+
+    def _refine_wave(self, ctx, wave, refine_inputs, attempt_summary, pinned,
+                     workers):
+        """Solve one wave of independent refine ILPs concurrently.
+
+        Returns ``(summaries, backend)`` in wave order.  On the
+        shm-process backend each attempt ships as a compiled spec
+        (query AST, rid list, upper bounds, pins, options) to the
+        zero-copy workers; any pool failure degrades to the thread
+        path below, recording the event — task-level solver errors
+        propagate unchanged either way.
+        """
+        from repro.core.parallel import (
+            ShmUnavailable,
+            note_parallel_event,
+            parallel_map,
+            pool_backend,
+        )
+
+        shm = getattr(ctx, "shm", None)
+        if shm is not None:
+            pins = dict(pinned)
+            specs = []
+            for group_index in wave:
+                rids, upper = refine_inputs(group_index)
+                specs.append((ctx.query, rids, upper, pins, ctx.options))
+            try:
+                return shm.map(_shm_refine_task, specs), "shm-process"
+            except ShmUnavailable as exc:
+                note_parallel_event(
+                    "shm-process",
+                    f"{exc}; refinement wave ran on threads",
+                )
+        backend = pool_backend(ctx.options)
+        summaries = parallel_map(
+            attempt_summary, wave, workers=workers, backend=backend
+        )
+        return summaries, backend
 
     def _fallback(self, ctx, reason, stats):
         """Sketch/refine dead end: defer to the next-best strategy.

@@ -11,9 +11,13 @@ import pytest
 from repro.core.parallel import (
     ExecutorPool,
     ParallelOptions,
+    available_cpus,
     chunk_slices,
+    collect_parallel_events,
     effective_workers,
+    note_parallel_event,
     parallel_map,
+    pool_backend,
 )
 
 
@@ -49,10 +53,33 @@ class TestEffectiveWorkers:
         assert effective_workers(0, 1) == 1
         assert effective_workers(8, 0) == 1
 
-    def test_zero_means_cpu_count(self):
+    def test_zero_means_available_cpus(self):
+        # 0 resolves to the CPUs the scheduler will actually grant —
+        # the affinity mask under cgroup/taskset limits — not the raw
+        # core count.
+        assert effective_workers(0, 1000) == available_cpus()
+
+    def test_available_cpus_prefers_affinity_mask(self, monkeypatch):
         import os
 
-        assert effective_workers(0, 1000) == (os.cpu_count() or 1)
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("no sched_getaffinity on this platform")
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2})
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert available_cpus() == 3
+        assert effective_workers(0, 1000) == 3
+
+    def test_available_cpus_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+
+        def unsupported(pid):
+            raise AttributeError("sched_getaffinity")
+
+        monkeypatch.setattr(
+            os, "sched_getaffinity", unsupported, raising=False
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert available_cpus() == 5
 
     def test_explicit_count_honored(self):
         assert effective_workers(2, 100) == 2
@@ -184,6 +211,54 @@ class TestParallelMap:
             lambda x: x + offset, range(3), workers=2, backend="process"
         )
         assert result == [7, 8, 9]
+
+
+class TestParallelEvents:
+    def test_unpicklable_process_fallback_is_recorded(self):
+        # Satellite of the shm PR: the process backend's silent serial
+        # degradation must leave a trace a caller can publish in
+        # stats["parallel"].
+        offset = 7
+        events = []
+        with collect_parallel_events(events):
+            result = parallel_map(
+                lambda x: x + offset, range(3), workers=2, backend="process"
+            )
+        assert result == [7, 8, 9]
+        assert len(events) == 1
+        assert events[0]["backend"] == "process"
+        assert "does not pickle" in events[0]["fallback"]
+
+    def test_noop_outside_collector(self):
+        # Must not raise, must not leak state anywhere.
+        note_parallel_event("thread", "whatever")
+
+    def test_events_deduplicate(self):
+        events = []
+        with collect_parallel_events(events):
+            note_parallel_event("process", "same reason")
+            note_parallel_event("process", "same reason")
+            note_parallel_event("process", "other reason")
+        assert len(events) == 2
+
+    def test_collectors_nest_and_restore(self):
+        outer, inner = [], []
+        with collect_parallel_events(outer):
+            note_parallel_event("thread", "outer event")
+            with collect_parallel_events(inner):
+                note_parallel_event("thread", "inner event")
+            note_parallel_event("thread", "outer again")
+        assert [e["fallback"] for e in outer] == ["outer event", "outer again"]
+        assert [e["fallback"] for e in inner] == ["inner event"]
+
+    def test_pool_backend_maps_shm_to_thread(self):
+        class Opts:
+            parallel_backend = "shm-process"
+
+        assert pool_backend(Opts()) == "thread"
+        Opts.parallel_backend = "process"
+        assert pool_backend(Opts()) == "process"
+        assert pool_backend(object()) == "thread"
 
 
 class TestExecutorPool:
