@@ -1,0 +1,94 @@
+"""E16 — durable artifact store: restart-warm versus cold starts.
+
+Claim shape: every analysis artifact the E14 session keeps in memory —
+per-shard zone stats and WHERE partials, cardinality bounds, reduction
+facts, ILP translations, validated results — is a pure function of the
+relation's *content* and fragments of the query, so it can outlive the
+process.  The :class:`~repro.core.artifact_store.ArtifactStore`
+persists each layer keyed by a NaN/NULL-stable content hash (per shard
+for shard-scoped layers), and a fresh process over bit-identical data
+replays the whole stream from disk through the oracle-revalidation
+gate.
+
+Acceptance bars, enforced in CI (``--benchmark-disable``):
+
+* the restart-warm 10-query stream over the 100k clustered relation is
+  **>= 2x** faster end-to-end than the cold (fresh-evaluator) stream;
+* every restart-warm objective and status is **bit-identical** to the
+  cold run of the same query;
+* the stream actually replayed validated results from disk (every
+  query a replay) and the store counters show the hits;
+* after appending rows (touching only the last shard), the follow-up
+  query rescans **only** the touched shard — every untouched shard's
+  WHERE partial is served from the store (``store_hits`` counter) —
+  and its objective matches a cold full recompute over the mutated
+  relation.
+
+The run persists the outcome as ``benchmarks/BENCH_e16.json`` — a
+machine-readable perf record extending the repo's perf trajectory.
+
+``REPRO_E16_N`` shrinks the relation for smoke runs (the speedup bar
+is only enforced at the full 100k size; parity and invalidation
+accounting are enforced at every size).
+"""
+
+import os
+from pathlib import Path
+
+from repro.core.durablebench import run_durable_bench, write_record
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_e16.json"
+FULL_N = 100000
+
+
+def test_restart_warm_speedup_and_invalidation(benchmark):
+    """The acceptance bars: >=2x restart-warm stream, exact parity,
+    touched-shard-only recompute after an append."""
+    n = int(os.environ.get("REPRO_E16_N", FULL_N))
+    outcome = benchmark.pedantic(
+        lambda: run_durable_bench(n=n, length=10, shards=8),
+        rounds=1,
+        iterations=1,
+    )
+    write_record(outcome, RECORD_PATH)
+
+    assert outcome["objectives_identical"], (
+        "a restart-warm result diverged from its cold counterpart — "
+        "the durable store changed an answer"
+    )
+    if n >= FULL_N:
+        assert outcome["restart_speedup"] >= 2.0, (
+            f"restart-warm stream only {outcome['restart_speedup']:.2f}x "
+            f"faster ({outcome['cold_total_seconds'] * 1e3:.0f} ms cold vs "
+            f"{outcome['warm_total_seconds'] * 1e3:.0f} ms warm)"
+        )
+    assert outcome["result_replays"] == outcome["length"], (
+        "not every restart-warm query replayed a validated stored result"
+    )
+    store = outcome["warm_store_counters"]
+    # One disk hit per distinct result key; repeats of a template are
+    # then served from the session's in-memory layer.
+    assert store.get("hits", 0) >= outcome["templates"], (
+        f"store hit counter {store} does not reflect the replayed stream"
+    )
+
+    append = outcome["append"]
+    assert append["objectives_identical"], (
+        "the post-append store-assisted result diverged from a cold "
+        "full recompute over the mutated relation"
+    )
+    assert append["touched_shards"] == [outcome["shards"] - 1], (
+        f"append touched {append['touched_shards']}, expected only the "
+        "last shard"
+    )
+    assert append["scanned_shards"] == len(append["touched_shards"]), (
+        f"post-append query scanned {append['scanned_shards']} shards; "
+        f"only the {len(append['touched_shards'])} touched shard(s) "
+        "should need a rescan"
+    )
+    assert append["store_served_shards"] == len(append["untouched_shards"]), (
+        f"only {append['store_served_shards']} of "
+        f"{len(append['untouched_shards'])} untouched shards were served "
+        "from the store"
+    )
+    benchmark.extra_info.update(outcome)

@@ -7,6 +7,10 @@ Usage::
     python -m repro explain --csv recipes.csv --query "..."   # stage table
     python -m repro repl --csv recipes.csv                    # session REPL
     python -m repro repl --csv recipes.csv --file queries.paql  # batch mode
+    python -m repro repl --csv recipes.csv --store .cache     # durable session
+    python -m repro cache stats --store .cache    # per-layer entries/hit rates
+    python -m repro cache verify --store .cache --csv recipes.csv
+    python -m repro cache clear --store .cache --all
     python -m repro demo meal        # built-in scenario on synthetic data
     python -m repro describe --query "SELECT PACKAGE(...)"
     python -m repro strategies       # list the registered strategies
@@ -208,7 +212,11 @@ def _cmd_explain(args, out):
 
     relation = _load_relation(args)
     text = _read_query_text(args)
-    with EvaluationSession(relation, options=_engine_options(args)) as session:
+    with EvaluationSession(
+        relation,
+        options=_engine_options(args),
+        store_path=getattr(args, "store", None),
+    ) as session:
         outcome, table = session.explain(text, execute=not args.simulate)
     if args.simulate:
         print(f"strategy: {outcome.chosen_strategy} (simulated)", file=out)
@@ -314,7 +322,11 @@ def _cmd_repl(args, out):
     from repro.core.session import EvaluationSession
 
     relation = _load_relation(args)
-    session = EvaluationSession(relation, options=_engine_options(args))
+    session = EvaluationSession(
+        relation,
+        options=_engine_options(args),
+        store_path=getattr(args, "store", None),
+    )
     if args.file:
         path = pathlib.Path(args.file)
         if not path.exists():
@@ -405,6 +417,9 @@ def _cmd_repl(args, out):
     elif args.stats:
         print("session cache stats:", file=out)
         print(json.dumps(session.cache_stats(), indent=2), file=out)
+    # Flush pooled resources and (for --store sessions) the durable
+    # store's lifetime counters.
+    session.close()
     return 0 if failures == 0 else 1
 
 
@@ -587,6 +602,146 @@ def _cmd_reduce_bench(args, out):
     return 0 if identical else 1
 
 
+def _open_store(args):
+    from repro.core.artifact_store import ArtifactStore
+
+    return ArtifactStore(args.store)
+
+
+def _cmd_cache_stats(args, out):
+    """Per-layer entries/bytes on disk plus lifetime hit/miss counters."""
+    store = _open_store(args)
+    disk = store.disk_stats()
+    lifetime = store.lifetime_counters()
+    if args.json:
+        print(
+            json.dumps(
+                {"disk": disk, "counters": lifetime}, indent=2, default=str
+            ),
+            file=out,
+        )
+        return 0
+    print(f"store: {disk['root']}", file=out)
+    print(
+        f"relations: {len(disk['relations'])}  entries: {disk['entries']}  "
+        f"bytes: {disk['bytes']}",
+        file=out,
+    )
+    header = f"{'layer':<14}{'entries':>9}{'bytes':>12}{'hits':>8}{'misses':>8}{'rate':>7}"
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for layer, usage in disk["layers"].items():
+        counters = lifetime.get(layer, {})
+        hits = counters.get("hits", 0)
+        misses = counters.get("misses", 0)
+        rate = f"{hits / (hits + misses):.0%}" if hits + misses else "-"
+        print(
+            f"{layer:<14}{usage['entries']:>9}{usage['bytes']:>12}"
+            f"{hits:>8}{misses:>8}{rate:>7}",
+            file=out,
+        )
+    rejected = sum(c.get("rejected", 0) for c in lifetime.values())
+    errors = sum(c.get("errors", 0) for c in lifetime.values())
+    if rejected or errors:
+        print(f"rejected entries: {rejected}  write errors: {errors}", file=out)
+    return 0
+
+
+def _cmd_cache_verify(args, out):
+    """Integrity-check every entry; oracle-revalidate stored results.
+
+    The shallow pass (format, engine version, checksum) covers the
+    whole store.  The deep pass — rebuilding each stored result's
+    package and re-running the engine's validation oracle — needs the
+    data, so it covers the relation given via ``--csv``; stored
+    results for other relations get the shallow pass only.
+    ``--purge`` deletes entries that fail either pass.
+    """
+    store = _open_store(args)
+    shallow = store.verify()
+    failed = list(shallow["failed"])
+    revalidated = {"checked": 0, "ok": 0}
+    if args.csv:
+        from repro.core.package import Package
+        from repro.core.validator import validate
+        from repro.relational.content_hash import relation_fingerprint
+
+        relation = _load_relation(args)
+        relation_hash = relation_fingerprint(relation)
+        for _, path, _ in store.entries("results", relation_hash):
+            revalidated["checked"] += 1
+            try:
+                _, cached = store.load_entry(path)
+                if cached.counts is not None:
+                    package = Package(relation, dict(cached.counts))
+                    report = validate(package, cached.query)
+                    if not report.valid:
+                        raise ValueError(
+                            "stored package fails the validation oracle"
+                        )
+            except Exception as exc:
+                failed.append((str(path), str(exc)))
+            else:
+                revalidated["ok"] += 1
+    if args.purge:
+        for path, _ in failed:
+            try:
+                pathlib.Path(path).unlink()
+            except OSError:
+                pass
+    payload = {
+        "checked": shallow["checked"],
+        "ok": shallow["ok"],
+        "results_revalidated": revalidated,
+        "failed": [{"path": path, "reason": reason} for path, reason in failed],
+        "purged": bool(args.purge) and bool(failed),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str), file=out)
+        return 0 if not failed else 1
+    print(
+        f"integrity: {shallow['ok']}/{shallow['checked']} entries ok",
+        file=out,
+    )
+    if args.csv:
+        print(
+            f"oracle revalidation: {revalidated['ok']}/"
+            f"{revalidated['checked']} stored results valid",
+            file=out,
+        )
+    for path, reason in failed:
+        action = "purged" if args.purge else "failed"
+        print(f"  {action}: {path} ({reason})", file=out)
+    return 0 if not failed else 1
+
+
+def _cmd_cache_clear(args, out):
+    """Delete stored artifacts, for one relation or the whole store."""
+    store = _open_store(args)
+    selectors = [bool(args.all), bool(args.csv), bool(args.relation_hash)]
+    if sum(selectors) != 1:
+        raise CliError(
+            "pass exactly one of --all, --csv, or --relation-hash"
+        )
+    if args.all:
+        removed = store.clear()
+        scope = "all relations"
+    else:
+        if args.csv:
+            from repro.relational.content_hash import relation_fingerprint
+
+            relation_hash = relation_fingerprint(_load_relation(args))
+        else:
+            relation_hash = args.relation_hash
+        removed = store.clear(relation_hash)
+        scope = f"relation {relation_hash}"
+    if args.json:
+        print(json.dumps({"removed": removed, "scope": scope}), file=out)
+        return 0
+    print(f"removed {removed} entries ({scope})", file=out)
+    return 0
+
+
 _DEMOS = {
     "meal": (
         "repro.datasets",
@@ -757,6 +912,14 @@ def build_parser():
         action="store_true",
         help="simulate instead of executing (nothing is solved)",
     )
+    explain_cmd.add_argument(
+        "--store",
+        help=(
+            "durable artifact store directory: warm artifacts are read "
+            "from (and written to) disk, and the table footer reports "
+            "the query's store hits/misses"
+        ),
+    )
     _add_engine_flags(explain_cmd)
     explain_cmd.set_defaults(func=_cmd_explain)
 
@@ -780,8 +943,82 @@ def build_parser():
         action="store_true",
         help="print session cache statistics after the run",
     )
+    repl.add_argument(
+        "--store",
+        help=(
+            "durable artifact store directory: the session warms from "
+            "disk (kernel inputs, scans, facts, validated results) and "
+            "persists fresh artifacts; \\stats includes store counters"
+        ),
+    )
     _add_engine_flags(repl)
     repl.set_defaults(func=_cmd_repl)
+
+    cache = sub.add_parser(
+        "cache",
+        help=(
+            "inspect and maintain a durable artifact store "
+            "(stats / verify / clear)"
+        ),
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_stats = cache_sub.add_parser(
+        "stats",
+        help="per-layer entries, bytes, and lifetime hit/miss counters",
+    )
+    cache_stats.add_argument(
+        "--store", required=True, help="artifact store directory"
+    )
+    cache_stats.add_argument("--json", action="store_true", help="JSON output")
+    cache_stats.set_defaults(func=_cmd_cache_stats)
+
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help=(
+            "integrity-check every stored entry; with --csv, also "
+            "re-validate that relation's stored results through the "
+            "engine's oracle gate"
+        ),
+    )
+    cache_verify.add_argument(
+        "--store", required=True, help="artifact store directory"
+    )
+    cache_verify.add_argument(
+        "--csv",
+        help="relation data: enables deep oracle revalidation of results",
+    )
+    cache_verify.add_argument(
+        "--relation", help="relation name (default: file stem)"
+    )
+    cache_verify.add_argument(
+        "--purge",
+        action="store_true",
+        help="delete entries that fail verification",
+    )
+    cache_verify.add_argument("--json", action="store_true", help="JSON output")
+    cache_verify.set_defaults(func=_cmd_cache_verify)
+
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete stored artifacts (by relation, or all)"
+    )
+    cache_clear.add_argument(
+        "--store", required=True, help="artifact store directory"
+    )
+    cache_clear.add_argument(
+        "--all", action="store_true", help="clear every relation and layer"
+    )
+    cache_clear.add_argument(
+        "--csv", help="clear the relation-scoped layers for this CSV's data"
+    )
+    cache_clear.add_argument(
+        "--relation", help="relation name (default: file stem)"
+    )
+    cache_clear.add_argument(
+        "--relation-hash", help="clear by relation content hash"
+    )
+    cache_clear.add_argument("--json", action="store_true", help="JSON output")
+    cache_clear.set_defaults(func=_cmd_cache_clear)
 
     session_bench = sub.add_parser(
         "session-bench",

@@ -1,0 +1,402 @@
+"""Durable on-disk artifact store with content-hash keying.
+
+The in-memory :class:`~repro.core.session.ArtifactCache` (PR 5) earns
+its warm speedups only for the lifetime of one process: a restarted
+server, or a second process over the same data, pays full cold cost.
+:class:`ArtifactStore` persists those cache layers on disk, keyed so
+that *only identity, never freshness,* decides whether an entry may be
+served:
+
+* **relation content hash** — what the data is
+  (:func:`repro.relational.content_hash.relation_fingerprint`); a
+  fresh process over bit-identical data computes the same hash and
+  rediscovers every artifact, while any change to any value changes
+  the hash and orphans the stale entries.
+* **query / conjunct signature** — what was computed (canonical PaQL
+  text, candidate fingerprints, option fields that affect the value).
+* **engine + format version** — who computed it; entries written by a
+  different engine version or store format are rejected on read, never
+  deserialized into a live pipeline.
+
+Two scopes, one store::
+
+    <root>/
+      relations/<relation-hash>/<layer>/<key-digest>.art
+          where | bounds | facts | translations | results
+      shards/<layer>/<key-digest>.art
+          zone | where_shard
+      counters.json        (lifetime counters, merged on close)
+
+Relation-scoped layers answer "this exact relation saw this exact
+query".  Shard-scoped layers are **content-addressed by shard
+fingerprint alone** — a shard's zone statistics and per-shard WHERE
+partials depend on nothing but that shard's bytes — which is what
+makes invalidation *mutation-aware*: after an append or delete, the
+untouched shards keep their fingerprints, so their entries are found
+again, and only the dirty shards miss and recompute.
+
+Every entry is one file: a JSON header line (format, engine version,
+layer, the full ``repr`` of the key, payload checksum and length)
+followed by a pickled payload.  Reads verify all of it — format,
+engine, key repr (guarding against digest collisions), checksum —
+and a failed check counts as ``rejected``, deletes the entry, and
+returns a miss; a corrupt entry can cost a recompute, never an
+answer.  Result replays additionally pass the engine's oracle
+re-validation gate in the session layer, so even a *wrong but
+well-formed* stored package raises rather than returning.
+
+Writes are atomic (temp file + ``os.replace``) and failures are
+swallowed into an ``errors`` counter: persistence is an accelerator,
+and a full disk must degrade to cold compute, not break queries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+import repro
+
+__all__ = ["ArtifactStore", "RELATION_LAYERS", "SHARD_LAYERS", "STORE_FORMAT"]
+
+#: On-disk entry format; bump on any layout/serialization change.
+STORE_FORMAT = 1
+
+#: Layers scoped under one relation's content hash.
+RELATION_LAYERS = ("where", "bounds", "facts", "translations", "results")
+
+#: Content-addressed layers keyed by shard fingerprint alone.
+SHARD_LAYERS = ("zone", "where_shard")
+
+_COUNTER_FIELDS = ("hits", "misses", "writes", "rejected", "errors")
+
+
+def _key_digest(key):
+    return hashlib.blake2b(repr(key).encode("utf-8"), digest_size=16).hexdigest()
+
+
+class ArtifactStore:
+    """A durable, content-hash-keyed artifact store rooted at a directory.
+
+    Args:
+        root: directory for the store (created on first write).
+        engine_version: version stamp entries are written and checked
+            with; defaults to the package version, so artifacts never
+            cross an engine upgrade.
+
+    Thread-of-control model: one store object per process/session;
+    concurrent *processes* sharing a root are safe for correctness
+    (atomic entry writes; readers verify checksums) though their
+    lifetime counters may interleave coarsely.
+    """
+
+    def __init__(self, root, engine_version=None):
+        self.root = Path(root)
+        self.engine_version = engine_version or repro.__version__
+        self.counters = {
+            layer: dict.fromkeys(_COUNTER_FIELDS, 0)
+            for layer in RELATION_LAYERS + SHARD_LAYERS
+        }
+
+    # -- paths ---------------------------------------------------------------
+
+    def _layer_dir(self, layer, relation_hash):
+        if layer in SHARD_LAYERS:
+            return self.root / "shards" / layer
+        if layer not in RELATION_LAYERS:
+            raise ValueError(f"unknown artifact layer {layer!r}")
+        if relation_hash is None:
+            raise ValueError(f"layer {layer!r} requires a relation hash")
+        return self.root / "relations" / relation_hash / layer
+
+    def _entry_path(self, layer, key, relation_hash):
+        return self._layer_dir(layer, relation_hash) / f"{_key_digest(key)}.art"
+
+    # -- read / write --------------------------------------------------------
+
+    def get(self, layer, key, relation_hash=None):
+        """Load one entry, or ``None`` on miss/rejection.
+
+        Every gate failure — unreadable file, wrong store format,
+        wrong engine version, key-repr mismatch (digest collision),
+        checksum mismatch, undeserializable payload — rejects the
+        entry: it is counted, best-effort deleted, and reported as a
+        miss.  The caller recomputes; nothing stale is ever served.
+        """
+        if layer not in self.counters:
+            raise ValueError(f"unknown artifact layer {layer!r}")
+        counters = self.counters[layer]
+        path = self._entry_path(layer, key, relation_hash)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            counters["misses"] += 1
+            return None
+        try:
+            newline = blob.index(b"\n")
+            header = json.loads(blob[:newline].decode("utf-8"))
+            payload = blob[newline + 1:]
+            if header.get("format") != STORE_FORMAT:
+                raise ValueError(f"store format {header.get('format')!r}")
+            if header.get("engine") != self.engine_version:
+                raise ValueError(f"engine version {header.get('engine')!r}")
+            if header.get("key") != repr(key):
+                raise ValueError("key mismatch (digest collision)")
+            checksum = hashlib.blake2b(payload, digest_size=16).hexdigest()
+            if header.get("payload_hash") != checksum:
+                raise ValueError("payload checksum mismatch")
+            value = pickle.loads(payload)
+        except Exception:
+            counters["rejected"] += 1
+            counters["misses"] += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        counters["hits"] += 1
+        return value
+
+    def put(self, layer, key, value, relation_hash=None):
+        """Persist one entry atomically; failures degrade, never raise.
+
+        Returns ``True`` when the entry landed on disk.
+        """
+        if layer not in self.counters:
+            raise ValueError(f"unknown artifact layer {layer!r}")
+        counters = self.counters[layer]
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            header = json.dumps(
+                {
+                    "format": STORE_FORMAT,
+                    "engine": self.engine_version,
+                    "layer": layer,
+                    "key": repr(key),
+                    "payload_hash": hashlib.blake2b(
+                        payload, digest_size=16
+                    ).hexdigest(),
+                    "bytes": len(payload),
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            directory = self._layer_dir(layer, relation_hash)
+            directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(header)
+                    handle.write(b"\n")
+                    handle.write(payload)
+                os.replace(tmp, self._entry_path(layer, key, relation_hash))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except ValueError:
+            raise  # programming errors (unknown layer / missing hash)
+        except Exception:
+            counters["errors"] += 1
+            return False
+        counters["writes"] += 1
+        return True
+
+    # -- inspection ----------------------------------------------------------
+
+    def _entry_paths(self, layer=None, relation_hash=None):
+        layers = (layer,) if layer else RELATION_LAYERS + SHARD_LAYERS
+        for name in layers:
+            if name in SHARD_LAYERS:
+                if relation_hash is not None:
+                    continue
+                roots = [self.root / "shards" / name]
+            elif relation_hash is not None:
+                roots = [self.root / "relations" / relation_hash / name]
+            else:
+                base = self.root / "relations"
+                roots = [
+                    child / name
+                    for child in (base.iterdir() if base.is_dir() else ())
+                    if child.is_dir()
+                ]
+            for directory in roots:
+                if not directory.is_dir():
+                    continue
+                for path in sorted(directory.glob("*.art")):
+                    yield name, path
+
+    def entries(self, layer=None, relation_hash=None):
+        """Yield ``(layer, path, header)`` for stored entries.
+
+        Headers that fail to parse yield ``header=None`` (so callers
+        can report them); payloads are not loaded.
+        """
+        for name, path in self._entry_paths(layer, relation_hash):
+            try:
+                with open(path, "rb") as handle:
+                    header = json.loads(handle.readline().decode("utf-8"))
+            except Exception:
+                header = None
+            yield name, path, header
+
+    def load_entry(self, path):
+        """Deserialize one entry file with full verification.
+
+        Returns ``(header, value)``; raises ``ValueError`` on any
+        integrity failure (used by ``repro cache verify``, which wants
+        the reason, not a silent miss).
+        """
+        blob = Path(path).read_bytes()
+        newline = blob.index(b"\n")
+        header = json.loads(blob[:newline].decode("utf-8"))
+        payload = blob[newline + 1:]
+        if header.get("format") != STORE_FORMAT:
+            raise ValueError(f"store format {header.get('format')!r}")
+        if header.get("engine") != self.engine_version:
+            raise ValueError(f"engine version {header.get('engine')!r}")
+        checksum = hashlib.blake2b(payload, digest_size=16).hexdigest()
+        if header.get("payload_hash") != checksum:
+            raise ValueError("payload checksum mismatch")
+        return header, pickle.loads(payload)
+
+    def disk_stats(self):
+        """Entries and bytes per layer, plus relation count."""
+        layers = {
+            name: {"entries": 0, "bytes": 0}
+            for name in RELATION_LAYERS + SHARD_LAYERS
+        }
+        for name, path in self._entry_paths():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            layers[name]["entries"] += 1
+            layers[name]["bytes"] += size
+        base = self.root / "relations"
+        relations = (
+            sorted(child.name for child in base.iterdir() if child.is_dir())
+            if base.is_dir()
+            else []
+        )
+        return {
+            "root": str(self.root),
+            "relations": relations,
+            "layers": layers,
+            "entries": sum(item["entries"] for item in layers.values()),
+            "bytes": sum(item["bytes"] for item in layers.values()),
+        }
+
+    def verify(self):
+        """Integrity-check every entry (format, engine, checksum).
+
+        Returns ``{"checked", "ok", "failed": [(path, reason), ...]}``.
+        Deep semantic verification of stored *results* (the oracle
+        gate) needs the relation and lives in ``repro cache verify``.
+        """
+        checked = ok = 0
+        failed = []
+        for _, path in self._entry_paths():
+            checked += 1
+            try:
+                self.load_entry(path)
+            except Exception as exc:
+                failed.append((str(path), str(exc)))
+            else:
+                ok += 1
+        return {"checked": checked, "ok": ok, "failed": failed}
+
+    def clear(self, relation_hash=None):
+        """Delete entries; by relation (its scoped layers) or everything.
+
+        Shard-scoped layers are content-addressed across relations, so
+        they are only removed on a full clear.  Returns the number of
+        entry files deleted.
+        """
+        removed = 0
+        for _, path in list(self._entry_paths(relation_hash=relation_hash)):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if relation_hash is not None:
+            base = self.root / "relations" / relation_hash
+        else:
+            base = self.root
+        # Prune now-empty directories, ignoring races/failures.
+        if base.is_dir():
+            for directory in sorted(
+                (d for d in base.rglob("*") if d.is_dir()), reverse=True
+            ):
+                try:
+                    directory.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+    # -- counters ------------------------------------------------------------
+
+    def stats(self):
+        """This handle's counters plus aggregates (not disk contents)."""
+        out = {"root": str(self.root), "layers": self.counters}
+        for field in _COUNTER_FIELDS:
+            out[field] = sum(layer[field] for layer in self.counters.values())
+        return out
+
+    def snapshot(self):
+        """Aggregate counter totals, for cheap before/after deltas."""
+        return {
+            field: sum(layer[field] for layer in self.counters.values())
+            for field in _COUNTER_FIELDS
+        }
+
+    def close(self):
+        """Merge this handle's counters into ``counters.json`` (best
+        effort) so ``repro cache stats`` can report lifetime hit rates
+        across processes.  Idempotent: counters merged once."""
+        if not any(value for layer in self.counters.values() for value in layer.values()):
+            return
+        path = self.root / "counters.json"
+        merged = {}
+        try:
+            merged = json.loads(path.read_text())
+        except Exception:
+            merged = {}
+        for layer, fields in self.counters.items():
+            slot = merged.setdefault(layer, dict.fromkeys(_COUNTER_FIELDS, 0))
+            for field, value in fields.items():
+                slot[field] = slot.get(field, 0) + value
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(merged, indent=2, sort_keys=True))
+        except OSError:
+            pass
+        for fields in self.counters.values():
+            for field in fields:
+                fields[field] = 0
+
+    def lifetime_counters(self):
+        """Counters from ``counters.json`` plus this handle's own."""
+        path = self.root / "counters.json"
+        try:
+            merged = json.loads(path.read_text())
+        except Exception:
+            merged = {}
+        for layer, fields in self.counters.items():
+            slot = merged.setdefault(layer, dict.fromkeys(_COUNTER_FIELDS, 0))
+            for field, value in fields.items():
+                slot[field] = slot.get(field, 0) + value
+        return merged
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

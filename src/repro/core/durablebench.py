@@ -1,0 +1,241 @@
+"""The durable-store benchmark harness (E16).
+
+One implementation behind two front ends — ``repro`` users following
+``docs/caching.md`` and ``benchmarks/bench_e16_durable.py`` (the CI
+experiment) — so the number a user reproduces locally is computed
+exactly the way CI computes it.
+
+Where E14 measured warm *sessions* (one process, caches in memory),
+E16 measures warm *restarts*: the artifact store persists every cache
+layer to disk keyed by the relation's content hash, so a fresh process
+over bit-identical data starts with the previous process's scans,
+bounds, reduction facts, translations and validated results already on
+disk.  Three sides are timed per query:
+
+* **cold** — a fresh :class:`~repro.core.engine.PackageQueryEvaluator`
+  per query, no store: every stage paid from scratch.
+* **populate** — a store-backed
+  :class:`~repro.core.session.EvaluationSession` evaluating the stream
+  for the first time, writing every layer through to disk.
+* **restart-warm** — a *new* session over a *newly constructed*
+  relation object (the fresh-process stand-in: nothing shared but the
+  store directory and the bytes of the data), replaying the stream
+  from disk through the oracle-revalidation gate.
+
+The claim pinned in CI: the restart-warm stream is **>= 2x** faster
+end-to-end than the cold stream, at **bit-identical** objectives and
+statuses.
+
+The run then exercises mutation-aware invalidation: rows are appended
+(touching only the last shard), and the follow-up query must rescan
+*only* the touched shard — every untouched shard's WHERE partial is
+served from the store (asserted via the ``store_hits`` shard counter)
+— while matching a cold full recompute over the mutated relation.
+
+The WHERE clause predicates on the uniform ``cost`` column, not the
+monotone ``ts`` column, so no shard is zone-skipped and the per-shard
+store accounting is exact: ``evaluated == shards`` on every query.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+
+from repro.core.engine import EngineOptions, PackageQueryEvaluator
+from repro.core.session import EvaluationSession
+from repro.datasets import clustered_relation
+
+__all__ = [
+    "DURABLE_BENCH_QUERIES",
+    "run_durable_bench",
+    "write_record",
+]
+
+#: Three templates sharing the WHERE scan (per shard, content-keyed on
+#: disk) and global-constraint artifacts but differing in objective and
+#: cardinality cap; cycled into a 10-query repeated stream.
+DURABLE_BENCH_QUERIES = (
+    """
+    SELECT PACKAGE(R) FROM Readings R
+    WHERE R.cost <= 80.0
+    SUCH THAT COUNT(*) <= 12 AND MAX(R.ts) <= 30
+    MAXIMIZE SUM(R.gain)
+    """,
+    """
+    SELECT PACKAGE(R) FROM Readings R
+    WHERE R.cost <= 80.0
+    SUCH THAT COUNT(*) <= 12 AND MAX(R.ts) <= 30
+    MINIMIZE SUM(R.cost)
+    """,
+    """
+    SELECT PACKAGE(R) FROM Readings R
+    WHERE R.cost <= 80.0
+    SUCH THAT COUNT(*) <= 8 AND MAX(R.ts) <= 30
+    MAXIMIZE SUM(R.gain)
+    """,
+)
+
+_SEED = 29
+
+
+def _workload(queries, length):
+    return [queries[i % len(queries)] for i in range(length)]
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def _appended_rows(count, offset):
+    """Deterministic rows whose ``ts`` extends the monotone tail."""
+    return [
+        {
+            "label": f"appended{i}",
+            "ts": 100.0 + i,
+            "cost": 10.0 + i,
+            "gain": 250.0,
+            "weight": 5.0,
+        }
+        for i in range(count)
+    ]
+
+
+def run_durable_bench(
+    n=100000, length=10, shards=8, strategy="ilp", store_root=None
+):
+    """Benchmark restart-warm evaluation against per-query cold starts.
+
+    Args:
+        n: relation size (rows).
+        length: stream length (queries; templates cycle).
+        shards: shard count (per-shard store entries need ``> 1``).
+        strategy: engine strategy for all sides.
+        store_root: store directory (a fresh temp dir, removed at the
+            end, when ``None``).
+
+    Returns:
+        A dict of claim-relevant numbers: per-query cold / populate /
+        restart-warm seconds, the restart speedup, the parity verdict,
+        per-layer store counters, and the append-phase accounting
+        (touched/untouched shards, scanned vs store-served shards,
+        parity against a cold full recompute).
+    """
+    root = store_root or tempfile.mkdtemp(prefix="repro-e16-")
+    owns_root = store_root is None
+    options = EngineOptions(strategy=strategy, shards=shards)
+    stream = _workload(DURABLE_BENCH_QUERIES, length)
+    try:
+        relation = clustered_relation(n, seed=_SEED)
+        cold_seconds = []
+        cold_results = []
+        for text in stream:
+            evaluator, _ = _timed(lambda: PackageQueryEvaluator(relation))
+            result, elapsed = _timed(lambda: evaluator.evaluate(text, options))
+            cold_seconds.append(elapsed)
+            cold_results.append(result)
+
+        # First store-backed process: pays the cold path plus the cost
+        # of writing every artifact layer through to disk.
+        populate_seconds = []
+        with EvaluationSession(
+            clustered_relation(n, seed=_SEED), options=options, store_path=root
+        ) as session:
+            for text in stream:
+                _, elapsed = _timed(lambda: session.evaluate(text))
+                populate_seconds.append(elapsed)
+
+        # Restart: a brand-new session over a brand-new relation object
+        # — only the store directory and the data bytes are shared, so
+        # every hit below went through the content-hash key.
+        warm_seconds = []
+        warm_results = []
+        restart = EvaluationSession(
+            clustered_relation(n, seed=_SEED), options=options, store_path=root
+        )
+        for text in stream:
+            result, elapsed = _timed(lambda: restart.evaluate(text))
+            warm_seconds.append(elapsed)
+            warm_results.append(result)
+        parity = all(
+            warm.objective == cold.objective and warm.status is cold.status
+            for warm, cold in zip(warm_results, cold_results)
+        )
+        replays = sum(
+            1
+            for result in warm_results
+            if result.stats.get("session", {}).get("result_cache")
+            in ("hit", "store-hit")
+        )
+        warm_store = restart.cache_stats().get("store", {})
+
+        # Mutation: append rows (touching only the final shard), then
+        # re-run a template.  Untouched shards' WHERE partials must be
+        # served from the store; the answer must match a cold full
+        # recompute over the mutated relation.
+        report = restart.append_rows(_appended_rows(3, n))
+        mutated, mutated_elapsed = _timed(
+            lambda: restart.evaluate(stream[0])
+        )
+        shard_counters = mutated.stats.get("shards", {})
+        mutated_cold = PackageQueryEvaluator(restart.relation).evaluate(
+            stream[0], options
+        )
+        append_parity = (
+            mutated.objective == mutated_cold.objective
+            and mutated.status is mutated_cold.status
+        )
+        restart.close()
+
+        cold_total = sum(cold_seconds)
+        warm_total = sum(warm_seconds)
+        return {
+            "n": n,
+            "length": length,
+            "shards": shards,
+            "strategy": strategy,
+            "templates": len(DURABLE_BENCH_QUERIES),
+            "store_root": None if owns_root else root,
+            "cold_seconds": cold_seconds,
+            "populate_seconds": populate_seconds,
+            "warm_seconds": warm_seconds,
+            "cold_total_seconds": cold_total,
+            "populate_total_seconds": sum(populate_seconds),
+            "warm_total_seconds": warm_total,
+            "restart_speedup": cold_total / max(warm_total, 1e-12),
+            "result_replays": replays,
+            "objectives": [result.objective for result in warm_results],
+            "objectives_identical": parity,
+            "warm_store_counters": warm_store,
+            "append": {
+                "kind": report.kind,
+                "touched_shards": list(report.touched),
+                "untouched_shards": list(report.untouched),
+                "rows_before": report.rows_before,
+                "rows_after": report.rows_after,
+                "seconds": mutated_elapsed,
+                "shard_counters": dict(shard_counters),
+                "scanned_shards": shard_counters.get("scanned"),
+                "store_served_shards": shard_counters.get("store_hits"),
+                "artifact_counters": dict(
+                    mutated.stats.get("artifacts", {})
+                ),
+                "objective": mutated.objective,
+                "cold_objective": mutated_cold.objective,
+                "objectives_identical": append_parity,
+            },
+        }
+    finally:
+        if owns_root:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def write_record(outcome, path):
+    """Persist the outcome as a machine-readable JSON perf record."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(outcome, handle, indent=2, default=str)
+        handle.write("\n")

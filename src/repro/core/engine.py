@@ -185,11 +185,35 @@ class PackageQueryEvaluator:
         Rebuilt only when the shard count changes; zone statistics are
         cached inside and column arrays are shared with the base
         relation, so repeated evaluation at one shard count pays the
-        split exactly once.
+        split exactly once.  With a durable artifact store attached,
+        zone statistics additionally read through to the store's
+        content-addressed ``zone`` layer (keyed by shard fingerprint),
+        so they survive restarts and mutations of *other* shards.
         """
         if self._sharded is None or self._sharded.num_shards != shards:
-            self._sharded = ShardedRelation(self._relation, shards)
+            zone_source = None
+            if self._artifacts is not None:
+                zone_source = self._artifacts.zone_source()
+            self._sharded = ShardedRelation(
+                self._relation, shards, zone_source=zone_source
+            )
         return self._sharded
+
+    def adopt_sharded(self, sharded):
+        """Adopt a pre-built sharded view of this evaluator's relation.
+
+        Sessions use this after a mutation: the
+        :meth:`~repro.relational.sharding.ShardedRelation.append` /
+        ``delete`` result keeps shard boundaries aligned with the
+        pre-mutation layout (``chunk_slices`` would move every
+        boundary), which is what lets untouched shards keep their
+        content fingerprints and reuse their stored artifacts.
+        """
+        if sharded.relation is not self._relation:
+            raise EngineError(
+                "adopted sharding must wrap this evaluator's relation"
+            )
+        self._sharded = sharded
 
     def execution_context(self, options):
         """The shared-memory execution context for ``options``, or ``None``.
@@ -345,6 +369,13 @@ class PackageQueryEvaluator:
         is ``(where AST, shard count, shard index)``, a few hundred
         bytes — and merged in the identical shard order; any pool
         failure degrades to the thread path with a recorded event.
+
+        With a durable artifact store attached, each live shard's
+        partial result is first looked up by ``(shard content
+        fingerprint, clause)`` — rids are stored shard-relative so the
+        entry stays valid when an earlier shard's mutation shifts this
+        shard's absolute offsets — and only the missing shards are
+        scanned (and written back).
         """
         evaluator = evaluator_for(self._relation)
         if not evaluator.supports(query.where, boolean=True):
@@ -357,16 +388,39 @@ class PackageQueryEvaluator:
             if not skippable[index]
         ]
 
+        use_store = (
+            self._artifacts is not None
+            and getattr(self._artifacts, "store", None) is not None
+        )
+        by_shard = {}
+        pending = live
+        if use_store:
+            from repro.paql.printer import print_expr
+
+            clause = print_expr(query.where)
+            pending = []
+            for index in live:
+                relative = self._artifacts.cached_where_shard(
+                    sharded.shard_fingerprint(index), clause
+                )
+                if relative is None:
+                    pending.append(index)
+                else:
+                    part = sharded.shard_slice(index)
+                    by_shard[index] = part.start + np.asarray(
+                        relative, dtype=np.intp
+                    )
+
         pieces = None
         backend = pool_backend(options)
-        workers = effective_workers(options.workers, max(1, len(live)))
-        shm = self.execution_context(options) if len(live) > 1 else None
+        workers = effective_workers(options.workers, max(1, len(pending)))
+        shm = self.execution_context(options) if len(pending) > 1 else None
         if shm is not None:
-            specs = [(query.where, options.shards, index) for index in live]
+            specs = [(query.where, options.shards, index) for index in pending]
             try:
                 pieces = shm.map(_shm_where_scan, specs)
                 backend = "shm-process"
-                workers = min(shm.workers, max(1, len(live)))
+                workers = min(shm.workers, max(1, len(pending)))
             except ShmUnavailable as exc:
                 note_parallel_event(
                     "shm-process", f"{exc}; WHERE scan ran on threads"
@@ -381,11 +435,21 @@ class PackageQueryEvaluator:
                 return part.start + np.flatnonzero(mask)
 
             pieces = parallel_map(
-                shard_rids, live, workers=options.workers, backend=backend
+                shard_rids, pending, workers=options.workers, backend=backend
             )
+        for index, piece in zip(pending, pieces):
+            by_shard[index] = piece
+            if use_store:
+                part = sharded.shard_slice(index)
+                self._artifacts.store_where_shard(
+                    sharded.shard_fingerprint(index),
+                    clause,
+                    np.asarray(piece, dtype=np.intp) - part.start,
+                )
+        ordered = [by_shard[index] for index in live]
         rids = (
-            np.concatenate(pieces)
-            if pieces
+            np.concatenate(ordered)
+            if ordered
             else np.empty(0, dtype=np.intp)
         )
         shard_info = {
@@ -395,6 +459,9 @@ class PackageQueryEvaluator:
             "workers": workers,
             "backend": backend,
         }
+        if use_store:
+            shard_info["scanned"] = len(pending)
+            shard_info["store_hits"] = len(live) - len(pending)
         return rids.tolist(), shard_info
 
     def context(self, query, options=None):

@@ -149,7 +149,7 @@ def _format_detail(record):
     return ", ".join(parts)
 
 
-def stage_table(records, parallel=None):
+def stage_table(records, parallel=None, artifacts=None):
     """Render records as the ``repro explain`` text table.
 
     Accepts :class:`StageRecord` objects or their ``as_dict`` payloads
@@ -157,7 +157,10 @@ def stage_table(records, parallel=None):
     round, rows in/out, wall-clock, and the skip reason or detail
     summary.  ``parallel`` takes the ``stats["parallel"]`` degradation
     events, rendered as a footer so a silent backend fallback is never
-    invisible in an EXPLAIN.  Returns a list of lines.
+    invisible in an EXPLAIN.  ``artifacts`` takes the
+    ``stats["artifacts"]`` durable-store counter delta, rendered as a
+    footer line (hits/misses/writes/rejections for this query).
+    Returns a list of lines.
     """
     records = [
         StageRecord(
@@ -207,4 +210,11 @@ def stage_table(records, parallel=None):
             if task:
                 note += f" [{task}]"
             lines.append(note.rstrip())
+    if artifacts:
+        summary = "  ".join(
+            f"{key}={artifacts[key]}"
+            for key in ("hits", "misses", "writes", "rejected", "errors")
+            if key in artifacts
+        )
+        lines.append(f"artifact store: {summary}")
     return lines

@@ -45,6 +45,24 @@ layout, options), and the relation is immutable by construction —
 :class:`~repro.relational.relation.Relation` never mutates rows in
 place.  Cache entries are therefore replays, not approximations; the
 parity tests pin warm results bit-identical to cold ones.
+
+**Durability.** Pass ``store=`` (an
+:class:`~repro.core.artifact_store.ArtifactStore`) or ``store_path=``
+(a directory; the session then owns the store) and every layer above
+becomes read-through/write-through against disk, keyed by the
+relation's *content hash* — a fresh process over bit-identical data
+warms instantly, including validated-result replays (still behind the
+oracle gate).  Per-query store activity is surfaced as
+``stats["artifacts"]``.
+
+**Mutation.** :meth:`EvaluationSession.append_rows` and
+:meth:`EvaluationSession.delete_rows` swap in a mutated relation
+without discarding the store: shard-scoped artifacts (zone statistics,
+per-shard WHERE partials) are keyed by *shard content fingerprint*,
+so only the shards a mutation touched recompute — the
+:class:`~repro.relational.sharding.MutationReport` returned names
+exactly which — while relation-scoped layers re-key under the new
+relation hash.
 """
 
 from __future__ import annotations
@@ -185,12 +203,19 @@ class ReductionFactCache:
 
     Entries hold O(candidates)-sized arrays, so eviction is bounded
     by approximate bytes as well as entry count.
+
+    With a durable store attached, misses fall through to the store's
+    relation-scoped ``facts`` layer and fresh facts are written back,
+    so reduction facts survive process restarts.
     """
 
-    def __init__(self, maxsize=256, max_bytes=64 * 1024 * 1024):
+    def __init__(self, maxsize=256, max_bytes=64 * 1024 * 1024,
+                 store=None, relation_hash=None):
         self._cache = _BoundedCache(
             maxsize, max_bytes=max_bytes, sizer=_facts_nbytes
         )
+        self._store = store
+        self._relation_hash = relation_hash
 
     @staticmethod
     def fingerprint(rids):
@@ -208,20 +233,26 @@ class ReductionFactCache:
         )
 
     def get(self, key):
-        return self._cache.get(key)
+        hit = self._cache.get(key)
+        if hit is not None or self._store is None:
+            return hit
+        loaded = self._store.get("facts", key, self._relation_hash)
+        if loaded is not None:
+            self._cache.put(key, loaded)
+        return loaded
 
     def store(self, key, fixed_mask, witness_checks, dominance_keys,
               dominance_block, zone):
-        self._cache.put(
-            key,
-            ConjunctFacts(
-                fixed_mask=fixed_mask,
-                witness_checks=witness_checks,
-                dominance_keys=dominance_keys,
-                dominance_block=dominance_block,
-                zone=zone,
-            ),
+        facts = ConjunctFacts(
+            fixed_mask=fixed_mask,
+            witness_checks=witness_checks,
+            dominance_keys=dominance_keys,
+            dominance_block=dominance_block,
+            zone=zone,
         )
+        self._cache.put(key, facts)
+        if self._store is not None:
+            self._store.put("facts", key, facts, self._relation_hash)
 
     def stats(self):
         return self._cache.stats()
@@ -236,9 +267,24 @@ class ArtifactCache:
     One instance per :class:`EvaluationSession` (and per relation —
     keys never include the relation because the cache never outlives
     it).  See the module docstring for what each layer keys on.
+
+    Args:
+        store: optional durable
+            :class:`~repro.core.artifact_store.ArtifactStore`; every
+            layer then reads through to disk on a memory miss and
+            writes fresh values back, scoped under ``relation_hash``.
+        relation_hash: the relation's content fingerprint
+            (:func:`repro.relational.content_hash.relation_fingerprint`);
+            required when ``store`` is given.
+        relation: the live relation, needed only to reattach loaded
+            ILP translations (their relation reference is stripped
+            before persisting — pickling the whole relation into every
+            translation entry would be absurd, and the store's
+            relation hash already proves which relation they belong
+            to).
     """
 
-    def __init__(self):
+    def __init__(self, store=None, relation_hash=None, relation=None):
         # WHERE entries hold one rid array per clause (stored as a
         # compact numpy array, sized by bytes like the other O(n)
         # layers).
@@ -256,7 +302,14 @@ class ArtifactCache:
             max_bytes=128 * 1024 * 1024,
             sizer=lambda t: 96 * max(1, t.model.num_variables),
         )
-        self.reduction_facts = ReductionFactCache()
+        if store is not None and relation_hash is None:
+            raise ValueError("a durable store requires relation_hash")
+        self.store = store
+        self.relation_hash = relation_hash
+        self._relation = relation
+        self.reduction_facts = ReductionFactCache(
+            store=store, relation_hash=relation_hash
+        )
 
     # -- WHERE results ------------------------------------------------------
 
@@ -274,10 +327,57 @@ class ArtifactCache:
         )
 
     def cached_where(self, key):
-        return self._where.get(key)
+        hit = self._where.get(key)
+        if hit is not None or self.store is None:
+            return hit
+        loaded = self.store.get("where", key, self.relation_hash)
+        if loaded is not None:
+            self._where.put(key, loaded)
+        return loaded
 
     def store_where(self, key, value):
         self._where.put(key, value)
+        if self.store is not None:
+            self.store.put("where", key, value, self.relation_hash)
+
+    # -- per-shard WHERE partials (durable store only) ----------------------
+
+    def cached_where_shard(self, fingerprint, clause):
+        """Stored shard-relative rids for ``clause`` over the shard with
+        content ``fingerprint``, or ``None``.
+
+        Content-addressed: no relation hash in the key, so the entry
+        survives mutations that leave this shard's bytes unchanged
+        (and even relation renames).  Rids are shard-relative because
+        absolute offsets shift when an earlier shard shrinks.
+        """
+        if self.store is None:
+            return None
+        return self.store.get("where_shard", (fingerprint, clause))
+
+    def store_where_shard(self, fingerprint, clause, relative_rids):
+        if self.store is not None:
+            self.store.put(
+                "where_shard",
+                (fingerprint, clause),
+                np.asarray(relative_rids, dtype=np.intp),
+            )
+
+    def zone_source(self):
+        """``(load, save)`` hooks for
+        :class:`~repro.relational.sharding.ShardedRelation` zone
+        statistics, content-addressed by shard fingerprint; ``None``
+        without a durable store."""
+        if self.store is None:
+            return None
+
+        def load(fingerprint, column):
+            return self.store.get("zone", (fingerprint, column))
+
+        def save(fingerprint, column, stats):
+            self.store.put("zone", (fingerprint, column), stats)
+
+        return (load, save)
 
     # -- cardinality bounds -------------------------------------------------
 
@@ -297,10 +397,20 @@ class ArtifactCache:
         return (clause, int(query.repeat), fingerprint)
 
     def cached_bounds(self, query, rids, fingerprint=None):
-        return self._bounds.get(self._bounds_key(query, rids, fingerprint))
+        key = self._bounds_key(query, rids, fingerprint)
+        hit = self._bounds.get(key)
+        if hit is not None or self.store is None:
+            return hit
+        loaded = self.store.get("bounds", key, self.relation_hash)
+        if loaded is not None:
+            self._bounds.put(key, loaded)
+        return loaded
 
     def store_bounds(self, query, rids, bounds, fingerprint=None):
-        self._bounds.put(self._bounds_key(query, rids, fingerprint), bounds)
+        key = self._bounds_key(query, rids, fingerprint)
+        self._bounds.put(key, bounds)
+        if self.store is not None:
+            self.store.put("bounds", key, bounds, self.relation_hash)
 
     # -- ILP translations ---------------------------------------------------
 
@@ -310,24 +420,53 @@ class ArtifactCache:
         return (print_query(query), fingerprint, tuple(forced))
 
     def cached_translation(self, query, rids, forced, fingerprint=None):
-        return self._translations.get(
-            self._translation_key(query, rids, forced, fingerprint)
+        key = self._translation_key(query, rids, forced, fingerprint)
+        hit = self._translations.get(key)
+        if hit is not None or self.store is None:
+            return hit
+        packed = self.store.get("translations", key, self.relation_hash)
+        if packed is None or self._relation is None:
+            return None
+        from repro.core.translate_ilp import ILPTranslation
+
+        packed_query, candidate_rids, model, x_vars = packed
+        translation = ILPTranslation(
+            packed_query, self._relation, candidate_rids, model, x_vars
         )
+        self._translations.put(key, translation)
+        return translation
 
     def store_translation(self, query, rids, forced, translation, fingerprint=None):
-        self._translations.put(
-            self._translation_key(query, rids, forced, fingerprint), translation
-        )
+        key = self._translation_key(query, rids, forced, fingerprint)
+        self._translations.put(key, translation)
+        if self.store is not None:
+            # Strip the relation reference: pickling it would bloat
+            # every entry with the whole table, and the store's
+            # relation-hash scoping already identifies it exactly.
+            self.store.put(
+                "translations",
+                key,
+                (
+                    translation.query,
+                    translation.candidate_rids,
+                    translation.model,
+                    translation.x_vars,
+                ),
+                self.relation_hash,
+            )
 
     # -- bookkeeping --------------------------------------------------------
 
     def stats(self):
-        return {
+        out = {
             "where": self._where.stats(),
             "bounds": self._bounds.stats(),
             "translations": self._translations.stats(),
             "reduction_facts": self.reduction_facts.stats(),
         }
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        return out
 
     def clear(self):
         self._where.clear()
@@ -363,24 +502,66 @@ class EvaluationSession:
         reuse_results: replay validated results for exactly repeated
             ``(query, options)`` pairs (see the module docstring).
             Analysis artifacts are reused either way.
+        store: optional durable
+            :class:`~repro.core.artifact_store.ArtifactStore` shared
+            with the caller (not closed by the session).
+        store_path: directory for a session-owned store (mutually
+            exclusive with ``store``; closed with the session).
     """
 
-    def __init__(self, relation, db=None, options=None, reuse_results=True):
-        self.artifacts = ArtifactCache()
-        self._evaluator = PackageQueryEvaluator(
-            relation, db, artifacts=self.artifacts
-        )
+    def __init__(self, relation, db=None, options=None, reuse_results=True,
+                 store=None, store_path=None):
+        if store is not None and store_path is not None:
+            raise ValueError("pass store= or store_path=, not both")
+        self._owns_store = False
+        if store_path is not None:
+            from repro.core.artifact_store import ArtifactStore
+
+            store = ArtifactStore(store_path)
+            self._owns_store = True
+        self._artifact_store = store
         self._options = options or EngineOptions()
         self._reuse_results = reuse_results
         self._results = _BoundedCache(256)
         self.queries_run = 0
+        self._bind(relation, db)
+
+    def _bind(self, relation, db=None):
+        """(Re)build the per-relation state: content hash, artifact
+        cache, evaluator.  Called at construction and after mutations."""
+        relation_hash = None
+        if self._artifact_store is not None:
+            from repro.relational.content_hash import relation_fingerprint
+
+            relation_hash = relation_fingerprint(relation)
+        self.artifacts = ArtifactCache(
+            store=self._artifact_store,
+            relation_hash=relation_hash,
+            relation=relation,
+        )
+        self._evaluator = PackageQueryEvaluator(
+            relation, db, artifacts=self.artifacts
+        )
+
+    @property
+    def store(self):
+        """The durable artifact store, or ``None``."""
+        return self._artifact_store
+
+    @property
+    def relation_hash(self):
+        """The relation's content hash (``None`` without a store)."""
+        return self.artifacts.relation_hash
 
     def close(self):
         """Release pooled resources (the evaluator's shared-memory
-        execution context, when one was created).  Idempotent; the
+        execution context, when one was created; a session-owned
+        durable store's counters are flushed).  Idempotent; the
         session stays usable — a later shm-process evaluation simply
         rebuilds the context."""
         self._evaluator.close()
+        if self._owns_store and self._artifact_store is not None:
+            self._artifact_store.close()
 
     def __enter__(self):
         return self
@@ -420,41 +601,68 @@ class EvaluationSession:
         """
         options = options or self._options
         started = time.perf_counter()
+        snapshot = self._store_snapshot()
         query = self._evaluator.prepare(query_or_text)
         key = self._result_key(query, options)
         if self._reuse_results:
             cached = self._results.get(key)
+            if cached is None and self._artifact_store is not None:
+                cached = self._artifact_store.get(
+                    "results", key, self.artifacts.relation_hash
+                )
+                if cached is not None:
+                    self._results.put(key, cached)
             if cached is not None:
                 result = self._replay(cached, started)
                 self.queries_run += 1
+                self._attach_store_delta(result, snapshot)
                 return result
         result = self._evaluator.evaluate(query, options)
         self.queries_run += 1
         if self._reuse_results:
             self._store(key, result)
+        self._attach_store_delta(result, snapshot)
         return result
 
+    def _store_snapshot(self):
+        if self._artifact_store is None:
+            return None
+        return self._artifact_store.snapshot()
+
+    def _attach_store_delta(self, result, snapshot):
+        """Record this query's durable-store activity as
+        ``stats["artifacts"]`` (hits/misses/writes/rejections since the
+        query started)."""
+        if snapshot is None:
+            return
+        current = self._artifact_store.snapshot()
+        result.stats["artifacts"] = {
+            field: current[field] - snapshot[field] for field in current
+        }
+
     def _store(self, key, result):
-        self._results.put(
-            key,
-            _CachedResult(
-                counts=(
-                    result.package.counts
-                    if result.package is not None
-                    else None
-                ),
-                status=result.status,
-                strategy=result.strategy,
-                query=result.query,
-                objective=result.objective,
-                candidate_count=result.candidate_count,
-                bounds=result.bounds,
-                # Deep copy both ways (store and replay): the stats
-                # tree holds nested dicts/lists, and a caller mutating
-                # a returned result must never corrupt the cache.
-                stats=copy.deepcopy(result.stats),
+        cached = _CachedResult(
+            counts=(
+                result.package.counts
+                if result.package is not None
+                else None
             ),
+            status=result.status,
+            strategy=result.strategy,
+            query=result.query,
+            objective=result.objective,
+            candidate_count=result.candidate_count,
+            bounds=result.bounds,
+            # Deep copy both ways (store and replay): the stats
+            # tree holds nested dicts/lists, and a caller mutating
+            # a returned result must never corrupt the cache.
+            stats=copy.deepcopy(result.stats),
         )
+        self._results.put(key, cached)
+        if self._artifact_store is not None:
+            self._artifact_store.put(
+                "results", key, cached, self.artifacts.relation_hash
+            )
 
     def _replay(self, cached, started):
         """Rebuild a cached outcome; re-validate through the oracle gate."""
@@ -514,32 +722,87 @@ class EvaluationSession:
 
         options = options or self._options
         if execute:
+            snapshot = self._store_snapshot()
             query = self._evaluator.prepare(query_or_text)
             result = self._evaluator.evaluate(query, options)
             self.queries_run += 1
             if self._reuse_results:
                 self._store(self._result_key(query, options), result)
+            self._attach_store_delta(result, snapshot)
             table = stage_table(
                 result.stats["stages"],
                 parallel=result.stats.get("parallel"),
+                artifacts=result.stats.get("artifacts"),
             )
             return result, table
         report = self.plan(query_or_text, options)
         return report, stage_table(report.stages)
 
+    # -- mutation ------------------------------------------------------------
+
+    def append_rows(self, rows):
+        """Append ``rows`` to the session's relation; keep warm state.
+
+        Returns the :class:`~repro.relational.sharding.MutationReport`
+        naming the touched shards.  The relation is replaced (relations
+        are immutable), relation-scoped caches re-key under the new
+        content hash, and — with a durable store — shard-scoped
+        artifacts (zone statistics, per-shard WHERE partials) for the
+        untouched shards are rediscovered by content fingerprint, so
+        only the dirty shards recompute.
+
+        Shard layout stays *aligned*: appended rows extend the last
+        shard, keeping every other shard's boundaries and content
+        bit-identical.  Not supported with an attached sql database.
+        """
+        return self._mutate("append", rows)
+
+    def delete_rows(self, rids):
+        """Delete the rows at indices ``rids``; see :meth:`append_rows`.
+
+        Shards containing a deleted rid shrink; every other shard
+        keeps its exact content (shard fingerprints are
+        position-independent, so their stored artifacts stay live).
+        """
+        return self._mutate("delete", rids)
+
+    def _mutate(self, kind, payload):
+        if self._evaluator.db is not None:
+            from repro.core.result import EngineError
+
+            raise EngineError(
+                "session mutation is not supported with an attached "
+                "database (the sqlite copy would go stale)"
+            )
+        sharded = self._evaluator.sharded_relation(max(1, self._options.shards))
+        if kind == "append":
+            sharded, report = sharded.append(payload)
+        else:
+            sharded, report = sharded.delete(payload)
+        # Rebind everything keyed on the old relation: the evaluator
+        # (kernels recompile via evaluator_for's weak map), the
+        # artifact cache (new relation hash scopes the durable
+        # relation-level layers), and the in-memory result cache
+        # (its keys don't carry the relation, so it must drop).
+        self._evaluator.close()
+        self._bind(sharded.relation)
+        self._evaluator.adopt_sharded(sharded)
+        self._results.clear()
+        return report
+
     # -- bookkeeping --------------------------------------------------------
 
     def cache_stats(self):
-        """Hit/miss/entry counters for every cache layer."""
+        """Hit/miss/entry counters for every cache layer (including
+        the durable store's, when one is attached)."""
         stats = self.artifacts.stats()
         stats["results"] = self._results.stats()
         stats["queries_run"] = self.queries_run
         return stats
 
     def invalidate(self):
-        """Drop every cached artifact and result (e.g. after swapping
-        in a new relation object is *not* supported — build a new
-        session for new data; this exists for tests and for reclaiming
-        memory mid-session)."""
+        """Drop every in-memory cached artifact and result (the durable
+        store is untouched — use ``store.clear()`` for that; this
+        exists for tests and for reclaiming memory mid-session)."""
         self.artifacts.clear()
         self._results.clear()

@@ -18,7 +18,12 @@ Columnar access comes in two flavours:
 
 Relations are immutable after construction; derived relations
 (``filter``, ``filter_mask``, ``take``) share no mutable state with
-their source.
+their source.  "Mutation" (:meth:`Relation.append_rows`,
+:meth:`Relation.delete_rows`) follows the same discipline: each call
+returns a *new* relation, so everything keyed on a relation's content
+(column caches, content fingerprints, the durable artifact store's
+entries) stays valid for the old object and is computed fresh — or
+rediscovered by content hash — for the new one.
 """
 
 from __future__ import annotations
@@ -129,6 +134,23 @@ class Relation:
             )
         filled = [{key: row.get(key) for key in schema.names} for row in rows]
         return cls(name, schema, filled)
+
+    @classmethod
+    def _from_packed(cls, name, schema, packed):
+        """Build a relation from already-validated packed row tuples.
+
+        Internal fast path for the mutation APIs: the source rows were
+        validated when the parent relation was built, so re-running
+        ``schema.validate_row`` over every surviving row (the
+        :meth:`take` path) would make each mutation O(n) validation on
+        top of the O(n) copy.
+        """
+        relation = object.__new__(cls)
+        relation._name = name
+        relation._schema = schema
+        relation._rows = tuple(packed)
+        relation._column_cache = {}
+        return relation
 
     # -- basic protocol ---------------------------------------------------
 
@@ -306,3 +328,54 @@ class Relation:
     def head(self, count=5):
         """Return the first ``count`` rows as dicts (for inspection)."""
         return [self[i] for i in range(min(count, len(self)))]
+
+    # -- mutation (persistent: returns new relations) -----------------------
+
+    def append_rows(self, rows, name=None):
+        """Return a new relation with ``rows`` appended at the end.
+
+        Args:
+            rows: iterable of row dicts keyed by column name; each is
+                validated against the schema (missing keys raise, as
+                in the constructor — use ``None`` for NULL).
+            name: optional name for the result (defaults to this
+                relation's name).
+
+        Appended rows land *after* every existing row, so every
+        existing row keeps its rid — prefixes of the relation are
+        bit-identical, which is what lets shard-level content hashing
+        reuse artifacts for untouched shards.
+        """
+        appended = []
+        for row in rows:
+            self._schema.validate_row(row)
+            appended.append(tuple(row[column] for column in self._schema.names))
+        return Relation._from_packed(
+            name or self._name, self._schema, self._rows + tuple(appended)
+        )
+
+    def delete_rows(self, rids, name=None):
+        """Return a new relation without the rows at indices ``rids``.
+
+        Args:
+            rids: iterable of row indices to drop (duplicates allowed;
+                out-of-range indices raise ``IndexError``).
+            name: optional name for the result.
+
+        Surviving rows keep their relative order; rows after a deleted
+        index shift down, so only shards at or after the first deleted
+        rid change content.
+        """
+        count = len(self._rows)
+        drop = set()
+        for rid in rids:
+            rid = int(rid)
+            if not 0 <= rid < count:
+                raise IndexError(
+                    f"rid {rid} out of range for relation of {count} rows"
+                )
+            drop.add(rid)
+        if not drop:
+            return self
+        kept = [row for index, row in enumerate(self._rows) if index not in drop]
+        return Relation._from_packed(name or self._name, self._schema, kept)

@@ -36,7 +36,12 @@ import numpy as np
 from repro.paql import ast
 from repro.relational.types import ColumnType
 
-__all__ = ["ShardedRelation", "ZoneStats", "merge_zone_stats"]
+__all__ = [
+    "MutationReport",
+    "ShardedRelation",
+    "ZoneStats",
+    "merge_zone_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -94,6 +99,28 @@ def merge_zone_stats(parts):
     )
 
 
+@dataclass(frozen=True)
+class MutationReport:
+    """Which shards a mutation touched.
+
+    Attributes:
+        kind: ``"append"`` or ``"delete"``.
+        touched: shard indices whose *content* changed (per-shard
+            artifacts for these must be recomputed).
+        untouched: the complementary shard indices, whose content — and
+            therefore content fingerprint — is bit-identical to before,
+            so their cached per-shard artifacts remain valid.
+        rows_before / rows_after: relation cardinality around the
+            mutation.
+    """
+
+    kind: str
+    touched: tuple
+    untouched: tuple
+    rows_before: int
+    rows_after: int
+
+
 class ShardedRelation:
     """``K`` contiguous shards of one relation, with zone statistics.
 
@@ -103,14 +130,42 @@ class ShardedRelation:
         shards: requested shard count; clamped to at least 1.  Shard
             sizes differ by at most one row; with ``shards > len``,
             trailing shards are empty (and always skippable).
+        slices: optional explicit shard layout (contiguous ``slice``
+            objects covering ``[0, len)`` in order).  The mutation
+            APIs use this to keep shard boundaries *aligned* across a
+            mutation — rebalancing via ``chunk_slices`` would move
+            every boundary and destroy the content-hash stability of
+            untouched shards.  When given, ``shards`` is ignored.
+        zone_source: optional ``(load, save)`` hook pair for zone
+            statistics keyed by shard content —
+            ``load(fingerprint, column) -> tuple[ZoneStats] | None``
+            and ``save(fingerprint, column, stats)``.  The durable
+            artifact store plugs in here so zone maps survive process
+            restarts and follow shard content across mutations.
     """
 
-    def __init__(self, relation, shards):
+    def __init__(self, relation, shards, slices=None, zone_source=None):
         from repro.core.parallel import chunk_slices
 
         self._relation = relation
-        self._slices = chunk_slices(len(relation), max(1, int(shards)))
+        if slices is None:
+            self._slices = chunk_slices(len(relation), max(1, int(shards)))
+        else:
+            self._slices = list(slices)
+            expected = 0
+            for part in self._slices:
+                if part.start != expected or part.stop < part.start:
+                    raise ValueError(
+                        f"shard slices must be contiguous from 0: {slices!r}"
+                    )
+                expected = part.stop
+            if expected != len(relation):
+                raise ValueError(
+                    f"shard slices cover {expected} rows, relation has "
+                    f"{len(relation)}"
+                )
         self._zone_cache = {}
+        self._zone_source = zone_source
 
     # -- structure -----------------------------------------------------------
 
@@ -134,6 +189,24 @@ class ShardedRelation:
     def shard_slice(self, index):
         """The contiguous row ``slice`` shard ``index`` covers."""
         return self._slices[index]
+
+    def shard_fingerprint(self, index):
+        """Content fingerprint of shard ``index`` (cached).
+
+        Position-independent: a shard with bit-identical rows
+        fingerprints the same wherever its slice starts, so artifacts
+        keyed on it stay valid when a delete in an earlier shard
+        shifts this shard's absolute offsets.
+        """
+        key = ("fingerprint", index)
+        if key not in self._zone_cache:
+            from repro.relational.content_hash import range_fingerprint
+
+            part = self._slices[index]
+            self._zone_cache[key] = range_fingerprint(
+                self._relation, part.start, part.stop
+            )
+        return self._zone_cache[key]
 
     def shard_sizes(self):
         """Row count per shard."""
@@ -194,41 +267,127 @@ class ShardedRelation:
 
         Numeric and BOOL columns get min/max/sum; TEXT columns carry
         only the counts (enough for IS NULL reasoning).
+
+        With a ``zone_source`` attached, each shard's statistics are
+        first looked up by the shard's *content* fingerprint (so a
+        restarted process, or the untouched shards after a mutation,
+        reuse stored zone maps); only missing shards are scanned, and
+        freshly computed statistics are written back.
         """
         if name in self._zone_cache:
             return self._zone_cache[name]
         column = self._relation.schema[name]
         numeric = column.type is not ColumnType.TEXT
-        values, nulls = self._relation.column_arrays(name)
         stats = []
-        for part in self._slices:
-            count = part.stop - part.start
-            shard_nulls = nulls[part]
-            null_count = int(np.count_nonzero(shard_nulls))
-            if not numeric or count - null_count == 0:
-                stats.append(ZoneStats(count, null_count))
+        for index, part in enumerate(self._slices):
+            loaded = None
+            if self._zone_source is not None:
+                loaded = self._zone_source[0](self.shard_fingerprint(index), name)
+            if loaded is not None:
+                stats.append(loaded)
                 continue
-            kept = values[part][~shard_nulls]
-            # NaN/±inf are valid FLOAT data; the reductions may produce
-            # non-finite statistics (consumers handle them), so the
-            # invalid-value warning is expected noise here.
-            with np.errstate(invalid="ignore"):
-                stats.append(
-                    ZoneStats(
-                        count=count,
-                        null_count=null_count,
-                        minimum=float(kept.min()),
-                        maximum=float(kept.max()),
-                        total=float(kept.sum()),
-                    )
-                )
+            computed = self._compute_zone(part, name, numeric)
+            if self._zone_source is not None:
+                self._zone_source[1](self.shard_fingerprint(index), name, computed)
+            stats.append(computed)
         stats = tuple(stats)
         self._zone_cache[name] = stats
         return stats
 
+    def _compute_zone(self, part, name, numeric):
+        values, nulls = self._relation.column_arrays(name)
+        count = part.stop - part.start
+        shard_nulls = nulls[part]
+        null_count = int(np.count_nonzero(shard_nulls))
+        if not numeric or count - null_count == 0:
+            return ZoneStats(count, null_count)
+        kept = values[part][~shard_nulls]
+        # NaN/±inf are valid FLOAT data; the reductions may produce
+        # non-finite statistics (consumers handle them), so the
+        # invalid-value warning is expected noise here.
+        with np.errstate(invalid="ignore"):
+            return ZoneStats(
+                count=count,
+                null_count=null_count,
+                minimum=float(kept.min()),
+                maximum=float(kept.max()),
+                total=float(kept.sum()),
+            )
+
     def column_zone(self, name):
         """Relation-level :class:`ZoneStats` (merged over all shards)."""
         return merge_zone_stats(self.zone_stats(name))
+
+    # -- mutation (persistent: returns new sharded relations) ----------------
+
+    def append(self, rows):
+        """Append ``rows``, extending the **last** shard only.
+
+        Returns:
+            ``(sharded, report)`` — a new :class:`ShardedRelation`
+            over the appended relation, plus the
+            :class:`MutationReport` naming the touched shards.
+
+        The shard count and every earlier shard boundary are
+        preserved (rebalancing would shift rows across boundaries and
+        invalidate every shard's content fingerprint); only the last
+        shard's content changes, so per-shard artifacts for shards
+        ``0..K-2`` remain valid by content hash.
+        """
+        rows = list(rows)
+        relation = self._relation.append_rows(rows)
+        last = self.num_shards - 1
+        slices = list(self._slices)
+        slices[last] = slice(slices[last].start, len(relation))
+        sharded = ShardedRelation(
+            relation, self.num_shards, slices=slices,
+            zone_source=self._zone_source,
+        )
+        touched = (last,) if rows else ()
+        return sharded, MutationReport(
+            kind="append",
+            touched=touched,
+            untouched=tuple(i for i in range(self.num_shards) if i not in touched),
+            rows_before=len(self._relation),
+            rows_after=len(relation),
+        )
+
+    def delete(self, rids):
+        """Delete the rows at indices ``rids``, shrinking touched shards.
+
+        Returns:
+            ``(sharded, report)`` — a new :class:`ShardedRelation`
+            plus the :class:`MutationReport`.
+
+        Each shard containing a deleted rid shrinks by its deletion
+        count; every other shard keeps its exact row content (its
+        absolute offsets shift, but shard fingerprints are
+        position-independent, so per-shard artifacts keyed by content
+        hash remain valid for the untouched shards).
+        """
+        rids = sorted({int(rid) for rid in rids})
+        relation = self._relation.delete_rows(rids)
+        drops = np.zeros(self.num_shards, dtype=np.intp)
+        for group_index, group in enumerate(self.split_rids(rids)):
+            drops[group_index] = len(group)
+        slices = []
+        start = 0
+        for index, part in enumerate(self._slices):
+            size = (part.stop - part.start) - int(drops[index])
+            slices.append(slice(start, start + size))
+            start += size
+        sharded = ShardedRelation(
+            relation, self.num_shards, slices=slices,
+            zone_source=self._zone_source,
+        )
+        touched = tuple(int(i) for i in np.flatnonzero(drops))
+        return sharded, MutationReport(
+            kind="delete",
+            touched=touched,
+            untouched=tuple(i for i in range(self.num_shards) if i not in touched),
+            rows_before=len(self._relation),
+            rows_after=len(relation),
+        )
 
     # -- zone-map pruning ----------------------------------------------------
 

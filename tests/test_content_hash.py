@@ -1,0 +1,234 @@
+"""Content hashing: equality iff bit-identical columns, shard merge rule.
+
+The properties the durable store's keying rests on:
+
+* **Soundness** — any visible difference (one value, one NULL flag,
+  one extra row, a swapped column) changes the digest.
+* **Completeness** — invisible differences (NaN bit patterns, payload
+  bytes under NULL slots, numpy's fixed-width TEXT padding, array
+  object identity) do *not* change the digest.
+* **Composability** — feeding a column's shards in row order through
+  one :class:`ColumnHasher` yields exactly the whole-column digest,
+  at every split point; and a shard's :func:`range_fingerprint` is a
+  function of its content alone, not its offset in the relation.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import clustered_relation
+from repro.relational import (
+    Column,
+    ColumnType,
+    Relation,
+    Schema,
+    column_digest,
+    merge_digests,
+    range_fingerprint,
+    relation_fingerprint,
+)
+from repro.relational.content_hash import ColumnHasher, column_kind
+
+# -- strategies ------------------------------------------------------------
+
+_value = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.integers(-(10**6), 10**6).map(float),
+)
+_cell = st.one_of(st.none(), _value)
+_column = st.lists(_cell, min_size=0, max_size=40)
+
+
+def _arrays(cells):
+    nulls = np.array([cell is None for cell in cells], dtype=bool)
+    values = np.array(
+        [np.nan if cell is None else cell for cell in cells],
+        dtype=np.float64,
+    )
+    return values, nulls
+
+
+# -- soundness: visible differences change the digest ----------------------
+
+
+class TestSoundness:
+    @given(_column, st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_value_perturbation_changes_digest(self, cells, data):
+        values, nulls = _arrays(cells)
+        baseline = column_digest(values, nulls)
+        if not cells:
+            return
+        index = data.draw(st.integers(0, len(cells) - 1))
+        perturbed = values.copy()
+        changed_nulls = nulls.copy()
+        if nulls[index]:
+            # Turning a NULL into a value must change the digest.
+            changed_nulls[index] = False
+            perturbed[index] = 0.0
+        else:
+            perturbed[index] = np.nextafter(values[index], np.inf)
+        assert column_digest(perturbed, changed_nulls) != baseline
+
+    @given(_column)
+    @settings(max_examples=100, deadline=None)
+    def test_extra_row_changes_digest(self, cells):
+        values, nulls = _arrays(cells)
+        longer_values, longer_nulls = _arrays(cells + [1.0])
+        assert column_digest(values, nulls) != column_digest(
+            longer_values, longer_nulls
+        )
+
+    def test_null_never_collides_with_nan_value(self):
+        # A NULL entry and a NaN *data* value are semantically distinct
+        # (the engine's mask separates them); the digest must too.
+        values = np.array([1.0, np.nan], dtype=np.float64)
+        as_null = column_digest(values, np.array([False, True]))
+        as_nan = column_digest(values, np.array([False, False]))
+        assert as_null != as_nan
+
+    def test_merge_is_order_and_boundary_sensitive(self):
+        a = column_digest(np.array([1.0]), np.zeros(1, dtype=bool))
+        b = column_digest(np.array([2.0]), np.zeros(1, dtype=bool))
+        assert merge_digests([a, b]) != merge_digests([b, a])
+        assert merge_digests([a, b]) != merge_digests([a, b, b])
+        assert merge_digests([a]) != merge_digests([a, a])
+
+
+# -- completeness: invisible differences do not ----------------------------
+
+
+class TestCompleteness:
+    @given(_column)
+    @settings(max_examples=100, deadline=None)
+    def test_equal_content_hashes_equal(self, cells):
+        first = column_digest(*_arrays(cells))
+        second = column_digest(*_arrays(cells))
+        assert first == second
+
+    def test_nan_bit_patterns_are_canonicalized(self):
+        # A signaling-ish NaN with a nonzero payload versus the default
+        # quiet NaN: the kernels can never tell them apart, so the
+        # digests must agree.
+        weird = np.frombuffer(
+            struct.pack("<Q", 0x7FF8000000000001), dtype=np.float64
+        )
+        plain = np.array([np.nan], dtype=np.float64)
+        assert not np.array_equal(
+            weird.view(np.uint64), plain.view(np.uint64)
+        )
+        nulls = np.zeros(1, dtype=bool)
+        assert column_digest(weird, nulls) == column_digest(plain, nulls)
+
+    def test_payload_under_null_is_ignored(self):
+        nulls = np.array([False, True])
+        a = np.array([1.0, np.nan], dtype=np.float64)
+        b = np.array([1.0, 123.456], dtype=np.float64)
+        assert column_digest(a, nulls) == column_digest(b, nulls)
+
+    def test_text_digest_is_padding_independent(self):
+        # The same strings in a <U8 array and a <U2 array (different
+        # numpy itemsize) must hash identically.
+        wide = np.array(["ab", "c", "longest8"])[:2]
+        narrow = np.array(["ab", "c"])
+        assert wide.dtype != narrow.dtype
+        nulls = np.zeros(2, dtype=bool)
+        assert column_digest(wide, nulls, kind="text") == column_digest(
+            narrow, nulls, kind="text"
+        )
+
+    def test_text_boundaries_are_unambiguous(self):
+        nulls = np.zeros(2, dtype=bool)
+        ab_c = column_digest(np.array(["ab", "c"]), nulls, kind="text")
+        a_bc = column_digest(np.array(["a", "bc"]), nulls, kind="text")
+        assert ab_c != a_bc
+
+
+# -- composability: the shard merge rule -----------------------------------
+
+
+class TestMergeRule:
+    @given(_column, st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_streaming_splits_match_whole_column(self, cells, data):
+        values, nulls = _arrays(cells)
+        whole = column_digest(values, nulls)
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(0, len(cells)), min_size=0, max_size=4
+                )
+            )
+        )
+        hasher = ColumnHasher()
+        previous = 0
+        for cut in cuts + [len(cells)]:
+            hasher.update(values[previous:cut], nulls[previous:cut])
+            previous = cut
+        assert hasher.hexdigest() == whole
+
+    def test_range_fingerprint_is_position_independent(self):
+        # The same 50 rows at offset 0 of one relation and offset 100
+        # of another fingerprint identically — the property that lets a
+        # delete shift later shards without invalidating them.
+        relation = clustered_relation(200, seed=3)
+        rows = [dict(row) for row in relation]
+        head = Relation("Readings", relation.schema, rows[:50])
+        shifted = Relation(
+            "Readings", relation.schema, rows[100:120] + rows[:50]
+        )
+        assert range_fingerprint(head, 0, 50) == range_fingerprint(
+            shifted, 20, 70
+        )
+
+    def test_relation_fingerprint_matches_full_range(self):
+        relation = clustered_relation(64, seed=7)
+        assert relation_fingerprint(relation) == range_fingerprint(
+            relation, 0, len(relation)
+        )
+
+    def test_relation_fingerprint_is_cross_object_stable(self):
+        a = clustered_relation(100, seed=11)
+        b = clustered_relation(100, seed=11)
+        assert a is not b
+        assert relation_fingerprint(a) == relation_fingerprint(b)
+        assert relation_fingerprint(a) != relation_fingerprint(
+            clustered_relation(100, seed=12)
+        )
+
+    def test_mutations_change_only_the_expected_fingerprints(self):
+        relation = clustered_relation(40, seed=1)
+        appended = relation.append_rows(
+            [{"label": "x", "ts": 200.0, "cost": 1.0, "gain": 2.0, "weight": 3.0}]
+        )
+        assert relation_fingerprint(appended) != relation_fingerprint(relation)
+        # The untouched prefix keeps its range fingerprint.
+        assert range_fingerprint(appended, 0, 40) == range_fingerprint(
+            relation, 0, 40
+        )
+
+
+def test_column_kind_routes_text_separately():
+    assert column_kind(ColumnType.TEXT) == "text"
+    for numeric in (ColumnType.INT, ColumnType.FLOAT, ColumnType.BOOL):
+        assert column_kind(numeric) == "numeric"
+    with pytest.raises(ValueError):
+        ColumnHasher("decimal")
+
+
+def test_schema_is_part_of_the_fingerprint():
+    rows = [{"a": 1.0}]
+    renamed = [{"b": 1.0}]
+    fp_a = relation_fingerprint(
+        Relation("R", Schema([Column("a", ColumnType.FLOAT)]), rows)
+    )
+    fp_b = relation_fingerprint(
+        Relation("R", Schema([Column("b", ColumnType.FLOAT)]), renamed)
+    )
+    assert fp_a != fp_b
