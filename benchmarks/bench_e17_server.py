@@ -1,0 +1,86 @@
+"""E17 — concurrent serving: warm multi-client throughput vs cold calls.
+
+Claim shape: a long-lived server pooling one
+:class:`~repro.core.session.EvaluationSession` per relation turns the
+E14 single-caller session win into a *multi-tenant* one — N concurrent
+clients over HTTP share every artifact layer (scans, bounds,
+translations, validated replays) through one thread-safe session, with
+a bounded worker queue deciding admission instead of an unbounded
+backlog.
+
+Acceptance bars, enforced in CI (``--benchmark-disable``):
+
+* warm-server throughput for **8 concurrent clients** over the E14
+  query stream is **>= 2x** the cold single-caller sequential baseline
+  (fresh evaluator per query) on the 100k clustered relation;
+* every served objective and status is **bit-identical** to the cold
+  evaluation of the same template;
+* queue-full admission control is verified: a burst against a
+  ``workers=1, queue_depth=1`` server with an injected slow query
+  answers at least one request 429 and **every** burst request
+  resolves (bounded queue, no hangs);
+* the measured phase itself sees zero rejections and zero errors.
+
+The run persists the outcome as ``benchmarks/BENCH_e17.json`` — p50 /
+p99 warm latency, warm and cold throughput, cache hit rates — a
+machine-readable perf record extending the repo's perf trajectory.
+
+``REPRO_E17_N`` shrinks the relation for smoke runs (the throughput
+bar is only enforced at the full 100k size; parity and admission are
+enforced at every size).
+"""
+
+import os
+from pathlib import Path
+
+from repro.core.trafficbench import run_traffic_bench, write_record
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_e17.json"
+FULL_N = 100000
+
+
+def test_concurrent_serving_throughput_and_admission(benchmark):
+    """The acceptance bars: >=2x warm throughput for 8 concurrent
+    clients, exact parity, verified queue-full admission."""
+    n = int(os.environ.get("REPRO_E17_N", FULL_N))
+    outcome = benchmark.pedantic(
+        lambda: run_traffic_bench(n=n, clients=8, length=10, shards=8),
+        rounds=1,
+        iterations=1,
+    )
+    write_record(outcome, RECORD_PATH)
+
+    assert outcome["objectives_identical"], (
+        "a served result diverged from its cold counterpart — "
+        "concurrent serving changed an answer"
+    )
+    if n >= FULL_N:
+        assert outcome["throughput_speedup"] >= 2.0, (
+            f"warm serving only {outcome['throughput_speedup']:.2f}x the "
+            f"cold baseline ({outcome['cold_throughput_qps']:.1f} qps cold "
+            f"vs {outcome['warm_throughput_qps']:.1f} qps warm)"
+        )
+
+    admission = outcome["admission"]
+    assert admission["resolved"] == admission["burst"], (
+        f"only {admission['resolved']} of {admission['burst']} burst "
+        "requests resolved — a queue-full request hung"
+    )
+    assert admission["rejected"] >= 1, (
+        "the overloaded probe server never answered 429 — admission "
+        "control did not engage"
+    )
+    assert admission["accepted"] >= 1, (
+        "the probe server rejected everything — admission is not "
+        "letting work through"
+    )
+
+    counters = outcome["server_counters"]
+    assert counters["errors"] == 0, (
+        f"the measured phase recorded {counters['errors']} worker errors"
+    )
+    assert counters["rejected_full"] == 0, (
+        "the measured phase saw queue-full rejections; its queue depth "
+        "should admit the whole workload"
+    )
+    benchmark.extra_info.update(outcome)

@@ -465,6 +465,111 @@ def _cmd_session_bench(args, out):
     return 0 if outcome["objectives_identical"] else 1
 
 
+def _cmd_serve(args, out):
+    """Run the long-lived package-query server until SIGTERM/SIGINT.
+
+    ``--workers`` here is *server* worker threads (concurrent
+    evaluations); engine shard workers are ``--engine-workers``.
+    """
+    import signal
+    import threading
+
+    from repro.core.server import PackageQueryServer
+    from repro.core.server_pool import SessionPool, parse_relation_specs
+
+    try:
+        specs = parse_relation_specs(args.relations)
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
+    options = EngineOptions(
+        strategy=args.strategy,
+        shards=args.shards,
+        workers=args.engine_workers,
+        parallel_backend=args.parallel_backend,
+    )
+    pool = SessionPool(specs, options=options, store_root=args.store)
+    server = PackageQueryServer(
+        pool,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_budget_ms=args.max_budget_ms,
+    ).start()
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    print(
+        f"serving {', '.join(sorted(specs))} on {server.address} "
+        f"({args.workers} workers, queue depth {args.queue_depth}"
+        + (f", store {args.store}" if args.store else "")
+        + "); SIGTERM drains",
+        file=out,
+    )
+    try:
+        stop.wait()
+    finally:
+        print("draining: finishing in-flight queries...", file=out)
+        server.close()
+        print("drained; sessions closed", file=out)
+    return 0
+
+
+def _cmd_bench_traffic(args, out):
+    from repro.core.trafficbench import run_traffic_bench, write_record
+
+    outcome = run_traffic_bench(
+        n=args.n,
+        clients=args.clients,
+        length=args.length,
+        shards=args.shards,
+        strategy=args.strategy,
+        workers=args.workers,
+    )
+    if args.record:
+        write_record(outcome, args.record)
+    ok = (
+        outcome["objectives_identical"]
+        and outcome["admission"]["resolved"] == outcome["admission"]["burst"]
+    )
+    if args.json:
+        print(json.dumps(outcome, indent=2, default=str), file=out)
+        return 0 if ok else 1
+    print(
+        f"workload: {outcome['n']} rows, {outcome['clients']} clients x "
+        f"{outcome['length']} queries, strategy={outcome['strategy']}",
+        file=out,
+    )
+    print(
+        f"cold sequential:    {outcome['cold_throughput_qps']:8.1f} qps "
+        f"({outcome['cold_total_seconds'] * 1e3:.1f} ms for one stream)",
+        file=out,
+    )
+    print(
+        f"warm concurrent:    {outcome['warm_throughput_qps']:8.1f} qps "
+        f"({outcome['throughput_speedup']:.2f}x; p50 "
+        f"{outcome['warm_p50_ms']:.1f} ms, p99 "
+        f"{outcome['warm_p99_ms']:.1f} ms)",
+        file=out,
+    )
+    print(
+        f"admission probe:    {outcome['admission']['rejected']} of "
+        f"{outcome['admission']['burst']} burst requests answered 429, "
+        "all resolved",
+        file=out,
+    )
+    print(
+        "objectives identical to cold runs: "
+        f"{'yes' if outcome['objectives_identical'] else 'NO'}",
+        file=out,
+    )
+    return 0 if ok else 1
+
+
 def _cmd_describe(args, out):
     text = _read_query_text(args)
     query = parse(text)
@@ -1112,6 +1217,110 @@ def build_parser():
     )
     reduce_bench.add_argument("--json", action="store_true", help="JSON output")
     reduce_bench.set_defaults(func=_cmd_reduce_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the concurrent multi-tenant package-query server "
+            "(one pooled EvaluationSession per relation, bounded "
+            "worker queue, per-query budgets; SIGTERM drains)"
+        ),
+    )
+    serve.add_argument(
+        "--relations",
+        required=True,
+        help=(
+            "comma-separated NAME=KIND:ROWS[:SEED] specs, e.g. "
+            "Readings=clustered:100000:13,Recipes=recipes:500"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8077, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="server worker threads (bounds concurrent evaluations)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="admission bound; requests beyond it are answered 429",
+    )
+    serve.add_argument(
+        "--store",
+        help="durable artifact store root (one subdirectory per relation)",
+    )
+    serve.add_argument(
+        "--max-budget-ms",
+        type=float,
+        default=None,
+        help="clamp applied to client-requested per-query budgets",
+    )
+    serve.add_argument(
+        "--strategy",
+        default="auto",
+        choices=["auto", *strategy_names()],
+        help="engine strategy for every session",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=8, help="shard count per session"
+    )
+    serve.add_argument(
+        "--engine-workers",
+        type=int,
+        default=0,
+        help="engine shard workers (0 = one per CPU); not server threads",
+    )
+    serve.add_argument(
+        "--parallel-backend",
+        default="thread",
+        choices=sorted(ENGINE_BACKENDS),
+        help="parallel backend for shard-parallel stages",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_traffic = sub.add_parser(
+        "bench-traffic",
+        help=(
+            "benchmark N concurrent clients against an in-process "
+            "server on the E14 query stream (the E17 workload): warm "
+            "throughput vs cold sequential baseline, latency "
+            "percentiles, queue-full admission, objective parity"
+        ),
+    )
+    bench_traffic.add_argument(
+        "--n", type=int, default=100000, help="workload rows"
+    )
+    bench_traffic.add_argument(
+        "--clients", type=int, default=8, help="concurrent clients"
+    )
+    bench_traffic.add_argument(
+        "--length", type=int, default=10, help="queries per client"
+    )
+    bench_traffic.add_argument(
+        "--shards", type=int, default=8, help="shard count for both sides"
+    )
+    bench_traffic.add_argument(
+        "--strategy",
+        default="ilp",
+        choices=["auto", *strategy_names()],
+        help="engine strategy for both sides",
+    )
+    bench_traffic.add_argument(
+        "--workers", type=int, default=4, help="server worker threads"
+    )
+    bench_traffic.add_argument(
+        "--record",
+        help="write the outcome as a machine-readable JSON perf record",
+    )
+    bench_traffic.add_argument(
+        "--json", action="store_true", help="JSON output"
+    )
+    bench_traffic.set_defaults(func=_cmd_bench_traffic)
 
     demo = sub.add_parser("demo", help="run a built-in paper scenario")
     demo.add_argument("scenario", choices=sorted(_DEMOS))

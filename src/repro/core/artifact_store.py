@@ -57,6 +57,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 from pathlib import Path
 
 import repro
@@ -101,6 +102,16 @@ class ArtifactStore:
             layer: dict.fromkeys(_COUNTER_FIELDS, 0)
             for layer in RELATION_LAYERS + SHARD_LAYERS
         }
+        # Counter increments are read-modify-writes; one store object
+        # is shared by every thread of a serving session.  Entry I/O
+        # itself needs no lock (atomic replace + checksum-verified
+        # reads), so the lock is held only around counter arithmetic.
+        self._counter_lock = threading.Lock()
+
+    def _count(self, counters, *fields):
+        with self._counter_lock:
+            for field in fields:
+                counters[field] += 1
 
     # -- paths ---------------------------------------------------------------
 
@@ -134,7 +145,7 @@ class ArtifactStore:
         try:
             blob = path.read_bytes()
         except OSError:
-            counters["misses"] += 1
+            self._count(counters, "misses")
             return None
         try:
             newline = blob.index(b"\n")
@@ -151,14 +162,13 @@ class ArtifactStore:
                 raise ValueError("payload checksum mismatch")
             value = pickle.loads(payload)
         except Exception:
-            counters["rejected"] += 1
-            counters["misses"] += 1
+            self._count(counters, "rejected", "misses")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
-        counters["hits"] += 1
+        self._count(counters, "hits")
         return value
 
     def put(self, layer, key, value, relation_hash=None):
@@ -202,9 +212,9 @@ class ArtifactStore:
         except ValueError:
             raise  # programming errors (unknown layer / missing hash)
         except Exception:
-            counters["errors"] += 1
+            self._count(counters, "errors")
             return False
-        counters["writes"] += 1
+        self._count(counters, "writes")
         return True
 
     # -- inspection ----------------------------------------------------------
@@ -344,42 +354,54 @@ class ArtifactStore:
 
     def stats(self):
         """This handle's counters plus aggregates (not disk contents)."""
-        out = {"root": str(self.root), "layers": self.counters}
+        with self._counter_lock:
+            layers = {
+                layer: dict(fields) for layer, fields in self.counters.items()
+            }
+        out = {"root": str(self.root), "layers": layers}
         for field in _COUNTER_FIELDS:
-            out[field] = sum(layer[field] for layer in self.counters.values())
+            out[field] = sum(layer[field] for layer in layers.values())
         return out
 
     def snapshot(self):
         """Aggregate counter totals, for cheap before/after deltas."""
-        return {
-            field: sum(layer[field] for layer in self.counters.values())
-            for field in _COUNTER_FIELDS
-        }
+        with self._counter_lock:
+            return {
+                field: sum(layer[field] for layer in self.counters.values())
+                for field in _COUNTER_FIELDS
+            }
 
     def close(self):
         """Merge this handle's counters into ``counters.json`` (best
         effort) so ``repro cache stats`` can report lifetime hit rates
         across processes.  Idempotent: counters merged once."""
-        if not any(value for layer in self.counters.values() for value in layer.values()):
-            return
-        path = self.root / "counters.json"
-        merged = {}
-        try:
-            merged = json.loads(path.read_text())
-        except Exception:
+        with self._counter_lock:
+            if not any(
+                value
+                for layer in self.counters.values()
+                for value in layer.values()
+            ):
+                return
+            path = self.root / "counters.json"
             merged = {}
-        for layer, fields in self.counters.items():
-            slot = merged.setdefault(layer, dict.fromkeys(_COUNTER_FIELDS, 0))
-            for field, value in fields.items():
-                slot[field] = slot.get(field, 0) + value
-        try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps(merged, indent=2, sort_keys=True))
-        except OSError:
-            pass
-        for fields in self.counters.values():
-            for field in fields:
-                fields[field] = 0
+            try:
+                merged = json.loads(path.read_text())
+            except Exception:
+                merged = {}
+            for layer, fields in self.counters.items():
+                slot = merged.setdefault(
+                    layer, dict.fromkeys(_COUNTER_FIELDS, 0)
+                )
+                for field, value in fields.items():
+                    slot[field] = slot.get(field, 0) + value
+            try:
+                self.root.mkdir(parents=True, exist_ok=True)
+                path.write_text(json.dumps(merged, indent=2, sort_keys=True))
+            except OSError:
+                pass
+            for fields in self.counters.values():
+                for field in fields:
+                    fields[field] = 0
 
     def lifetime_counters(self):
         """Counters from ``counters.json`` plus this handle's own."""
@@ -388,10 +410,13 @@ class ArtifactStore:
             merged = json.loads(path.read_text())
         except Exception:
             merged = {}
-        for layer, fields in self.counters.items():
-            slot = merged.setdefault(layer, dict.fromkeys(_COUNTER_FIELDS, 0))
-            for field, value in fields.items():
-                slot[field] = slot.get(field, 0) + value
+        with self._counter_lock:
+            for layer, fields in self.counters.items():
+                slot = merged.setdefault(
+                    layer, dict.fromkeys(_COUNTER_FIELDS, 0)
+                )
+                for field, value in fields.items():
+                    slot[field] = slot.get(field, 0) + value
         return merged
 
     def __enter__(self):

@@ -36,6 +36,7 @@ are published as ``stats["stages"]``.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -158,6 +159,11 @@ class PackageQueryEvaluator:
         self._artifacts = artifacts
         self._shm_ctx = None
         self._shm_failure = None
+        # Serializes the evaluator's lazily-built shared state — the
+        # cached ShardedRelation and the shm execution context — under
+        # concurrent callers (one session serving many threads).  Held
+        # only around build/teardown, never around query work.
+        self._shared_state_lock = threading.RLock()
         if db is not None and not db.has_relation(relation.name):
             db.load_relation(relation)
 
@@ -190,14 +196,15 @@ class PackageQueryEvaluator:
         content-addressed ``zone`` layer (keyed by shard fingerprint),
         so they survive restarts and mutations of *other* shards.
         """
-        if self._sharded is None or self._sharded.num_shards != shards:
-            zone_source = None
-            if self._artifacts is not None:
-                zone_source = self._artifacts.zone_source()
-            self._sharded = ShardedRelation(
-                self._relation, shards, zone_source=zone_source
-            )
-        return self._sharded
+        with self._shared_state_lock:
+            if self._sharded is None or self._sharded.num_shards != shards:
+                zone_source = None
+                if self._artifacts is not None:
+                    zone_source = self._artifacts.zone_source()
+                self._sharded = ShardedRelation(
+                    self._relation, shards, zone_source=zone_source
+                )
+            return self._sharded
 
     def adopt_sharded(self, sharded):
         """Adopt a pre-built sharded view of this evaluator's relation.
@@ -233,23 +240,33 @@ class PackageQueryEvaluator:
         ):
             return None
         requested = getattr(options, "workers", 0)
-        if self._shm_ctx is not None:
-            ctx, ctx_requested = self._shm_ctx
-            if ctx.alive and ctx_requested == requested:
-                return ctx
-            ctx.close()
-            self._shm_ctx = None
-        if self._shm_failure is not None:
-            note_parallel_event("shm-process", self._shm_failure)
-            return None
-        try:
-            ctx = ShmExecutionContext.create(self._relation, requested)
-        except ShmUnavailable as exc:
-            self._shm_failure = f"{exc}; degraded to the thread backend"
-            note_parallel_event("shm-process", self._shm_failure)
-            return None
-        self._shm_ctx = (ctx, requested)
-        return ctx
+        with self._shared_state_lock:
+            if self._shm_ctx is not None:
+                ctx, ctx_requested = self._shm_ctx
+                if ctx.alive and ctx_requested == requested:
+                    return ctx
+                # Rebuild only when no concurrent caller can still be
+                # mapping on the old context: closing it out from under
+                # them would turn their in-flight maps into recorded
+                # thread fallbacks mid-query for a mere worker-count
+                # change.  Leave the old context in place for this call
+                # (the thread pool covers it); the next quiet moment
+                # (or close()) retires it.
+                if ctx.alive and ctx.busy:
+                    return ctx
+                ctx.close()
+                self._shm_ctx = None
+            if self._shm_failure is not None:
+                note_parallel_event("shm-process", self._shm_failure)
+                return None
+            try:
+                ctx = ShmExecutionContext.create(self._relation, requested)
+            except ShmUnavailable as exc:
+                self._shm_failure = f"{exc}; degraded to the thread backend"
+                note_parallel_event("shm-process", self._shm_failure)
+                return None
+            self._shm_ctx = (ctx, requested)
+            return ctx
 
     def close(self):
         """Release owned resources (the shm export + worker pool).
@@ -258,10 +275,11 @@ class PackageQueryEvaluator:
         shm evaluation recreates the context).  Sessions call this
         from their own ``close()``.
         """
-        if self._shm_ctx is not None:
-            ctx, _ = self._shm_ctx
-            ctx.close()
-            self._shm_ctx = None
+        with self._shared_state_lock:
+            if self._shm_ctx is not None:
+                ctx, _ = self._shm_ctx
+                ctx.close()
+                self._shm_ctx = None
 
     def __enter__(self):
         return self

@@ -472,6 +472,15 @@ class ShmExecutionContext:
         self._pool = pool
         self._scratch = OrderedDict()
         self._closed = False
+        # Concurrent serving callers share one context: the scratch
+        # LRU is a read-modify-write structure (and evicting an export
+        # a sibling is about to hand to workers would unlink it out
+        # from under them), and close() racing a map must never free
+        # the relation segment while tasks are being submitted.  The
+        # lock serializes the bookkeeping; pool.map itself runs
+        # outside it (ProcessPoolExecutor.submit is thread-safe).
+        self._lock = threading.RLock()
+        self._inflight = 0
 
     @classmethod
     def create(cls, relation, workers):
@@ -508,11 +517,28 @@ class ShmExecutionContext:
     def alive(self):
         return not self._closed and not self._pool.broken
 
+    @property
+    def busy(self):
+        """Whether any thread is currently inside :meth:`map`."""
+        with self._lock:
+            return self._inflight > 0
+
     def map(self, fn, specs):
-        """Ordered map over the persistent attached workers."""
-        if not self.alive:
-            raise ShmUnavailable("shm execution context is closed")
-        return self._pool.map(fn, specs)
+        """Ordered map over the persistent attached workers.
+
+        Safe under concurrent callers; a close() racing this call
+        surfaces as :class:`ShmUnavailable` (the caller's recorded
+        thread fallback), never as a crash on freed memory.
+        """
+        with self._lock:
+            if not self.alive:
+                raise ShmUnavailable("shm execution context is closed")
+            self._inflight += 1
+        try:
+            return self._pool.map(fn, specs)
+        finally:
+            with self._lock:
+                self._inflight -= 1
 
     def warm(self):
         if not self.alive:
@@ -532,39 +558,44 @@ class ShmExecutionContext:
 
         from repro.relational import shm as shm_mod
 
-        if not self.alive:
-            raise ShmUnavailable("shm execution context is closed")
         array = np.ascontiguousarray(np.asarray(rids, dtype=np.intp))
         key = (
             array.size,
             hashlib.blake2b(array.tobytes(), digest_size=16).digest(),
         )
-        entry = self._scratch.get(key)
-        if entry is None:
-            try:
-                entry = shm_mod.export_array(array)
-            except shm_mod.SharedMemoryUnavailable as exc:
-                raise ShmUnavailable(str(exc)) from exc
-            self._scratch[key] = entry
-            while len(self._scratch) > 4:
-                _, old = self._scratch.popitem(last=False)
-                old.close()
-        else:
-            self._scratch.move_to_end(key)
-        return entry.handle
+        with self._lock:
+            if not self.alive:
+                raise ShmUnavailable("shm execution context is closed")
+            entry = self._scratch.get(key)
+            if entry is None:
+                try:
+                    entry = shm_mod.export_array(array)
+                except shm_mod.SharedMemoryUnavailable as exc:
+                    raise ShmUnavailable(str(exc)) from exc
+                self._scratch[key] = entry
+                while len(self._scratch) > 4:
+                    _, old = self._scratch.popitem(last=False)
+                    old.close()
+            else:
+                self._scratch.move_to_end(key)
+            return entry.handle
 
     def close(self):
         """Tear down pool + exports; idempotent, unlinks every segment."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            scratch = list(self._scratch.values())
+            self._scratch.clear()
+        # Pool shutdown waits for in-flight work outside the lock (a
+        # mapping thread must be able to decrement _inflight).
         try:
             self._pool.close()
         except Exception:
             pass
-        for export in self._scratch.values():
+        for export in scratch:
             export.close()
-        self._scratch.clear()
         self._export.close()
 
     def __enter__(self):

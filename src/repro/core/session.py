@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -109,6 +110,13 @@ class _BoundedCache:
     so memory — not just entry count — bounds the cache: a long-lived
     serving session over a large relation evicts by approximate bytes
     instead of retaining hundreds of megabytes of arrays.
+
+    Thread-safe: the LRU bookkeeping (``move_to_end``, eviction, the
+    byte totals) is a read-modify-write sequence over an
+    ``OrderedDict``, which concurrent serving callers would corrupt —
+    every public operation runs under one internal lock.  Values are
+    never mutated after insertion (the session stores replays), so
+    handing the same value to two callers is safe.
     """
 
     def __init__(self, maxsize, max_bytes=None, sizer=None):
@@ -118,52 +126,58 @@ class _BoundedCache:
         self._entries = OrderedDict()
         self._sizes = {}
         self._total_bytes = 0
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key):
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key, value):
-        if key in self._entries:
-            self._total_bytes -= self._sizes.pop(key, 0)
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        if self._sizer is not None:
-            size = self._sizer(value)
-            self._sizes[key] = size
-            self._total_bytes += size
-        while len(self._entries) > self._maxsize or (
-            self._max_bytes is not None
-            and self._total_bytes > self._max_bytes
-            and len(self._entries) > 1
-        ):
-            evicted, _ = self._entries.popitem(last=False)
-            self._total_bytes -= self._sizes.pop(evicted, 0)
+        with self._lock:
+            if key in self._entries:
+                self._total_bytes -= self._sizes.pop(key, 0)
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if self._sizer is not None:
+                size = self._sizer(value)
+                self._sizes[key] = size
+                self._total_bytes += size
+            while len(self._entries) > self._maxsize or (
+                self._max_bytes is not None
+                and self._total_bytes > self._max_bytes
+                and len(self._entries) > 1
+            ):
+                evicted, _ = self._entries.popitem(last=False)
+                self._total_bytes -= self._sizes.pop(evicted, 0)
 
     def clear(self):
-        self._entries.clear()
-        self._sizes.clear()
-        self._total_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._sizes.clear()
+            self._total_bytes = 0
 
     def stats(self):
-        out = {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
-        if self._sizer is not None:
-            out["approx_bytes"] = self._total_bytes
-        return out
+        with self._lock:
+            out = {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+            if self._sizer is not None:
+                out["approx_bytes"] = self._total_bytes
+            return out
 
 
 @dataclass(frozen=True)
@@ -524,6 +538,13 @@ class EvaluationSession:
         self._reuse_results = reuse_results
         self._results = _BoundedCache(256)
         self.queries_run = 0
+        # Guards the cross-call session state that individual cache
+        # locks cannot: the queries_run counter and the mutation
+        # rebind (which swaps evaluator + artifact cache as one unit).
+        # Concurrent ``evaluate`` calls snapshot the evaluator once at
+        # entry; an in-flight query finishes against the pre-mutation
+        # relation (see docs/pipeline.md, "Session locking contract").
+        self._state_lock = threading.RLock()
         self._bind(relation, db)
 
     def _bind(self, relation, db=None):
@@ -601,8 +622,12 @@ class EvaluationSession:
         """
         options = options or self._options
         started = time.perf_counter()
+        # Snapshot the evaluator once: a concurrent mutation rebinds
+        # the session, but this call completes coherently against the
+        # relation it started with.
+        evaluator = self._evaluator
         snapshot = self._store_snapshot()
-        query = self._evaluator.prepare(query_or_text)
+        query = evaluator.prepare(query_or_text)
         key = self._result_key(query, options)
         if self._reuse_results:
             cached = self._results.get(key)
@@ -613,16 +638,20 @@ class EvaluationSession:
                 if cached is not None:
                     self._results.put(key, cached)
             if cached is not None:
-                result = self._replay(cached, started)
-                self.queries_run += 1
+                result = self._replay(cached, started, evaluator)
+                self._count_query()
                 self._attach_store_delta(result, snapshot)
                 return result
-        result = self._evaluator.evaluate(query, options)
-        self.queries_run += 1
+        result = evaluator.evaluate(query, options)
+        self._count_query()
         if self._reuse_results:
             self._store(key, result)
         self._attach_store_delta(result, snapshot)
         return result
+
+    def _count_query(self):
+        with self._state_lock:
+            self.queries_run += 1
 
     def _store_snapshot(self):
         if self._artifact_store is None:
@@ -664,13 +693,15 @@ class EvaluationSession:
                 "results", key, cached, self.artifacts.relation_hash
             )
 
-    def _replay(self, cached, started):
+    def _replay(self, cached, started, evaluator=None):
         """Rebuild a cached outcome; re-validate through the oracle gate."""
         from repro.core.package import Package
 
+        if evaluator is None:
+            evaluator = self._evaluator
         package = None
         if cached.counts is not None:
-            package = Package(self.relation, dict(cached.counts))
+            package = Package(evaluator.relation, dict(cached.counts))
         stats = copy.deepcopy(cached.stats)
         # The stage records describe the *original* run — this
         # invocation executed nothing but the oracle re-validation, so
@@ -692,7 +723,7 @@ class EvaluationSession:
         # The engine's own validation gate: raises EngineError on any
         # invalid replay and recomputes the objective from the package
         # (so a replayed objective is always the validator's number).
-        self._evaluator._check(result)
+        evaluator._check(result)
         result.stats["session"] = {"result_cache": "hit"}
         result.elapsed_seconds = time.perf_counter() - started
         return result
@@ -725,7 +756,7 @@ class EvaluationSession:
             snapshot = self._store_snapshot()
             query = self._evaluator.prepare(query_or_text)
             result = self._evaluator.evaluate(query, options)
-            self.queries_run += 1
+            self._count_query()
             if self._reuse_results:
                 self._store(self._result_key(query, options), result)
             self._attach_store_delta(result, snapshot)
@@ -767,28 +798,35 @@ class EvaluationSession:
         return self._mutate("delete", rids)
 
     def _mutate(self, kind, payload):
-        if self._evaluator.db is not None:
-            from repro.core.result import EngineError
+        with self._state_lock:
+            if self._evaluator.db is not None:
+                from repro.core.result import EngineError
 
-            raise EngineError(
-                "session mutation is not supported with an attached "
-                "database (the sqlite copy would go stale)"
+                raise EngineError(
+                    "session mutation is not supported with an attached "
+                    "database (the sqlite copy would go stale)"
+                )
+            sharded = self._evaluator.sharded_relation(
+                max(1, self._options.shards)
             )
-        sharded = self._evaluator.sharded_relation(max(1, self._options.shards))
-        if kind == "append":
-            sharded, report = sharded.append(payload)
-        else:
-            sharded, report = sharded.delete(payload)
-        # Rebind everything keyed on the old relation: the evaluator
-        # (kernels recompile via evaluator_for's weak map), the
-        # artifact cache (new relation hash scopes the durable
-        # relation-level layers), and the in-memory result cache
-        # (its keys don't carry the relation, so it must drop).
-        self._evaluator.close()
-        self._bind(sharded.relation)
-        self._evaluator.adopt_sharded(sharded)
-        self._results.clear()
-        return report
+            if kind == "append":
+                sharded, report = sharded.append(payload)
+            else:
+                sharded, report = sharded.delete(payload)
+            # Rebind everything keyed on the old relation: the evaluator
+            # (kernels recompile via evaluator_for's weak map), the
+            # artifact cache (new relation hash scopes the durable
+            # relation-level layers), and the in-memory result cache
+            # (its keys don't carry the relation, so it must drop).
+            # In-flight queries that snapshotted the old evaluator
+            # finish against the pre-mutation relation; their shm
+            # context is torn down here, which they survive by
+            # degrading to the thread backend (recorded).
+            self._evaluator.close()
+            self._bind(sharded.relation)
+            self._evaluator.adopt_sharded(sharded)
+            self._results.clear()
+            return report
 
     # -- bookkeeping --------------------------------------------------------
 

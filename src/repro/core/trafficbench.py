@@ -1,0 +1,218 @@
+"""The concurrent-traffic server benchmark harness (E17).
+
+One implementation behind two front ends — ``repro bench-traffic``
+(the CLI) and ``benchmarks/bench_e17_server.py`` (the CI experiment) —
+mirroring the E14 session-bench split, so the number a user reproduces
+locally is computed exactly the way CI computes it.
+
+Workload shape: the E14 query stream (three templates over the E12
+clustered relation, cycled), but served over HTTP to **N concurrent
+clients** instead of one in-process caller.  Three phases:
+
+* **cold baseline** — sequential, single-caller, a fresh
+  :class:`~repro.core.engine.PackageQueryEvaluator` per query: the
+  pre-server cost of answering the stream once, with nothing shared.
+* **warm serving** — an in-process
+  :class:`~repro.core.server.PackageQueryServer` answers the same
+  stream from each of N concurrent clients after one warm-up pass.
+  Artifact layers (scans, bounds, translations, validated replays)
+  are shared across all clients through the pooled session, so
+  steady-state latency is dominated by replay validation, not
+  solving.
+* **admission probe** — a second server over the *same* warmed pool
+  with ``workers=1, queue_depth=1`` and an injected slow query; a
+  burst of concurrent requests must see at least one 429 and every
+  request must resolve (bounded queue, no hangs).
+
+The claim pinned in CI at full size: warm-server throughput over N=8
+concurrent clients is **>= 2x** the cold single-caller sequential
+baseline, at bit-identical objectives, with queue-full admission
+verified.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.engine import EngineOptions, PackageQueryEvaluator
+from repro.core.server import PackageQueryServer, ServerClient
+from repro.core.server_pool import SessionPool
+from repro.core.sessionbench import SESSION_BENCH_QUERIES, write_record
+from repro.datasets import clustered_relation
+
+__all__ = ["run_traffic_bench", "write_record"]
+
+
+def _percentile(sorted_values, fraction):
+    index = min(
+        len(sorted_values) - 1,
+        max(0, int(round(fraction * (len(sorted_values) - 1)))),
+    )
+    return sorted_values[index]
+
+
+def _client_stream(port, relation_name, stream, timeout=600.0):
+    """One client's sequential pass over the stream (own connection).
+
+    Returns ``(latencies_seconds, responses)``; raises on any
+    non-200, so the benchmark fails loudly instead of averaging
+    errors into the throughput number.
+    """
+    latencies = []
+    responses = []
+    with ServerClient("127.0.0.1", port, timeout=timeout) as client:
+        for text in stream:
+            started = time.perf_counter()
+            code, payload = client.query(relation_name, text)
+            latencies.append(time.perf_counter() - started)
+            if code != 200:
+                raise RuntimeError(
+                    f"server answered {code} during the measured phase: "
+                    f"{payload}"
+                )
+            responses.append(payload)
+    return latencies, responses
+
+
+def _admission_probe(pool, text, burst=6):
+    """Tiny-queue overflow check against the already-warm pool."""
+    probe = PackageQueryServer(
+        pool, workers=1, queue_depth=1, owns_pool=False
+    ).start()
+    try:
+
+        def hook(job):
+            time.sleep(0.25)
+
+        probe.before_execute = hook
+        relation_name = pool.relation_names[0]
+
+        def one(_):
+            with ServerClient("127.0.0.1", probe.port, timeout=60) as client:
+                return client.query(relation_name, text)[0]
+
+        with ThreadPoolExecutor(max_workers=burst) as executor:
+            codes = list(executor.map(one, range(burst)))
+    finally:
+        probe.close()
+    return {
+        "burst": burst,
+        "resolved": len(codes),
+        "accepted": sum(1 for code in codes if code == 200),
+        "rejected": sum(1 for code in codes if code == 429),
+    }
+
+
+def run_traffic_bench(
+    n=100000,
+    clients=8,
+    length=10,
+    shards=8,
+    strategy="ilp",
+    workers=4,
+    queue_depth=None,
+):
+    """Benchmark concurrent warm serving against cold sequential calls.
+
+    Args:
+        n: relation size (rows).
+        clients: concurrent HTTP clients in the measured phase.
+        length: queries per client (templates cycle).
+        shards: shard count for both sides.
+        strategy: engine strategy for both sides.
+        workers: server worker threads (bounds concurrent evaluations).
+        queue_depth: admission bound for the measured phase; defaults
+            to ``clients * length`` so the throughput measurement sees
+            no rejections (admission is probed separately).
+
+    Returns:
+        A dict of claim-relevant numbers: cold per-query seconds and
+        throughput, warm latency percentiles and throughput over all
+        clients, the speedup, the parity verdict, per-layer cache
+        counters, and the admission-probe outcome.
+    """
+    relation = clustered_relation(n, seed=13)
+    options = EngineOptions(strategy=strategy, shards=shards)
+    stream = [
+        SESSION_BENCH_QUERIES[i % len(SESSION_BENCH_QUERIES)]
+        for i in range(length)
+    ]
+    if queue_depth is None:
+        queue_depth = max(1, clients * length)
+
+    cold_seconds = []
+    cold_by_template = {}
+    for text in stream:
+        evaluator = PackageQueryEvaluator(relation)
+        started = time.perf_counter()
+        result = evaluator.evaluate(text, options)
+        cold_seconds.append(time.perf_counter() - started)
+        cold_by_template[text] = result
+    cold_total = sum(cold_seconds)
+    cold_qps = len(stream) / max(cold_total, 1e-12)
+
+    pool = SessionPool.for_relations([relation], options=options)
+    server = PackageQueryServer(
+        pool, workers=workers, queue_depth=queue_depth
+    ).start()
+    try:
+        warmup_started = time.perf_counter()
+        _client_stream(server.port, relation.name, stream)
+        warmup_seconds = time.perf_counter() - warmup_started
+
+        measured_started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as executor:
+            outcomes = list(
+                executor.map(
+                    lambda _: _client_stream(
+                        server.port, relation.name, stream
+                    ),
+                    range(clients),
+                )
+            )
+        wall_seconds = time.perf_counter() - measured_started
+
+        latencies = sorted(
+            latency
+            for client_latencies, _ in outcomes
+            for latency in client_latencies
+        )
+        parity = all(
+            payload["objective"] == cold_by_template[text].objective
+            and payload["status"] == cold_by_template[text].status.value
+            for _, responses in outcomes
+            for text, payload in zip(stream, responses)
+        )
+        requests = clients * len(stream)
+        warm_qps = requests / max(wall_seconds, 1e-12)
+        stats = server.stats()
+        admission = _admission_probe(pool, stream[0])
+    finally:
+        server.close()
+
+    return {
+        "n": n,
+        "clients": clients,
+        "length": length,
+        "shards": shards,
+        "strategy": strategy,
+        "workers": workers,
+        "queue_depth": queue_depth,
+        "templates": len(SESSION_BENCH_QUERIES),
+        "cold_seconds": cold_seconds,
+        "cold_total_seconds": cold_total,
+        "cold_throughput_qps": cold_qps,
+        "warmup_seconds": warmup_seconds,
+        "warm_requests": requests,
+        "warm_wall_seconds": wall_seconds,
+        "warm_throughput_qps": warm_qps,
+        "warm_p50_ms": round(_percentile(latencies, 0.50) * 1000.0, 3),
+        "warm_p99_ms": round(_percentile(latencies, 0.99) * 1000.0, 3),
+        "throughput_speedup": warm_qps / max(cold_qps, 1e-12),
+        "objectives_identical": parity,
+        "admission": admission,
+        "server_counters": stats["admission"],
+        "endpoint_stats": stats["endpoints"],
+        "cache_stats": stats["relations"],
+    }

@@ -650,15 +650,22 @@ class VectorEvaluator:
 # -- per-relation evaluator sharing ----------------------------------------
 
 _EVALUATORS = weakref.WeakKeyDictionary()
+_EVALUATORS_LOCK = threading.Lock()
 
 
 def evaluator_for(relation):
-    """The shared :class:`VectorEvaluator` for ``relation`` (cached)."""
-    evaluator = _EVALUATORS.get(relation)
-    if evaluator is None:
-        evaluator = VectorEvaluator(relation)
-        _EVALUATORS[relation] = evaluator
-    return evaluator
+    """The shared :class:`VectorEvaluator` for ``relation`` (cached).
+
+    Thread-safe: concurrent serving callers get one evaluator per
+    relation (a kernel compiled by any caller is reused by all), not
+    racing instances with disjoint kernel caches.
+    """
+    with _EVALUATORS_LOCK:
+        evaluator = _EVALUATORS.get(relation)
+        if evaluator is None:
+            evaluator = VectorEvaluator(relation)
+            _EVALUATORS[relation] = evaluator
+        return evaluator
 
 
 def try_predicate_mask(node, relation, rids=None):
