@@ -1,0 +1,87 @@
+"""E18 — fault injection: free when disarmed, harmless when armed.
+
+Claim shape: the robustness layer added for deployment (named fault
+points through the store, shm pool, and server; sticky degraded modes;
+supervised respawn) must be invisible in the fault-free fast path and
+must never change an answer when it fires.  The harness
+(:mod:`repro.core.faultbench`) runs the bench_e14 query stream three
+ways — fault-free, under a rate-0 census plan that counts every site
+arrival, and under a seeded chaos plan mixing read/write/fsync
+failures against the durable store — plus once more against a store
+capped at a quarter of its unbounded footprint.
+
+Acceptance bars, enforced in CI (``--benchmark-disable``):
+
+* disarmed fault hooks cost **< 2%** of the fault-free stream's
+  wall-clock (arrivals x measured per-call cost vs stream seconds);
+* the chaos stream's statuses and objectives are **bit-identical** to
+  the fault-free run, with the plan verifiably firing;
+* the bounded store ends within ``max_bytes`` with nonzero eviction
+  counters, every surviving entry readable, and — again — identical
+  answers.
+
+The run persists the outcome as ``benchmarks/BENCH_e18.json`` — a
+machine-readable perf record extending the repo's perf trajectory.
+
+``REPRO_E18_N`` shrinks the relation for smoke runs (every bar is
+size-independent and enforced at every size).
+"""
+
+import os
+from pathlib import Path
+
+from repro.core.faultbench import run_fault_bench, write_record
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_e18.json"
+FULL_N = 100000
+OVERHEAD_BAR = 0.02
+
+
+def test_fault_hooks_free_disarmed_harmless_armed(benchmark):
+    """The acceptance bars: <2% disarmed overhead, chaos parity,
+    bounded-store eviction without answer drift."""
+    n = int(os.environ.get("REPRO_E18_N", FULL_N))
+    outcome = benchmark.pedantic(
+        lambda: run_fault_bench(n=n, length=10, shards=8),
+        rounds=1,
+        iterations=1,
+    )
+    write_record(outcome, RECORD_PATH)
+
+    assert outcome["arrivals_total"] > 0, (
+        "the census plan observed no site arrivals — the stream never "
+        "reached an injection site, so the overhead bar is vacuous"
+    )
+    assert outcome["overhead_fraction"] < OVERHEAD_BAR, (
+        f"disarmed fault hooks cost {outcome['overhead_fraction']:.2%} "
+        f"of the stream ({outcome['arrivals_total']} arrivals x "
+        f"{outcome['disarmed_call_ns']:.0f} ns vs "
+        f"{outcome['baseline_seconds'] * 1e3:.0f} ms)"
+    )
+
+    assert outcome["chaos_fired"], (
+        f"the chaos plan {outcome['chaos_plan']!r} never fired — the "
+        "parity bar is vacuous"
+    )
+    assert outcome["chaos_objectives_identical"], (
+        f"chaos run diverged from the fault-free baseline under "
+        f"{outcome['chaos_fired']} — an injected fault changed an answer"
+    )
+
+    assert outcome["bounded_store_bytes"] <= outcome["bounded_max_bytes"], (
+        f"bounded store ended at {outcome['bounded_store_bytes']} bytes, "
+        f"over its {outcome['bounded_max_bytes']}-byte bound"
+    )
+    assert outcome["bounded_evictions"] > 0, (
+        "the capped store evicted nothing — the bound "
+        f"({outcome['bounded_max_bytes']} of "
+        f"{outcome['unbounded_store_bytes']} unbounded bytes) never bit"
+    )
+    assert outcome["bounded_entries_readable"], (
+        "a surviving entry in the bounded store failed verification"
+    )
+    assert outcome["bounded_objectives_identical"], (
+        "the bounded-store stream diverged from the fault-free baseline "
+        "— eviction changed an answer"
+    )
+    benchmark.extra_info.update(outcome)

@@ -212,10 +212,14 @@ def _cmd_explain(args, out):
 
     relation = _load_relation(args)
     text = _read_query_text(args)
+    store_path = getattr(args, "store", None)
     with EvaluationSession(
         relation,
         options=_engine_options(args),
-        store_path=getattr(args, "store", None),
+        store_path=store_path,
+        store_max_bytes=(
+            getattr(args, "max_bytes", None) if store_path else None
+        ),
     ) as session:
         outcome, table = session.explain(text, execute=not args.simulate)
     if args.simulate:
@@ -322,10 +326,14 @@ def _cmd_repl(args, out):
     from repro.core.session import EvaluationSession
 
     relation = _load_relation(args)
+    store_path = getattr(args, "store", None)
     session = EvaluationSession(
         relation,
         options=_engine_options(args),
-        store_path=getattr(args, "store", None),
+        store_path=store_path,
+        store_max_bytes=(
+            getattr(args, "max_bytes", None) if store_path else None
+        ),
     )
     if args.file:
         path = pathlib.Path(args.file)
@@ -487,7 +495,12 @@ def _cmd_serve(args, out):
         workers=args.engine_workers,
         parallel_backend=args.parallel_backend,
     )
-    pool = SessionPool(specs, options=options, store_root=args.store)
+    pool = SessionPool(
+        specs,
+        options=options,
+        store_root=args.store,
+        store_max_bytes=args.max_bytes if args.store else None,
+    )
     server = PackageQueryServer(
         pool,
         host=args.host,
@@ -710,29 +723,53 @@ def _cmd_reduce_bench(args, out):
 def _open_store(args):
     from repro.core.artifact_store import ArtifactStore
 
-    return ArtifactStore(args.store)
+    return ArtifactStore(
+        args.store, max_bytes=getattr(args, "max_bytes", None)
+    )
 
 
 def _cmd_cache_stats(args, out):
-    """Per-layer entries/bytes on disk plus lifetime hit/miss counters."""
+    """Per-layer entries/bytes on disk plus lifetime hit/miss counters.
+
+    With ``--max-bytes`` this is also a scriptable eviction path: one
+    LRU eviction pass runs down to the bound before reporting, so a
+    cron job can cap a shared store without clearing it.
+    """
     store = _open_store(args)
+    evicted_now = store.enforce_limit() if store.max_bytes is not None else 0
     disk = store.disk_stats()
     lifetime = store.lifetime_counters()
     if args.json:
         print(
             json.dumps(
-                {"disk": disk, "counters": lifetime}, indent=2, default=str
+                {
+                    "disk": disk,
+                    "counters": lifetime,
+                    "evicted_now": evicted_now,
+                },
+                indent=2,
+                default=str,
             ),
             file=out,
         )
         return 0
     print(f"store: {disk['root']}", file=out)
+    bound = (
+        f"  max_bytes: {disk['max_bytes']}"
+        if disk["max_bytes"] is not None
+        else ""
+    )
     print(
         f"relations: {len(disk['relations'])}  entries: {disk['entries']}  "
-        f"bytes: {disk['bytes']}",
+        f"bytes: {disk['bytes']}{bound}",
         file=out,
     )
-    header = f"{'layer':<14}{'entries':>9}{'bytes':>12}{'hits':>8}{'misses':>8}{'rate':>7}"
+    if disk["degraded"]:
+        print(f"DEGRADED (memory-only): {disk['degraded']}", file=out)
+    header = (
+        f"{'layer':<14}{'entries':>9}{'bytes':>12}{'hits':>8}{'misses':>8}"
+        f"{'evicted':>9}{'rate':>7}"
+    )
     print(header, file=out)
     print("-" * len(header), file=out)
     for layer, usage in disk["layers"].items():
@@ -742,13 +779,20 @@ def _cmd_cache_stats(args, out):
         rate = f"{hits / (hits + misses):.0%}" if hits + misses else "-"
         print(
             f"{layer:<14}{usage['entries']:>9}{usage['bytes']:>12}"
-            f"{hits:>8}{misses:>8}{rate:>7}",
+            f"{hits:>8}{misses:>8}{counters.get('evicted', 0):>9}{rate:>7}",
             file=out,
         )
     rejected = sum(c.get("rejected", 0) for c in lifetime.values())
     errors = sum(c.get("errors", 0) for c in lifetime.values())
-    if rejected or errors:
-        print(f"rejected entries: {rejected}  write errors: {errors}", file=out)
+    evicted = sum(c.get("evicted", 0) for c in lifetime.values())
+    if rejected or errors or evicted:
+        print(
+            f"rejected entries: {rejected}  write errors: {errors}  "
+            f"evicted: {evicted}",
+            file=out,
+        )
+    if evicted_now:
+        print(f"evicted this pass: {evicted_now}", file=out)
     return 0
 
 
@@ -1025,6 +1069,12 @@ def build_parser():
             "the query's store hits/misses"
         ),
     )
+    explain_cmd.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="store size bound in bytes (LRU eviction past it)",
+    )
     _add_engine_flags(explain_cmd)
     explain_cmd.set_defaults(func=_cmd_explain)
 
@@ -1056,6 +1106,12 @@ def build_parser():
             "persists fresh artifacts; \\stats includes store counters"
         ),
     )
+    repl.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="store size bound in bytes (LRU eviction past it)",
+    )
     _add_engine_flags(repl)
     repl.set_defaults(func=_cmd_repl)
 
@@ -1074,6 +1130,15 @@ def build_parser():
     )
     cache_stats.add_argument(
         "--store", required=True, help="artifact store directory"
+    )
+    cache_stats.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help=(
+            "size bound in bytes: report against it and run one LRU "
+            "eviction pass down to it (a scriptable eviction path)"
+        ),
     )
     cache_stats.add_argument("--json", action="store_true", help="JSON output")
     cache_stats.set_defaults(func=_cmd_cache_stats)
@@ -1253,6 +1318,15 @@ def build_parser():
     serve.add_argument(
         "--store",
         help="durable artifact store root (one subdirectory per relation)",
+    )
+    serve.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help=(
+            "per-relation store size bound in bytes; least-recently-"
+            "used entries are evicted when a store grows past it"
+        ),
     )
     serve.add_argument(
         "--max-budget-ms",

@@ -48,7 +48,7 @@ from repro.paql.to_sql import to_sql
 from repro.paql.eval import eval_predicate
 from repro.core.vectorize import evaluator_for, try_predicate_mask
 from repro.core.ir import records_payload
-from repro.core.local_search import LocalSearchOptions
+from repro.core.local_search import LocalSearch, LocalSearchOptions
 from repro.core.parallel import (
     ShmExecutionContext,
     ShmUnavailable,
@@ -499,6 +499,32 @@ class PackageQueryEvaluator:
             artifacts=self._artifacts,
             apply_rewrite=False,
         ).ctx
+
+    def local_incumbent(self, ctx):
+        """A validated feasible package from local search, or ``None``.
+
+        The budget path's safety net: when deadline-bounded enumeration
+        expires without a single incumbent (a sparse package space can
+        spend the whole budget proving nothing), the server asks for a
+        heuristic incumbent instead of returning empty-handed.  The
+        package goes through the same oracle gate as every strategy
+        result — an invalid heuristic answer is dropped, never served.
+
+        Returns ``(package, objective)`` or ``None`` when the heuristic
+        finds nothing valid.
+        """
+        outcome = LocalSearch(
+            ctx.query,
+            ctx.relation,
+            ctx.candidate_rids,
+            ctx.options.local_search,
+        ).run()
+        if outcome.package is None:
+            return None
+        report = validate(outcome.package, ctx.query)
+        if not report.valid:
+            return None
+        return outcome.package, report.objective
 
     # -- evaluation -------------------------------------------------------------
 

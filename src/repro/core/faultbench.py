@@ -1,0 +1,197 @@
+"""The fault-injection benchmark harness (E18).
+
+One implementation behind two front ends — ``tests/test_faults.py``
+readers following ``docs/robustness.md`` and
+``benchmarks/bench_e18_faults.py`` (the CI experiment) — so the number
+a user reproduces locally is computed exactly the way CI computes it.
+
+Three claims about the robustness layer, measured on the bench_e14
+query stream (the session-bench templates cycled over the clustered
+relation):
+
+* **Disarmed hooks are free.**  Every injection site costs one module
+  global load plus a ``None`` check when no plan is armed.  The bench
+  counts the stream's actual site arrivals (a rate-0 census plan
+  observes without firing), times the disarmed :func:`fault_point`
+  call directly, and reports the product as a fraction of the
+  fault-free stream's wall-clock.  CI bar: **< 2%**.
+
+* **Chaos does not change answers.**  The same stream under a seeded
+  mixed fault plan (read/write/fsync errors against a durable store)
+  must produce statuses and objectives **bit-identical** to the
+  fault-free run — faults cost recomputes, never answers.
+
+* **Bounded stores stay bounded.**  The stream against a store capped
+  well below its unbounded footprint must end within ``max_bytes``
+  with nonzero eviction counters and every surviving entry readable.
+
+``run_fault_bench`` returns the record persisted as
+``benchmarks/BENCH_e18.json``; ``REPRO_E18_N`` shrinks the relation
+for smoke runs (every bar except absolute timings is enforced at any
+size).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+
+from repro.core import faults
+from repro.core.artifact_store import ArtifactStore
+from repro.core.engine import EngineOptions
+from repro.core.session import EvaluationSession
+from repro.core.sessionbench import SESSION_BENCH_QUERIES
+from repro.datasets import clustered_relation
+
+__all__ = ["FAULT_BENCH_PLAN", "run_fault_bench", "write_record"]
+
+#: The seeded chaos plan the parity leg runs under: a deterministic
+#: mix of read, write and fsync failures against the durable store.
+FAULT_BENCH_PLAN = "seed=18,store.read:0.3,store.write:0.3,store.fsync:0.2"
+
+#: Calls used to time the disarmed fault_point hook.
+_DISARMED_REPS = 1_000_000
+
+
+def _stream(length):
+    return [SESSION_BENCH_QUERIES[i % 3] for i in range(length)]
+
+
+def _run_stream(relation, options, stream, store_path=None, max_bytes=None):
+    """Evaluate the stream in one session; outcomes + wall-clock."""
+    session = EvaluationSession(
+        relation,
+        options=options,
+        store_path=store_path,
+        store_max_bytes=max_bytes,
+    )
+    started = time.perf_counter()
+    try:
+        outcomes = [
+            (result.status.value, result.objective)
+            for result in (session.evaluate(text) for text in stream)
+        ]
+    finally:
+        elapsed = time.perf_counter() - started
+        session.close()
+    return outcomes, elapsed
+
+
+def _disarmed_call_seconds():
+    """Per-call cost of :func:`fault_point` with no plan armed."""
+    assert faults.active_plan() is None
+    fault_point = faults.fault_point
+    started = time.perf_counter()
+    for _ in range(_DISARMED_REPS):
+        fault_point("store.read")
+    return (time.perf_counter() - started) / _DISARMED_REPS
+
+
+def run_fault_bench(n=100000, length=10, shards=8, strategy="ilp"):
+    """Measure hook overhead, chaos parity, and bounded eviction.
+
+    Returns a dict of claim-relevant numbers: the fault-free stream
+    baseline, per-site arrival counts, the disarmed per-call cost and
+    implied overhead fraction, chaos parity verdict with per-site fire
+    counts, and the bounded-store leg's byte/eviction accounting.
+    """
+    relation = clustered_relation(n, seed=13)
+    options = EngineOptions(strategy=strategy, shards=shards)
+    stream = _stream(length)
+    workdir = tempfile.mkdtemp(prefix="repro-faultbench-")
+    try:
+        # -- fault-free baseline (disarmed hooks, durable store) ------------
+        baseline, baseline_seconds = _run_stream(
+            relation, options, stream, store_path=f"{workdir}/baseline"
+        )
+        unbounded_bytes = ArtifactStore(
+            f"{workdir}/baseline"
+        ).disk_stats()["bytes"]
+
+        # -- arrival census: observe every site, fire nothing ---------------
+        census = faults.FaultPlan(
+            [faults.FaultRule(site, rate=0.0) for site in faults.SITES],
+            seed=0,
+        )
+        with faults.inject(census):
+            census_outcomes, _ = _run_stream(
+                relation, options, stream, store_path=f"{workdir}/census"
+            )
+        assert census_outcomes == baseline
+        arrivals = {
+            site: counts["arrivals"]
+            for site, counts in census.counts().items()
+            if counts["arrivals"]
+        }
+        arrivals_total = sum(arrivals.values())
+
+        # -- disarmed hook cost ---------------------------------------------
+        per_call_seconds = _disarmed_call_seconds()
+        overhead_fraction = (
+            arrivals_total * per_call_seconds / baseline_seconds
+            if baseline_seconds > 0
+            else 0.0
+        )
+
+        # -- chaos parity -----------------------------------------------------
+        plan = faults.FaultPlan.from_spec(FAULT_BENCH_PLAN)
+        with faults.inject(plan):
+            chaotic, chaos_seconds = _run_stream(
+                relation, options, stream, store_path=f"{workdir}/chaos"
+            )
+        fired = {
+            site: counts["fired"]
+            for site, counts in plan.counts().items()
+            if counts["fired"]
+        }
+
+        # -- bounded store: cap well below the unbounded footprint ----------
+        max_bytes = max(4096, unbounded_bytes // 4)
+        bounded, _ = _run_stream(
+            relation,
+            options,
+            stream,
+            store_path=f"{workdir}/bounded",
+            max_bytes=max_bytes,
+        )
+        bounded_store = ArtifactStore(f"{workdir}/bounded")
+        bounded_bytes = bounded_store.disk_stats()["bytes"]
+        evicted = sum(
+            layer.get("evicted", 0)
+            for layer in bounded_store.lifetime_counters().values()
+        )
+        bounded_ok = bounded_store.verify()["failed"] == []
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "experiment": "e18_faults",
+        "n": n,
+        "length": length,
+        "shards": shards,
+        "strategy": strategy,
+        "baseline_seconds": baseline_seconds,
+        "site_arrivals": arrivals,
+        "arrivals_total": arrivals_total,
+        "disarmed_call_ns": per_call_seconds * 1e9,
+        "overhead_fraction": overhead_fraction,
+        "chaos_plan": FAULT_BENCH_PLAN,
+        "chaos_seconds": chaos_seconds,
+        "chaos_fired": fired,
+        "chaos_objectives_identical": chaotic == baseline,
+        "unbounded_store_bytes": unbounded_bytes,
+        "bounded_max_bytes": max_bytes,
+        "bounded_store_bytes": bounded_bytes,
+        "bounded_evictions": evicted,
+        "bounded_entries_readable": bounded_ok,
+        "bounded_objectives_identical": bounded == baseline,
+    }
+
+
+def write_record(outcome, path):
+    """Persist the outcome as a machine-readable JSON perf record."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(outcome, handle, indent=2, default=str)
+        handle.write("\n")

@@ -41,8 +41,11 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
+
+from repro.core import faults
 
 __all__ = [
     "ExecutorPool",
@@ -370,11 +373,29 @@ _WORKER_STATE = None
 
 
 def _shm_worker_init(handle):
-    """Pool initializer: attach to the shared relation exactly once."""
+    """Pool initializer: attach to the shared relation exactly once.
+
+    The ``shm.attach`` fault site fires here (workers arm from the
+    ``REPRO_FAULTS`` environment at import); a failed attach breaks
+    the pool, which the parent supervises — respawn, then threads.
+    """
     global _WORKER_STATE
     from repro.relational.shm import attach_relation
 
+    faults.fault_point("shm.attach")
     _WORKER_STATE = _ShmWorkerState(attach_relation(handle))
+
+
+def _supervised_task(fn, spec):
+    """Run one worker task under the ``pool.task`` fault site.
+
+    Every shm task funnels through this wrapper, so a ``kill`` rule
+    crashes the worker mid-wave (the parent sees ``BrokenProcessPool``)
+    and an ``error`` rule raises inside the task — both recovery paths
+    the supervisor must survive.
+    """
+    faults.fault_point("pool.task")
+    return fn(spec)
 
 
 def shm_worker_state():
@@ -434,7 +455,9 @@ class ShmPool:
 
         specs = list(specs)
         try:
-            futures = [self._pool.submit(fn, spec) for spec in specs]
+            futures = [
+                self._pool.submit(_supervised_task, fn, spec) for spec in specs
+            ]
         except RuntimeError as exc:  # shut down, or spawn refused
             self._broken = True
             raise ShmUnavailable(f"cannot submit to shm pool: {exc}") from exc
@@ -467,11 +490,23 @@ class ShmExecutionContext:
     segment (unlink included).  Also usable as a context manager.
     """
 
+    #: Supervised recovery bounds: how many times a crashed pool is
+    #: respawned over the context's lifetime, and how many retries one
+    #: map attempts, before the recorded thread-backend fallback.
+    RESPAWN_LIMIT = 2
+    RESPAWN_BACKOFF_SECONDS = 0.05
+
     def __init__(self, export, pool):
         self._export = export
         self._pool = pool
         self._scratch = OrderedDict()
         self._closed = False
+        # Supervision state: generation counts pool replacements so
+        # concurrent mappers that all saw generation N crash elect one
+        # respawner; _respawn_lock serializes the (slow) respawn itself.
+        self._generation = 0
+        self._respawns = 0
+        self._respawn_lock = threading.Lock()
         # Concurrent serving callers share one context: the scratch
         # LRU is a read-modify-write structure (and evicting an export
         # a sibling is about to hand to workers would unlink it out
@@ -494,8 +529,9 @@ class ShmExecutionContext:
 
         resolved = max(1, effective_workers(workers, task_count=1 << 30))
         try:
+            faults.fault_point("shm.export")
             export = shm_mod.export_relation(relation)
-        except shm_mod.SharedMemoryUnavailable as exc:
+        except (shm_mod.SharedMemoryUnavailable, faults.InjectedFault) as exc:
             raise ShmUnavailable(str(exc)) from exc
         try:
             pool = ShmPool(export.handle, resolved)
@@ -524,21 +560,92 @@ class ShmExecutionContext:
             return self._inflight > 0
 
     def map(self, fn, specs):
-        """Ordered map over the persistent attached workers.
+        """Ordered map over the persistent attached workers, supervised.
 
         Safe under concurrent callers; a close() racing this call
         surfaces as :class:`ShmUnavailable` (the caller's recorded
         thread fallback), never as a crash on freed memory.
+
+        Supervision: when the pool infrastructure dies (a worker was
+        killed mid-wave, an attach failed), the whole spec wave is
+        retried on a freshly spawned pool — bounded by
+        :data:`RESPAWN_LIMIT` respawns per context with doubling
+        backoff, each recorded via :func:`note_parallel_event` — before
+        :class:`ShmUnavailable` escapes to the caller's thread
+        fallback.  Replaying the wave is sound because shm task specs
+        are pure: workers read the immutable shared relation and
+        return fresh values, so a re-run computes the identical result.
         """
-        with self._lock:
-            if not self.alive:
-                raise ShmUnavailable("shm execution context is closed")
-            self._inflight += 1
-        try:
-            return self._pool.map(fn, specs)
-        finally:
+        specs = list(specs)
+        failure = None
+        for attempt in range(self.RESPAWN_LIMIT + 1):
             with self._lock:
-                self._inflight -= 1
+                if self._closed:
+                    raise ShmUnavailable("shm execution context is closed")
+                pool = self._pool
+                generation = self._generation
+                self._inflight += 1
+            try:
+                if pool.broken:
+                    raise ShmUnavailable("shm worker pool broke")
+                return pool.map(fn, specs)
+            except ShmUnavailable as exc:
+                failure = exc
+            finally:
+                with self._lock:
+                    self._inflight -= 1
+            if attempt >= self.RESPAWN_LIMIT:
+                break
+            self._respawn_pool(generation, attempt)
+        raise failure
+
+    def _respawn_pool(self, generation, attempt):
+        """Replace a crashed pool (one respawner elected per crash).
+
+        Raises :class:`ShmUnavailable` when the context is closed or
+        the lifetime respawn budget is spent; returns silently when a
+        sibling thread already respawned this generation (the caller
+        simply retries on the new pool).
+        """
+        with self._respawn_lock:
+            with self._lock:
+                if self._closed:
+                    raise ShmUnavailable("shm execution context is closed")
+                if self._generation != generation:
+                    return  # a sibling already replaced this pool
+                if self._respawns >= self.RESPAWN_LIMIT:
+                    raise ShmUnavailable(
+                        f"shm worker pool crashed {self._respawns + 1} times; "
+                        "respawn budget spent"
+                    )
+                self._respawns += 1
+                broken = self._pool
+            try:
+                broken.close()
+            except Exception:
+                pass
+            # Deterministic doubling backoff: give the OS a beat to
+            # reap the dead workers before spawning replacements.
+            time.sleep(self.RESPAWN_BACKOFF_SECONDS * (2 ** attempt))
+            pool = ShmPool(self._export.handle, broken.workers)
+            with self._lock:
+                if self._closed:
+                    closed_after = True
+                else:
+                    self._pool = pool
+                    self._generation += 1
+                    closed_after = False
+            if closed_after:
+                try:
+                    pool.close()
+                except Exception:
+                    pass
+                raise ShmUnavailable("shm execution context is closed")
+            note_parallel_event(
+                "shm-process",
+                f"worker pool crashed; respawned "
+                f"(retry {self._respawns}/{self.RESPAWN_LIMIT})",
+            )
 
     def warm(self):
         if not self.alive:

@@ -24,7 +24,11 @@ Per-query budgets ride the anytime machinery
 ``budget_ms`` runs the pipeline's analysis half, then enumerates the
 package space in budget-bounded slices.  If the space is exhausted in
 time the result is exact; otherwise the response carries the best
-incumbent found so far under status ``"budget"``.  Budgeted outcomes
+incumbent found so far under status ``"budget"``.  When the deadline
+expires with *no* incumbent (budget starvation on a sparse package
+space), the server falls back to an oracle-validated local-search
+incumbent under status ``"budget-fallback"`` — a budgeted request
+returns a feasible package whenever one exists.  Budgeted outcomes
 are **never** written to the result cache — an incumbent must not
 replay as if it were the validated optimum.
 
@@ -33,7 +37,8 @@ Endpoints (JSON over HTTP):
 * ``POST /query``   — ``{"relation", "query", "budget_ms"?, "strategy"?}``
 * ``POST /explain`` — same body; adds the rendered stage table
 * ``GET  /stats``   — queue depth, admission counters, per-endpoint
-  latency percentiles, per-relation cache counters
+  latency percentiles, per-relation cache counters, and a ``faults``
+  block (injected-fault counters, degraded stores)
 * ``GET  /healthz`` — liveness (never queued)
 
 Shutdown drains: the listener stops accepting, in-flight handlers and
@@ -52,6 +57,7 @@ import time
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.core import faults
 from repro.core.anytime import AnytimeEnumerator
 from repro.core.engine import EngineError
 from repro.core.result import ResultStatus
@@ -204,6 +210,7 @@ class PackageQueryServer:
             "errors": 0,
             "budget_runs": 0,
             "budget_expired": 0,
+            "budget_fallbacks": 0,
             "disconnects": 0,
         }
         self._endpoints = {
@@ -331,6 +338,10 @@ class PackageQueryServer:
                 job.done.set()
 
     def _execute(self, job):
+        # The server.execute fault site: an injected fault here lands
+        # in the worker loop's generic handler — a clean 500 to this
+        # one client, the worker and its session untouched.
+        faults.fault_point("server.execute")
         session = self.pool.session(job.relation)
         hook = self.before_execute
         if hook is not None:
@@ -369,9 +380,10 @@ class PackageQueryServer:
 
         evaluator = session.evaluator
         query = evaluator.prepare(job.text)
-        enumerator = AnytimeEnumerator.from_context(
-            evaluator.context(query, options)
-        )
+        # Keep the analyzed context: if enumeration expires with no
+        # incumbent, the local-search fallback below reuses it.
+        ctx = evaluator.context(query, options)
+        enumerator = AnytimeEnumerator.from_context(ctx)
         direction = (
             query.objective.direction if query.objective is not None else None
         )
@@ -408,6 +420,7 @@ class PackageQueryServer:
             scored = len(pool)
 
         complete = enumerator.complete
+        strategy_name = "anytime"
         if complete:
             status = (
                 ResultStatus.OPTIMAL.value
@@ -417,9 +430,22 @@ class PackageQueryServer:
         else:
             status = "budget"
             self._count("budget_expired")
+            if best is None:
+                # Budget starvation: the deadline expired before
+                # enumeration produced a single incumbent (sparse
+                # package spaces burn the whole budget proving
+                # nothing).  Fall back to a local-search incumbent —
+                # oracle-validated, never cached — so the client gets
+                # a feasible package whenever one exists.
+                fallback = evaluator.local_incumbent(ctx)
+                if fallback is not None:
+                    best, best_value = fallback
+                    status = "budget-fallback"
+                    strategy_name = "anytime+local-search"
+                    self._count("budget_fallbacks")
         return {
             "status": status,
-            "strategy": "anytime",
+            "strategy": strategy_name,
             "objective": best_value,
             "complete": complete,
             "found": enumerator.found,
@@ -457,6 +483,13 @@ class PackageQueryServer:
                 for path, stats in sorted(self._endpoints.items())
             },
             "relations": self.pool.stats(),
+            # Degradations are observable remotely: per-site injected
+            # fault counters (empty when no plan is armed) and any
+            # artifact store that fell back to memory-only mode.
+            "faults": {
+                "injected": faults.fired_counts(),
+                "degraded_stores": self.pool.degraded_stores(),
+            },
         }
 
     def record_endpoint(self, path, elapsed_seconds, error=False):
@@ -599,7 +632,12 @@ class ServerClient:
         self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
 
     def request(self, method, path, body=None):
-        """Returns ``(status_code, payload_dict)``."""
+        """Returns ``(status_code, payload_dict)``.
+
+        The payload carries the server's ``Retry-After`` header (when
+        present) as ``payload["retry_after"]`` so callers can honor
+        admission backpressure.
+        """
         payload = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if payload else {}
         self._conn.request(method, path, body=payload, headers=headers)
@@ -609,15 +647,44 @@ class ServerClient:
             decoded = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
             decoded = {"raw": raw.decode("utf-8", "replace")}
+        retry_after = response.getheader("Retry-After")
+        if retry_after is not None and isinstance(decoded, dict):
+            try:
+                decoded["retry_after"] = float(retry_after)
+            except ValueError:
+                pass
         return response.status, decoded
 
-    def query(self, relation, text, budget_ms=None, strategy=None):
+    def query(self, relation, text, budget_ms=None, strategy=None,
+              max_retries=0):
+        """POST one query; optionally honor 429 admission backpressure.
+
+        With ``max_retries > 0``, a 429 response is retried after
+        sleeping the server's ``Retry-After`` hint scaled by a jittered
+        exponential backoff (full jitter: ``uniform(0, hint * 2**n)``,
+        capped), so a fleet of rejected clients spreads its retries
+        instead of stampeding the queue in lockstep.  The final 429 is
+        returned when retries are exhausted.
+        """
+        import random
+        import time as _time
+
         body = {"relation": relation, "query": text}
         if budget_ms is not None:
             body["budget_ms"] = budget_ms
         if strategy is not None:
             body["strategy"] = strategy
-        return self.request("POST", "/query", body)
+        attempt = 0
+        while True:
+            status, payload = self.request("POST", "/query", body)
+            if status != 429 or attempt >= max_retries:
+                return status, payload
+            hint = payload.get("retry_after", 1.0) if isinstance(
+                payload, dict
+            ) else 1.0
+            delay = min(random.uniform(0, hint * (2 ** attempt)), 10.0)
+            _time.sleep(delay)
+            attempt += 1
 
     def close(self):
         self._conn.close()

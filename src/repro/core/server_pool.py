@@ -104,24 +104,34 @@ class SessionPool:
             relation gets ``store_root/<name>`` as its ``store_path``,
             so a restarted server re-reads scans, bounds, translations
             and validated results from disk instead of recomputing.
+        store_max_bytes: per-relation store size bound (LRU eviction);
+            only meaningful with ``store_root``.
     """
 
-    def __init__(self, specs, options=None, store_root=None):
+    def __init__(self, specs, options=None, store_root=None,
+                 store_max_bytes=None):
         self._specs = dict(specs)
         self._options = options or EngineOptions()
         self._store_root = store_root
+        self._store_max_bytes = store_max_bytes
         self._sessions = {}
         self._lock = threading.Lock()
         self._closed = False
 
     @classmethod
-    def for_relations(cls, relations, options=None, store_root=None):
+    def for_relations(cls, relations, options=None, store_root=None,
+                      store_max_bytes=None):
         """Build a pool over already-constructed relations."""
         specs = {
             relation.name: RelationSpec(relation.name, relation=relation)
             for relation in relations
         }
-        return cls(specs, options=options, store_root=store_root)
+        return cls(
+            specs,
+            options=options,
+            store_root=store_root,
+            store_max_bytes=store_max_bytes,
+        )
 
     @property
     def relation_names(self):
@@ -153,9 +163,27 @@ class SessionPool:
                     spec.build(),
                     options=self._options,
                     store_path=store_path,
+                    store_max_bytes=(
+                        self._store_max_bytes
+                        if store_path is not None
+                        else None
+                    ),
                 )
                 self._sessions[name] = session
             return session
+
+    def degraded_stores(self):
+        """``{relation: reason}`` for sessions whose durable store has
+        tripped memory-only degradation (the server's ``/stats`` faults
+        block surfaces this)."""
+        with self._lock:
+            sessions = dict(self._sessions)
+        out = {}
+        for name, session in sorted(sessions.items()):
+            store = session.store
+            if store is not None and store.degraded is not None:
+                out[name] = store.degraded
+        return out
 
     def stats(self):
         """Per-relation cache counters for the ``/stats`` endpoint."""

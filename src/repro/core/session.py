@@ -521,17 +521,21 @@ class EvaluationSession:
             with the caller (not closed by the session).
         store_path: directory for a session-owned store (mutually
             exclusive with ``store``; closed with the session).
+        store_max_bytes: size bound for the session-owned store (LRU
+            eviction; only meaningful with ``store_path``).
     """
 
     def __init__(self, relation, db=None, options=None, reuse_results=True,
-                 store=None, store_path=None):
+                 store=None, store_path=None, store_max_bytes=None):
         if store is not None and store_path is not None:
             raise ValueError("pass store= or store_path=, not both")
+        if store_max_bytes is not None and store_path is None:
+            raise ValueError("store_max_bytes requires store_path")
         self._owns_store = False
         if store_path is not None:
             from repro.core.artifact_store import ArtifactStore
 
-            store = ArtifactStore(store_path)
+            store = ArtifactStore(store_path, max_bytes=store_max_bytes)
             self._owns_store = True
         self._artifact_store = store
         self._options = options or EngineOptions()

@@ -9,9 +9,11 @@ up mid-request), queue overflow (tiny ``workers``/``queue_depth``
 plus a slow hook), and durable-store corruption (bit-flipping stored
 artifact payloads between requests).
 
-Used by ``tests/test_server.py`` and importable by any later suite
-that needs a live server (the benchmark driver has its own, simpler
-in-process setup).
+Used by ``tests/test_server.py``, the chaos suite
+(``tests/test_faults.py``: deterministic fault plans armed through
+:meth:`ServerHarness.arm_faults`, observable through the ``/stats``
+``faults`` block), and importable by any later suite that needs a live
+server (the benchmark driver has its own, simpler in-process setup).
 """
 
 from __future__ import annotations
@@ -39,6 +41,8 @@ class ServerHarness:
         workers / queue_depth: the admission geometry under test.
         store_root: optional durable-store root (``store_root/<name>``
             per relation), for warm-restart and corruption tests.
+        store_max_bytes: per-relation store size bound (LRU eviction),
+            for bounded-store tests.
     """
 
     def __init__(
@@ -49,13 +53,16 @@ class ServerHarness:
         queue_depth=4,
         store_root=None,
         max_budget_ms=None,
+        store_max_bytes=None,
     ):
         self._relations = list(relations)
         self._options = options or EngineOptions()
         self._workers = workers
         self._queue_depth = queue_depth
         self._store_root = store_root
+        self._store_max_bytes = store_max_bytes
         self._max_budget_ms = max_budget_ms
+        self._fault_injector = None
         self.server = None
 
     # -- lifecycle -----------------------------------------------------------
@@ -65,6 +72,7 @@ class ServerHarness:
             self._relations,
             options=self._options,
             store_root=self._store_root,
+            store_max_bytes=self._store_max_bytes,
         )
         self.server = PackageQueryServer(
             pool,
@@ -75,6 +83,7 @@ class ServerHarness:
         return self
 
     def close(self):
+        self.disarm_faults()
         if self.server is not None:
             self.server.close()
             self.server = None
@@ -158,6 +167,33 @@ class ServerHarness:
         thread = threading.Thread(target=self.server.close)
         thread.start()
         return thread
+
+    def arm_faults(self, spec, seed=None):
+        """Install a deterministic fault plan for this process.
+
+        ``spec`` is ``REPRO_FAULTS`` syntax (see
+        :meth:`repro.core.faults.FaultPlan.from_spec`).  The plan stays
+        active until :meth:`disarm_faults` (or :meth:`close`), and its
+        per-site counters surface in the ``/stats`` ``faults`` block.
+        Returns the installed plan.
+        """
+        from repro.core import faults
+
+        self.disarm_faults()
+        self._fault_injector = faults.inject(
+            faults.FaultPlan.from_spec(spec, seed=seed)
+        )
+        return self._fault_injector.__enter__()
+
+    def disarm_faults(self):
+        """Remove the armed fault plan, if any."""
+        if self._fault_injector is not None:
+            self._fault_injector.__exit__(None, None, None)
+            self._fault_injector = None
+
+    def fault_stats(self):
+        """The server's ``/stats`` faults block (over real HTTP)."""
+        return self.stats().get("faults", {})
 
 
 def corrupt_store_payloads(store_root, limit=None):
