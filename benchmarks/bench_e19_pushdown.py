@@ -1,0 +1,80 @@
+"""E19 — out-of-core SQL pushdown: 10M rows under a bounded RSS.
+
+Claim shape: a sql-backed relation streams 10M+ rows through the
+engine — WHERE prefilter, zone-range skipping and reduction fixing
+execute inside sqlite, and only surviving candidates become numpy
+arrays — with **bit-identical** packages and objectives to full
+materialization, at a peak RSS **>= 4x** smaller.  The two scan paths
+run in separate subprocesses so each side's ``ru_maxrss`` is honest.
+
+Acceptance bars, enforced in CI (``--benchmark-disable``):
+
+* every objective, status, candidate count and package is
+  bit-identical between the pushdown and materialize paths (the
+  workload is an overlapping-band query pair over the clustered
+  relation), at every size;
+* every pushdown-side query reports ``where_path == "sql-pushdown"``
+  (at the full size the cost model picks it unforced — the run uses
+  ``pushdown="auto"`` there);
+* at the full 10M rows the pushdown path's peak RSS is **>= 4x**
+  smaller than materialization's.
+
+The run persists the outcome as ``benchmarks/BENCH_e19.json`` — a
+machine-readable perf record extending the repo's perf trajectory.
+
+``REPRO_E19_N`` shrinks the relation for smoke runs (the 4x RSS bar
+is only enforced at the full 10M size; parity and path accounting are
+enforced at every size).  ``REPRO_E19_RSS_MIN`` enforces an explicit
+RSS-ratio floor at *any* size — CI's dedicated peak-RSS job uses it
+at a mid-size n where the expected ratio is known.
+"""
+
+import os
+from pathlib import Path
+
+from repro.core.pushdownbench import run_pushdown_bench, write_record
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_e19.json"
+FULL_N = 10_000_000
+
+
+def test_pushdown_parity_and_bounded_rss(benchmark):
+    """The acceptance bars: bit-identical answers on both scan paths,
+    streaming chosen by the cost model, bounded peak RSS at 10M."""
+    n = int(os.environ.get("REPRO_E19_N", FULL_N))
+    outcome = benchmark.pedantic(
+        lambda: run_pushdown_bench(n=n),
+        rounds=1,
+        iterations=1,
+    )
+    write_record(outcome, RECORD_PATH)
+
+    assert outcome["results_identical"], (
+        "a pushdown result diverged from its materialized counterpart — "
+        "the out-of-core scan changed an answer: "
+        f"{[q for q in outcome['queries'] if not q['identical']]}"
+    )
+    assert all(
+        path == "sql-pushdown" for path in outcome["pushdown_paths"]
+    ), (
+        f"pushdown side ran on {outcome['pushdown_paths']} "
+        f"(mode {outcome['pushdown_mode']!r}); every query must stream"
+    )
+    rss_min = os.environ.get("REPRO_E19_RSS_MIN")
+    if rss_min is not None:
+        assert outcome["rss_ratio"] >= float(rss_min), (
+            f"pushdown peak RSS only {outcome['rss_ratio']:.1f}x smaller "
+            f"at n={n} (floor {rss_min}x: "
+            f"{outcome['materialize_peak_rss_kb']} KB materialized vs "
+            f"{outcome['pushdown_peak_rss_kb']} KB streamed)"
+        )
+    if n >= FULL_N:
+        assert outcome["pushdown_mode"] == "auto", (
+            "the full-size run must let the cost model choose the path"
+        )
+        assert outcome["rss_ratio"] >= 4.0, (
+            f"pushdown peak RSS only {outcome['rss_ratio']:.1f}x smaller "
+            f"({outcome['materialize_peak_rss_kb']} KB materialized vs "
+            f"{outcome['pushdown_peak_rss_kb']} KB streamed)"
+        )
+    benchmark.extra_info.update(outcome)

@@ -720,6 +720,49 @@ def _cmd_reduce_bench(args, out):
     return 0 if identical else 1
 
 
+def _cmd_pushdown_bench(args, out):
+    from repro.core.pushdownbench import run_pushdown_bench, write_record
+
+    outcome = run_pushdown_bench(n=args.n, zone_rows=args.zone_rows)
+    if args.record:
+        write_record(outcome, args.record)
+    identical = outcome["results_identical"]
+    if args.json:
+        print(json.dumps(outcome, indent=2, default=str), file=out)
+        return 0 if identical else 1
+    print(
+        f"workload: {outcome['n']} rows streamed into sqlite in "
+        f"{outcome['build_seconds']:.1f} s "
+        f"(zone_rows={outcome['zone_rows']})",
+        file=out,
+    )
+    for entry in outcome["queries"]:
+        pushed = entry["pushdown"] or {}
+        print(
+            f"  {entry['where_path']}: {entry['candidate_count']} candidates, "
+            f"{pushed.get('sql_fixed', 0)} fixed in SQL, "
+            f"objective {entry['objective']}",
+            file=out,
+        )
+    print(
+        f"peak RSS: {outcome['pushdown_peak_rss_kb'] / 1024:.0f} MB streamed "
+        f"vs {outcome['materialize_peak_rss_kb'] / 1024:.0f} MB materialized "
+        f"({outcome['rss_ratio']:.1f}x smaller)",
+        file=out,
+    )
+    print(
+        f"wall clock: {outcome['pushdown_seconds']:.2f} s streamed vs "
+        f"{outcome['materialize_seconds']:.2f} s materialized",
+        file=out,
+    )
+    print(
+        f"packages identical to materialization: "
+        f"{'yes' if identical else 'NO'}",
+        file=out,
+    )
+    return 0 if identical else 1
+
+
 def _open_store(args):
     from repro.core.artifact_store import ArtifactStore
 
@@ -1282,6 +1325,32 @@ def build_parser():
     )
     reduce_bench.add_argument("--json", action="store_true", help="JSON output")
     reduce_bench.set_defaults(func=_cmd_reduce_bench)
+
+    pushdown_bench = sub.add_parser(
+        "pushdown-bench",
+        help=(
+            "stream the E19 out-of-core workload through the sql-backed "
+            "relation and verify package parity + peak-RSS savings "
+            "against full materialization"
+        ),
+    )
+    pushdown_bench.add_argument(
+        "--n", type=int, default=10_000_000, help="relation rows (built streaming)"
+    )
+    pushdown_bench.add_argument(
+        "--zone-rows",
+        type=int,
+        default=65536,
+        help="zone-map granularity of the backing table",
+    )
+    pushdown_bench.add_argument(
+        "--record",
+        help="write the outcome as a machine-readable JSON perf record",
+    )
+    pushdown_bench.add_argument(
+        "--json", action="store_true", help="JSON output"
+    )
+    pushdown_bench.set_defaults(func=_cmd_pushdown_bench)
 
     serve = sub.add_parser(
         "serve",

@@ -102,3 +102,77 @@ def choose_strategy(ctx, exclude=()):
         translatable=translatable,
         translation_error=ctx.translation_error,
     )
+
+
+# -- scan-path selection (out-of-core backends) -------------------------------
+
+#: At or under this many rows, ``pushdown="auto"`` materializes the
+#: sql-backed relation: whole-table numpy arrays are cheap, and the
+#: vectorized in-memory stages beat per-query SQL round trips.
+MATERIALIZE_MAX_ROWS = 200_000
+
+#: Above this many rows, ``auto`` always streams — whole-table arrays
+#: are exactly the memory footprint the out-of-core backend exists to
+#: avoid, regardless of how unselective the WHERE looks.
+IN_MEMORY_ROW_BUDGET = 1_000_000
+
+#: Between the two row bounds, stream when the WHERE's estimated
+#: selectivity keeps the resident set at or under this fraction of the
+#: table; otherwise most rows become residents anyway and one-time
+#: materialization amortizes better over repeated queries.
+PUSHDOWN_SELECTIVITY = 0.25
+
+
+def choose_scan_path(total_rows, estimated_rows, options):
+    """Decide how a sql-backed relation's WHERE scan should run.
+
+    The scan-path twin of :func:`choose_strategy`: one shared decision
+    consumed by both the engine and the planner, so ``plan()`` predicts
+    the path ``evaluate()`` takes.
+
+    Args:
+        total_rows: rows in the backing table.
+        estimated_rows: the SQL prefilter's ``COUNT(*)`` — an upper
+            bound on the candidate set (the prefilter only *weakens*
+            conjuncts), hence an upper bound on streamed residents.
+        options: :class:`~repro.core.engine.EngineOptions` (its
+            ``pushdown`` field: ``auto`` | ``always`` | ``materialize``).
+
+    Returns:
+        ``(path, reason)`` with path ``"sql-pushdown"`` or
+        ``"materialize"``.
+    """
+    mode = getattr(options, "pushdown", "auto")
+    if mode == "always":
+        return "sql-pushdown", "streaming forced (pushdown='always')"
+    if mode == "materialize":
+        return "materialize", "materialization forced (pushdown='materialize')"
+    if mode != "auto":
+        raise ValueError(
+            f"unknown pushdown mode {mode!r} "
+            "(choose from 'auto', 'always', 'materialize')"
+        )
+    if total_rows <= MATERIALIZE_MAX_ROWS:
+        return (
+            "materialize",
+            f"{total_rows} rows fit the in-memory budget "
+            f"(<= {MATERIALIZE_MAX_ROWS})",
+        )
+    if total_rows > IN_MEMORY_ROW_BUDGET:
+        return (
+            "sql-pushdown",
+            f"{total_rows} rows exceed the in-memory row budget "
+            f"(> {IN_MEMORY_ROW_BUDGET})",
+        )
+    selectivity = estimated_rows / total_rows
+    if selectivity <= PUSHDOWN_SELECTIVITY:
+        return (
+            "sql-pushdown",
+            f"estimated selectivity {selectivity:.1%} keeps the resident "
+            f"set small (<= {PUSHDOWN_SELECTIVITY:.0%})",
+        )
+    return (
+        "materialize",
+        f"estimated selectivity {selectivity:.1%} would stream most rows "
+        f"anyway (> {PUSHDOWN_SELECTIVITY:.0%})",
+    )

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -120,6 +121,14 @@ class EngineOptions:
             ``aggressive`` adds dominance pruning when its analysis
             proves an optimal package survives, and ``off`` restores
             the exact unreduced pipeline.
+        pushdown: scan path for sql-backed relations
+            (``docs/out_of_core.md``): ``auto`` (the default) lets the
+            cost model pick from table size and the SQL prefilter's
+            estimated selectivity, ``always`` forces the streaming
+            pushdown path, ``materialize`` forces full in-memory
+            materialization.  Ignored for in-memory relations; the
+            path never changes results (candidate rids are
+            bit-identical by construction).
     """
 
     strategy: str = "auto"
@@ -134,6 +143,7 @@ class EngineOptions:
     workers: int = 0
     reduce: str = "safe"
     parallel_backend: str = "thread"
+    pushdown: str = "auto"
 
 
 class PackageQueryEvaluator:
@@ -159,11 +169,22 @@ class PackageQueryEvaluator:
         self._artifacts = artifacts
         self._shm_ctx = None
         self._shm_failure = None
+        # Out-of-core scan results (sql-backed relations only): the
+        # last few WHERE outcomes keyed by clause, and the last
+        # streamed resident sets keyed by candidate content.  Small
+        # caps — residents can be large.
+        self._scan_cache = OrderedDict()
+        self._stream_cache = OrderedDict()
         # Serializes the evaluator's lazily-built shared state — the
         # cached ShardedRelation and the shm execution context — under
         # concurrent callers (one session serving many threads).  Held
         # only around build/teardown, never around query work.
         self._shared_state_lock = threading.RLock()
+        if db is not None and getattr(relation, "is_sql_backed", False):
+            raise EngineError(
+                "a sql-backed relation already lives in its own database; "
+                "attaching a separate Database is unsupported"
+            )
         if db is not None and not db.has_relation(relation.name):
             db.load_relation(relation)
 
@@ -352,7 +373,19 @@ class PackageQueryEvaluator:
         compile-failure fallback.  ``shard_info`` is the
         ``stats["shards"]`` payload when the sharded path ran, else
         ``None``.
+
+        For a sql-backed relation the scan runs through the pushdown
+        planner (:mod:`repro.core.pushdown`): WHERE conjuncts execute
+        inside sqlite as a weakened prefilter plus zone-range skipping,
+        and survivors stream out in batches for an exact recheck by
+        the same kernels the in-memory path compiles — the returned
+        rids are bit-identical to an in-memory evaluation
+        (``sql-pushdown``), unless the cost model decides the table is
+        small enough to materialize outright (``materialized``).
         """
+        if getattr(self._relation, "is_sql_backed", False):
+            outcome = self._pushdown_scan(query, options)
+            return list(outcome.candidate_rids), outcome.path, None
         if query.where is None:
             return list(range(len(self._relation))), "none", None
         if self._db is not None:
@@ -371,6 +404,63 @@ class PackageQueryEvaluator:
             for rid in range(len(self._relation))
             if eval_predicate(query.where, self._relation[rid])
         ], "interpreted", None
+
+    def _pushdown_scan(self, query, options):
+        """The out-of-core WHERE scan, memoized on the clause text.
+
+        The scan is a pure function of the immutable backing table and
+        the WHERE clause, so a small LRU makes repeated queries over
+        the same clause (the session workload) skip the sqlite pass
+        entirely — the artifact cache's WHERE layer plays the same
+        role across restarts.
+        """
+        from repro.core.pushdown import run_where
+        from repro.paql.printer import print_expr
+
+        clause = print_expr(query.where) if query.where is not None else ""
+        key = (clause, getattr(options, "pushdown", "auto"))
+        with self._shared_state_lock:
+            hit = self._scan_cache.get(key)
+            if hit is not None:
+                self._scan_cache.move_to_end(key)
+                return hit
+        outcome = run_where(self._relation, query, options or EngineOptions())
+        with self._shared_state_lock:
+            self._scan_cache[key] = outcome
+            while len(self._scan_cache) > 4:
+                self._scan_cache.popitem(last=False)
+        return outcome
+
+    def stream_residents(self, query, options, candidate_rids):
+        """Stream surviving candidates into memory (pipeline stream stage).
+
+        Derives the query's SQL fixing predicates (safe-mode reduction
+        thresholds pushed into the scan), streams the candidate rows
+        that survive them out of sqlite, and returns
+        ``(StreamOutcome, fixing_sqls)``.  Memoized on the candidate
+        content and the fixing set, so back-to-back queries sharing a
+        WHERE clause reuse the resident relation instead of
+        re-streaming it.
+        """
+        from repro.core import pushdown
+
+        labels, fixing = pushdown.build_fixing_predicates(
+            query, self._relation, options
+        )
+        key = (pushdown.rids_digest(candidate_rids), tuple(fixing))
+        with self._shared_state_lock:
+            hit = self._stream_cache.get(key)
+            if hit is not None:
+                self._stream_cache.move_to_end(key)
+                return hit, fixing
+        outcome = pushdown.stream_residents(
+            self._relation, candidate_rids, labels, fixing
+        )
+        with self._shared_state_lock:
+            self._stream_cache[key] = outcome
+            while len(self._stream_cache) > 2:
+                self._stream_cache.popitem(last=False)
+        return outcome, fixing
 
     def _sharded_candidates(self, query, options):
         """Shard-parallel WHERE filtering; ``None`` when no kernel exists.
@@ -564,14 +654,17 @@ class PackageQueryEvaluator:
                     status=ResultStatus.INFEASIBLE,
                     strategy=state.halt_strategy,
                     query=state.query,
-                    candidate_count=ctx.base_candidate_count,
+                    candidate_count=state.base_candidate_count,
                     bounds=ctx.bounds,
                     stats=stats,
                 )
             else:
                 ctx = state.ctx
                 result.query = state.query
-                result.candidate_count = ctx.base_candidate_count
+                # The absolute WHERE-survivor count: for a sql-backed
+                # run the ctx's count reflects the resident relation
+                # (post SQL fixing), which is an implementation detail.
+                result.candidate_count = state.base_candidate_count
                 result.bounds = ctx.bounds
                 result.stats.setdefault("where_path", ctx.where_path)
                 if ctx.reduction is not None:
@@ -579,7 +672,27 @@ class PackageQueryEvaluator:
                         "reduction", ctx.reduction.stats()
                     )
                 run_validate(state, self._check, result)
+                if (
+                    result.package is not None
+                    and result.package.relation is not self._relation
+                ):
+                    # The package was solved and validated over the
+                    # stream stage's in-memory working set (resident
+                    # positions, or the materialized twin); rebase it
+                    # onto the relation the caller evaluated over.
+                    from repro.core.package import Package
 
+                    if state.rid_map is not None:
+                        counts = {
+                            int(state.rid_map[position]): multiplicity
+                            for position, multiplicity in result.package.counts
+                        }
+                    else:
+                        counts = dict(result.package.counts)
+                    result.package = Package(self._relation, counts)
+
+        if state.stream_info is not None:
+            result.stats.setdefault("pushdown", dict(state.stream_info))
         if parallel_events:
             result.stats["parallel"] = parallel_events
         if state.shard_info is not None:

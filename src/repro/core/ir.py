@@ -31,6 +31,7 @@ __all__ = [
     "STAGE_REDUCE",
     "STAGE_REWRITE",
     "STAGE_STRATEGY",
+    "STAGE_STREAM",
     "STAGE_VALIDATE",
     "STAGE_WHERE",
     "STAGE_ZONE_SKIP",
@@ -39,9 +40,12 @@ __all__ = [
     "stage_table",
 ]
 
-#: Canonical stage names, in pipeline order.
+#: Canonical stage names, in pipeline order.  ``stream-residents``
+#: only appears on sql-backed runs (out-of-core pushdown, see
+#: :mod:`repro.core.pushdown`); in-memory evaluations never emit it.
 STAGE_REWRITE = "rewrite"
 STAGE_WHERE = "where-filter"
+STAGE_STREAM = "stream-residents"
 STAGE_ZONE_SKIP = "zone-skip"
 STAGE_BOUNDS = "prune-bounds"
 STAGE_REDUCE = "reduction"
@@ -51,6 +55,7 @@ STAGE_VALIDATE = "validate"
 STAGE_NAMES = (
     STAGE_REWRITE,
     STAGE_WHERE,
+    STAGE_STREAM,
     STAGE_ZONE_SKIP,
     STAGE_BOUNDS,
     STAGE_REDUCE,

@@ -10,7 +10,12 @@ as ``stats["stages"]``, the planner as ``plan().stages``, and
 
 Pipeline order::
 
-    rewrite -> where-filter -> zone-skip -> [prune-bounds -> reduction]* -> strategy-dispatch -> validate
+    rewrite -> where-filter -> [stream-residents] -> zone-skip -> [prune-bounds -> reduction]* -> strategy-dispatch -> validate
+
+``stream-residents`` only exists for sql-backed relations
+(:mod:`repro.core.pushdown`): it swaps the out-of-core table for an
+in-memory relation of just the surviving candidates, so every later
+stage runs unchanged over ``state.relation``.
 
 The bracketed pair is a **fixpoint group**: after reduction fixes
 variables out, cardinality and SUM bounds are re-derived over the
@@ -45,6 +50,7 @@ from repro.core.ir import (
     STAGE_REDUCE,
     STAGE_REWRITE,
     STAGE_STRATEGY,
+    STAGE_STREAM,
     STAGE_VALIDATE,
     STAGE_WHERE,
     STAGE_ZONE_SKIP,
@@ -89,6 +95,15 @@ class PipelineState:
     where_path: str = "none"
     shard_info: dict | None = None
     sharded: object = None
+    #: The relation every stage past WHERE works on.  Equal to
+    #: ``evaluator.relation`` for in-memory evaluations; for a
+    #: sql-backed relation the stream stage swaps in the in-memory
+    #: *resident* relation (surviving candidates only), with
+    #: ``rid_map`` translating resident positions back to absolute
+    #: rids (``None`` when no translation is needed).
+    relation: object = None
+    rid_map: object = None
+    stream_info: dict | None = None
     #: Live :class:`~repro.core.parallel.ShmExecutionContext` (or
     #: ``None``): the zero-copy worker pool the sharded stages hand
     #: their shard tasks to when ``parallel_backend="shm-process"``.
@@ -174,9 +189,98 @@ def _run_where(state):
     )
 
 
+def _run_stream(state):
+    """Swap a sql-backed relation for its in-memory working set.
+
+    In-memory evaluations pass straight through (no record — the stage
+    exists only for the out-of-core backend).  For a sql-backed
+    relation the stage either *materializes* the full table (small
+    inputs: positions equal absolute rids, nothing downstream changes)
+    or *streams* only the surviving candidate rows out of sqlite into
+    a resident relation — with safe-mode reduction fixing applied as
+    SQL so provably-absent tuples never reach memory — and rebases
+    candidates onto resident positions, keeping ``rid_map`` to restore
+    absolute rids in the final package.
+    """
+    base = state.evaluator.relation
+    state.relation = base
+    if not getattr(base, "is_sql_backed", False):
+        return
+    from repro.core.cost import choose_scan_path
+
+    count = len(state.candidate_rids)
+    started = time.perf_counter()
+    path, decision = choose_scan_path(len(base), count, state.options)
+    if path == "materialize":
+        state.relation = base.materialize()
+        state.stream_info = {"path": "materialized", "decision": decision}
+        state.record(
+            StageRecord(
+                STAGE_STREAM,
+                rows_in=count,
+                rows_out=count,
+                seconds=time.perf_counter() - started,
+                detail=dict(state.stream_info),
+            )
+        )
+        return
+    outcome, fixing_sqls = state.evaluator.stream_residents(
+        state.query, state.options, state.candidate_rids
+    )
+    state.relation = outcome.resident
+    state.rid_map = outcome.rid_map
+    state.candidate_rids = list(range(len(outcome.resident)))
+    state.stream_info = {
+        "path": "stream",
+        "decision": decision,
+        "sql_fixed": outcome.sql_fixed,
+        "fixing": list(outcome.fixing),
+        "batches": outcome.batches,
+    }
+    if state.artifacts is not None:
+        # Residents index by position, so cached layers keyed on the
+        # base relation would collide across WHERE clauses; rescope
+        # them under a hash pinning exactly this resident's content.
+        from repro.core.pushdown import derived_artifacts
+        from repro.paql.printer import print_expr
+
+        clause = (
+            print_expr(state.query.where)
+            if state.query.where is not None
+            else ""
+        )
+        state.artifacts = derived_artifacts(
+            state.artifacts,
+            base,
+            clause,
+            fixing_sqls,
+            outcome.rid_map,
+            outcome.resident,
+        )
+    state.record(
+        StageRecord(
+            STAGE_STREAM,
+            rows_in=count,
+            rows_out=len(outcome.resident),
+            seconds=time.perf_counter() - started,
+            detail=dict(state.stream_info),
+        )
+    )
+
+
 def _run_zone_skip(state):
     options = state.options
     count = len(state.candidate_rids)
+    if getattr(state.evaluator.relation, "is_sql_backed", False):
+        state.record(
+            StageRecord(
+                STAGE_ZONE_SKIP,
+                rows_in=count,
+                rows_out=count,
+                skipped="zone analysis ran inside the sql scan",
+            )
+        )
+        return
     if getattr(options, "shards", 1) <= 1:
         state.record(
             StageRecord(
@@ -238,7 +342,7 @@ def _run_bounds(state, round_number):
     if bounds is None:
         bounds = derive_bounds(
             state.query,
-            state.evaluator.relation,
+            state.relation,
             state.candidate_rids,
             sharded=state.sharded,
             workers=getattr(state.options, "workers", 0),
@@ -287,7 +391,7 @@ def _run_reduce(state, round_number):
     )
     kept, reduction = apply_reduction(
         state.query,
-        state.evaluator.relation,
+        state.relation,
         state.candidate_rids,
         state.bounds,
         state.options,
@@ -397,6 +501,7 @@ def run_analysis(
         )
     _run_where(state)
     state.base_candidate_count = len(state.candidate_rids)
+    _run_stream(state)
     _run_zone_skip(state)
     if state.sharded is not None:
         context_for = getattr(evaluator, "execution_context", None)
@@ -405,7 +510,7 @@ def run_analysis(
     _run_prune_fixpoint(state)
     state.ctx = EvaluationContext(
         query=state.query,
-        relation=evaluator.relation,
+        relation=state.relation,
         candidate_rids=state.candidate_rids,
         bounds=state.bounds,
         options=options,

@@ -87,6 +87,7 @@ __all__ = [
     "Reduction",
     "apply_reduction",
     "merge_reductions",
+    "minmax_fixing_sql",
     "reduce_candidates",
     "reduction_gate_reason",
 ]
@@ -351,6 +352,57 @@ def reduce_candidates(
         query, relation, rids, bounds, mode, sharded, workers, tolerance,
         fact_cache, shm=shm, backend=backend,
     ).run(started)
+
+
+def minmax_fixing_sql(func, op, constant, column, tolerance=DEFAULT_TOLERANCE):
+    """SQL twin of :meth:`_Reducer._consume_minmax`'s per-tuple fixing.
+
+    Renders the predicate selecting exactly the rows the vectorized
+    ``bad`` mask marks for ``func(column) <op> constant`` — the
+    out-of-core pushdown streams ``NOT`` this predicate so provably
+    absent tuples never leave the database.  Lives next to the numpy
+    form on purpose: the two encode one theorem and must not drift.
+
+    Bit-for-bit agreement with the numpy mask holds because sqlite
+    evaluates ``v < pivot - (tol * MAX(1.0, ABS(v), |pivot|))`` in the
+    same IEEE doubles numpy uses (same rounding at every step), and
+    float literals round-trip exactly through ``repr`` →
+    :func:`~repro.paql.to_sql._sql_literal` → sqlite's REAL parser.
+
+    The caller owns the guards the vector path applies *before* its
+    mask (NaN anywhere in the column, or a mirrored ``-inf`` under a
+    ``LT`` bad-shape, derive nothing) — zone statistics answer both
+    without a scan.  NULL rows are never fixed, matching
+    ``np.where(nulls, False, bad)``; a stored NaN reads as SQL NULL,
+    so the ``IS NOT NULL`` conjunct also keeps the twin honest if a
+    caller ever skips the NaN guard.
+
+    Returns ``None`` when the plan has no pure per-tuple fixing shape
+    (an EQ witness, or no bad set at all) — those conjuncts stay with
+    the in-memory reducer.
+    """
+    from repro.paql.to_sql import _sql_literal
+    from repro.relational.schema import quote_ident
+
+    try:
+        plan = minmax_plan(func, op)
+    except ILPTranslationError:
+        return None
+    if plan.witness is not None or plan.bad is None:
+        return None
+    threshold = float(constant)
+    pivot = -threshold if plan.negate else threshold
+    col = quote_ident(column)
+    mirrored = f"-{col}" if plan.negate else col
+    if plan.bad is ast.CmpOp.LT:
+        slack = (
+            f"({_sql_literal(float(tolerance))} * "
+            f"MAX(1.0, ABS({col}), {_sql_literal(abs(pivot))}))"
+        )
+        bad = f"{mirrored} < {_sql_literal(pivot)} - {slack}"
+    else:  # LE comes from a strict comparison: exact
+        bad = f"{mirrored} <= {_sql_literal(pivot)}"
+    return f"({col} IS NOT NULL AND {bad})"
 
 
 def _shm_values_task(spec):

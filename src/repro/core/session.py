@@ -810,6 +810,13 @@ class EvaluationSession:
                     "session mutation is not supported with an attached "
                     "database (the sqlite copy would go stale)"
                 )
+            if getattr(self._evaluator.relation, "is_sql_backed", False):
+                from repro.core.result import EngineError
+
+                raise EngineError(
+                    "session mutation is not supported on a sql-backed "
+                    "relation (mutate the backing store and reopen)"
+                )
             sharded = self._evaluator.sharded_relation(
                 max(1, self._options.shards)
             )

@@ -75,6 +75,90 @@ def clustered_relation(
     return Relation(name, schema, rows)
 
 
+def uniform_schema(columns=("value",)):
+    """The schema :func:`uniform_relation` builds (streaming twin)."""
+    return Schema(
+        [Column("label", ColumnType.TEXT)]
+        + [Column(column, ColumnType.FLOAT) for column in columns]
+    )
+
+
+def uniform_row_batches(
+    n,
+    columns=("value",),
+    low=0.0,
+    high=100.0,
+    seed=0,
+    null_fraction=0.0,
+    batch_rows=65536,
+):
+    """Stream :func:`uniform_relation`'s rows as row-tuple batches.
+
+    Yields lists of row tuples (schema order) without ever holding the
+    whole relation; the RNG draw order matches the materializing
+    builder exactly, so a
+    :class:`~repro.relational.sql_relation.SqlRelation` built from
+    these batches is bit-identical (same content fingerprint) to the
+    in-memory relation at the same parameters.
+    """
+    rng = np.random.default_rng(seed)
+    batch = []
+    for i in range(n):
+        row = [f"row{i}"]
+        for _ in columns:
+            if null_fraction and rng.random() < null_fraction:
+                row.append(None)
+            else:
+                row.append(round(float(rng.uniform(low, high)), 3))
+        batch.append(tuple(row))
+        if len(batch) >= batch_rows:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def clustered_schema(columns=("cost", "gain", "weight")):
+    """The schema :func:`clustered_relation` builds (streaming twin)."""
+    return Schema(
+        [Column("label", ColumnType.TEXT), Column("ts", ColumnType.FLOAT)]
+        + [Column(column, ColumnType.FLOAT) for column in columns]
+    )
+
+
+def clustered_row_batches(
+    n,
+    columns=("cost", "gain", "weight"),
+    low=0.0,
+    high=100.0,
+    seed=0,
+    batch_rows=65536,
+):
+    """Stream :func:`clustered_relation`'s rows as row-tuple batches.
+
+    The out-of-core counterpart of the append-ordered workload: ``ts``
+    still walks 0..100 monotonically, so zone maps over rowid ranges
+    carry tight ``ts`` intervals and range predicates skip most zones
+    (``docs/out_of_core.md``).  Draw order matches
+    :func:`clustered_relation` exactly — same seed, same rows.
+    """
+    rng = np.random.default_rng(seed)
+    batch = []
+    for i in range(n):
+        row = [
+            f"r{i}",
+            round((i + float(rng.random())) * 100.0 / max(n, 1), 6),
+        ]
+        for _ in columns:
+            row.append(round(float(rng.uniform(low, high)), 3))
+        batch.append(tuple(row))
+        if len(batch) >= batch_rows:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
 def integer_relation(n, low=1, high=10, seed=0, name="Ints"):
     """A relation with one integer ``value`` column in ``[low, high]``."""
     rng = np.random.default_rng(seed)

@@ -11,6 +11,8 @@ formula is handled by the evaluation strategies, not by SQL.
 
 from __future__ import annotations
 
+import math
+
 from repro.paql import ast
 from repro.paql.errors import PaQLSemanticError
 
@@ -22,13 +24,24 @@ def _sql_literal(value):
         return "NULL"
     if isinstance(value, bool):
         return "1" if value else "0"
+    if isinstance(value, float) and not math.isfinite(value):
+        # repr() would emit ``nan`` / ``inf`` — bare identifiers, not
+        # SQL.  ``9e999`` overflows sqlite's REAL parser to exactly
+        # +Infinity (its documented spelling for an infinite literal),
+        # so ±inf comparisons keep IEEE semantics.  NaN has no REAL
+        # spelling at all; render it as NULL, whose comparisons are
+        # UNKNOWN — never true — matching the engine, where every NaN
+        # comparison is false.
+        if math.isnan(value):
+            return "NULL"
+        return "9e999" if value > 0 else "-9e999"
     if isinstance(value, (int, float)):
         return repr(value)
     escaped = str(value).replace("'", "''")
     return f"'{escaped}'"
 
 
-def to_sql(node, column_prefix=""):
+def to_sql(node, column_prefix="", quote_idents=False):
     """Render a normalized scalar expression as a SQL fragment.
 
     Args:
@@ -37,6 +50,9 @@ def to_sql(node, column_prefix=""):
         column_prefix: optional table alias to prefix column names with
             (e.g. ``"R."``), used when the fragment is embedded in a
             join query.
+        quote_idents: render column names double-quoted (keyword-safe;
+            the out-of-core pushdown path always sets this).  Off by
+            default to keep the demo-path SQL human-readable.
 
     Raises:
         PaQLSemanticError: if the expression contains an aggregate.
@@ -50,6 +66,10 @@ def to_sql(node, column_prefix=""):
                 f"column {node.qualified()!r} is still qualified; run "
                 "semantic analysis before SQL rendering"
             )
+        if quote_idents:
+            from repro.relational.schema import quote_ident
+
+            return f"{column_prefix}{quote_ident(node.name)}"
         return f"{column_prefix}{node.name}"
 
     if isinstance(node, ast.Aggregate):
@@ -59,46 +79,46 @@ def to_sql(node, column_prefix=""):
         )
 
     if isinstance(node, ast.UnaryMinus):
-        return f"(-{to_sql(node.operand, column_prefix)})"
+        return f"(-{to_sql(node.operand, column_prefix, quote_idents)})"
 
     if isinstance(node, ast.BinaryOp):
-        left = to_sql(node.left, column_prefix)
-        right = to_sql(node.right, column_prefix)
+        left = to_sql(node.left, column_prefix, quote_idents)
+        right = to_sql(node.right, column_prefix, quote_idents)
         if node.op is ast.BinOp.DIV:
             # sqlite integer division truncates; PaQL arithmetic is real.
             return f"(CAST({left} AS REAL) / {right})"
         return f"({left} {node.op.value} {right})"
 
     if isinstance(node, ast.Comparison):
-        left = to_sql(node.left, column_prefix)
-        right = to_sql(node.right, column_prefix)
+        left = to_sql(node.left, column_prefix, quote_idents)
+        right = to_sql(node.right, column_prefix, quote_idents)
         return f"({left} {node.op.value} {right})"
 
     if isinstance(node, ast.Between):
-        expr = to_sql(node.expr, column_prefix)
-        low = to_sql(node.low, column_prefix)
-        high = to_sql(node.high, column_prefix)
+        expr = to_sql(node.expr, column_prefix, quote_idents)
+        low = to_sql(node.low, column_prefix, quote_idents)
+        high = to_sql(node.high, column_prefix, quote_idents)
         keyword = "NOT BETWEEN" if node.negated else "BETWEEN"
         return f"({expr} {keyword} {low} AND {high})"
 
     if isinstance(node, ast.InList):
-        expr = to_sql(node.expr, column_prefix)
+        expr = to_sql(node.expr, column_prefix, quote_idents)
         items = ", ".join(_sql_literal(item.value) for item in node.items)
         keyword = "NOT IN" if node.negated else "IN"
         return f"({expr} {keyword} ({items}))"
 
     if isinstance(node, ast.IsNull):
-        expr = to_sql(node.expr, column_prefix)
+        expr = to_sql(node.expr, column_prefix, quote_idents)
         keyword = "IS NOT NULL" if node.negated else "IS NULL"
         return f"({expr} {keyword})"
 
     if isinstance(node, ast.And):
-        return "(" + " AND ".join(to_sql(a, column_prefix) for a in node.args) + ")"
+        return "(" + " AND ".join(to_sql(a, column_prefix, quote_idents) for a in node.args) + ")"
 
     if isinstance(node, ast.Or):
-        return "(" + " OR ".join(to_sql(a, column_prefix) for a in node.args) + ")"
+        return "(" + " OR ".join(to_sql(a, column_prefix, quote_idents) for a in node.args) + ")"
 
     if isinstance(node, ast.Not):
-        return f"(NOT {to_sql(node.arg, column_prefix)})"
+        return f"(NOT {to_sql(node.arg, column_prefix, quote_idents)})"
 
     raise PaQLSemanticError(f"cannot render node {node!r} to SQL")

@@ -58,6 +58,7 @@ __all__ = [
     "ColumnHasher",
     "column_digest",
     "column_kind",
+    "fingerprint_parts",
     "merge_digests",
     "range_fingerprint",
     "relation_fingerprint",
@@ -187,6 +188,24 @@ def _schema_digest(schema):
     ).hexdigest()
 
 
+def fingerprint_parts(schema, row_count, column_digests):
+    """Fold schema, cardinality and per-column digests into one hash.
+
+    The single merge rule behind both :func:`range_fingerprint` and
+    any *streaming* producer of the same identity: a backend that
+    hashed its columns chunk by chunk (one :class:`ColumnHasher` per
+    column, e.g. :class:`~repro.relational.sql_relation.SqlRelation`)
+    folds the resulting digests here and lands on exactly the hash the
+    in-memory path computes for bit-identical data.
+    """
+    parts = [_schema_digest(schema)]
+    row_hash = hashlib.blake2b(digest_size=DIGEST_SIZE)
+    row_hash.update(int(row_count).to_bytes(8, "little"))
+    parts.append(row_hash.hexdigest())
+    parts.extend(column_digests)
+    return merge_digests(parts)
+
+
 def range_fingerprint(relation, start, stop):
     """Content fingerprint of rows ``[start, stop)`` across all columns.
 
@@ -196,20 +215,17 @@ def range_fingerprint(relation, start, stop):
     relation they sit — which is what lets a delete shift later shards
     without invalidating their cached artifacts.
     """
-    parts = [_schema_digest(relation.schema)]
-    row_hash = hashlib.blake2b(digest_size=DIGEST_SIZE)
-    row_hash.update(int(stop - start).to_bytes(8, "little"))
-    parts.append(row_hash.hexdigest())
+    digests = []
     for column in relation.schema:
         values, nulls = relation.column_arrays(column.name)
-        parts.append(
+        digests.append(
             column_digest(
                 values[start:stop],
                 nulls[start:stop],
                 kind=column_kind(column.type),
             )
         )
-    return merge_digests(parts)
+    return fingerprint_parts(relation.schema, stop - start, digests)
 
 
 def relation_fingerprint(relation):
@@ -218,7 +234,16 @@ def relation_fingerprint(relation):
     Cached on the relation (content never changes after construction;
     mutation APIs return new relations), so repeated store operations
     pay the hash once.
+
+    Backends that cannot afford whole-column arrays expose their own
+    ``relation_fingerprint()`` method (computed by streaming the same
+    canonical bytes through :class:`ColumnHasher` and folding with
+    :func:`fingerprint_parts`, so it equals the in-memory hash for
+    bit-identical data); delegate to it when present.
     """
+    method = getattr(relation, "relation_fingerprint", None)
+    if callable(method):
+        return method()
     cache = getattr(relation, "_column_cache", None)
     key = ("content-fingerprint",)
     if cache is not None and key in cache:

@@ -22,6 +22,21 @@ _IDENTIFIER_STARTS = frozenset(
 )
 
 
+def quote_ident(name):
+    """Quote ``name`` for direct interpolation into SQL text.
+
+    Double-quote form with internal quotes doubled, per the SQL
+    standard (sqlite honors it for every identifier position).  The
+    schema layer already restricts relation and column names to ASCII
+    identifier characters (:func:`_check_identifier`), but identifier
+    characters alone are not enough: ``"order"`` or ``"group"`` are
+    valid column names here and SQL keywords there, so every
+    identifier that reaches SQL text must pass through this helper —
+    never through a bare f-string.
+    """
+    return '"' + str(name).replace('"', '""') + '"'
+
+
 def _check_identifier(name, what):
     """Validate ``name`` as a SQL-safe ASCII identifier.
 

@@ -7,6 +7,21 @@ materialized into sqlite tables with an explicit ``rid`` column that
 records the in-memory row index, so SQL-produced candidates (base
 constraint pushdown, local-search replacement queries) can be mapped
 back to :class:`repro.relational.relation.Relation` rows.
+
+Every identifier that reaches SQL text goes through
+:func:`repro.relational.schema.quote_ident`: schema validation already
+restricts names to ASCII identifier characters, but a column named
+``order`` or ``group`` is still a SQL keyword, and quoting is what
+makes it (and any future caller-supplied temp-table name) safe to
+interpolate.
+
+Data moves in batches: :meth:`Database.load_relation` inserts
+``executemany`` chunks built straight from packed row tuples,
+:meth:`Database.fetch_relation` rebuilds the relation from
+``fetchmany`` batches without intermediate per-row dicts, and
+:meth:`Database.iter_rows` streams row batches for consumers that must
+never hold the whole table (the out-of-core path in
+:mod:`repro.relational.sql_relation`).
 """
 
 from __future__ import annotations
@@ -14,8 +29,13 @@ from __future__ import annotations
 import sqlite3
 
 from repro.relational.relation import Relation
-from repro.relational.schema import Schema, SchemaError
+from repro.relational.schema import quote_ident
 from repro.relational.types import ColumnType
+
+#: Rows per executemany / fetchmany chunk.  Large enough to amortize
+#: the sqlite statement overhead, small enough that a batch is noise
+#: next to the page cache.
+BATCH_ROWS = 4096
 
 
 class DatabaseError(Exception):
@@ -49,32 +69,39 @@ class Database:
 
     # -- relation management -----------------------------------------------
 
-    def load_relation(self, relation, replace=True):
+    def load_relation(self, relation, replace=True, batch_rows=BATCH_ROWS):
         """Materialize ``relation`` as a sqlite table named after it.
 
         The table gets an extra ``rid INTEGER PRIMARY KEY`` column equal
-        to the row's index in the in-memory relation.
+        to the row's index in the in-memory relation.  Rows are
+        inserted in ``executemany`` batches of ``batch_rows`` built
+        directly from the relation's packed tuples (no per-row dicts).
         """
         name = relation.name
+        table = quote_ident(name)
         if replace:
-            self._connection.execute(f"DROP TABLE IF EXISTS {name}")
+            self._connection.execute(f"DROP TABLE IF EXISTS {table}")
         columns = ", ".join(
-            f"{column.name} {column.type.sql_name}" for column in relation.schema
+            f"{quote_ident(column.name)} {column.type.sql_name}"
+            for column in relation.schema
         )
         self._connection.execute(
-            f"CREATE TABLE {name} (rid INTEGER PRIMARY KEY, {columns})"
+            f"CREATE TABLE {table} (rid INTEGER PRIMARY KEY, {columns})"
         )
         placeholders = ", ".join(["?"] * (len(relation.schema) + 1))
-        rows = []
-        for rid in range(len(relation)):
-            values = relation.row_tuple(rid)
-            converted = tuple(
-                int(value) if isinstance(value, bool) else value for value in values
-            )
-            rows.append((rid,) + converted)
-        self._connection.executemany(
-            f"INSERT INTO {name} VALUES ({placeholders})", rows
-        )
+        insert = f"INSERT INTO {table} VALUES ({placeholders})"
+        total = len(relation)
+        for start in range(0, total, batch_rows):
+            stop = min(start + batch_rows, total)
+            batch = [
+                (rid,)
+                + tuple(
+                    int(value) if isinstance(value, bool) else value
+                    for value in relation.row_tuple(rid)
+                )
+                for rid in range(start, stop)
+            ]
+            self._connection.executemany(insert, batch)
         self._connection.commit()
         self._schemas[name] = relation.schema
 
@@ -87,28 +114,56 @@ class Database:
         except KeyError:
             raise DatabaseError(f"no relation {name!r} loaded") from None
 
-    def fetch_relation(self, name):
+    def _coercers(self, schema):
+        """Per-column converters restoring engine value types."""
+        coercers = []
+        for column in schema:
+            if column.type is ColumnType.BOOL:
+                coercers.append(lambda v: None if v is None else bool(v))
+            elif column.type is ColumnType.FLOAT:
+                coercers.append(lambda v: None if v is None else float(v))
+            else:
+                coercers.append(lambda v: v)
+        return coercers
+
+    def fetch_relation(self, name, batch_rows=BATCH_ROWS):
         """Read a previously loaded table back into a :class:`Relation`.
 
         Bool columns (stored as 0/1 integers) are coerced back to
-        Python booleans via the remembered schema.
+        Python booleans via the remembered schema.  Rows stream out in
+        ``fetchmany`` batches and are packed straight into the
+        relation's internal tuple layout — no intermediate row dicts.
         """
         schema = self.schema_of(name)
-        cursor = self._connection.execute(
-            f"SELECT {', '.join(schema.names)} FROM {name} ORDER BY rid"
-        )
-        rows = []
-        for record in cursor:
-            row = {}
-            for column in schema:
-                value = record[column.name]
-                if value is not None and column.type is ColumnType.BOOL:
-                    value = bool(value)
-                if value is not None and column.type is ColumnType.FLOAT:
-                    value = float(value)
-                row[column.name] = value
-            rows.append(row)
-        return Relation(name, schema, rows)
+        coercers = self._coercers(schema)
+        packed = []
+        for batch in self.iter_rows(name, batch_rows=batch_rows):
+            packed.extend(
+                tuple(coerce(value) for coerce, value in zip(coercers, record))
+                for record in batch
+            )
+        return Relation._from_packed(name, schema, packed)
+
+    def iter_rows(self, name, batch_rows=BATCH_ROWS, where_sql=None):
+        """Yield row-tuple batches of table ``name`` in rid order.
+
+        Each batch is a list of value tuples in schema order (raw
+        sqlite values; callers needing engine types apply the schema's
+        coercions).  This is the streaming boundary: at no point does
+        the whole table exist in Python memory.
+        """
+        schema = self.schema_of(name)
+        columns = ", ".join(quote_ident(c) for c in schema.names)
+        sql = f"SELECT {columns} FROM {quote_ident(name)}"
+        if where_sql:
+            sql += f" WHERE {where_sql}"
+        sql += " ORDER BY rid"
+        cursor = self._connection.execute(sql)
+        while True:
+            batch = cursor.fetchmany(batch_rows)
+            if not batch:
+                return
+            yield [tuple(record) for record in batch]
 
     # -- querying ------------------------------------------------------------
 
@@ -132,7 +187,7 @@ class Database:
         the DBMS and only the surviving row ids come back.
         """
         self.schema_of(name)  # raises if unknown
-        sql = f"SELECT rid FROM {name}"
+        sql = f"SELECT rid FROM {quote_ident(name)}"
         if where_sql:
             sql += f" WHERE {where_sql}"
         sql += " ORDER BY rid"
@@ -140,7 +195,7 @@ class Database:
 
     def aggregate(self, name, expression_sql, where_sql=None):
         """Compute a single SQL aggregate over a table, e.g. MIN(calories)."""
-        sql = f"SELECT {expression_sql} AS value FROM {name}"
+        sql = f"SELECT {expression_sql} AS value FROM {quote_ident(name)}"
         if where_sql:
             sql += f" WHERE {where_sql}"
         rows = self.execute(sql)
@@ -153,18 +208,19 @@ class Database:
         joins the current package ``P0`` against the base relation.
         """
         self.schema_of(relation_name)
-        self._connection.execute(f"DROP TABLE IF EXISTS {table_name}")
+        table = quote_ident(table_name)
+        self._connection.execute(f"DROP TABLE IF EXISTS {table}")
         self._connection.execute(
-            f"CREATE TEMP TABLE {table_name} (pid INTEGER PRIMARY KEY, rid INTEGER)"
+            f"CREATE TEMP TABLE {table} (pid INTEGER PRIMARY KEY, rid INTEGER)"
         )
         self._connection.executemany(
-            f"INSERT INTO {table_name} (pid, rid) VALUES (?, ?)",
+            f"INSERT INTO {table} (pid, rid) VALUES (?, ?)",
             list(enumerate(rids)),
         )
         self._connection.commit()
 
     def drop_table(self, table_name):
-        self._connection.execute(f"DROP TABLE IF EXISTS {table_name}")
+        self._connection.execute(f"DROP TABLE IF EXISTS {quote_ident(table_name)}")
         self._connection.commit()
 
 

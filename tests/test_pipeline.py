@@ -25,6 +25,7 @@ from repro.core.ir import (
     STAGE_NAMES,
     STAGE_REDUCE,
     STAGE_STRATEGY,
+    STAGE_STREAM,
     STAGE_VALIDATE,
     STAGE_WHERE,
     StageRecord,
@@ -69,7 +70,10 @@ class TestStageRecords:
         seen = [name for name in names if name in STAGE_NAMES]
         assert seen == names
         deduped = list(dict.fromkeys(names))
-        assert deduped == list(STAGE_NAMES)
+        # stream-residents only exists for sql-backed relations; an
+        # in-memory evaluation emits every other canonical stage.
+        expected = [name for name in STAGE_NAMES if name != STAGE_STREAM]
+        assert deduped == expected
 
     def test_rows_flow_through_where_and_strategy(self, meals):
         result = evaluate(HEADLINE, meals)
